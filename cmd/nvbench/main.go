@@ -1,0 +1,184 @@
+// Command nvbench synthesizes an NL2VIS benchmark from a generated
+// Spider-like NL2SQL corpus and prints the dataset statistics the paper
+// reports: Table 2, Table 3, Figures 8–10, the rejection buckets of
+// Section 2.4, and optionally exports the (nl, vis) pairs as JSON.
+//
+// Usage:
+//
+//	nvbench -dbs 40 -pairs 20 -seed 1 -out pairs.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/dataset"
+	"nvbench/internal/render"
+	"nvbench/internal/server"
+	"nvbench/internal/spider"
+	"nvbench/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nvbench: ")
+	var (
+		dbs      = flag.Int("dbs", 30, "number of databases to generate")
+		pairs    = flag.Int("pairs", 20, "average (nl, sql) pairs per database")
+		seed     = flag.Int64("seed", 1, "generation seed")
+		maxPairs = flag.Int("max-pairs", 0, "cap on total source pairs (0 = all)")
+		out      = flag.String("out", "", "write (nl, vis) pairs as JSON to this file")
+		vega     = flag.Bool("vega", false, "include a Vega-Lite spec per exported entry")
+		serve    = flag.String("serve", "", "serve the benchmark browser on this address (e.g. :8080)")
+		csvPath  = flag.String("csv", "", "build the benchmark from this CSV file instead of the generated corpus")
+		csvTable = flag.String("table", "data", "table name for the -csv input")
+		csvPairs = flag.Int("gen-pairs", 12, "number of (nl, sql) pairs to generate for the -csv input")
+	)
+	flag.Parse()
+
+	var corpus *spider.Corpus
+	var err error
+	if *csvPath != "" {
+		corpus, err = corpusFromCSV(*csvPath, *csvTable, *csvPairs, *seed)
+	} else {
+		cfg := spider.Config{Seed: *seed, NumDatabases: *dbs, PairsPerDB: *pairs, MaxRows: 2000}
+		corpus, err = spider.Generate(cfg)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated corpus: %d databases, %d (nl, sql) pairs\n\n", len(corpus.Databases), len(corpus.Pairs))
+
+	bench.WriteTable2(os.Stdout, bench.ComputeTable2(corpus))
+	fmt.Println()
+
+	f8 := bench.ComputeFigure8(corpus)
+	fmt.Println("Figure 8: distribution of columns and rows per table")
+	printHist(" #columns", f8.ColumnHist, []string{"<=2", "3-5", "6-10", "11-20", "21-48", ">48"})
+	printHist(" #rows", f8.RowHist, []string{"<=5", "6-100", "101-1k", "1k-10k", ">10k"})
+	fmt.Println()
+
+	f9 := bench.ComputeFigure9(corpus)
+	fmt.Printf("Figure 9: column-level statistics (%d quantitative columns)\n", f9.QuantColumns)
+	fmt.Print("  best-fit distribution:")
+	for _, d := range append([]stats.Distribution{stats.DistNone}, stats.AllDistributions...) {
+		fmt.Printf(" %s=%d", d, f9.DistCounts[d])
+	}
+	fmt.Println()
+	fmt.Printf("  skewness: symmetric=%d moderate=%d high=%d\n",
+		f9.SkewCounts[stats.ApproxSymmetric], f9.SkewCounts[stats.ModeratelySkewed], f9.SkewCounts[stats.HighlySkewed])
+	fmt.Printf("  outliers: 0%%=%d (0,1%%]=%d (1,10%%]=%d >10%%=%d\n",
+		f9.OutlierCounts[stats.NoOutliers], f9.OutlierCounts[stats.FewOutliers],
+		f9.OutlierCounts[stats.SomeOutliers], f9.OutlierCounts[stats.ManyOutliers])
+	fmt.Println()
+
+	opts := bench.DefaultOptions()
+	opts.MaxPairs = *maxPairs
+	b, err := bench.Build(corpus, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized benchmark: %d vis objects, %d (nl, vis) pairs, manual NL fraction %.2f%%\n\n",
+		len(b.Entries), b.NumPairs(), 100*b.ManualFraction())
+
+	bench.WriteTable3(os.Stdout, b.Table3(), len(b.Entries), b.NumPairs())
+	fmt.Println()
+	bench.WriteFigure10(os.Stdout, b.TypeHardnessMatrix())
+	fmt.Println()
+
+	fmt.Println("Section 2.4: filtered candidates by reason")
+	for _, k := range b.SortedRejectionReasons() {
+		fmt.Printf("  %-34s %d\n", k, b.Rejections[k])
+	}
+
+	if *out != "" {
+		if err := export(b, *out, *vega); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+
+	if *serve != "" {
+		fmt.Printf("\nserving benchmark browser on %s\n", *serve)
+		log.Fatal(http.ListenAndServe(*serve, server.New(b)))
+	}
+}
+
+// corpusFromCSV loads one CSV table and auto-generates (nl, sql) pairs over
+// it, producing a single-database corpus.
+func corpusFromCSV(path, table string, nPairs int, seed int64) (*spider.Corpus, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	tbl, err := dataset.FromCSV(table, f)
+	if err != nil {
+		return nil, err
+	}
+	db := &dataset.Database{Name: table + "_db", Domain: "Custom", Tables: []*dataset.Table{tbl}}
+	pairs, err := spider.GeneratePairsFor(db, nPairs, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &spider.Corpus{Databases: []*dataset.Database{db}, Pairs: pairs}, nil
+}
+
+func printHist(label string, h *stats.Histogram, names []string) {
+	fmt.Printf(" %s:", label)
+	for i, n := range h.Counts {
+		name := fmt.Sprintf("b%d", i)
+		if i < len(names) {
+			name = names[i]
+		}
+		fmt.Printf(" %s=%d", name, n)
+	}
+	fmt.Println()
+}
+
+// exportedEntry is the JSON shape of one benchmark record.
+type exportedEntry struct {
+	ID       int             `json:"id"`
+	Database string          `json:"database"`
+	Domain   string          `json:"domain"`
+	Hardness string          `json:"hardness"`
+	Chart    string          `json:"chart"`
+	VQL      string          `json:"vql"`
+	NLs      []string        `json:"nl_queries"`
+	VegaLite json.RawMessage `json:"vega_lite,omitempty"`
+}
+
+func export(b *bench.Benchmark, path string, withVega bool) error {
+	var entries []exportedEntry
+	for _, e := range b.Entries {
+		ee := exportedEntry{
+			ID:       e.ID,
+			Database: e.DB.Name,
+			Domain:   e.DB.Domain,
+			Hardness: e.Hardness.String(),
+			Chart:    e.Chart.String(),
+			VQL:      e.Vis.String(),
+			NLs:      e.NLs,
+		}
+		if withVega {
+			spec, err := render.VegaLite(e.DB, e.Vis)
+			if err == nil {
+				ee.VegaLite = spec
+			}
+		}
+		entries = append(entries, ee)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(entries)
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/spider"
+)
+
+func writeTempCSV(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	content := "name,region,sales,when\nA,n,10,2022-01-01\nB,s,20,2022-02-01\nC,n,15,2022-03-01\nD,e,12,2022-04-01\nE,s,30,2022-05-01\nF,w,22,2022-06-01\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCorpusFromCSV(t *testing.T) {
+	corpus, err := corpusFromCSV(writeTempCSV(t), "sales", 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus.Databases) != 1 || len(corpus.Pairs) != 6 {
+		t.Fatalf("corpus shape: %d dbs, %d pairs", len(corpus.Databases), len(corpus.Pairs))
+	}
+	if corpus.Databases[0].Table("sales") == nil {
+		t.Fatal("table missing")
+	}
+	for _, p := range corpus.Pairs {
+		if err := p.Query.Validate(); err != nil {
+			t.Fatalf("pair %d invalid: %v", p.ID, err)
+		}
+	}
+	// The benchmark pipeline works end to end on the CSV corpus.
+	b, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) == 0 {
+		t.Fatal("no vis entries from CSV corpus")
+	}
+}
+
+func TestCorpusFromCSVErrors(t *testing.T) {
+	if _, err := corpusFromCSV("/nonexistent.csv", "t", 3, 1); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestExportJSON(t *testing.T) {
+	corpus, err := spider.Generate(spider.Config{Seed: 1, NumDatabases: 2, PairsPerDB: 4, MaxRows: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "pairs.json")
+	if err := export(b, path, true); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []exportedEntry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(entries) != len(b.Entries) {
+		t.Fatalf("exported %d of %d entries", len(entries), len(b.Entries))
+	}
+	for _, e := range entries {
+		if e.VQL == "" || len(e.NLs) == 0 {
+			t.Fatalf("incomplete entry: %+v", e)
+		}
+		if len(e.VegaLite) == 0 {
+			t.Errorf("entry %d missing vega spec", e.ID)
+		}
+	}
+}

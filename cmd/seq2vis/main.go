@@ -1,0 +1,224 @@
+// Command seq2vis trains and evaluates the three seq2vis variants (basic,
+// +attention, +copying) on a synthesized benchmark and prints the paper's
+// learning experiments: the train/test distribution (Figure 16), tree
+// matching accuracy by type and hardness (Figure 17), component matching
+// accuracy (Table 4), and the comparison against the DeepEye and NL4DV
+// baselines (Table 5).
+//
+// Usage:
+//
+//	seq2vis -dbs 20 -pairs 14 -epochs 10 -variant all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/bench"
+	"nvbench/internal/deepeye"
+	"nvbench/internal/nl4dv"
+	"nvbench/internal/seq2vis"
+	"nvbench/internal/spider"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("seq2vis: ")
+	var (
+		dbs     = flag.Int("dbs", 10, "number of databases")
+		pairs   = flag.Int("pairs", 10, "average pairs per database")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		epochs  = flag.Int("epochs", 8, "max training epochs")
+		hidden  = flag.Int("hidden", 56, "hidden size")
+		embed   = flag.Int("embed", 40, "embedding size")
+		variant = flag.String("variant", "attention", "model variant: basic | attention | copying | all")
+		glove   = flag.Bool("glove", true, "pretrain GloVe embeddings on the training text (Section 4.2)")
+		maxTest = flag.Int("max-test", 300, "cap on test examples")
+	)
+	flag.Parse()
+
+	corpus, err := spider.Generate(spider.Config{Seed: *seed, NumDatabases: *dbs, PairsPerDB: *pairs, MaxRows: 1000})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainE, valE, testE := b.Split(0.8, 0.045, *seed)
+	train := seq2vis.ExamplesFromEntries(trainE)
+	val := seq2vis.ExamplesFromEntries(valE)
+	test := seq2vis.ExamplesFromEntries(testE)
+	if len(test) > *maxTest {
+		test = test[:*maxTest]
+	}
+	fmt.Printf("benchmark: %d vis, %d pairs -> train %d / val %d / test %d examples\n\n",
+		len(b.Entries), b.NumPairs(), len(train), len(val), len(test))
+
+	printFigure16(train, test)
+
+	fmt.Printf("value-filling heuristic accuracy: %.1f%% (paper: ~92.3%%)\n\n",
+		100*seq2vis.ValueFillAccuracy(test))
+
+	variants := []string{*variant}
+	if *variant == "all" {
+		variants = []string{"basic", "attention", "copying"}
+	}
+	vocabIn, vocabOut := buildVocabs(train, val, test)
+	var gloveVecs [][]float64
+	if *glove {
+		var inSeqs [][]string
+		for _, ex := range train {
+			inSeqs = append(inSeqs, ex.Input)
+		}
+		gloveVecs = seq2vis.PretrainGloVe(vocabIn, inSeqs, seq2vis.DefaultGloVeConfig(*embed))
+		fmt.Println("pretrained GloVe embeddings on the training text")
+	}
+	var attnModel *seq2vis.Model
+	for _, v := range variants {
+		cfg := seq2vis.Config{
+			Embed: *embed, Hidden: *hidden,
+			Attention: v != "basic", Copying: v == "copying",
+			LR: 2e-3, MaxEpochs: *epochs, Patience: 5, ClipNorm: 2.0,
+			MaxOutLen: 48, Seed: *seed,
+		}
+		cfg.Progress = func(epoch int, tl, vl float64) {
+			fmt.Printf("   epoch %2d: train loss %.4f, val loss %.4f\n", epoch, tl, vl)
+		}
+		m := seq2vis.NewModel(cfg, vocabIn, vocabOut)
+		if gloveVecs != nil {
+			m.InitInputEmbeddings(gloveVecs)
+		}
+		fmt.Printf("== training seq2vis (%s): %d params epochs<=%d\n", v, countParams(m), *epochs)
+		res := m.Train(train, val)
+		fmt.Printf("   trained %d epochs (early stop: %v); final train loss %.4f, val loss %.4f\n",
+			res.Epochs, res.Stopped, last(res.TrainLoss), last(res.ValLoss))
+		metrics := seq2vis.Evaluate(m, test)
+		printFigure17(v, metrics)
+		printTable4(v, metrics)
+		if v == "attention" || len(variants) == 1 {
+			attnModel = m
+		}
+	}
+
+	fmt.Println("== Table 5: comparison with the state of the art")
+	cmp := seq2vis.Compare(attnModel, deepeye.NewBaseline(), nl4dv.New(), test)
+	printTable5(cmp)
+}
+
+func buildVocabs(sets ...[]seq2vis.Example) (*seq2vis.Vocab, *seq2vis.Vocab) {
+	var inSeqs, outSeqs [][]string
+	for _, set := range sets {
+		for _, ex := range set {
+			inSeqs = append(inSeqs, ex.Input)
+			outSeqs = append(outSeqs, ex.Output)
+		}
+	}
+	return seq2vis.NewVocab(inSeqs), seq2vis.NewVocab(outSeqs)
+}
+
+func countParams(m *seq2vis.Model) int {
+	// Rough size indicator: vocabulary and layer dimensions.
+	return m.In.Size()*m.Cfg.Embed + m.Out.Size()*m.Cfg.Embed + 12*m.Cfg.Hidden*m.Cfg.Hidden
+}
+
+func last(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}
+
+func printFigure16(train, test []seq2vis.Example) {
+	fmt.Println("Figure 16: train/test distribution (chart x hardness, %)")
+	for _, set := range []struct {
+		name string
+		ex   []seq2vis.Example
+	}{{"train", train}, {"test", test}} {
+		counts := map[ast.ChartType]map[ast.Hardness]int{}
+		for _, ex := range set.ex {
+			if counts[ex.Chart] == nil {
+				counts[ex.Chart] = map[ast.Hardness]int{}
+			}
+			counts[ex.Chart][ex.Hardness]++
+		}
+		fmt.Printf("  %s (%d examples):\n", set.name, len(set.ex))
+		for _, ct := range ast.ChartTypes {
+			row := counts[ct]
+			if row == nil {
+				continue
+			}
+			fmt.Printf("    %-18s", ct)
+			for _, h := range ast.AllHardness {
+				fmt.Printf(" %5.1f", 100*float64(row[h])/float64(len(set.ex)))
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Println()
+}
+
+func printFigure17(variant string, m seq2vis.Metrics) {
+	fmt.Printf("   Figure 17 (%s): tree acc %.2f%%, result acc %.2f%% over %d examples\n",
+		variant, 100*m.TreeAcc, 100*m.ResultAcc, m.N)
+	fmt.Print("     by hardness:")
+	for _, h := range ast.AllHardness {
+		r := m.ByHardness[h]
+		if r.Total > 0 {
+			fmt.Printf(" %s=%.1f%%(%d)", h, 100*r.Value(), r.Total)
+		}
+	}
+	fmt.Println()
+	fmt.Print("     by chart:")
+	for _, ct := range ast.ChartTypes {
+		r := m.ByChart[ct]
+		if r.Total > 0 {
+			fmt.Printf(" %s=%.1f%%(%d)", ct, 100*r.Value(), r.Total)
+		}
+	}
+	fmt.Println()
+}
+
+func printTable4(variant string, m seq2vis.Metrics) {
+	fmt.Printf("   Table 4 (%s): component matching accuracy\n", variant)
+	fmt.Print("     vis type:")
+	for _, ct := range ast.ChartTypes {
+		r := m.VisTypeAcc[ct]
+		if r.Total > 0 {
+			fmt.Printf(" %s=%.1f%%", ct, 100*r.Value())
+		}
+	}
+	fmt.Println()
+	fmt.Print("     data:")
+	for _, name := range []string{"axis", "where", "join", "grouping", "binning", "order"} {
+		r := m.Components[name]
+		if r.Total > 0 {
+			fmt.Printf(" %s=%.1f%%(%d)", name, 100*r.Value(), r.Total)
+		}
+	}
+	fmt.Println()
+}
+
+func printTable5(c seq2vis.Comparison) {
+	row := func(name string, m map[ast.Hardness]seq2vis.Ratio) {
+		fmt.Printf("  %-14s", name)
+		total := seq2vis.Ratio{}
+		for _, h := range ast.AllHardness {
+			r := m[h]
+			total.Correct += r.Correct
+			total.Total += r.Total
+			if r.Total > 0 {
+				fmt.Printf(" %s=%.1f%%", h, 100*r.Value())
+			}
+		}
+		fmt.Printf("  overall=%.1f%%\n", 100*total.Value())
+	}
+	row("deepeye top-1", c.DeepEyeTop1)
+	row("deepeye top-3", c.DeepEyeTop3)
+	row("deepeye top-6", c.DeepEyeTop6)
+	row("deepeye all", c.DeepEyeAll)
+	row("nl4dv", c.NL4DV)
+	row("seq2vis", c.Seq2Vis)
+}

@@ -1,0 +1,118 @@
+// Command vql is the synthesizer's interactive utility: it parses an SQL
+// query against a generated demo database (or a named table schema),
+// synthesizes the candidate visualizations, shows which survive the DeepEye
+// filter and why the rest were rejected, and renders a chosen candidate to
+// Vega-Lite or ECharts.
+//
+// Usage:
+//
+//	vql -sql "SELECT origin, price FROM flight" -render vega -pick 0
+//	vql -list                      # show the demo schema
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nvbench/internal/core"
+	"nvbench/internal/dataset"
+	"nvbench/internal/nledit"
+	"nvbench/internal/render"
+	"nvbench/internal/spider"
+	"nvbench/internal/sqlparser"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vql: ")
+	var (
+		sql     = flag.String("sql", "", "SQL query to synthesize visualizations from")
+		nl      = flag.String("nl", "", "the NL question of the SQL query (for NL variant synthesis)")
+		seed    = flag.Int64("seed", 1, "demo database seed")
+		db      = flag.Int("db", 0, "demo database index")
+		list    = flag.Bool("list", false, "print the demo database schema and exit")
+		renderT = flag.String("render", "", "render the picked candidate: vega | echarts")
+		pick    = flag.Int("pick", 0, "candidate index to render")
+	)
+	flag.Parse()
+
+	corpus, err := spider.Generate(spider.Config{Seed: *seed, NumDatabases: *db + 1, PairsPerDB: 1, MaxRows: 500})
+	if err != nil {
+		log.Fatal(err)
+	}
+	database := corpus.Databases[*db]
+
+	if *list || *sql == "" {
+		printSchema(database)
+		if *sql == "" {
+			fmt.Println("\npass -sql \"SELECT ...\" to synthesize visualizations")
+		}
+		return
+	}
+
+	q, err := sqlparser.Parse(*sql, database)
+	if err != nil {
+		log.Fatalf("parse: %v", err)
+	}
+	fmt.Printf("sql tree:\n%s\n", q.Pretty())
+
+	synth := core.New()
+	kept, rejected, err := synth.Synthesize(database, q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized %d good visualizations (%d rejected):\n", len(kept), len(rejected))
+	editor := nledit.New(*seed)
+	for i, v := range kept {
+		fmt.Printf("  [%d] %-10s %s (%s)\n", i, v.Query.Visualize, v.Query, v.Hardness)
+		if *nl != "" {
+			for _, variant := range editor.Variants(*nl, v.Query, v.Edit) {
+				fmt.Printf("        nl: %s\n", variant.Text)
+			}
+		}
+	}
+	if len(rejected) > 0 {
+		fmt.Println("rejected:")
+		for _, r := range rejected {
+			fmt.Printf("  - %s: %s\n", r.Reason, r.Query)
+		}
+	}
+
+	if *renderT != "" && len(kept) > 0 {
+		idx := *pick
+		if idx < 0 || idx >= len(kept) {
+			log.Fatalf("pick %d out of range [0,%d)", idx, len(kept))
+		}
+		var out []byte
+		switch *renderT {
+		case "vega":
+			out, err = render.VegaLite(database, kept[idx].Query)
+		case "echarts":
+			out, err = render.ECharts(database, kept[idx].Query)
+		default:
+			log.Fatalf("unknown renderer %q", *renderT)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		os.Stdout.Write(out)
+		fmt.Println()
+	}
+}
+
+func printSchema(db *dataset.Database) {
+	fmt.Printf("database %s (domain %s):\n", db.Name, db.Domain)
+	for _, t := range db.Tables {
+		fmt.Printf("  table %s (%d rows):", t.Name, len(t.Rows))
+		for _, c := range t.Columns {
+			fmt.Printf(" %s:%s", c.Name, c.Type)
+		}
+		fmt.Println()
+	}
+	for _, fk := range db.ForeignKeys {
+		fmt.Printf("  fk %s.%s -> %s.%s\n", fk.FromTable, fk.FromColumn, fk.ToTable, fk.ToColumn)
+	}
+}

@@ -1,0 +1,88 @@
+// Quickstart reproduces the paper's running example (Figure 4): one
+// (nl, sql) pair from a Flight database goes into the nl2sql-to-nl2vis
+// synthesizer, which returns multiple (nl, vis) pairs — a pie chart t1 and
+// bar charts t2 with NL variants each — and renders one of them to
+// Vega-Lite.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"nvbench/internal/core"
+	"nvbench/internal/dataset"
+	"nvbench/internal/nledit"
+	"nvbench/internal/render"
+	"nvbench/internal/sqlparser"
+)
+
+func main() {
+	log.SetFlags(0)
+	db := flightDatabase()
+
+	// The input (nl, sql) pair, as an NL2SQL benchmark would provide it.
+	nl := "Find the number of flights from each origin airport."
+	sql := "SELECT origin, COUNT(*) FROM flight GROUP BY origin"
+	fmt.Printf("input nl:  %s\ninput sql: %s\n\n", nl, sql)
+
+	query, err := sqlparser.Parse(sql, db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Step 1+2: tree edits to candidate vis trees, DeepEye filtering.
+	synth := core.New()
+	kept, rejected, err := synth.Synthesize(db, query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized %d good visualizations (%d filtered out)\n\n", len(kept), len(rejected))
+
+	// Step 3: NL edits — variants per vis query.
+	editor := nledit.New(7)
+	for i, v := range kept {
+		fmt.Printf("t%d (%s, %s): %s\n", i+1, v.Query.Visualize, v.Hardness, v.Query)
+		for j, variant := range editor.Variants(nl, v.Query, v.Edit) {
+			fmt.Printf("   n%d%d: %s\n", i+1, j+1, variant.Text)
+		}
+	}
+
+	// Step 4: render the first vis to Vega-Lite.
+	if len(kept) > 0 {
+		spec, err := render.VegaLite(db, kept[0].Query)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nVega-Lite for t1:\n%s\n", spec)
+	}
+}
+
+// flightDatabase builds the Figure 4 Flight table with generated rows.
+func flightDatabase() *dataset.Database {
+	flight := &dataset.Table{
+		Name: "flight",
+		Columns: []dataset.Column{
+			{Name: "fno", Type: dataset.Quantitative},
+			{Name: "origin", Type: dataset.Categorical},
+			{Name: "destination", Type: dataset.Categorical},
+			{Name: "price", Type: dataset.Quantitative},
+			{Name: "departure", Type: dataset.Temporal},
+		},
+	}
+	r := rand.New(rand.NewSource(4))
+	origins := []string{"JFK", "LAX", "ORD", "ATL", "SFO"}
+	dests := []string{"SEA", "MIA", "DFW", "BOS", "DEN"}
+	base := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 120; i++ {
+		flight.Rows = append(flight.Rows, []dataset.Cell{
+			dataset.N(float64(1000 + i)),
+			dataset.S(origins[r.Intn(len(origins))]),
+			dataset.S(dests[r.Intn(len(dests))]),
+			dataset.N(80 + r.Float64()*400),
+			dataset.T(base.AddDate(0, 0, r.Intn(700))),
+		})
+	}
+	return &dataset.Database{Name: "flightdb", Domain: "Flight", Tables: []*dataset.Table{flight}}
+}

@@ -1,0 +1,3 @@
+module nvbench
+
+go 1.22

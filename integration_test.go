@@ -1,0 +1,122 @@
+package nvbench_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/bench"
+	"nvbench/internal/bleu"
+	"nvbench/internal/dataset"
+	"nvbench/internal/render"
+	"nvbench/internal/seq2vis"
+	"nvbench/internal/spider"
+)
+
+// smallBenchmark builds one compact end-to-end benchmark for integration
+// tests (independent of the benchmark-suite singletons, which are larger).
+func smallBenchmark(t *testing.T) *bench.Benchmark {
+	t.Helper()
+	corpus, err := spider.Generate(spider.Config{Seed: 2, NumDatabases: 6, PairsPerDB: 10, MaxRows: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) == 0 {
+		t.Fatal("empty benchmark")
+	}
+	return b
+}
+
+// TestPipelineEndToEnd drives corpus generation through synthesis, NL
+// editing, execution, and rendering, checking the invariants that connect
+// the packages.
+func TestPipelineEndToEnd(t *testing.T) {
+	b := smallBenchmark(t)
+	for _, e := range b.Entries {
+		// Every vis executes against its database.
+		res, err := dataset.Execute(e.DB, e.Vis)
+		if err != nil {
+			t.Fatalf("entry %d does not execute: %v", e.ID, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("entry %d has an empty result", e.ID)
+		}
+		// The canonical token form is stable.
+		rt, err := ast.ParseTokens(e.Vis.Tokens())
+		if err != nil || !rt.Equal(e.Vis) {
+			t.Fatalf("entry %d token round trip failed: %v", e.ID, err)
+		}
+		// Every entry renders to valid Vega-Lite and ECharts JSON.
+		for _, renderFn := range []func(*dataset.Database, *ast.Query) ([]byte, error){render.VegaLite, render.ECharts} {
+			raw, err := renderFn(e.DB, e.Vis)
+			if err != nil {
+				t.Fatalf("entry %d render failed: %v (%s)", e.ID, err, e.Vis)
+			}
+			var v map[string]any
+			if err := json.Unmarshal(raw, &v); err != nil {
+				t.Fatalf("entry %d render produced invalid JSON: %v", e.ID, err)
+			}
+		}
+	}
+}
+
+// TestBenchmarkDistributionShapes asserts the headline distributional claims
+// of Section 3 on a freshly built benchmark.
+func TestBenchmarkDistributionShapes(t *testing.T) {
+	b := smallBenchmark(t)
+	t3 := b.Table3()
+	var barVis, total int
+	for _, row := range t3 {
+		total += row.NumVis
+		if row.Chart == ast.Bar {
+			barVis = row.NumVis
+		}
+	}
+	if float64(barVis) < 0.4*float64(total) {
+		t.Errorf("bars should dominate: %d of %d", barVis, total)
+	}
+	h := b.HardnessCounts()
+	if h[ast.Medium] == 0 || h[ast.Medium] < h[ast.ExtraHard] {
+		t.Errorf("hardness distribution off: %v", h)
+	}
+	// NL diversity in the paper's neighbourhood (Table 3: overall 0.337;
+	// accept the templated corpus's wider band).
+	diversity := 0.0
+	n := 0
+	for _, e := range b.Entries {
+		if len(e.NLs) >= 2 {
+			diversity += bleu.Pairwise(e.NLs)
+			n++
+		}
+	}
+	if n > 0 && diversity/float64(n) > 0.8 {
+		t.Errorf("NL variants too repetitive: mean pairwise BLEU %.3f", diversity/float64(n))
+	}
+}
+
+// TestSeq2VisDataRoundTrip checks that every benchmark entry survives the
+// learning pipeline's masking and token re-parsing.
+func TestSeq2VisDataRoundTrip(t *testing.T) {
+	b := smallBenchmark(t)
+	examples := seq2vis.ExamplesFromEntries(b.Entries)
+	if len(examples) < len(b.Entries) {
+		t.Fatalf("examples %d < entries %d", len(examples), len(b.Entries))
+	}
+	for _, ex := range examples {
+		masked, err := ast.ParseTokens(ex.Output)
+		if err != nil {
+			t.Fatalf("masked output unparseable: %v", err)
+		}
+		seq2vis.FillValues(masked, ex.NL, ex.DB)
+		if err := masked.Validate(); err != nil {
+			t.Fatalf("filled tree invalid: %v", err)
+		}
+	}
+	if acc := seq2vis.ValueFillAccuracy(examples); acc < 0.7 {
+		t.Errorf("value-fill accuracy %.3f below expectation", acc)
+	}
+}

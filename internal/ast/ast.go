@@ -1,0 +1,796 @@
+// Package ast implements the unified abstract syntax tree of Figure 5 in
+// "Synthesizing Natural Language to Visualization (NL2VIS) Benchmarks from
+// NL2SQL Benchmarks" (SIGMOD 2021). A single grammar represents both SQL
+// queries (the "what data" part) and VIS queries (SQL plus a Visualize
+// subtree and vis-specific data operations such as binning). The grammar is:
+//
+//	Root        ::= Q | Visualize Q
+//	Q           ::= intersect R R | union R R | except R R | R
+//	R           ::= Select [Group] [Order | Superlative] [Filter]
+//	Visualize   ::= bar | pie | line | scatter | stacked bar
+//	              | grouping line | grouping scatter
+//	Select      ::= A | A A | A A A | A ... A
+//	Order       ::= asc A | desc A
+//	Superlative ::= most V A | least V A
+//	Group       ::= grouping A | binning A
+//	Filter      ::= and Filter Filter | or Filter Filter
+//	              | (cmp) A V | (cmp) A R | between A V V
+//	              | like A V | not like A V | in A R | not in A R
+//	A           ::= max C T | min C T | count C T | sum C T | avg C T | C T
+//
+// Trees are language agnostic: they can be linearized to a canonical token
+// sequence (the output vocabulary of the seq2vis model), parsed back from
+// that sequence, compared structurally, and rendered to Vega-Lite or ECharts
+// by package render.
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ChartType enumerates the seven visualization types the grammar supports,
+// plus ChartNone for pure SQL trees that carry no Visualize subtree.
+type ChartType int
+
+// Chart types, ordered as presented in the paper (Table 3).
+const (
+	ChartNone ChartType = iota
+	Bar
+	Pie
+	Line
+	Scatter
+	StackedBar
+	GroupingLine
+	GroupingScatter
+)
+
+// ChartTypes lists all concrete chart types in canonical order.
+var ChartTypes = []ChartType{Bar, Pie, Line, Scatter, StackedBar, GroupingLine, GroupingScatter}
+
+func (c ChartType) String() string {
+	switch c {
+	case ChartNone:
+		return "none"
+	case Bar:
+		return "bar"
+	case Pie:
+		return "pie"
+	case Line:
+		return "line"
+	case Scatter:
+		return "scatter"
+	case StackedBar:
+		return "stacked bar"
+	case GroupingLine:
+		return "grouping line"
+	case GroupingScatter:
+		return "grouping scatter"
+	}
+	return fmt.Sprintf("chart(%d)", int(c))
+}
+
+// ParseChartType converts a canonical chart-type name (as produced by
+// ChartType.String) back into a ChartType. It accepts both the spaced form
+// ("stacked bar") and an underscore form ("stacked_bar").
+func ParseChartType(s string) (ChartType, error) {
+	switch strings.ReplaceAll(strings.ToLower(strings.TrimSpace(s)), "_", " ") {
+	case "none", "":
+		return ChartNone, nil
+	case "bar", "histogram":
+		return Bar, nil
+	case "pie":
+		return Pie, nil
+	case "line":
+		return Line, nil
+	case "scatter":
+		return Scatter, nil
+	case "stacked bar":
+		return StackedBar, nil
+	case "grouping line":
+		return GroupingLine, nil
+	case "grouping scatter":
+		return GroupingScatter, nil
+	}
+	return ChartNone, fmt.Errorf("ast: unknown chart type %q", s)
+}
+
+// AggFunc enumerates the aggregate functions allowed on an attribute.
+type AggFunc int
+
+// Aggregate functions of the A production. AggNone means a bare column.
+const (
+	AggNone AggFunc = iota
+	AggMax
+	AggMin
+	AggCount
+	AggSum
+	AggAvg
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggNone:
+		return "none"
+	case AggMax:
+		return "max"
+	case AggMin:
+		return "min"
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("agg(%d)", int(a))
+}
+
+// ParseAggFunc converts an aggregate name to an AggFunc.
+func ParseAggFunc(s string) (AggFunc, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "none":
+		return AggNone, nil
+	case "max":
+		return AggMax, nil
+	case "min":
+		return AggMin, nil
+	case "count":
+		return AggCount, nil
+	case "sum":
+		return AggSum, nil
+	case "avg", "average":
+		return AggAvg, nil
+	}
+	return AggNone, fmt.Errorf("ast: unknown aggregate %q", s)
+}
+
+// Attr is the A production: an optionally aggregated column of a table.
+// Column "*" with AggCount represents COUNT(*).
+type Attr struct {
+	Agg      AggFunc
+	Column   string
+	Table    string
+	Distinct bool
+}
+
+// Key returns the qualified column name "table.column".
+func (a Attr) Key() string {
+	if a.Table == "" {
+		return a.Column
+	}
+	return a.Table + "." + a.Column
+}
+
+func (a Attr) String() string {
+	s := a.Key()
+	if a.Distinct {
+		s = "distinct " + s
+	}
+	if a.Agg != AggNone {
+		s = a.Agg.String() + " " + s
+	}
+	return s
+}
+
+// Equal reports whether two attributes are structurally identical.
+func (a Attr) Equal(b Attr) bool { return a == b }
+
+// OrderDir is the direction of an Order subtree.
+type OrderDir int
+
+// Order directions.
+const (
+	Asc OrderDir = iota
+	Desc
+)
+
+func (d OrderDir) String() string {
+	if d == Desc {
+		return "desc"
+	}
+	return "asc"
+}
+
+// Order is the Order production: sort the result by one attribute.
+type Order struct {
+	Dir  OrderDir
+	Attr Attr
+}
+
+func (o *Order) String() string {
+	if o == nil {
+		return ""
+	}
+	return fmt.Sprintf("%s %s", o.Dir, o.Attr)
+}
+
+// Superlative is the Superlative production (SQL's ORDER BY ... LIMIT k):
+// "most V A" keeps the K largest values of A, "least V A" the K smallest.
+type Superlative struct {
+	Most bool
+	K    int
+	Attr Attr
+}
+
+func (s *Superlative) String() string {
+	if s == nil {
+		return ""
+	}
+	kind := "least"
+	if s.Most {
+		kind = "most"
+	}
+	return fmt.Sprintf("%s %d %s", kind, s.K, s.Attr)
+}
+
+// GroupKind distinguishes plain grouping from binning.
+type GroupKind int
+
+// Group kinds.
+const (
+	Grouping GroupKind = iota
+	Binning
+)
+
+func (k GroupKind) String() string {
+	if k == Binning {
+		return "binning"
+	}
+	return "grouping"
+}
+
+// BinUnit is the unit used when binning a temporal column, or BinNumeric for
+// equal-width numeric bins (binSize = ceil((max-min)/#bins), default 10 bins).
+type BinUnit int
+
+// Bin units for temporal columns, plus BinNumeric for quantitative ones.
+const (
+	BinNone BinUnit = iota
+	BinMinute
+	BinHour
+	BinWeekday
+	BinMonth
+	BinQuarter
+	BinYear
+	BinNumeric
+)
+
+func (u BinUnit) String() string {
+	switch u {
+	case BinNone:
+		return "none"
+	case BinMinute:
+		return "minute"
+	case BinHour:
+		return "hour"
+	case BinWeekday:
+		return "weekday"
+	case BinMonth:
+		return "month"
+	case BinQuarter:
+		return "quarter"
+	case BinYear:
+		return "year"
+	case BinNumeric:
+		return "numeric"
+	}
+	return fmt.Sprintf("bin(%d)", int(u))
+}
+
+// ParseBinUnit converts a bin-unit name to a BinUnit.
+func ParseBinUnit(s string) (BinUnit, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "none", "":
+		return BinNone, nil
+	case "minute":
+		return BinMinute, nil
+	case "hour":
+		return BinHour, nil
+	case "weekday", "day of the week", "dow":
+		return BinWeekday, nil
+	case "month":
+		return BinMonth, nil
+	case "quarter":
+		return BinQuarter, nil
+	case "year":
+		return BinYear, nil
+	case "numeric":
+		return BinNumeric, nil
+	}
+	return BinNone, fmt.Errorf("ast: unknown bin unit %q", s)
+}
+
+// Group is the Group production: group rows by an attribute, either by its
+// exact value (Grouping) or by buckets (Binning with a unit; NumBins applies
+// to BinNumeric only).
+type Group struct {
+	Kind    GroupKind
+	Attr    Attr
+	Bin     BinUnit
+	NumBins int
+}
+
+func (g Group) String() string {
+	if g.Kind == Binning {
+		return fmt.Sprintf("binning %s by %s", g.Attr, g.Bin)
+	}
+	return fmt.Sprintf("grouping %s", g.Attr)
+}
+
+// FilterOp enumerates filter predicates and connectives.
+type FilterOp int
+
+// Filter operators of the Filter production.
+const (
+	FilterAnd FilterOp = iota
+	FilterOr
+	FilterGT
+	FilterLT
+	FilterGE
+	FilterLE
+	FilterNE
+	FilterEQ
+	FilterBetween
+	FilterLike
+	FilterNotLike
+	FilterIn
+	FilterNotIn
+)
+
+func (op FilterOp) String() string {
+	switch op {
+	case FilterAnd:
+		return "and"
+	case FilterOr:
+		return "or"
+	case FilterGT:
+		return ">"
+	case FilterLT:
+		return "<"
+	case FilterGE:
+		return ">="
+	case FilterLE:
+		return "<="
+	case FilterNE:
+		return "!="
+	case FilterEQ:
+		return "="
+	case FilterBetween:
+		return "between"
+	case FilterLike:
+		return "like"
+	case FilterNotLike:
+		return "not like"
+	case FilterIn:
+		return "in"
+	case FilterNotIn:
+		return "not in"
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// IsConnective reports whether op joins two sub-filters (and / or).
+func (op FilterOp) IsConnective() bool { return op == FilterAnd || op == FilterOr }
+
+// Filter is the Filter production. Connectives (and/or) use Left and Right;
+// comparison predicates use Attr with either literal Values or a subquery Sub
+// (the "A R" alternatives in the grammar). Between carries two values.
+// Having marks predicates that apply after grouping (SQL HAVING).
+type Filter struct {
+	Op     FilterOp
+	Left   *Filter
+	Right  *Filter
+	Attr   Attr
+	Values []Value
+	Sub    *Query
+	Having bool
+}
+
+func (f *Filter) String() string {
+	if f == nil {
+		return ""
+	}
+	if f.Op.IsConnective() {
+		return fmt.Sprintf("%s (%s) (%s)", f.Op, f.Left, f.Right)
+	}
+	if f.Sub != nil {
+		return fmt.Sprintf("%s %s (%s)", f.Op, f.Attr, f.Sub)
+	}
+	parts := make([]string, 0, len(f.Values))
+	for _, v := range f.Values {
+		parts = append(parts, v.String())
+	}
+	return fmt.Sprintf("%s %s %s", f.Op, f.Attr, strings.Join(parts, " "))
+}
+
+// ValueKind discriminates literal value types.
+type ValueKind int
+
+// Value kinds.
+const (
+	ValueString ValueKind = iota
+	ValueNumber
+)
+
+// Value is the V production: a literal in a filter or superlative.
+type Value struct {
+	Kind ValueKind
+	Str  string
+	Num  float64
+}
+
+// StringValue constructs a string literal Value.
+func StringValue(s string) Value { return Value{Kind: ValueString, Str: s} }
+
+// NumberValue constructs a numeric literal Value.
+func NumberValue(n float64) Value { return Value{Kind: ValueNumber, Num: n} }
+
+func (v Value) String() string {
+	if v.Kind == ValueNumber {
+		return trimFloat(v.Num)
+	}
+	return fmt.Sprintf("%q", v.Str)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// SetOp combines two query cores (intersect / union / except).
+type SetOp int
+
+// Set operators of the Q production. SetNone means a single core.
+const (
+	SetNone SetOp = iota
+	SetIntersect
+	SetUnion
+	SetExcept
+)
+
+func (s SetOp) String() string {
+	switch s {
+	case SetNone:
+		return "none"
+	case SetIntersect:
+		return "intersect"
+	case SetUnion:
+		return "union"
+	case SetExcept:
+		return "except"
+	}
+	return fmt.Sprintf("setop(%d)", int(s))
+}
+
+// Core is the R production: one select core with its optional subtrees.
+// Tables lists every table referenced; when more than one is present the
+// executor joins them along schema foreign keys (Spider-style implicit join
+// resolution, as in SemQL).
+type Core struct {
+	Select      []Attr
+	Tables      []string
+	Filter      *Filter
+	Groups      []Group
+	Order       *Order
+	Superlative *Superlative
+}
+
+// Query is the Root/Q production: an optional Visualize subtree over either
+// a single core or two cores combined by a set operator.
+type Query struct {
+	Visualize ChartType
+	SetOp     SetOp
+	Left      *Core
+	Right     *Core
+}
+
+// IsVis reports whether the tree carries a Visualize subtree (a VIS tree)
+// rather than being a plain SQL tree.
+func (q *Query) IsVis() bool { return q != nil && q.Visualize != ChartNone }
+
+// Clone returns a deep copy of the query tree.
+func (q *Query) Clone() *Query {
+	if q == nil {
+		return nil
+	}
+	out := &Query{Visualize: q.Visualize, SetOp: q.SetOp}
+	out.Left = q.Left.Clone()
+	out.Right = q.Right.Clone()
+	return out
+}
+
+// Clone returns a deep copy of the core.
+func (c *Core) Clone() *Core {
+	if c == nil {
+		return nil
+	}
+	out := &Core{
+		Select: append([]Attr(nil), c.Select...),
+		Tables: append([]string(nil), c.Tables...),
+		Groups: append([]Group(nil), c.Groups...),
+	}
+	out.Filter = c.Filter.Clone()
+	if c.Order != nil {
+		o := *c.Order
+		out.Order = &o
+	}
+	if c.Superlative != nil {
+		s := *c.Superlative
+		out.Superlative = &s
+	}
+	return out
+}
+
+// Clone returns a deep copy of the filter tree.
+func (f *Filter) Clone() *Filter {
+	if f == nil {
+		return nil
+	}
+	out := &Filter{
+		Op:     f.Op,
+		Attr:   f.Attr,
+		Values: append([]Value(nil), f.Values...),
+		Having: f.Having,
+	}
+	out.Left = f.Left.Clone()
+	out.Right = f.Right.Clone()
+	out.Sub = f.Sub.Clone()
+	return out
+}
+
+// Equal reports structural equality of two query trees.
+func (q *Query) Equal(other *Query) bool {
+	if q == nil || other == nil {
+		return q == other
+	}
+	return q.Visualize == other.Visualize &&
+		q.SetOp == other.SetOp &&
+		q.Left.Equal(other.Left) &&
+		q.Right.Equal(other.Right)
+}
+
+// Equal reports structural equality of two cores.
+func (c *Core) Equal(other *Core) bool {
+	if c == nil || other == nil {
+		return c == other
+	}
+	if len(c.Select) != len(other.Select) || len(c.Tables) != len(other.Tables) || len(c.Groups) != len(other.Groups) {
+		return false
+	}
+	for i := range c.Select {
+		if c.Select[i] != other.Select[i] {
+			return false
+		}
+	}
+	for i := range c.Tables {
+		if c.Tables[i] != other.Tables[i] {
+			return false
+		}
+	}
+	for i := range c.Groups {
+		if c.Groups[i] != other.Groups[i] {
+			return false
+		}
+	}
+	if (c.Order == nil) != (other.Order == nil) || (c.Order != nil && *c.Order != *other.Order) {
+		return false
+	}
+	if (c.Superlative == nil) != (other.Superlative == nil) || (c.Superlative != nil && *c.Superlative != *other.Superlative) {
+		return false
+	}
+	return c.Filter.Equal(other.Filter)
+}
+
+// Equal reports structural equality of two filter trees.
+func (f *Filter) Equal(other *Filter) bool {
+	if f == nil || other == nil {
+		return f == other
+	}
+	if f.Op != other.Op || f.Attr != other.Attr || f.Having != other.Having || len(f.Values) != len(other.Values) {
+		return false
+	}
+	for i := range f.Values {
+		if f.Values[i] != other.Values[i] {
+			return false
+		}
+	}
+	return f.Left.Equal(other.Left) && f.Right.Equal(other.Right) && f.Sub.Equal(other.Sub)
+}
+
+// Cores returns the cores of the query (one, or two under a set operator).
+func (q *Query) Cores() []*Core {
+	if q == nil {
+		return nil
+	}
+	if q.SetOp == SetNone {
+		if q.Left == nil {
+			return nil
+		}
+		return []*Core{q.Left}
+	}
+	out := make([]*Core, 0, 2)
+	if q.Left != nil {
+		out = append(out, q.Left)
+	}
+	if q.Right != nil {
+		out = append(out, q.Right)
+	}
+	return out
+}
+
+// AttrCount returns the total number of A-subtrees in the query: selected
+// attributes, order/superlative attributes, group attributes, and filter
+// attributes, across all cores (sub-queries excluded, as the hardness rules
+// count only the top-level tree).
+func (q *Query) AttrCount() int {
+	n := 0
+	for _, c := range q.Cores() {
+		n += len(c.Select)
+		if c.Order != nil {
+			n++
+		}
+		if c.Superlative != nil {
+			n++
+		}
+		n += len(c.Groups)
+		n += c.Filter.attrCount()
+	}
+	return n
+}
+
+func (f *Filter) attrCount() int {
+	if f == nil {
+		return 0
+	}
+	if f.Op.IsConnective() {
+		return f.Left.attrCount() + f.Right.attrCount()
+	}
+	return 1
+}
+
+// FilterCount returns the number of leaf filter predicates in the query.
+func (q *Query) FilterCount() int {
+	n := 0
+	for _, c := range q.Cores() {
+		n += c.Filter.leafCount()
+	}
+	return n
+}
+
+func (f *Filter) leafCount() int {
+	if f == nil {
+		return 0
+	}
+	if f.Op.IsConnective() {
+		return f.Left.leafCount() + f.Right.leafCount()
+	}
+	return 1
+}
+
+// GroupCount returns the number of Group subtrees across all cores.
+func (q *Query) GroupCount() int {
+	n := 0
+	for _, c := range q.Cores() {
+		n += len(c.Groups)
+	}
+	return n
+}
+
+// HasNested reports whether any filter predicate carries a subquery.
+func (q *Query) HasNested() bool {
+	for _, c := range q.Cores() {
+		if c.Filter.hasNested() {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *Filter) hasNested() bool {
+	if f == nil {
+		return false
+	}
+	if f.Sub != nil {
+		return true
+	}
+	return f.Left.hasNested() || f.Right.hasNested()
+}
+
+// HasJoin reports whether any core references more than one table.
+func (q *Query) HasJoin() bool {
+	for _, c := range q.Cores() {
+		if len(c.Tables) > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks basic well-formedness of the tree: a non-empty select
+// list, consistent set-operator shape, well-formed filters, and groups/orders
+// referencing attributes.
+func (q *Query) Validate() error {
+	if q == nil {
+		return fmt.Errorf("ast: nil query")
+	}
+	if q.SetOp == SetNone {
+		if q.Right != nil {
+			return fmt.Errorf("ast: right core present without set operator")
+		}
+		if q.Left == nil {
+			return fmt.Errorf("ast: missing core")
+		}
+		return q.Left.validate()
+	}
+	if q.Left == nil || q.Right == nil {
+		return fmt.Errorf("ast: set operator %s requires two cores", q.SetOp)
+	}
+	if err := q.Left.validate(); err != nil {
+		return err
+	}
+	return q.Right.validate()
+}
+
+func (c *Core) validate() error {
+	if len(c.Select) == 0 {
+		return fmt.Errorf("ast: empty select list")
+	}
+	if len(c.Tables) == 0 {
+		return fmt.Errorf("ast: no tables")
+	}
+	for _, a := range c.Select {
+		if a.Column == "" {
+			return fmt.Errorf("ast: select attribute with empty column")
+		}
+	}
+	for _, g := range c.Groups {
+		if g.Attr.Column == "" {
+			return fmt.Errorf("ast: group with empty attribute")
+		}
+		if g.Kind == Binning && g.Bin == BinNone {
+			return fmt.Errorf("ast: binning group without a bin unit")
+		}
+	}
+	if c.Order != nil && c.Superlative != nil {
+		// The grammar allows Order or Superlative per core, not both.
+		return fmt.Errorf("ast: core has both order and superlative")
+	}
+	return c.Filter.validate()
+}
+
+func (f *Filter) validate() error {
+	if f == nil {
+		return nil
+	}
+	if f.Op.IsConnective() {
+		if f.Left == nil || f.Right == nil {
+			return fmt.Errorf("ast: connective %s requires two children", f.Op)
+		}
+		if err := f.Left.validate(); err != nil {
+			return err
+		}
+		return f.Right.validate()
+	}
+	if f.Attr.Column == "" {
+		return fmt.Errorf("ast: filter with empty attribute")
+	}
+	switch f.Op {
+	case FilterBetween:
+		if f.Sub == nil && len(f.Values) != 2 {
+			return fmt.Errorf("ast: between requires two values")
+		}
+	case FilterIn, FilterNotIn:
+		if f.Sub == nil && len(f.Values) == 0 {
+			return fmt.Errorf("ast: %s requires a subquery or values", f.Op)
+		}
+	default:
+		if f.Sub == nil && len(f.Values) != 1 {
+			return fmt.Errorf("ast: %s requires one value", f.Op)
+		}
+	}
+	if f.Sub != nil {
+		return f.Sub.Validate()
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package ast
+
+import "strings"
+
+// Components decomposes a vis query into the parts used by the "vis
+// component matching accuracy" metric (Section 4.2 / Table 4): the vis type,
+// the axis part (Select), and the data part (Where, Join, Grouping, Binning,
+// Order — the Superlative is folded into Order, matching the paper's
+// treatment of LIMIT as an ordering concern).
+type Components struct {
+	VisType  ChartType
+	Axis     string // canonical Select component
+	Where    string // canonical non-having filter component
+	Join     string // sorted table list when the query joins tables
+	Grouping string // canonical grouping component (Grouping kind)
+	Binning  string // canonical binning component (Binning kind)
+	Order    string // canonical order/superlative component
+}
+
+// ComponentNames lists the component labels of Table 4 in order.
+var ComponentNames = []string{"vis", "axis", "where", "join", "grouping", "binning", "order"}
+
+// ExtractComponents computes the canonical component strings of a query.
+// Empty components are represented as "" so that two queries that both lack
+// a component still "match" on it.
+func ExtractComponents(q *Query) Components {
+	var c Components
+	if q == nil {
+		return c
+	}
+	c.VisType = q.Visualize
+	var axis, where, join, grouping, binning, order []string
+	for _, core := range q.Cores() {
+		for _, a := range core.Select {
+			axis = append(axis, a.String())
+		}
+		if core.Filter != nil {
+			where = append(where, core.Filter.String())
+		}
+		if len(core.Tables) > 1 {
+			ts := append([]string(nil), core.Tables...)
+			sortStrings(ts)
+			join = append(join, strings.Join(ts, ","))
+		}
+		for _, g := range core.Groups {
+			if g.Kind == Binning {
+				binning = append(binning, g.String())
+			} else {
+				grouping = append(grouping, g.String())
+			}
+		}
+		if core.Order != nil {
+			order = append(order, core.Order.String())
+		}
+		if core.Superlative != nil {
+			order = append(order, core.Superlative.String())
+		}
+	}
+	c.Axis = strings.Join(axis, " ; ")
+	c.Where = strings.Join(where, " ; ")
+	c.Join = strings.Join(join, " ; ")
+	c.Grouping = strings.Join(grouping, " ; ")
+	c.Binning = strings.Join(binning, " ; ")
+	c.Order = strings.Join(order, " ; ")
+	return c
+}
+
+// Match reports, per component, whether the predicted query matches the gold
+// query. The map keys follow ComponentNames.
+func (c Components) Match(pred Components) map[string]bool {
+	return map[string]bool{
+		"vis":      c.VisType == pred.VisType,
+		"axis":     c.Axis == pred.Axis,
+		"where":    c.Where == pred.Where,
+		"join":     c.Join == pred.Join,
+		"grouping": c.Grouping == pred.Grouping,
+		"binning":  c.Binning == pred.Binning,
+		"order":    c.Order == pred.Order,
+	}
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package ast
+
+// Hardness categorizes a vis tree into the four Spider-style difficulty
+// levels of Section 3.2 of the paper.
+type Hardness int
+
+// Hardness levels, from easiest to hardest.
+const (
+	Easy Hardness = iota
+	Medium
+	Hard
+	ExtraHard
+)
+
+func (h Hardness) String() string {
+	switch h {
+	case Easy:
+		return "easy"
+	case Medium:
+		return "medium"
+	case Hard:
+		return "hard"
+	case ExtraHard:
+		return "extra hard"
+	}
+	return "unknown"
+}
+
+// AllHardness lists the hardness levels in order.
+var AllHardness = []Hardness{Easy, Medium, Hard, ExtraHard}
+
+// Classify implements the hardness rules of Section 3.2. The paper defines
+// three ingredient sets:
+//
+//	S1: the subtree kinds present in the tree out of
+//	    {Select, Order, Group, Filter, Superlative};
+//	S2: three count conditions — #A-subtrees ≤ 2, #Filter-subtrees ≤ 2,
+//	    #Group-subtrees ≤ 2 (a tree "meets" a rule of S2 when the
+//	    corresponding count stays within the bound);
+//	S3: the set-operator keywords {intersect, union, except}.
+//
+// and five rules (the prose is compressed; this is the reading that
+// reproduces the published hardness distribution — medium dominant at
+// ~38.6%, Figure 10):
+//
+//	R1: the tree meets at most two of the three S2 conditions (at least one
+//	    count exceeds 2) while using at most two S1 subtree kinds;
+//	R2: the tree has exactly two S1 subtree kinds and violates at most one
+//	    S2 condition;
+//	R3: the tree meets all three S2 conditions, has fewer than three S1
+//	    kinds, and uses no S3 keyword — but is not Easy;
+//	R4: the tree has exactly three S1 kinds, violates fewer than three S2
+//	    conditions, and uses no S3 keyword;
+//	R5: the tree has at most one S1 kind beyond Select, meets no extra S2
+//	    violation, and uses exactly one S3 keyword.
+//
+// Classification order: Easy first, then Medium (R1 or R2), then Hard
+// (R3, R4 or R5), else Extra Hard. The Visualize subtree never counts —
+// hardness measures the data-operation part only.
+func Classify(q *Query) Hardness {
+	if q == nil {
+		return Easy
+	}
+	s1 := s1Kinds(q)
+	aCount := q.AttrCount()
+	fCount := q.FilterCount()
+	gCount := q.GroupCount()
+	hasSet := q.SetOp != SetNone
+	nested := q.HasNested()
+
+	s2met := 0
+	if aCount <= 2 {
+		s2met++
+	}
+	if fCount <= 2 {
+		s2met++
+	}
+	if gCount <= 2 {
+		s2met++
+	}
+
+	// Easy: at most one S1 kind (i.e., a bare Select) with at most two
+	// attributes, no set operator, no nesting.
+	if s1 <= 1 && aCount <= 2 && !hasSet && !nested {
+		return Easy
+	}
+
+	if !hasSet && !nested {
+		// R2: two S1 kinds, at most one S2 violation.
+		if s1 == 2 && s2met >= 2 {
+			return Medium
+		}
+		// R1: at most two S1 kinds with some S2 violation still bounded.
+		if s1 <= 2 && s2met == 3 {
+			return Medium
+		}
+		// R3: all S2 met, under three S1 kinds (but not Easy/Medium above).
+		if s2met == 3 && s1 < 3 {
+			return Hard
+		}
+		// R4: exactly three S1 kinds with fewer than three violations.
+		if s1 == 3 && s2met >= 1 {
+			return Hard
+		}
+		return ExtraHard
+	}
+
+	// Set operators and nesting: R5 makes a simple tree with exactly one
+	// set keyword Hard; anything beyond that is Extra Hard.
+	if hasSet && !nested && s1 <= 2 && s2met == 3 {
+		return Hard
+	}
+	if nested && !hasSet && s1 <= 2 && s2met == 3 {
+		return Hard
+	}
+	return ExtraHard
+}
+
+// s1Kinds counts the distinct subtree kinds from S1 present in the query:
+// Select (always present when a core exists), Order, Group, Filter,
+// Superlative. With a set operator, a kind counts once even if both cores
+// carry it.
+func s1Kinds(q *Query) int {
+	var hasSelect, hasOrder, hasGroup, hasFilter, hasSup bool
+	for _, c := range q.Cores() {
+		if len(c.Select) > 0 {
+			hasSelect = true
+		}
+		if c.Order != nil {
+			hasOrder = true
+		}
+		if len(c.Groups) > 0 {
+			hasGroup = true
+		}
+		if c.Filter != nil {
+			hasFilter = true
+		}
+		if c.Superlative != nil {
+			hasSup = true
+		}
+	}
+	n := 0
+	for _, b := range []bool{hasSelect, hasOrder, hasGroup, hasFilter, hasSup} {
+		if b {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pretty renders the query as an indented tree, the debugging view used by
+// cmd/vql. Unlike String (the canonical flat token form), Pretty shows the
+// grammar structure of Figure 5:
+//
+//	Root
+//	├─ Visualize: bar
+//	└─ Q
+//	   ├─ Select
+//	   │  ├─ flight.origin
+//	   │  └─ count flight.*
+//	   └─ Group
+//	      └─ grouping flight.origin
+func (q *Query) Pretty() string {
+	var sb strings.Builder
+	sb.WriteString("Root\n")
+	var children []treeNode
+	if q == nil {
+		return sb.String()
+	}
+	if q.Visualize != ChartNone {
+		children = append(children, leaf("Visualize: "+q.Visualize.String()))
+	}
+	if q.SetOp == SetNone {
+		children = append(children, coreNode("Q", q.Left))
+	} else {
+		children = append(children, treeNode{
+			label: "Q: " + q.SetOp.String(),
+			kids:  []treeNode{coreNode("R", q.Left), coreNode("R", q.Right)},
+		})
+	}
+	writeNodes(&sb, children, "")
+	return sb.String()
+}
+
+type treeNode struct {
+	label string
+	kids  []treeNode
+}
+
+func leaf(label string) treeNode { return treeNode{label: label} }
+
+func coreNode(label string, c *Core) treeNode {
+	n := treeNode{label: label}
+	if c == nil {
+		return n
+	}
+	sel := treeNode{label: "Select"}
+	for _, a := range c.Select {
+		sel.kids = append(sel.kids, leaf(a.String()))
+	}
+	n.kids = append(n.kids, sel)
+	from := treeNode{label: "From"}
+	for _, t := range c.Tables {
+		from.kids = append(from.kids, leaf(t))
+	}
+	n.kids = append(n.kids, from)
+	if len(c.Groups) > 0 {
+		g := treeNode{label: "Group"}
+		for _, gr := range c.Groups {
+			g.kids = append(g.kids, leaf(gr.String()))
+		}
+		n.kids = append(n.kids, g)
+	}
+	if c.Order != nil {
+		n.kids = append(n.kids, treeNode{label: "Order", kids: []treeNode{leaf(c.Order.String())}})
+	}
+	if c.Superlative != nil {
+		n.kids = append(n.kids, treeNode{label: "Superlative", kids: []treeNode{leaf(c.Superlative.String())}})
+	}
+	if c.Filter != nil {
+		n.kids = append(n.kids, treeNode{label: "Filter", kids: []treeNode{filterNode(c.Filter)}})
+	}
+	return n
+}
+
+func filterNode(f *Filter) treeNode {
+	if f == nil {
+		return leaf("")
+	}
+	if f.Op.IsConnective() {
+		return treeNode{
+			label: f.Op.String(),
+			kids:  []treeNode{filterNode(f.Left), filterNode(f.Right)},
+		}
+	}
+	if f.Sub != nil {
+		label := fmt.Sprintf("%s %s (subquery)", f.Op, f.Attr)
+		sub := treeNode{label: "Subquery"}
+		for _, line := range strings.Split(strings.TrimRight(f.Sub.Pretty(), "\n"), "\n") {
+			sub.kids = append(sub.kids, leaf(line))
+		}
+		return treeNode{label: label, kids: []treeNode{sub}}
+	}
+	return leaf(f.String())
+}
+
+func writeNodes(sb *strings.Builder, nodes []treeNode, prefix string) {
+	for i, n := range nodes {
+		last := i == len(nodes)-1
+		branch, cont := "├─ ", "│  "
+		if last {
+			branch, cont = "└─ ", "   "
+		}
+		sb.WriteString(prefix + branch + n.label + "\n")
+		if len(n.kids) > 0 {
+			writeNodes(sb, n.kids, prefix+cont)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SQL renders the data-operation part of the tree as executable SQL text —
+// the inverse of package sqlparser, used to export synthesized benchmarks
+// toward SQL tooling. The Visualize subtree has no SQL counterpart and is
+// omitted; binning groups render as GROUP BY on the raw column (SQL has no
+// portable binning syntax), so a binned tree does not round-trip exactly.
+func (q *Query) SQL() string {
+	if q == nil {
+		return ""
+	}
+	if q.SetOp == SetNone {
+		return q.Left.sql()
+	}
+	op := map[SetOp]string{SetIntersect: "INTERSECT", SetUnion: "UNION", SetExcept: "EXCEPT"}[q.SetOp]
+	return q.Left.sql() + " " + op + " " + q.Right.sql()
+}
+
+func (c *Core) sql() string {
+	if c == nil {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	parts := make([]string, len(c.Select))
+	for i, a := range c.Select {
+		parts[i] = a.sqlExpr()
+	}
+	sb.WriteString(strings.Join(parts, ", "))
+	sb.WriteString(" FROM ")
+	sb.WriteString(strings.Join(c.Tables, ", "))
+
+	var where, having []string
+	splitFilterSQL(c.Filter, &where, &having)
+	if len(where) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(where, " AND "))
+	}
+	if len(c.Groups) > 0 {
+		keys := make([]string, len(c.Groups))
+		for i, g := range c.Groups {
+			keys[i] = g.Attr.Key()
+		}
+		sb.WriteString(" GROUP BY ")
+		sb.WriteString(strings.Join(keys, ", "))
+	}
+	if len(having) > 0 {
+		sb.WriteString(" HAVING ")
+		sb.WriteString(strings.Join(having, " AND "))
+	}
+	if c.Order != nil {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(c.Order.Attr.sqlExpr())
+		if c.Order.Dir == Desc {
+			sb.WriteString(" DESC")
+		} else {
+			sb.WriteString(" ASC")
+		}
+	}
+	if c.Superlative != nil {
+		sb.WriteString(" ORDER BY ")
+		sb.WriteString(c.Superlative.Attr.sqlExpr())
+		if c.Superlative.Most {
+			sb.WriteString(" DESC")
+		} else {
+			sb.WriteString(" ASC")
+		}
+		sb.WriteString(" LIMIT ")
+		sb.WriteString(strconv.Itoa(c.Superlative.K))
+	}
+	return sb.String()
+}
+
+// sqlExpr renders an attribute as a SQL expression.
+func (a Attr) sqlExpr() string {
+	inner := a.Key()
+	if a.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	if a.Agg == AggNone {
+		return inner
+	}
+	return strings.ToUpper(a.Agg.String()) + "(" + inner + ")"
+}
+
+// splitFilterSQL flattens a filter tree into WHERE and HAVING conjuncts.
+// OR-connected subtrees render as single parenthesized conjuncts assigned
+// to whichever phase their leaves use (mixed OR trees go to WHERE).
+func splitFilterSQL(f *Filter, where, having *[]string) {
+	if f == nil {
+		return
+	}
+	switch f.Op {
+	case FilterAnd:
+		splitFilterSQL(f.Left, where, having)
+		splitFilterSQL(f.Right, where, having)
+		return
+	case FilterOr:
+		expr := "(" + f.Left.sqlPredicate() + " OR " + f.Right.sqlPredicate() + ")"
+		if f.allHaving() {
+			*having = append(*having, expr)
+		} else {
+			*where = append(*where, expr)
+		}
+		return
+	}
+	if f.Having {
+		*having = append(*having, f.sqlPredicate())
+	} else {
+		*where = append(*where, f.sqlPredicate())
+	}
+}
+
+func (f *Filter) allHaving() bool {
+	if f == nil {
+		return true
+	}
+	if f.Op.IsConnective() {
+		return f.Left.allHaving() && f.Right.allHaving()
+	}
+	return f.Having
+}
+
+// sqlPredicate renders one predicate (or nested connective) as SQL.
+func (f *Filter) sqlPredicate() string {
+	if f == nil {
+		return ""
+	}
+	switch f.Op {
+	case FilterAnd:
+		return "(" + f.Left.sqlPredicate() + " AND " + f.Right.sqlPredicate() + ")"
+	case FilterOr:
+		return "(" + f.Left.sqlPredicate() + " OR " + f.Right.sqlPredicate() + ")"
+	}
+	attr := f.Attr.sqlExpr()
+	if f.Sub != nil {
+		switch f.Op {
+		case FilterIn:
+			return attr + " IN (" + f.Sub.SQL() + ")"
+		case FilterNotIn:
+			return attr + " NOT IN (" + f.Sub.SQL() + ")"
+		default:
+			return attr + " " + sqlOp(f.Op) + " (" + f.Sub.SQL() + ")"
+		}
+	}
+	switch f.Op {
+	case FilterBetween:
+		return fmt.Sprintf("%s BETWEEN %s AND %s", attr, sqlValue(f.Values[0]), sqlValue(f.Values[1]))
+	case FilterIn, FilterNotIn:
+		vals := make([]string, len(f.Values))
+		for i, v := range f.Values {
+			vals[i] = sqlValue(v)
+		}
+		kw := "IN"
+		if f.Op == FilterNotIn {
+			kw = "NOT IN"
+		}
+		return attr + " " + kw + " (" + strings.Join(vals, ", ") + ")"
+	case FilterLike:
+		return attr + " LIKE " + sqlValue(f.Values[0])
+	case FilterNotLike:
+		return attr + " NOT LIKE " + sqlValue(f.Values[0])
+	}
+	return attr + " " + sqlOp(f.Op) + " " + sqlValue(f.Values[0])
+}
+
+func sqlOp(op FilterOp) string {
+	switch op {
+	case FilterGT:
+		return ">"
+	case FilterLT:
+		return "<"
+	case FilterGE:
+		return ">="
+	case FilterLE:
+		return "<="
+	case FilterEQ:
+		return "="
+	case FilterNE:
+		return "!="
+	}
+	return op.String()
+}
+
+func sqlValue(v Value) string {
+	if v.Kind == ValueNumber {
+		return strconv.FormatFloat(v.Num, 'g', -1, 64)
+	}
+	return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+}

@@ -1,0 +1,211 @@
+package bench
+
+import (
+	"testing"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/spider"
+)
+
+// buildSmall assembles a small but real benchmark once for all tests.
+var smallBench = func() *Benchmark {
+	corpus, err := spider.Generate(spider.TestConfig())
+	if err != nil {
+		panic(err)
+	}
+	b, err := Build(corpus, DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	return b
+}()
+
+func TestBuildProducesEntries(t *testing.T) {
+	if len(smallBench.Entries) == 0 {
+		t.Fatal("no entries")
+	}
+	for _, e := range smallBench.Entries {
+		if e.Vis == nil || e.Vis.Visualize == ast.ChartNone {
+			t.Fatalf("entry %d has no vis", e.ID)
+		}
+		if len(e.NLs) == 0 {
+			t.Fatalf("entry %d has no NL variants", e.ID)
+		}
+		if e.DB == nil {
+			t.Fatalf("entry %d has no database", e.ID)
+		}
+		if err := e.Vis.Validate(); err != nil {
+			t.Fatalf("entry %d invalid vis: %v", e.ID, err)
+		}
+	}
+}
+
+func TestEntryIDsSequential(t *testing.T) {
+	for i, e := range smallBench.Entries {
+		if e.ID != i {
+			t.Fatalf("entry %d has ID %d", i, e.ID)
+		}
+	}
+}
+
+func TestNumPairsMatchesVariantSum(t *testing.T) {
+	want := 0
+	for _, e := range smallBench.Entries {
+		want += len(e.NLs)
+	}
+	if got := smallBench.NumPairs(); got != want {
+		t.Fatalf("NumPairs = %d, want %d", got, want)
+	}
+	// Average variants per vis should be in the paper's 2–6 band
+	// (Table 3 reports 3.746).
+	avg := float64(want) / float64(len(smallBench.Entries))
+	if avg < 2 || avg > 6 {
+		t.Errorf("avg variants per vis = %.2f", avg)
+	}
+}
+
+func TestTable3Stats(t *testing.T) {
+	rows := smallBench.Table3()
+	if len(rows) != len(ast.ChartTypes) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	totalVis := 0
+	var barRow *ChartStats
+	for _, r := range rows {
+		totalVis += r.NumVis
+		if r.Chart == ast.Bar {
+			barRow = r
+		}
+		if r.NumVis > 0 {
+			if r.AvgWords <= 0 || r.MaxWords < r.MinWords {
+				t.Errorf("%v: word stats broken: %+v", r.Chart, r)
+			}
+			if r.AvgBLEU < 0 || r.AvgBLEU > 1 {
+				t.Errorf("%v: BLEU out of range: %g", r.Chart, r.AvgBLEU)
+			}
+		}
+	}
+	if totalVis != len(smallBench.Entries) {
+		t.Fatalf("vis total mismatch: %d vs %d", totalVis, len(smallBench.Entries))
+	}
+	// Bars dominate, as in Table 3 (~76%).
+	if barRow == nil || float64(barRow.NumVis) < 0.3*float64(totalVis) {
+		t.Errorf("bar share unexpectedly low: %+v of %d", barRow, totalVis)
+	}
+	// NL variants should be diverse (Table 3 overall BLEU 0.337).
+	if barRow.AvgBLEU > 0.85 {
+		t.Errorf("bar BLEU = %.3f, diversity too low", barRow.AvgBLEU)
+	}
+}
+
+func TestTypeHardnessMatrix(t *testing.T) {
+	m := smallBench.TypeHardnessMatrix()
+	total := 0
+	for _, row := range m {
+		for _, n := range row {
+			total += n
+		}
+	}
+	if total != len(smallBench.Entries) {
+		t.Fatalf("matrix total %d != %d", total, len(smallBench.Entries))
+	}
+}
+
+func TestManualFraction(t *testing.T) {
+	f := smallBench.ManualFraction()
+	if f < 0 || f > 1 {
+		t.Fatalf("manual fraction = %g", f)
+	}
+	// The deletion path should exist but not dominate (paper: 25.36%).
+	if f == 0 {
+		t.Error("expected some manual (deletion) entries")
+	}
+	if f > 0.8 {
+		t.Errorf("manual fraction unexpectedly high: %g", f)
+	}
+}
+
+func TestSplitFractionsAndDisjoint(t *testing.T) {
+	train, val, test := smallBench.Split(0.8, 0.045, 42)
+	n := len(smallBench.Entries)
+	if len(train)+len(val)+len(test) != n {
+		t.Fatalf("split sizes %d+%d+%d != %d", len(train), len(val), len(test), n)
+	}
+	if len(train) < int(0.75*float64(n)) || len(train) > int(0.85*float64(n)) {
+		t.Errorf("train size %d of %d", len(train), n)
+	}
+	seen := map[int]bool{}
+	for _, part := range [][]*Entry{train, val, test} {
+		for _, e := range part {
+			if seen[e.ID] {
+				t.Fatalf("entry %d in two splits", e.ID)
+			}
+			seen[e.ID] = true
+		}
+	}
+	// Deterministic.
+	train2, _, _ := smallBench.Split(0.8, 0.045, 42)
+	for i := range train {
+		if train[i].ID != train2[i].ID {
+			t.Fatal("split not deterministic")
+		}
+	}
+	// Different seed permutes.
+	train3, _, _ := smallBench.Split(0.8, 0.045, 7)
+	same := true
+	for i := range train {
+		if train[i].ID != train3[i].ID {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical splits")
+	}
+}
+
+func TestRejectionsBucketed(t *testing.T) {
+	if len(smallBench.Rejections) == 0 {
+		t.Skip("no rejections in small corpus")
+	}
+	for _, k := range smallBench.SortedRejectionReasons() {
+		if smallBench.Rejections[k] <= 0 {
+			t.Errorf("bucket %q has count %d", k, smallBench.Rejections[k])
+		}
+	}
+}
+
+func TestMaxPairsOption(t *testing.T) {
+	corpus, err := spider.Generate(spider.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.MaxPairs = 5
+	b, err := Build(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range b.Entries {
+		if e.PairID >= corpus.Pairs[5].ID {
+			t.Fatalf("entry from pair %d beyond MaxPairs", e.PairID)
+		}
+	}
+}
+
+func TestBucketReason(t *testing.T) {
+	cases := map[string]string{
+		"single value: better shown as a table":   "single value",
+		"pie with 40 slices is unreadable":        "pie with many slices",
+		"bar chart with 99 categories is unread.": "bar with too many categories",
+		"line chart with two qualitative vars":    "line with qualitative variables",
+		"classifier: low quality score":           "classifier",
+		"empty result":                            "empty result",
+		"mystery":                                 "other",
+	}
+	for in, want := range cases {
+		if got := bucketReason(in); got != want {
+			t.Errorf("bucketReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

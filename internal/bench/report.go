@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+	"nvbench/internal/spider"
+	"nvbench/internal/stats"
+)
+
+// Table2 is the dataset statistics block of the paper's Table 2.
+type Table2 struct {
+	Databases  int
+	Tables     int
+	Domains    int
+	TopDomains []DomainCount
+	Columns    int
+	AvgCols    float64
+	MaxCols    int
+	MinCols    int
+	Rows       int
+	AvgRows    float64
+	MaxRows    int
+	MinRows    int
+	TypeCounts map[dataset.ColType]int
+	TypeFrac   map[dataset.ColType]float64
+}
+
+// DomainCount pairs a domain with its table count.
+type DomainCount struct {
+	Domain string
+	Tables int
+}
+
+// ComputeTable2 derives the Table 2 block from a corpus.
+func ComputeTable2(c *spider.Corpus) Table2 {
+	st := dataset.ComputeStats(c.Databases)
+	t2 := Table2{
+		Databases:  len(c.Databases),
+		Tables:     st.Tables,
+		Domains:    len(dataset.Domains(c.Databases)),
+		Columns:    st.Columns,
+		MaxCols:    st.MaxColumns,
+		MinCols:    st.MinColumns,
+		Rows:       st.Rows,
+		MaxRows:    st.MaxRows,
+		MinRows:    st.MinRows,
+		TypeCounts: st.TypeCounts,
+		TypeFrac:   map[dataset.ColType]float64{},
+	}
+	if st.Tables > 0 {
+		t2.AvgCols = float64(st.Columns) / float64(st.Tables)
+		t2.AvgRows = float64(st.Rows) / float64(st.Tables)
+	}
+	if st.Columns > 0 {
+		for k, v := range st.TypeCounts {
+			t2.TypeFrac[k] = float64(v) / float64(st.Columns)
+		}
+	}
+	per := dataset.TablesPerDomain(c.Databases)
+	for d, n := range per {
+		t2.TopDomains = append(t2.TopDomains, DomainCount{Domain: d, Tables: n})
+	}
+	sort.Slice(t2.TopDomains, func(i, j int) bool {
+		if t2.TopDomains[i].Tables != t2.TopDomains[j].Tables {
+			return t2.TopDomains[i].Tables > t2.TopDomains[j].Tables
+		}
+		return t2.TopDomains[i].Domain < t2.TopDomains[j].Domain
+	})
+	if len(t2.TopDomains) > 5 {
+		t2.TopDomains = t2.TopDomains[:5]
+	}
+	return t2
+}
+
+// Figure8 holds the column-count and row-count histograms of Figure 8.
+type Figure8 struct {
+	ColumnHist *stats.Histogram // bounds: 2,5,10,20,48
+	RowHist    *stats.Histogram // bounds: 5,100,1000,10000
+}
+
+// ComputeFigure8 buckets tables by width and size.
+func ComputeFigure8(c *spider.Corpus) Figure8 {
+	f := Figure8{
+		ColumnHist: stats.NewHistogram([]float64{2, 5, 10, 20, 48}),
+		RowHist:    stats.NewHistogram([]float64{5, 100, 1000, 10000}),
+	}
+	for _, db := range c.Databases {
+		for _, t := range db.Tables {
+			f.ColumnHist.Add(float64(len(t.Columns)))
+			f.RowHist.Add(float64(len(t.Rows)))
+		}
+	}
+	return f
+}
+
+// Figure9 holds the column-level statistics of Figure 9: best-fit
+// distribution counts, skewness classes, and outlier classes over the
+// quantitative columns.
+type Figure9 struct {
+	DistCounts    map[stats.Distribution]int
+	SkewCounts    map[stats.SkewClass]int
+	OutlierCounts map[stats.OutlierClass]int
+	QuantColumns  int
+}
+
+// ComputeFigure9 analyzes every quantitative column of the corpus.
+func ComputeFigure9(c *spider.Corpus) Figure9 {
+	f := Figure9{
+		DistCounts:    map[stats.Distribution]int{},
+		SkewCounts:    map[stats.SkewClass]int{},
+		OutlierCounts: map[stats.OutlierClass]int{},
+	}
+	for _, db := range c.Databases {
+		for _, t := range db.Tables {
+			for ci, col := range t.Columns {
+				if col.Type != dataset.Quantitative {
+					continue
+				}
+				// Key columns are sequential identifiers, not data; the
+				// paper's statistics describe measure columns (and report
+				// zero uniform columns, which ids would be).
+				if col.Name == "id" || strings.HasSuffix(col.Name, "_id") {
+					continue
+				}
+				f.QuantColumns++
+				xs := make([]float64, 0, len(t.Rows))
+				for _, row := range t.Rows {
+					if v, ok := row[ci].Number(); ok {
+						xs = append(xs, v)
+					}
+				}
+				d, _ := stats.FitDistribution(xs)
+				f.DistCounts[d]++
+				f.SkewCounts[stats.ClassifySkew(stats.Skewness(xs))]++
+				f.OutlierCounts[stats.ClassifyOutliers(stats.OutlierPercent(xs))]++
+			}
+		}
+	}
+	return f
+}
+
+// WriteTable2 renders the block as the paper formats it.
+func WriteTable2(w io.Writer, t2 Table2) {
+	fmt.Fprintf(w, "Table 2: dataset statistics\n")
+	fmt.Fprintf(w, "  #-Databases %d  #-Tables %d  #-Domains %d\n", t2.Databases, t2.Tables, t2.Domains)
+	fmt.Fprintf(w, "  Top-5 domains:")
+	for _, d := range t2.TopDomains {
+		fmt.Fprintf(w, " %s (%d)", d.Domain, d.Tables)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  #-Cols %d  Avg %.2f  Max %d  Min %d\n", t2.Columns, t2.AvgCols, t2.MaxCols, t2.MinCols)
+	fmt.Fprintf(w, "  #-Rows %d  Avg %.2f  Max %d  Min %d\n", t2.Rows, t2.AvgRows, t2.MaxRows, t2.MinRows)
+	fmt.Fprintf(w, "  Types: C %d (%.2f%%)  T %d (%.2f%%)  Q %d (%.2f%%)\n",
+		t2.TypeCounts[dataset.Categorical], 100*t2.TypeFrac[dataset.Categorical],
+		t2.TypeCounts[dataset.Temporal], 100*t2.TypeFrac[dataset.Temporal],
+		t2.TypeCounts[dataset.Quantitative], 100*t2.TypeFrac[dataset.Quantitative])
+}
+
+// WriteTable3 renders the Table 3 rows.
+func WriteTable3(w io.Writer, rows []*ChartStats, total int, totalPairs int) {
+	fmt.Fprintf(w, "Table 3: nl and vis queries\n")
+	fmt.Fprintf(w, "  %-18s %8s %10s %8s %8s %8s %8s %8s\n",
+		"vis type", "#-vis", "#-(nl,vis)", "per-vis", "avg-W", "max-W", "min-W", "BLEU")
+	for _, r := range rows {
+		if r.NumVis == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-18s %8d %10d %8.3f %8.1f %8d %8d %8.3f\n",
+			r.Chart, r.NumVis, r.NumPairs, r.PairsPer, r.AvgWords, r.MaxWords, r.MinWords, r.AvgBLEU)
+	}
+	fmt.Fprintf(w, "  %-18s %8d %10d\n", "all types", total, totalPairs)
+}
+
+// WriteFigure10 renders the type × hardness matrix.
+func WriteFigure10(w io.Writer, m map[ast.ChartType]map[ast.Hardness]int) {
+	fmt.Fprintf(w, "Figure 10: visualization types vs hardness\n")
+	fmt.Fprintf(w, "  %-18s %8s %8s %8s %10s\n", "vis type", "easy", "medium", "hard", "extra hard")
+	for _, ct := range ast.ChartTypes {
+		row := m[ct]
+		if row == nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-18s %8d %8d %8d %10d\n",
+			ct, row[ast.Easy], row[ast.Medium], row[ast.Hard], row[ast.ExtraHard])
+	}
+}

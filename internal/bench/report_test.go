@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nvbench/internal/dataset"
+	"nvbench/internal/stats"
+)
+
+func TestComputeTable2(t *testing.T) {
+	t2 := ComputeTable2(smallBench.Corpus)
+	if t2.Databases != len(smallBench.Corpus.Databases) {
+		t.Errorf("databases = %d", t2.Databases)
+	}
+	if t2.Tables == 0 || t2.Columns == 0 || t2.Rows == 0 {
+		t.Fatalf("empty stats: %+v", t2)
+	}
+	if t2.AvgCols <= 0 || t2.AvgCols > float64(t2.MaxCols) {
+		t.Errorf("avg cols = %g (max %d)", t2.AvgCols, t2.MaxCols)
+	}
+	if len(t2.TopDomains) == 0 || len(t2.TopDomains) > 5 {
+		t.Errorf("top domains = %v", t2.TopDomains)
+	}
+	for i := 1; i < len(t2.TopDomains); i++ {
+		if t2.TopDomains[i].Tables > t2.TopDomains[i-1].Tables {
+			t.Error("top domains not sorted")
+		}
+	}
+	fracSum := 0.0
+	for _, f := range t2.TypeFrac {
+		fracSum += f
+	}
+	if fracSum < 0.99 || fracSum > 1.01 {
+		t.Errorf("type fractions sum to %g", fracSum)
+	}
+	// Categorical dominates (Table 2: 68.78%).
+	if t2.TypeFrac[dataset.Categorical] < t2.TypeFrac[dataset.Quantitative] {
+		t.Errorf("C should dominate Q: %v", t2.TypeFrac)
+	}
+}
+
+func TestComputeFigure8(t *testing.T) {
+	f8 := ComputeFigure8(smallBench.Corpus)
+	nTables := 0
+	for _, db := range smallBench.Corpus.Databases {
+		nTables += len(db.Tables)
+	}
+	if f8.ColumnHist.Total() != nTables || f8.RowHist.Total() != nTables {
+		t.Fatalf("histograms cover %d/%d of %d tables", f8.ColumnHist.Total(), f8.RowHist.Total(), nTables)
+	}
+}
+
+func TestComputeFigure9(t *testing.T) {
+	f9 := ComputeFigure9(smallBench.Corpus)
+	if f9.QuantColumns == 0 {
+		t.Fatal("no quantitative columns analyzed")
+	}
+	distTotal := 0
+	for _, n := range f9.DistCounts {
+		distTotal += n
+	}
+	if distTotal != f9.QuantColumns {
+		t.Errorf("distribution counts %d != %d columns", distTotal, f9.QuantColumns)
+	}
+	// The paper reports zero uniform columns; key columns are excluded so
+	// the generated corpus should match.
+	if f9.DistCounts[stats.DistUniform] > f9.QuantColumns/10 {
+		t.Errorf("too many uniform columns: %d", f9.DistCounts[stats.DistUniform])
+	}
+	skewTotal := 0
+	for _, n := range f9.SkewCounts {
+		skewTotal += n
+	}
+	if skewTotal != f9.QuantColumns {
+		t.Errorf("skew counts %d != %d", skewTotal, f9.QuantColumns)
+	}
+}
+
+func TestWriteReports(t *testing.T) {
+	var buf bytes.Buffer
+	WriteTable2(&buf, ComputeTable2(smallBench.Corpus))
+	WriteTable3(&buf, smallBench.Table3(), len(smallBench.Entries), smallBench.NumPairs())
+	WriteFigure10(&buf, smallBench.TypeHardnessMatrix())
+	out := buf.String()
+	for _, want := range []string{"Table 2", "Table 3", "Figure 10", "#-Databases", "bar", "medium"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestHardnessCounts(t *testing.T) {
+	counts := smallBench.HardnessCounts()
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if total != len(smallBench.Entries) {
+		t.Fatalf("hardness total %d != %d", total, len(smallBench.Entries))
+	}
+}

@@ -1,0 +1,111 @@
+// Package bleu implements the BLEU metric (Papineni et al., ACL 2002) used
+// by the paper (Table 3) to quantify syntactic diversity between NL variants
+// of the same vis query: scores near 0 mean diverse wordings, near 1 mean
+// near-duplicates.
+package bleu
+
+import (
+	"math"
+	"strings"
+)
+
+// MaxOrder is the maximum n-gram order (standard BLEU-4).
+const MaxOrder = 4
+
+// Tokenize lower-cases a sentence and splits it into word tokens, stripping
+// trailing punctuation.
+func Tokenize(s string) []string {
+	fields := strings.Fields(strings.ToLower(s))
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		f = strings.Trim(f, ".,!?;:\"'()")
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func ngrams(tokens []string, n int) map[string]int {
+	out := map[string]int{}
+	for i := 0; i+n <= len(tokens); i++ {
+		out[strings.Join(tokens[i:i+n], "\x1f")]++
+	}
+	return out
+}
+
+// Sentence computes smoothed sentence-level BLEU of a candidate against one
+// reference. Smoothing adds 1 to numerator and denominator of orders with a
+// zero match count (Lin & Och smoothing), so short sentences still score.
+func Sentence(candidate, reference string) float64 {
+	cand := Tokenize(candidate)
+	ref := Tokenize(reference)
+	if len(cand) == 0 || len(ref) == 0 {
+		return 0
+	}
+	// Use only the n-gram orders both sentences can support, so one-word
+	// variants still compare on unigrams.
+	effOrder := MaxOrder
+	if len(cand) < effOrder {
+		effOrder = len(cand)
+	}
+	if len(ref) < effOrder {
+		effOrder = len(ref)
+	}
+	logSum := 0.0
+	for n := 1; n <= effOrder; n++ {
+		cGrams := ngrams(cand, n)
+		rGrams := ngrams(ref, n)
+		match, total := 0, 0
+		for g, c := range cGrams {
+			total += c
+			if rc, ok := rGrams[g]; ok {
+				if c < rc {
+					match += c
+				} else {
+					match += rc
+				}
+			}
+		}
+		var p float64
+		switch {
+		case total == 0:
+			continue
+		case match == 0 && n == 1:
+			// No shared words at all: the sentences are fully diverse.
+			return 0
+		case match == 0:
+			// Lin & Och style smoothing for the higher orders only.
+			p = 1 / float64(2*total)
+		default:
+			p = float64(match) / float64(total)
+		}
+		logSum += math.Log(p) / float64(effOrder)
+	}
+	// Brevity penalty.
+	bp := 1.0
+	if len(cand) < len(ref) {
+		bp = math.Exp(1 - float64(len(ref))/float64(len(cand)))
+	}
+	return bp * math.Exp(logSum)
+}
+
+// Pairwise computes the average pairwise BLEU over every ordered pair of
+// distinct sentences — the diversity measure of Table 3. With fewer than two
+// sentences it returns 0 (maximally diverse by convention).
+func Pairwise(sentences []string) float64 {
+	if len(sentences) < 2 {
+		return 0
+	}
+	sum, n := 0.0, 0
+	for i := range sentences {
+		for j := range sentences {
+			if i == j {
+				continue
+			}
+			sum += Sentence(sentences[i], sentences[j])
+			n++
+		}
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,130 @@
+package bleu
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Show me the Proportion, please!")
+	want := []string{"show", "me", "the", "proportion", "please"}
+	if len(got) != len(want) {
+		t.Fatalf("Tokenize = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if len(Tokenize("  ")) != 0 {
+		t.Error("blank input should tokenize to nothing")
+	}
+}
+
+func TestSentenceIdentical(t *testing.T) {
+	s := "draw a bar chart of flights per origin airport"
+	if got := Sentence(s, s); got < 0.999 {
+		t.Errorf("identical BLEU = %g, want ~1", got)
+	}
+}
+
+func TestSentenceDisjoint(t *testing.T) {
+	got := Sentence("alpha beta gamma delta epsilon", "one two three four five")
+	if got > 0.1 {
+		t.Errorf("disjoint BLEU = %g, want ~0", got)
+	}
+}
+
+func TestSentenceEmpty(t *testing.T) {
+	if Sentence("", "hello world") != 0 {
+		t.Error("empty candidate should score 0")
+	}
+	if Sentence("hello world", "") != 0 {
+		t.Error("empty reference should score 0")
+	}
+}
+
+func TestSentenceOrderingSensitivity(t *testing.T) {
+	a := "show the number of flights for each origin"
+	b := "for each origin show the number of flights"
+	score := Sentence(a, b)
+	if score <= 0 || score >= 1 {
+		t.Errorf("reordered BLEU = %g, want strictly between 0 and 1", score)
+	}
+	// A paraphrase shares fewer n-grams than a reordering of itself.
+	c := "visualize how many departures leave per airport"
+	if Sentence(a, c) >= score {
+		t.Errorf("paraphrase BLEU %g should be below reorder BLEU %g", Sentence(a, c), score)
+	}
+}
+
+func TestBrevityPenalty(t *testing.T) {
+	ref := "show the total number of flights for each origin airport in the dataset"
+	short := "show the total"
+	long := ref
+	if Sentence(short, ref) >= Sentence(long, ref) {
+		t.Error("brevity penalty should lower the truncated candidate's score")
+	}
+}
+
+func TestPairwise(t *testing.T) {
+	same := []string{"a b c d", "a b c d", "a b c d"}
+	if got := Pairwise(same); got < 0.999 {
+		t.Errorf("identical pairwise = %g", got)
+	}
+	diverse := []string{
+		"plot a pie chart of male and female faculty counts",
+		"show the proportion between genders among the teaching staff",
+		"how many professors do we have of each sex draw it",
+	}
+	if got := Pairwise(diverse); got > 0.5 {
+		t.Errorf("diverse pairwise = %g, want low", got)
+	}
+	if Pairwise([]string{"only one"}) != 0 {
+		t.Error("single sentence pairwise should be 0")
+	}
+	if Pairwise(nil) != 0 {
+		t.Error("empty pairwise should be 0")
+	}
+}
+
+// Property: BLEU is always within [0, 1].
+func TestQuickBounds(t *testing.T) {
+	words := []string{"show", "bar", "pie", "chart", "count", "flights", "by", "origin", "year", "the", "of", "a"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() string {
+			n := 1 + r.Intn(12)
+			parts := make([]string, n)
+			for i := range parts {
+				parts[i] = words[r.Intn(len(words))]
+			}
+			return strings.Join(parts, " ")
+		}
+		s := Sentence(mk(), mk())
+		return s >= 0 && s <= 1+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Sentence(s, s) ≈ 1 for any non-empty sentence.
+func TestQuickSelfSimilarity(t *testing.T) {
+	words := []string{"list", "sort", "group", "price", "salary", "dept", "total", "per"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[r.Intn(len(words))]
+		}
+		s := strings.Join(parts, " ")
+		return Sentence(s, s) > 0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

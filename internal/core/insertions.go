@@ -1,0 +1,329 @@
+package core
+
+import (
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+)
+
+// visSpec describes one insertion plan over an intermediate tree: which
+// retained select attribute plays each visual role, what grouping/binning to
+// apply, which chart type to add, and whether to append an Order subtree.
+// Indices refer to the intermediate tree's select list; y == -1 synthesizes
+// a COUNT(*) measure.
+type visSpec struct {
+	chart  ast.ChartType
+	x      int
+	y      int
+	z      int // -1 when absent
+	binX   ast.BinUnit
+	aggY   ast.AggFunc // aggregate to wrap a raw quantitative y
+	orderY bool
+}
+
+// binUnitsForTemporal is the temporal binning menu the synthesizer
+// enumerates; DeepEye prunes the unreadable granularities.
+var binUnitsForTemporal = []ast.BinUnit{ast.BinYear, ast.BinMonth, ast.BinWeekday}
+
+// insertions performs the Δ⁺ step on one intermediate tree: it derives the
+// visual types of the retained attributes and applies the Table 1 rules to
+// enumerate chart candidates.
+func (s *Synthesizer) insertions(db *dataset.Database, src *ast.Query, inter intermediate) []Candidate {
+	left := inter.q.Left
+	sel := left.Select
+	types := make([]dataset.ColType, len(sel))
+	for i, a := range sel {
+		types[i] = attrVisType(db, a)
+	}
+	var cIdx, tIdx, qIdx []int
+	for i, ty := range types {
+		switch ty {
+		case dataset.Categorical:
+			cIdx = append(cIdx, i)
+		case dataset.Temporal:
+			tIdx = append(tIdx, i)
+		default:
+			qIdx = append(qIdx, i)
+		}
+	}
+
+	aggs := s.Aggregates
+	if len(aggs) == 0 {
+		aggs = []ast.AggFunc{ast.AggSum, ast.AggAvg}
+	}
+
+	var specs []visSpec
+	addGroupedSpecs := func(x int, charts []ast.ChartType, yList []int, binnable bool) {
+		yChoices := [][2]interface{}{}
+		if len(yList) == 0 {
+			yChoices = append(yChoices, [2]interface{}{-1, ast.AggCount})
+		}
+		for _, y := range yList {
+			if sel[y].Agg != ast.AggNone {
+				yChoices = append(yChoices, [2]interface{}{y, ast.AggNone})
+			} else {
+				for _, ag := range aggs {
+					yChoices = append(yChoices, [2]interface{}{y, ag})
+				}
+			}
+		}
+		for _, ct := range charts {
+			for _, yc := range yChoices {
+				// A pie shows parts of a whole: only additive measures
+				// (counts and sums) are valid slices; averages, minima and
+				// maxima do not decompose.
+				if ct == ast.Pie {
+					agg := yc[1].(ast.AggFunc)
+					yi := yc[0].(int)
+					if agg == ast.AggAvg || agg == ast.AggMax || agg == ast.AggMin {
+						continue
+					}
+					if agg == ast.AggNone && yi >= 0 {
+						ya := sel[yi].Agg
+						if ya == ast.AggAvg || ya == ast.AggMax || ya == ast.AggMin {
+							continue
+						}
+					}
+				}
+				base := visSpec{chart: ct, x: x, y: yc[0].(int), z: -1, aggY: yc[1].(ast.AggFunc)}
+				if binnable {
+					for _, u := range binUnitsForTemporal {
+						sp := base
+						sp.binX = u
+						specs = append(specs, sp)
+						if orderable(ct) {
+							sp.orderY = true
+							specs = append(specs, sp)
+						}
+					}
+				}
+				specs = append(specs, base)
+				if orderable(ct) {
+					ordered := base
+					ordered.orderY = true
+					specs = append(specs, ordered)
+				}
+			}
+		}
+	}
+
+	switch {
+	// One variable.
+	case len(sel) == 1 && len(cIdx) == 1:
+		addGroupedSpecs(cIdx[0], []ast.ChartType{ast.Bar, ast.Pie}, nil, false)
+	case len(sel) == 1 && len(tIdx) == 1:
+		addGroupedSpecs(tIdx[0], []ast.ChartType{ast.Bar, ast.Pie, ast.Line}, nil, true)
+	case len(sel) == 1 && len(qIdx) == 1 && sel[qIdx[0]].Agg == ast.AggNone:
+		// Histogram: numeric binning + count.
+		specs = append(specs, visSpec{chart: ast.Bar, x: qIdx[0], y: -1, z: -1, binX: ast.BinNumeric, aggY: ast.AggCount})
+
+	// Two variables.
+	case len(sel) == 2 && len(cIdx) == 1 && len(qIdx) == 1:
+		addGroupedSpecs(cIdx[0], []ast.ChartType{ast.Bar, ast.Pie}, qIdx, false)
+	case len(sel) == 2 && len(tIdx) == 1 && len(qIdx) == 1:
+		addGroupedSpecs(tIdx[0], []ast.ChartType{ast.Bar, ast.Pie, ast.Line}, qIdx, true)
+	case len(sel) == 2 && len(qIdx) == 2 && sel[qIdx[0]].Agg == ast.AggNone && sel[qIdx[1]].Agg == ast.AggNone:
+		specs = append(specs, visSpec{chart: ast.Scatter, x: qIdx[0], y: qIdx[1], z: -1, aggY: ast.AggNone})
+	case len(sel) == 2 && len(cIdx) == 1 && len(tIdx) == 1:
+		// C + T: count over the categorical, temporal dropped handled by
+		// the deletion enumeration; nothing to add here.
+
+	// Three variables.
+	case len(sel) == 3 && len(tIdx) == 1 && len(qIdx) == 1 && len(cIdx) == 1:
+		for _, ct := range []ast.ChartType{ast.GroupingLine, ast.StackedBar} {
+			for _, u := range binUnitsForTemporal {
+				sp := visSpec{chart: ct, x: tIdx[0], y: qIdx[0], z: cIdx[0], binX: u, aggY: yAgg(sel[qIdx[0]], aggs[0])}
+				specs = append(specs, sp)
+			}
+		}
+	case len(sel) == 3 && len(cIdx) == 2 && len(qIdx) == 1:
+		specs = append(specs, visSpec{chart: ast.StackedBar, x: cIdx[0], y: qIdx[0], z: cIdx[1], aggY: yAgg(sel[qIdx[0]], aggs[0])})
+		specs = append(specs, visSpec{chart: ast.StackedBar, x: cIdx[1], y: qIdx[0], z: cIdx[0], aggY: yAgg(sel[qIdx[0]], aggs[0])})
+	case len(sel) == 3 && len(qIdx) == 2 && len(cIdx) == 1 &&
+		sel[qIdx[0]].Agg == ast.AggNone && sel[qIdx[1]].Agg == ast.AggNone:
+		specs = append(specs, visSpec{chart: ast.GroupingScatter, x: qIdx[0], y: qIdx[1], z: cIdx[0], aggY: ast.AggNone})
+	}
+
+	var out []Candidate
+	for _, sp := range specs {
+		if c, ok := s.materialize(db, src, inter, sp); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func yAgg(a ast.Attr, def ast.AggFunc) ast.AggFunc {
+	if a.Agg != ast.AggNone {
+		return ast.AggNone // already aggregated; keep
+	}
+	return def
+}
+
+// orderable reports whether the Order subtree may be applied to a chart
+// type (bar, stacked bar, line and grouping line per Section 2.3).
+func orderable(ct ast.ChartType) bool {
+	switch ct {
+	case ast.Bar, ast.StackedBar, ast.Line, ast.GroupingLine:
+		return true
+	}
+	return false
+}
+
+// attrVisType is the visual type of an attribute: aggregates always yield
+// quantitative values.
+func attrVisType(db *dataset.Database, a ast.Attr) dataset.ColType {
+	if a.Agg != ast.AggNone {
+		return dataset.Quantitative
+	}
+	return db.ColumnType(a.Table, a.Column)
+}
+
+// materialize applies one spec to the intermediate tree, producing the vis
+// tree and its complete edit script. Set-operator trees receive the same
+// edits on both cores by select-list position.
+func (s *Synthesizer) materialize(db *dataset.Database, src *ast.Query, inter intermediate, sp visSpec) (Candidate, bool) {
+	q := inter.q.Clone()
+	ops := append([]EditOp(nil), inter.dels...)
+	q.Visualize = sp.chart
+	ops = append(ops, EditOp{Kind: InsertVisualize, Chart: sp.chart})
+
+	for _, cre := range q.Cores() {
+		if !s.materializeCore(cre, sp, &ops) {
+			return Candidate{}, false
+		}
+	}
+	return Candidate{Query: q, Edit: Edit{Ops: ops}, Source: src}, true
+}
+
+// materializeCore rewrites one core in place per the spec. It returns false
+// when the spec cannot apply (e.g. binning an aggregated attribute, or the
+// core's existing grouping conflicts with the requested roles).
+func (s *Synthesizer) materializeCore(c *ast.Core, sp visSpec, ops *[]EditOp) bool {
+	sel := c.Select
+	if sp.x >= len(sel) || (sp.y >= 0 && sp.y >= len(sel)) || (sp.z >= 0 && sp.z >= len(sel)) {
+		return false
+	}
+	xAttr := sel[sp.x]
+	if sp.binX != ast.BinNone && xAttr.Agg != ast.AggNone {
+		return false
+	}
+	var yAttr ast.Attr
+	switch {
+	case sp.y < 0:
+		yAttr = ast.Attr{Agg: ast.AggCount, Column: "*", Table: xAttr.Table}
+		*ops = append(*ops, EditOp{Kind: InsertAgg, Attr: yAttr})
+	case sp.aggY != ast.AggNone && sel[sp.y].Agg == ast.AggNone:
+		yAttr = sel[sp.y]
+		yAttr.Agg = sp.aggY
+		*ops = append(*ops, EditOp{Kind: InsertAgg, Attr: yAttr})
+	default:
+		yAttr = sel[sp.y]
+	}
+
+	newSelect := []ast.Attr{xAttr, yAttr}
+	var zAttr ast.Attr
+	if sp.z >= 0 {
+		zAttr = sel[sp.z]
+		newSelect = append(newSelect, zAttr)
+	}
+	c.Select = newSelect
+
+	// Grouping: scatters group only by z; everything else groups by x.
+	grouped := sp.chart != ast.Scatter
+	var groups []ast.Group
+	if grouped {
+		g := ast.Group{Kind: ast.Grouping, Attr: stripAgg(xAttr)}
+		kind := InsertGroup
+		if sp.binX != ast.BinNone {
+			g.Kind = ast.Binning
+			g.Bin = sp.binX
+			if sp.binX == ast.BinNumeric {
+				g.NumBins = s.NumBins
+				if g.NumBins <= 0 {
+					g.NumBins = ast.DefaultNumBins
+				}
+			}
+			kind = InsertBin
+		}
+		groups = append(groups, g)
+		if !hasGroupOn(c.Groups, g.Attr) {
+			*ops = append(*ops, EditOp{Kind: kind, Group: &g, Attr: g.Attr})
+		}
+	}
+	if sp.z >= 0 && sp.chart != ast.GroupingScatter {
+		g := ast.Group{Kind: ast.Grouping, Attr: stripAgg(zAttr)}
+		groups = append(groups, g)
+		if !hasGroupOn(c.Groups, g.Attr) {
+			*ops = append(*ops, EditOp{Kind: InsertGroup, Group: &g, Attr: g.Attr})
+		}
+	}
+	if sp.chart == ast.GroupingScatter {
+		// Grouping scatter colors by z without aggregation: the grouping
+		// node marks the series split.
+		g := ast.Group{Kind: ast.Grouping, Attr: stripAgg(zAttr)}
+		groups = []ast.Group{g}
+		if !hasGroupOn(c.Groups, g.Attr) {
+			*ops = append(*ops, EditOp{Kind: InsertGroup, Group: &g, Attr: g.Attr})
+		}
+	}
+
+	// Existing grouping must be compatible: every pre-existing group
+	// attribute has to keep playing a visual role, otherwise the spec
+	// contradicts the "keep grouping unchanged" invariant.
+	for _, old := range c.Groups {
+		if !hasGroupOn(groups, old.Attr) {
+			return false
+		}
+	}
+	if sp.chart == ast.Scatter || sp.chart == ast.GroupingScatter {
+		if sp.chart == ast.Scatter {
+			groups = nil
+			if len(c.Groups) > 0 {
+				return false
+			}
+		}
+	}
+	c.Groups = groups
+
+	if sp.orderY && c.Order == nil && c.Superlative == nil {
+		o := &ast.Order{Dir: ast.Desc, Attr: yAttr}
+		c.Order = o
+		*ops = append(*ops, EditOp{Kind: InsertOrder, Order: o, Attr: yAttr})
+	}
+	// A kept Order subtree must reference a retained attribute; otherwise
+	// drop it and record the deletion.
+	if c.Order != nil && !attrInSelect(c.Select, c.Order.Attr) {
+		*ops = append(*ops, EditOp{Kind: DeleteOrder, Attr: c.Order.Attr})
+		c.Order = nil
+	}
+	if c.Superlative != nil && !attrInSelect(c.Select, c.Superlative.Attr) {
+		// Superlatives are kept unchanged by the deletion step, but if the
+		// sorted attribute was deleted from Select the tree is inconsistent.
+		return false
+	}
+	return true
+}
+
+func stripAgg(a ast.Attr) ast.Attr {
+	a.Agg = ast.AggNone
+	a.Distinct = false
+	return a
+}
+
+func hasGroupOn(groups []ast.Group, attr ast.Attr) bool {
+	for _, g := range groups {
+		if g.Attr.Key() == attr.Key() {
+			return true
+		}
+	}
+	return false
+}
+
+func attrInSelect(sel []ast.Attr, a ast.Attr) bool {
+	for _, s := range sel {
+		if s == a || stripAgg(s) == stripAgg(a) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,199 @@
+package crowd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/spider"
+)
+
+var studyBench = func() *bench.Benchmark {
+	corpus, err := spider.Generate(spider.TestConfig())
+	if err != nil {
+		panic(err)
+	}
+	b, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	return b
+}()
+
+func TestMajorityVote(t *testing.T) {
+	if v, ok := MajorityVote([]Rating{Agree, Agree, Neutral}); !ok || v != Agree {
+		t.Errorf("majority = %v %v", v, ok)
+	}
+	if _, ok := MajorityVote([]Rating{Agree, Neutral, Disagree}); ok {
+		t.Error("three-way split should not form a majority")
+	}
+	if v, ok := MajorityVote([]Rating{Agree, Agree, Agree, Disagree, Disagree}); !ok || v != Agree {
+		t.Errorf("3/5 majority = %v %v", v, ok)
+	}
+}
+
+func TestDistributionSumsToOne(t *testing.T) {
+	d := Distribution([]Rating{Agree, Agree, Neutral, StronglyAgree})
+	sum := 0.0
+	for _, p := range d {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("distribution sums to %g", sum)
+	}
+	if len(Distribution(nil)) != 0 {
+		t.Error("empty distribution should be empty")
+	}
+}
+
+func TestRunT1T2MatchesPublishedShape(t *testing.T) {
+	s := NewStudy(1)
+	expert, crowdRes := s.RunT1T2(studyBench, 0.5, 30)
+	if len(expert.HITs) == 0 || len(crowdRes.HITs) == 0 {
+		t.Fatal("no HITs")
+	}
+	// T2 positive rates near the published 86.9% (expert) and 88.7%
+	// (crowd); the synthetic corpus mix shifts them slightly.
+	ep := PositiveRate(expert.T2Dist)
+	cp := PositiveRate(crowdRes.T2Dist)
+	if ep < 0.70 || ep > 0.97 {
+		t.Errorf("expert T2 positive rate = %.3f", ep)
+	}
+	if cp < 0.70 || cp > 0.97 {
+		t.Errorf("crowd T2 positive rate = %.3f", cp)
+	}
+	// T1: most synthesized NL passes as handwritten (paper: 81–86%).
+	if p := PositiveRate(expert.T1Dist); p < 0.6 {
+		t.Errorf("expert T1 positive rate = %.3f", p)
+	}
+	// Workers per crowd HIT stay within the 3..7 protocol.
+	for _, h := range crowdRes.HITs {
+		if h.WorkersUsed < 3 || h.WorkersUsed > 7 {
+			t.Fatalf("workers used = %d", h.WorkersUsed)
+		}
+	}
+	// Expert HITs are answered once.
+	for _, h := range expert.HITs {
+		if h.WorkersUsed != 1 {
+			t.Fatalf("expert workers used = %d", h.WorkersUsed)
+		}
+	}
+	// The injected handwritten controls are present.
+	controls := 0
+	for _, h := range expert.HITs {
+		if h.Handwritten {
+			controls++
+		}
+	}
+	if controls != 30 {
+		t.Errorf("handwritten controls = %d", controls)
+	}
+}
+
+func TestRunT1T2Deterministic(t *testing.T) {
+	a1, c1 := NewStudy(5).RunT1T2(studyBench, 0.3, 10)
+	a2, c2 := NewStudy(5).RunT1T2(studyBench, 0.3, 10)
+	if len(a1.HITs) != len(a2.HITs) || len(c1.HITs) != len(c2.HITs) {
+		t.Fatal("sizes differ across runs")
+	}
+	for i := range a1.HITs {
+		if a1.HITs[i] != a2.HITs[i] {
+			t.Fatal("expert HITs differ across identical seeds")
+		}
+	}
+}
+
+func TestInterRater(t *testing.T) {
+	s := NewStudy(2)
+	pairs := s.InterRater(studyBench, 50)
+	if len(pairs) != 50 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	classes := map[AgreementClass]int{}
+	for _, p := range pairs {
+		if p.Q1 > p.Median || p.Median > p.Q3 {
+			t.Fatalf("boxplot stats disordered: %+v", p)
+		}
+		if len(p.Crowd) < 3 {
+			t.Fatalf("too few crowd ratings: %+v", p)
+		}
+		classes[p.Class()]++
+	}
+	// Figure 12: most pairs fully or mainly agree; slight disagreement is
+	// rare (2 of 50 in the paper).
+	if classes[FullyAgree]+classes[MainlyAgree] < 35 {
+		t.Errorf("agreement too low: %v", classes)
+	}
+	if classes[SlightlyDisagree] > 12 {
+		t.Errorf("too much disagreement: %v", classes)
+	}
+}
+
+func TestRunT3Calibration(t *testing.T) {
+	s := NewStudy(3)
+	res := s.RunT3(460)
+	if len(res.Times) != 460 {
+		t.Fatalf("times = %d", len(res.Times))
+	}
+	// Figure 14: median 82 s, mean 140 s, range 37–411 s.
+	if res.Median < 60 || res.Median > 110 {
+		t.Errorf("median = %.1f", res.Median)
+	}
+	if res.Mean < 110 || res.Mean > 175 {
+		t.Errorf("mean = %.1f", res.Mean)
+	}
+	if res.Min < 25 || res.Max > 420 {
+		t.Errorf("range = [%.1f, %.1f]", res.Min, res.Max)
+	}
+	if res.Mean < res.Median {
+		t.Error("log-normal times should be right skewed (mean > median)")
+	}
+}
+
+func TestManHours(t *testing.T) {
+	s := NewStudy(4)
+	t3 := s.RunT3(460)
+	rep := ManHours(studyBench, t3)
+	if rep.ScratchDays <= 0 || rep.SynthDays <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.SynthDays >= rep.ScratchDays {
+		t.Fatalf("synthesizer should be cheaper: %+v", rep)
+	}
+	// The paper reports a 5.7% ratio (17.5×). The synthetic corpus has a
+	// similar manual fraction, so the ratio must stay well under 50%.
+	if rep.Ratio > 0.5 {
+		t.Errorf("ratio = %.3f", rep.Ratio)
+	}
+	if math.Abs(rep.Ratio*rep.Speedup-1) > 1e-9 {
+		t.Error("ratio and speedup are not reciprocal")
+	}
+}
+
+func TestRatingString(t *testing.T) {
+	for r := StronglyDisagree; r <= StronglyAgree; r++ {
+		if r.String() == "?" {
+			t.Errorf("rating %d has no name", r)
+		}
+	}
+}
+
+func TestRenderHIT(t *testing.T) {
+	e := studyBench.Entries[0]
+	text, spec, err := RenderHIT(e, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Q1 (T1)", "Q2 (T2)", e.NLs[0], "strongly agree", "not correlated"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("HIT text missing %q", want)
+		}
+	}
+	if len(spec) == 0 || !strings.Contains(string(spec), "vega-lite") {
+		t.Error("HIT chart spec missing")
+	}
+	if _, _, err := RenderHIT(e, 99); err == nil {
+		t.Error("out-of-range nl index should error")
+	}
+}

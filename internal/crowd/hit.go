@@ -1,0 +1,38 @@
+package crowd
+
+import (
+	"fmt"
+	"strings"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/render"
+)
+
+// RenderHIT formats one (nl, vis) pair as the combined T1+T2 question shown
+// to participants (Figure 11): the rendered visualization (as a Vega-Lite
+// spec reference), the NL query, and the two five-point questions. The
+// paper renders charts with Vega-Lite; here the spec is attached so a
+// front end can embed it.
+func RenderHIT(e *bench.Entry, nlIndex int) (string, []byte, error) {
+	if nlIndex < 0 || nlIndex >= len(e.NLs) {
+		return "", nil, fmt.Errorf("crowd: nl index %d out of range (%d variants)", nlIndex, len(e.NLs))
+	}
+	spec, err := render.VegaLite(e.DB, e.Vis)
+	if err != nil {
+		return "", nil, fmt.Errorf("crowd: render HIT chart: %w", err)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HIT for entry %d (%s over database %q)\n\n", e.ID, e.Chart, e.DB.Name)
+	fmt.Fprintf(&sb, "NL query: %s\n", e.NLs[nlIndex])
+	sb.WriteString("(The NL query can be either machine-generated or handwritten.\n")
+	sb.WriteString(" Questions 1 and 2 are not correlated; answer them independently.)\n\n")
+	sb.WriteString("Q1 (T1): How close is the given NL query to your expectation of a\n")
+	sb.WriteString("         handwritten NL query?\n")
+	sb.WriteString("Q2 (T2): How well does the NL query match the visualization above?\n\n")
+	scale := make([]string, 0, 5)
+	for r := StronglyDisagree; r <= StronglyAgree; r++ {
+		scale = append(scale, fmt.Sprintf("%d=%s", int(r), r))
+	}
+	sb.WriteString("Scale: " + strings.Join(scale, ", ") + "\n")
+	return sb.String(), spec, nil
+}

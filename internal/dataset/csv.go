@@ -1,0 +1,140 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// dateLayouts are the timestamp formats the CSV loader recognizes, tried in
+// order.
+var dateLayouts = []string{
+	"2006-01-02 15:04:05",
+	"2006-01-02T15:04:05Z07:00",
+	"2006-01-02",
+	"01/02/2006",
+	"2006/01/02",
+}
+
+// FromCSV reads a table from CSV data. The first record is the header; the
+// column types are inferred from the values (a column is quantitative when
+// every non-empty value parses as a number, temporal when every non-empty
+// value parses as a date, categorical otherwise). Empty cells become nulls.
+func FromCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read csv: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv %q has no header", name)
+	}
+	header := records[0]
+	if len(header) == 0 {
+		return nil, fmt.Errorf("dataset: csv %q has an empty header", name)
+	}
+	rows := records[1:]
+
+	types := make([]ColType, len(header))
+	for c := range header {
+		types[c] = inferColumnType(rows, c)
+	}
+	t := &Table{Name: name}
+	for c, h := range header {
+		col := strings.TrimSpace(h)
+		if col == "" {
+			col = fmt.Sprintf("col%d", c)
+		}
+		t.Columns = append(t.Columns, Column{Name: normalizeName(col), Type: types[c]})
+	}
+	for _, rec := range rows {
+		row := make([]Cell, len(header))
+		for c := range header {
+			raw := ""
+			if c < len(rec) {
+				raw = strings.TrimSpace(rec[c])
+			}
+			row[c] = parseCell(raw, types[c])
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// normalizeName lower-cases a header and replaces separators so the name is
+// usable in the canonical token form.
+func normalizeName(s string) string {
+	s = strings.ToLower(strings.TrimSpace(s))
+	s = strings.NewReplacer(" ", "_", "-", "_", ".", "_", "\t", "_").Replace(s)
+	return s
+}
+
+func inferColumnType(rows [][]string, c int) ColType {
+	sawValue := false
+	allNum, allTime := true, true
+	for _, rec := range rows {
+		if c >= len(rec) {
+			continue
+		}
+		v := strings.TrimSpace(rec[c])
+		if v == "" {
+			continue
+		}
+		sawValue = true
+		if _, err := strconv.ParseFloat(v, 64); err != nil {
+			allNum = false
+		}
+		if !parsesAsTime(v) {
+			allTime = false
+		}
+		if !allNum && !allTime {
+			return Categorical
+		}
+	}
+	switch {
+	case !sawValue:
+		return Categorical
+	case allNum:
+		return Quantitative
+	case allTime:
+		return Temporal
+	default:
+		return Categorical
+	}
+}
+
+func parsesAsTime(v string) bool {
+	for _, layout := range dateLayouts {
+		if _, err := time.Parse(layout, v); err == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func parseCell(raw string, t ColType) Cell {
+	if raw == "" {
+		return Null(t)
+	}
+	switch t {
+	case Quantitative:
+		n, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return Null(t)
+		}
+		return N(n)
+	case Temporal:
+		for _, layout := range dateLayouts {
+			if ts, err := time.Parse(layout, raw); err == nil {
+				return T(ts)
+			}
+		}
+		return Null(t)
+	default:
+		return S(raw)
+	}
+}

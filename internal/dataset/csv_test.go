@@ -1,0 +1,148 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"nvbench/internal/ast"
+)
+
+const sampleCSV = `Name, Region, Sales, Signed Up
+Alice, north, 120.5, 2021-03-01
+Bob, south, 80, 2021-04-15
+Carol, north, 95.25, 2021-05-20
+Dan, east, , 2021-06-02
+`
+
+func TestFromCSVTypesAndValues(t *testing.T) {
+	tbl, err := FromCSV("accounts", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Name != "accounts" || len(tbl.Columns) != 4 || len(tbl.Rows) != 4 {
+		t.Fatalf("shape: %d cols %d rows", len(tbl.Columns), len(tbl.Rows))
+	}
+	wantTypes := map[string]ColType{
+		"name": Categorical, "region": Categorical,
+		"sales": Quantitative, "signed_up": Temporal,
+	}
+	for name, want := range wantTypes {
+		col, ok := tbl.Column(name)
+		if !ok {
+			t.Fatalf("missing column %q (have %v)", name, tbl.Columns)
+		}
+		if col.Type != want {
+			t.Errorf("%s type = %v, want %v", name, col.Type, want)
+		}
+	}
+	// Empty cell becomes a null.
+	si := tbl.ColumnIndex("sales")
+	if !tbl.Rows[3][si].Null {
+		t.Error("empty sales cell should be null")
+	}
+	if tbl.Rows[0][si].Num != 120.5 {
+		t.Errorf("sales[0] = %v", tbl.Rows[0][si])
+	}
+	ti := tbl.ColumnIndex("signed_up")
+	if tbl.Rows[0][ti].Time.Year() != 2021 {
+		t.Errorf("signed_up[0] = %v", tbl.Rows[0][ti])
+	}
+}
+
+func TestFromCSVExecutable(t *testing.T) {
+	tbl, err := FromCSV("accounts", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := &Database{Name: "csvdb", Tables: []*Table{tbl}}
+	q, err := ast.ParseString("visualize bar select accounts.region count accounts.* from accounts group grouping accounts.region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 { // north, south, east
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+}
+
+func TestFromCSVErrors(t *testing.T) {
+	if _, err := FromCSV("t", strings.NewReader("")); err == nil {
+		t.Error("empty csv should error")
+	}
+	if _, err := FromCSV("t", strings.NewReader("a,b\n1,2,3,4,\"x")); err == nil {
+		t.Error("malformed csv should error")
+	}
+}
+
+func TestFromCSVHeaderNormalization(t *testing.T) {
+	tbl, err := FromCSV("t", strings.NewReader("Total Price,Start-Date,x.y,\nx,2020-01-01,z,w\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{}
+	for _, c := range tbl.Columns {
+		names = append(names, c.Name)
+	}
+	want := []string{"total_price", "start_date", "x_y", "col3"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("column %d = %q, want %q", i, names[i], w)
+		}
+	}
+}
+
+func TestFromCSVShortRows(t *testing.T) {
+	// The csv reader enforces uniform field counts; quoted uniform input
+	// with empty trailing cells maps them to nulls.
+	tbl, err := FromCSV("t", strings.NewReader("a,b\n1,\n2,x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Rows[0][1].Null {
+		t.Error("missing cell should be null")
+	}
+}
+
+func TestFromCSVAllEmptyColumn(t *testing.T) {
+	tbl, err := FromCSV("t", strings.NewReader("a,b\n,\n,\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Columns[0].Type != Categorical {
+		t.Error("empty column defaults to categorical")
+	}
+}
+
+func TestToCSVRoundTrip(t *testing.T) {
+	tbl, err := FromCSV("accounts", strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := tbl.ToCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromCSV("accounts", strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(tbl.Rows) || len(back.Columns) != len(tbl.Columns) {
+		t.Fatalf("shape changed: %dx%d vs %dx%d", len(back.Rows), len(back.Columns), len(tbl.Rows), len(tbl.Columns))
+	}
+	for i, c := range tbl.Columns {
+		if back.Columns[i].Name != c.Name || back.Columns[i].Type != c.Type {
+			t.Errorf("column %d changed: %+v vs %+v", i, back.Columns[i], c)
+		}
+	}
+	for r := range tbl.Rows {
+		for c := range tbl.Rows[r] {
+			a, b := tbl.Rows[r][c], back.Rows[r][c]
+			if a.Null != b.Null || (!a.Null && a.String() != b.String()) {
+				t.Errorf("cell (%d,%d) changed: %v vs %v", r, c, a, b)
+			}
+		}
+	}
+}

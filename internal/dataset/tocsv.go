@@ -1,0 +1,36 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"io"
+)
+
+// ToCSV writes the table as CSV with a header row — the inverse of FromCSV,
+// used to export generated benchmark data toward external tools. Null cells
+// serialize as empty strings; a FromCSV round trip therefore reproduces the
+// table up to type re-inference.
+func (t *Table) ToCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		header[i] = c.Name
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	rec := make([]string, len(t.Columns))
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if cell.Null {
+				rec[i] = ""
+			} else {
+				rec[i] = cell.String()
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,200 @@
+package deepeye
+
+import (
+	"sort"
+	"strings"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+)
+
+// Baseline is the DeepEye nl2vis comparator of Section 4.4: a rule-based
+// keyword-search method that proposes top-k visualizations for an NL query.
+// It matches NL keywords against table and column names, enumerates simple
+// chart candidates over the matched attributes, and ranks them with the
+// chart-quality classifier. By construction it cannot handle Join, Nested
+// or Filter queries — the paper's stated limitation.
+type Baseline struct {
+	Filter *Filter
+}
+
+// NewBaseline builds the baseline over a fresh default filter.
+func NewBaseline() *Baseline { return &Baseline{Filter: NewFilter()} }
+
+// candidate pairs a query with its ranking score.
+type candidate struct {
+	q     *ast.Query
+	score float64
+}
+
+// TopK returns up to k ranked vis queries for the NL input.
+func (b *Baseline) TopK(db *dataset.Database, nl string, k int) []*ast.Query {
+	words := keywordSet(nl)
+	tables := matchTables(db, words)
+	var cands []candidate
+	for _, t := range tables {
+		cands = append(cands, b.tableCandidates(db, t, words)...)
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
+	out := make([]*ast.Query, 0, k)
+	seen := map[string]bool{}
+	for _, c := range cands {
+		key := c.q.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c.q)
+		if len(out) == k {
+			break
+		}
+	}
+	return out
+}
+
+// keywordSet lower-cases, splits and stems-lite (trailing s) the NL query.
+func keywordSet(nl string) map[string]bool {
+	out := map[string]bool{}
+	for _, w := range strings.Fields(strings.ToLower(nl)) {
+		w = strings.Trim(w, ".,!?;:\"'()")
+		if w == "" {
+			continue
+		}
+		out[w] = true
+		if strings.HasSuffix(w, "s") && len(w) > 3 {
+			out[strings.TrimSuffix(w, "s")] = true
+		}
+	}
+	return out
+}
+
+// matchTables returns tables whose names appear in the keywords, or every
+// table when none matches (DeepEye searches the whole database).
+func matchTables(db *dataset.Database, words map[string]bool) []*dataset.Table {
+	var hits []*dataset.Table
+	for _, t := range db.Tables {
+		name := strings.ReplaceAll(t.Name, "_", " ")
+		matched := words[t.Name]
+		for _, part := range strings.Fields(name) {
+			if words[part] {
+				matched = true
+			}
+		}
+		if matched {
+			hits = append(hits, t)
+		}
+	}
+	if len(hits) == 0 {
+		return db.Tables
+	}
+	return hits
+}
+
+func mentionScore(words map[string]bool, col string) float64 {
+	s := 0.0
+	for _, part := range strings.Split(col, "_") {
+		if words[part] {
+			s += 1
+		}
+	}
+	return s
+}
+
+// chartTypeHints scores explicit chart-type mentions in the NL query.
+func chartTypeHints(words map[string]bool) map[ast.ChartType]float64 {
+	h := map[ast.ChartType]float64{}
+	if words["pie"] || words["proportion"] {
+		h[ast.Pie] = 2
+	}
+	if words["bar"] || words["histogram"] {
+		h[ast.Bar] = 2
+	}
+	if words["line"] || words["trend"] || words["over"] {
+		h[ast.Line] = 2
+	}
+	if words["scatter"] || words["relationship"] || words["correlation"] || words["versus"] {
+		h[ast.Scatter] = 2
+	}
+	if words["stacked"] {
+		h[ast.StackedBar] = 2
+	}
+	return h
+}
+
+// tableCandidates enumerates simple single-table chart candidates: grouped
+// counts over C/T columns, grouped aggregates over (C, Q) pairs, and Q–Q
+// scatters. Each candidate's score combines keyword mentions, chart-type
+// hints, and the classifier's quality score.
+func (b *Baseline) tableCandidates(db *dataset.Database, t *dataset.Table, words map[string]bool) []candidate {
+	hints := chartTypeHints(words)
+	var cands []candidate
+	add := func(q *ast.Query, mention float64) {
+		f, _, err := Extract(db, q)
+		if err != nil {
+			return
+		}
+		if ok, _ := RuleCheck(f); !ok {
+			return
+		}
+		score := mention + hints[q.Visualize] + b.Filter.Clf.Score(f)
+		cands = append(cands, candidate{q: q, score: score})
+	}
+	var cCols, tCols, qCols []string
+	for _, c := range t.Columns {
+		if c.Name == "id" || strings.HasSuffix(c.Name, "_id") {
+			continue
+		}
+		switch c.Type {
+		case dataset.Categorical:
+			cCols = append(cCols, c.Name)
+		case dataset.Temporal:
+			tCols = append(tCols, c.Name)
+		case dataset.Quantitative:
+			qCols = append(qCols, c.Name)
+		}
+	}
+	countAttr := ast.Attr{Agg: ast.AggCount, Column: "*", Table: t.Name}
+	for _, x := range append(append([]string(nil), cCols...), tCols...) {
+		xa := ast.Attr{Column: x, Table: t.Name}
+		for _, ct := range []ast.ChartType{ast.Bar, ast.Pie, ast.Line} {
+			q := &ast.Query{
+				Visualize: ct,
+				Left: &ast.Core{
+					Select: []ast.Attr{xa, countAttr},
+					Tables: []string{t.Name},
+					Groups: []ast.Group{{Kind: ast.Grouping, Attr: xa}},
+				},
+			}
+			add(q, mentionScore(words, x))
+		}
+		for _, y := range qCols {
+			for _, agg := range []ast.AggFunc{ast.AggAvg, ast.AggSum} {
+				q := &ast.Query{
+					Visualize: ast.Bar,
+					Left: &ast.Core{
+						Select: []ast.Attr{xa, {Agg: agg, Column: y, Table: t.Name}},
+						Tables: []string{t.Name},
+						Groups: []ast.Group{{Kind: ast.Grouping, Attr: xa}},
+					},
+				}
+				add(q, mentionScore(words, x)+mentionScore(words, y))
+			}
+		}
+	}
+	for i, x := range qCols {
+		for j, y := range qCols {
+			if i == j {
+				continue
+			}
+			q := &ast.Query{
+				Visualize: ast.Scatter,
+				Left: &ast.Core{
+					Select: []ast.Attr{{Column: x, Table: t.Name}, {Column: y, Table: t.Name}},
+					Tables: []string{t.Name},
+				},
+			}
+			add(q, mentionScore(words, x)+mentionScore(words, y))
+		}
+	}
+	return cands
+}

@@ -1,0 +1,113 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Linear is a fully connected layer y = xW + b.
+type Linear struct {
+	W *Tensor
+	B *Tensor
+}
+
+// NewLinear builds a Linear layer with Xavier weights and zero bias.
+func NewLinear(in, out int, r *rand.Rand) *Linear {
+	return &Linear{W: NewParam(in, out, r), B: NewZeroParam(1, out)}
+}
+
+// Forward applies the layer.
+func (l *Linear) Forward(x *Tensor) *Tensor { return Add(MatMul(x, l.W), l.B) }
+
+// Params returns the layer's trainable tensors.
+func (l *Linear) Params() []*Tensor { return []*Tensor{l.W, l.B} }
+
+// LSTMCell is a standard LSTM with combined gate weights:
+// [i f g o] = x·Wx + h·Wh + b.
+type LSTMCell struct {
+	Wx, Wh, B *Tensor
+	Hidden    int
+}
+
+// NewLSTMCell builds a cell with the forget-gate bias initialized to 1.
+func NewLSTMCell(input, hidden int, r *rand.Rand) *LSTMCell {
+	c := &LSTMCell{
+		Wx:     NewParam(input, 4*hidden, r),
+		Wh:     NewParam(hidden, 4*hidden, r),
+		B:      NewZeroParam(1, 4*hidden),
+		Hidden: hidden,
+	}
+	for j := hidden; j < 2*hidden; j++ {
+		c.B.Data[j] = 1 // forget gate bias
+	}
+	return c
+}
+
+// Params returns the cell's trainable tensors.
+func (c *LSTMCell) Params() []*Tensor { return []*Tensor{c.Wx, c.Wh, c.B} }
+
+// State is the (h, c) pair of an LSTM.
+type State struct {
+	H *Tensor
+	C *Tensor
+}
+
+// ZeroState returns an all-zero state.
+func (c *LSTMCell) ZeroState() State {
+	return State{H: NewTensor(1, c.Hidden), C: NewTensor(1, c.Hidden)}
+}
+
+// Step advances the cell one timestep.
+func (c *LSTMCell) Step(x *Tensor, s State) State {
+	gates := Add(Add(MatMul(x, c.Wx), MatMul(s.H, c.Wh)), c.B)
+	h := c.Hidden
+	i := Sigmoid(sliceCols(gates, 0, h))
+	f := Sigmoid(sliceCols(gates, h, 2*h))
+	g := Tanh(sliceCols(gates, 2*h, 3*h))
+	o := Sigmoid(sliceCols(gates, 3*h, 4*h))
+	cNew := Add(Mul(f, s.C), Mul(i, g))
+	hNew := Mul(o, Tanh(cNew))
+	return State{H: hNew, C: cNew}
+}
+
+// sliceCols selects columns [from, to) of a 1-row tensor.
+func sliceCols(a *Tensor, from, to int) *Tensor {
+	out, needs := childOf(a)
+	out.Rows, out.Cols = a.Rows, to-from
+	out.Data = make([]float64, out.Rows*out.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Data[i*out.Cols:(i+1)*out.Cols], a.Data[i*a.Cols+from:i*a.Cols+to])
+	}
+	if needs {
+		out.backFn = func() {
+			out.ensureGrad()
+			a.ensureGrad()
+			for i := 0; i < a.Rows; i++ {
+				for j := 0; j < out.Cols; j++ {
+					a.Grad[i*a.Cols+from+j] += out.Grad[i*out.Cols+j]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ClipGradients scales all gradients so the global L2 norm is at most max.
+func ClipGradients(params []*Tensor, max float64) {
+	norm := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad {
+			norm += g * g
+		}
+	}
+	norm = math.Sqrt(norm)
+	if norm <= max || norm == 0 {
+		return
+	}
+	scale := max / norm
+	for _, p := range params {
+		for i := range p.Grad {
+			p.Grad[i] *= scale
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package neural
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// numericGrad estimates d(loss)/d(p[i]) by central differences.
+func numericGrad(p *Tensor, i int, loss func() float64) float64 {
+	const h = 1e-5
+	old := p.Data[i]
+	p.Data[i] = old + h
+	up := loss()
+	p.Data[i] = old - h
+	down := loss()
+	p.Data[i] = old
+	return (up - down) / (2 * h)
+}
+
+// checkGrads compares analytic and numeric gradients for every element of
+// every parameter.
+func checkGrads(t *testing.T, params []*Tensor, build func() *Tensor) {
+	t.Helper()
+	loss := build()
+	loss.Backward()
+	for pi, p := range params {
+		for i := range p.Data {
+			want := numericGrad(p, i, func() float64 { return build().Data[0] })
+			got := p.Grad[i]
+			if math.Abs(got-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d elem %d: grad %g, numeric %g", pi, i, got, want)
+			}
+		}
+	}
+}
+
+func TestGradMatMulAdd(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	w := NewParam(3, 2, r)
+	b := NewZeroParam(1, 2)
+	x := NewTensor(1, 3)
+	for i := range x.Data {
+		x.Data[i] = r.Float64()
+	}
+	build := func() *Tensor {
+		y := Add(MatMul(x, w), b)
+		p := Softmax(y)
+		return PickLog(p, 1)
+	}
+	checkGrads(t, []*Tensor{w, b}, build)
+}
+
+func TestGradSigmoidTanhMul(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	w1 := NewParam(2, 4, r)
+	w2 := NewParam(4, 3, r)
+	x := NewTensor(1, 2)
+	x.Data[0], x.Data[1] = 0.3, -0.7
+	build := func() *Tensor {
+		h := Tanh(MatMul(x, w1))
+		g := Sigmoid(MatMul(x, w1))
+		y := MatMul(Mul(h, g), w2)
+		return PickLog(Softmax(y), 0)
+	}
+	checkGrads(t, []*Tensor{w1, w2}, build)
+}
+
+func TestGradConcatSliceScale(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	a := NewParam(1, 3, r)
+	b := NewParam(1, 2, r)
+	build := func() *Tensor {
+		cat := ConcatCols(a, b) // 1x5
+		left := sliceCols(cat, 0, 3)
+		right := sliceCols(cat, 3, 5)
+		y := ConcatCols(Scale(left, 2), right)
+		return PickLog(Softmax(y), 2)
+	}
+	checkGrads(t, []*Tensor{a, b}, build)
+}
+
+func TestGradLookup(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	emb := NewParam(5, 3, r)
+	w := NewParam(3, 4, r)
+	build := func() *Tensor {
+		e := Lookup(emb, 2)
+		return PickLog(Softmax(MatMul(e, w)), 1)
+	}
+	checkGrads(t, []*Tensor{emb, w}, build)
+}
+
+func TestGradMatMulT(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	q := NewParam(1, 4, r)
+	keys := NewParam(3, 4, r)
+	build := func() *Tensor {
+		scores := MatMulT(q, keys) // 1x3
+		attn := Softmax(scores)
+		ctx := MatMul(attn, keys) // 1x4
+		return PickLog(Softmax(ctx), 0)
+	}
+	checkGrads(t, []*Tensor{q, keys}, build)
+}
+
+func TestGradLSTMStep(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	cell := NewLSTMCell(2, 3, r)
+	out := NewParam(3, 4, r)
+	x1 := NewTensor(1, 2)
+	x2 := NewTensor(1, 2)
+	x1.Data[0], x1.Data[1] = 0.5, -0.2
+	x2.Data[0], x2.Data[1] = -0.1, 0.9
+	build := func() *Tensor {
+		s := cell.ZeroState()
+		s = cell.Step(x1, s)
+		s = cell.Step(x2, s)
+		return PickLog(Softmax(MatMul(s.H, out)), 2)
+	}
+	params := append(cell.Params(), out)
+	checkGrads(t, params, build)
+}
+
+func TestGradCopyMixture(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	w := NewParam(2, 4, r)
+	gateW := NewParam(2, 1, r)
+	x := NewTensor(1, 2)
+	x.Data[0], x.Data[1] = 0.4, -0.6
+	attnW := NewParam(1, 3, r)
+	ids := []int{1, 3, 1}
+	build := func() *Tensor {
+		pv := Softmax(MatMul(x, w)) // 1x4 vocab dist
+		attn := Softmax(attnW)      // 1x3 source attention
+		copyDist := ScatterRows(attn, ids, 4)
+		gate := Sigmoid(MatMul(x, gateW)) // 1x1
+		mixed := Add(MulBroadcast(pv, gate), MulBroadcast(copyDist, OneMinus(gate)))
+		return PickLog(mixed, 1)
+	}
+	checkGrads(t, []*Tensor{w, gateW, attnW}, build)
+}
+
+func TestGradMeanAndBroadcastBias(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	w := NewParam(2, 3, r)
+	b := NewZeroParam(1, 3)
+	x := NewTensor(2, 2) // two rows broadcast the bias
+	for i := range x.Data {
+		x.Data[i] = r.Float64() - 0.5
+	}
+	build := func() *Tensor {
+		y := Add(MatMul(x, w), b) // 2x3
+		l1 := PickLog(Softmax(sliceCols(y, 0, 3)), 0)
+		// Only the first row feeds the loss; the bias gradient flows
+		// through the broadcast path.
+		return Mean([]*Tensor{l1, Scale(l1, 0.5)})
+	}
+	checkGrads(t, []*Tensor{w, b}, build)
+}
+
+func TestSoftmaxRows(t *testing.T) {
+	a := NewTensor(2, 3)
+	copy(a.Data, []float64{1, 2, 3, 0, 0, 0})
+	s := Softmax(a)
+	for i := 0; i < 2; i++ {
+		sum := 0.0
+		for j := 0; j < 3; j++ {
+			sum += s.At(i, j)
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("row %d sums to %g", i, sum)
+		}
+	}
+	if !(s.At(0, 2) > s.At(0, 1) && s.At(0, 1) > s.At(0, 0)) {
+		t.Error("softmax ordering broken")
+	}
+	if s.At(1, 0) != s.At(1, 1) {
+		t.Error("uniform row should stay uniform")
+	}
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Backward on non-scalar should panic")
+		}
+	}()
+	NewTensor(1, 2).Backward()
+}
+
+func TestShapePanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"matmul":  func() { MatMul(NewTensor(1, 2), NewTensor(3, 1)) },
+		"add":     func() { Add(NewTensor(2, 2), NewTensor(3, 3)) },
+		"mul":     func() { Mul(NewTensor(1, 2), NewTensor(1, 3)) },
+		"concat":  func() { ConcatCols(NewTensor(1, 2), NewTensor(2, 2)) },
+		"lookup":  func() { Lookup(NewTensor(2, 2), 5) },
+		"scatter": func() { ScatterRows(NewTensor(1, 2), []int{0}, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected shape panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestAdamReducesLoss(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	// Learn a 4-class mapping from 2-d inputs with a 1-layer net.
+	lin := NewLinear(2, 4, r)
+	opt := NewAdam(lin.Params(), 0.05)
+	inputs := [][]float64{{1, 0}, {0, 1}, {-1, 0}, {0, -1}}
+	targets := []int{0, 1, 2, 3}
+	lossAt := func() float64 {
+		total := 0.0
+		for i, in := range inputs {
+			x := NewTensor(1, 2)
+			copy(x.Data, in)
+			total += PickLog(Softmax(lin.Forward(x)), targets[i]).Data[0]
+		}
+		return total / float64(len(inputs))
+	}
+	before := lossAt()
+	for epoch := 0; epoch < 200; epoch++ {
+		for i, in := range inputs {
+			x := NewTensor(1, 2)
+			copy(x.Data, in)
+			loss := PickLog(Softmax(lin.Forward(x)), targets[i])
+			loss.Backward()
+			ClipGradients(lin.Params(), 5)
+			opt.Step()
+		}
+	}
+	after := lossAt()
+	if after >= before/4 {
+		t.Fatalf("Adam failed to learn: %.4f -> %.4f", before, after)
+	}
+	// And predictions are correct.
+	for i, in := range inputs {
+		x := NewTensor(1, 2)
+		copy(x.Data, in)
+		p := Softmax(lin.Forward(x))
+		best := 0
+		for j := 1; j < 4; j++ {
+			if p.Data[j] > p.Data[best] {
+				best = j
+			}
+		}
+		if best != targets[i] {
+			t.Errorf("input %d predicted %d, want %d", i, best, targets[i])
+		}
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	p := NewZeroParam(1, 3)
+	copy(p.Grad, []float64{3, 4, 0}) // norm 5
+	ClipGradients([]*Tensor{p}, 1)
+	norm := math.Hypot(p.Grad[0], p.Grad[1])
+	if math.Abs(norm-1) > 1e-9 {
+		t.Fatalf("clipped norm = %g", norm)
+	}
+	// Under the limit: untouched.
+	copy(p.Grad, []float64{0.3, 0.4, 0})
+	ClipGradients([]*Tensor{p}, 1)
+	if p.Grad[0] != 0.3 {
+		t.Error("clip should not scale small gradients")
+	}
+}
+
+func TestLSTMForgetBias(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	c := NewLSTMCell(2, 3, r)
+	for j := 3; j < 6; j++ {
+		if c.B.Data[j] != 1 {
+			t.Fatalf("forget bias not initialized: %v", c.B.Data)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+// Package nl4dv reimplements the NL4DV baseline of Section 4.4: a semantic
+// parse–style rule pipeline that maps an NL query to one analytic
+// specification (a vis query) by (1) detecting attribute mentions against
+// the schema, (2) inferring the analytic task from keywords (distribution,
+// trend, correlation, proportion), and (3) choosing a chart type from the
+// attribute types. Like the original toolkit it handles neither Join nor
+// Nested queries, which is why it collapses on hard/extra-hard inputs in
+// Table 5.
+package nl4dv
+
+import (
+	"strings"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+)
+
+// Parser converts NL to a single vis query over a database.
+type Parser struct{}
+
+// New returns a Parser.
+func New() *Parser { return &Parser{} }
+
+// task is the inferred analytic intent.
+type task int
+
+const (
+	taskDistribution task = iota
+	taskTrend
+	taskCorrelation
+	taskProportion
+	taskDerived // explicit aggregate wording
+)
+
+// Parse maps the NL query to a vis query, or nil when no confident parse
+// exists.
+func (p *Parser) Parse(db *dataset.Database, nl string) *ast.Query {
+	words := tokenSet(nl)
+	table := bestTable(db, words)
+	if table == nil {
+		return nil
+	}
+	attrs := matchAttributes(table, words)
+	t := inferTask(words)
+
+	var cAttrs, tAttrs, qAttrs []string
+	for _, a := range attrs {
+		col, _ := table.Column(a)
+		switch col.Type {
+		case dataset.Categorical:
+			cAttrs = append(cAttrs, a)
+		case dataset.Temporal:
+			tAttrs = append(tAttrs, a)
+		case dataset.Quantitative:
+			qAttrs = append(qAttrs, a)
+		}
+	}
+	// Fall back to the table's first categorical column when nothing is
+	// mentioned — NL4DV's implicit attribute inference.
+	if len(cAttrs)+len(tAttrs)+len(qAttrs) == 0 {
+		for _, c := range table.Columns {
+			if c.Type == dataset.Categorical {
+				cAttrs = append(cAttrs, c.Name)
+				break
+			}
+		}
+	}
+
+	agg := inferAggregate(words)
+	mk := func(x string, chart ast.ChartType, y ast.Attr) *ast.Query {
+		xa := ast.Attr{Column: x, Table: table.Name}
+		return &ast.Query{
+			Visualize: chart,
+			Left: &ast.Core{
+				Select: []ast.Attr{xa, y},
+				Tables: []string{table.Name},
+				Groups: []ast.Group{{Kind: ast.Grouping, Attr: xa}},
+			},
+		}
+	}
+	count := ast.Attr{Agg: ast.AggCount, Column: "*", Table: table.Name}
+
+	switch {
+	case t == taskCorrelation && len(qAttrs) >= 2:
+		return &ast.Query{
+			Visualize: ast.Scatter,
+			Left: &ast.Core{
+				Select: []ast.Attr{
+					{Column: qAttrs[0], Table: table.Name},
+					{Column: qAttrs[1], Table: table.Name},
+				},
+				Tables: []string{table.Name},
+			},
+		}
+	case t == taskTrend && len(tAttrs) >= 1:
+		y := count
+		if len(qAttrs) >= 1 {
+			y = ast.Attr{Agg: agg, Column: qAttrs[0], Table: table.Name}
+		}
+		return mk(tAttrs[0], ast.Line, y)
+	case t == taskProportion && len(cAttrs) >= 1:
+		return mk(cAttrs[0], ast.Pie, count)
+	case len(cAttrs) >= 1 && len(qAttrs) >= 1:
+		return mk(cAttrs[0], ast.Bar, ast.Attr{Agg: agg, Column: qAttrs[0], Table: table.Name})
+	case len(cAttrs) >= 1:
+		return mk(cAttrs[0], ast.Bar, count)
+	case len(tAttrs) >= 1:
+		return mk(tAttrs[0], ast.Bar, count)
+	case len(qAttrs) >= 2:
+		return &ast.Query{
+			Visualize: ast.Scatter,
+			Left: &ast.Core{
+				Select: []ast.Attr{
+					{Column: qAttrs[0], Table: table.Name},
+					{Column: qAttrs[1], Table: table.Name},
+				},
+				Tables: []string{table.Name},
+			},
+		}
+	}
+	return nil
+}
+
+func tokenSet(nl string) map[string]bool {
+	out := map[string]bool{}
+	for _, w := range strings.Fields(strings.ToLower(nl)) {
+		w = strings.Trim(w, ".,!?;:\"'()")
+		if w == "" {
+			continue
+		}
+		out[w] = true
+		if strings.HasSuffix(w, "s") && len(w) > 3 {
+			out[strings.TrimSuffix(w, "s")] = true
+		}
+	}
+	return out
+}
+
+// bestTable picks the table with the most name/column mentions.
+func bestTable(db *dataset.Database, words map[string]bool) *dataset.Table {
+	var best *dataset.Table
+	bestScore := 0
+	for _, t := range db.Tables {
+		score := 0
+		for _, part := range strings.Split(t.Name, "_") {
+			if words[part] {
+				score += 2
+			}
+		}
+		for _, c := range t.Columns {
+			for _, part := range strings.Split(c.Name, "_") {
+				if words[part] {
+					score++
+				}
+			}
+		}
+		if score > bestScore {
+			best, bestScore = t, score
+		}
+	}
+	if best == nil && len(db.Tables) > 0 {
+		return db.Tables[0]
+	}
+	return best
+}
+
+// matchAttributes returns columns whose name parts appear in the NL query,
+// in schema order (ids and foreign keys excluded).
+func matchAttributes(t *dataset.Table, words map[string]bool) []string {
+	var out []string
+	for _, c := range t.Columns {
+		if c.Name == "id" || strings.HasSuffix(c.Name, "_id") {
+			continue
+		}
+		for _, part := range strings.Split(c.Name, "_") {
+			if words[part] {
+				out = append(out, c.Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func inferTask(words map[string]bool) task {
+	switch {
+	case words["correlation"] || words["relationship"] || words["versus"] || words["scatter"]:
+		return taskCorrelation
+	case words["trend"] || words["over"] || words["timeline"] || words["line"]:
+		return taskTrend
+	case words["proportion"] || words["percentage"] || words["share"] || words["pie"]:
+		return taskProportion
+	case words["average"] || words["total"] || words["sum"] || words["mean"]:
+		return taskDerived
+	}
+	return taskDistribution
+}
+
+func inferAggregate(words map[string]bool) ast.AggFunc {
+	switch {
+	case words["average"] || words["mean"]:
+		return ast.AggAvg
+	case words["total"] || words["sum"]:
+		return ast.AggSum
+	case words["maximum"] || words["highest"] || words["largest"]:
+		return ast.AggMax
+	case words["minimum"] || words["lowest"] || words["smallest"]:
+		return ast.AggMin
+	}
+	return ast.AggAvg
+}

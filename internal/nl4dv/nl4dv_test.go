@@ -1,0 +1,154 @@
+package nl4dv
+
+import (
+	"testing"
+	"time"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+)
+
+func carDB() *dataset.Database {
+	car := &dataset.Table{
+		Name: "car",
+		Columns: []dataset.Column{
+			{Name: "id", Type: dataset.Quantitative},
+			{Name: "type", Type: dataset.Categorical},
+			{Name: "price", Type: dataset.Quantitative},
+			{Name: "weight", Type: dataset.Quantitative},
+			{Name: "released", Type: dataset.Temporal},
+		},
+	}
+	base := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	types := []string{"Sedan", "SUV", "Coupe"}
+	for i := 0; i < 30; i++ {
+		car.Rows = append(car.Rows, []dataset.Cell{
+			dataset.N(float64(i + 1)),
+			dataset.S(types[i%3]),
+			dataset.N(float64(20000 + 500*i)),
+			dataset.N(float64(1200 + 20*i)),
+			dataset.T(base.AddDate(0, i, 0)),
+		})
+	}
+	dealer := &dataset.Table{
+		Name: "dealer",
+		Columns: []dataset.Column{
+			{Name: "id", Type: dataset.Quantitative},
+			{Name: "city", Type: dataset.Categorical},
+		},
+		Rows: [][]dataset.Cell{{dataset.N(1), dataset.S("Boston")}},
+	}
+	return &dataset.Database{Name: "cars", Domain: "Car", Tables: []*dataset.Table{car, dealer}}
+}
+
+func TestCorrelationTask(t *testing.T) {
+	p := New()
+	q := p.Parse(carDB(), "show the correlation between price and weight of cars")
+	if q == nil {
+		t.Fatal("no parse")
+	}
+	if q.Visualize != ast.Scatter {
+		t.Errorf("chart = %v, want scatter", q.Visualize)
+	}
+	if len(q.Left.Select) != 2 || q.Left.Select[0].Column != "price" || q.Left.Select[1].Column != "weight" {
+		t.Errorf("axes = %v", q.Left.Select)
+	}
+}
+
+func TestTrendTask(t *testing.T) {
+	p := New()
+	q := p.Parse(carDB(), "show the trend of cars released over time")
+	if q == nil {
+		t.Fatal("no parse")
+	}
+	if q.Visualize != ast.Line {
+		t.Errorf("chart = %v, want line", q.Visualize)
+	}
+	if q.Left.Select[0].Column != "released" {
+		t.Errorf("x = %v", q.Left.Select[0])
+	}
+}
+
+func TestProportionTask(t *testing.T) {
+	p := New()
+	q := p.Parse(carDB(), "what is the proportion of each car type?")
+	if q == nil {
+		t.Fatal("no parse")
+	}
+	if q.Visualize != ast.Pie {
+		t.Errorf("chart = %v, want pie", q.Visualize)
+	}
+	if q.Left.Select[1].Agg != ast.AggCount {
+		t.Errorf("y = %v, want count", q.Left.Select[1])
+	}
+}
+
+func TestAggregateInference(t *testing.T) {
+	p := New()
+	q := p.Parse(carDB(), "what is the average price for each car type?")
+	if q == nil {
+		t.Fatal("no parse")
+	}
+	if q.Visualize != ast.Bar {
+		t.Errorf("chart = %v", q.Visualize)
+	}
+	if q.Left.Select[1].Agg != ast.AggAvg || q.Left.Select[1].Column != "price" {
+		t.Errorf("y = %v", q.Left.Select[1])
+	}
+	q = p.Parse(carDB(), "show the total price per type of car")
+	if q.Left.Select[1].Agg != ast.AggSum {
+		t.Errorf("sum inference: %v", q.Left.Select[1])
+	}
+}
+
+func TestTableSelection(t *testing.T) {
+	p := New()
+	q := p.Parse(carDB(), "how many dealers are in each city?")
+	if q == nil {
+		t.Fatal("no parse")
+	}
+	if q.Left.Tables[0] != "dealer" {
+		t.Errorf("table = %v, want dealer", q.Left.Tables)
+	}
+}
+
+func TestSingleTableOnly(t *testing.T) {
+	// NL4DV never emits joins or nested queries.
+	p := New()
+	for _, nl := range []string{
+		"how many cars per dealer city joined with dealers",
+		"cars with price above the average price",
+	} {
+		q := p.Parse(carDB(), nl)
+		if q == nil {
+			continue
+		}
+		if q.HasJoin() || q.HasNested() {
+			t.Errorf("%q produced join/nested: %s", nl, q)
+		}
+	}
+}
+
+func TestParseAlwaysValid(t *testing.T) {
+	p := New()
+	for _, nl := range []string{
+		"anything at all",
+		"price weight type released",
+		"",
+	} {
+		q := p.Parse(carDB(), nl)
+		if q == nil {
+			continue
+		}
+		if err := q.Validate(); err != nil {
+			t.Errorf("%q: invalid query %s: %v", nl, q, err)
+		}
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	p := New()
+	if q := p.Parse(&dataset.Database{Name: "empty"}, "anything"); q != nil {
+		t.Errorf("empty db parsed to %s", q)
+	}
+}

@@ -1,0 +1,58 @@
+package nledit
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Smooth is the back-translation substitute: the paper round-trips each
+// rule-edited sentence through machine translation (English → French →
+// English) to make it read naturally. Offline, the same effect — surface
+// variation with preserved semantics — comes from a deterministic
+// paraphrase pass: a pivot lexicon substitutes common analytics phrasing,
+// imperative openings soften, and rule-concatenation artifacts disappear.
+func Smooth(s string, r *rand.Rand) string {
+	out := s
+	for _, sub := range pivotLexicon {
+		if !strings.Contains(strings.ToLower(out), sub.from) {
+			continue
+		}
+		// Substitute probabilistically so different variants diverge, as
+		// independent MT round trips would.
+		if r.Float64() < 0.6 {
+			out = replaceFold(out, sub.from, sub.to[r.Intn(len(sub.to))])
+		}
+	}
+	out = tidy(out)
+	return upperFirst(out)
+}
+
+// pivotLexicon maps source phrasings to paraphrases, mimicking what an
+// EN→FR→EN round trip does to analytic vocabulary.
+var pivotLexicon = []struct {
+	from string
+	to   []string
+}{
+	{"how many", []string{"what is the number of", "how many"}},
+	{"show me", []string{"display", "present"}},
+	{"give me", []string{"provide", "return"}},
+	{"for each", []string{"per", "for every"}},
+	{"find the", []string{"retrieve the", "get the"}},
+	{"list the", []string{"enumerate the", "show the"}},
+	{"what are the", []string{"which are the", "what are the"}},
+	{"in descending order", []string{"from largest to smallest", "in decreasing order"}},
+	{"in ascending order", []string{"from smallest to largest", "in increasing order"}},
+	{"greater than", []string{"above", "more than"}},
+	{"less than", []string{"below", "under"}},
+	{"the number of", []string{"the count of", "the total number of"}},
+	{"do we have", []string{"are there", "exist"}},
+}
+
+// replaceFold replaces the first case-insensitive occurrence of from.
+func replaceFold(s, from, to string) string {
+	idx := strings.Index(strings.ToLower(s), strings.ToLower(from))
+	if idx < 0 {
+		return s
+	}
+	return s[:idx] + to + s[idx+len(from):]
+}

@@ -1,0 +1,63 @@
+package render
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+)
+
+// HTMLPage wraps a Vega-Lite spec in a self-contained HTML document that
+// renders the chart with the vega-embed CDN bundle — the quickest way to
+// eyeball a synthesized visualization in a browser.
+func HTMLPage(title string, vegaSpec []byte) []byte {
+	// Validate the spec is JSON so a broken page never ships.
+	var check map[string]any
+	if err := json.Unmarshal(vegaSpec, &check); err != nil {
+		vegaSpec = []byte("{}")
+	}
+	return []byte(fmt.Sprintf(`<!DOCTYPE html>
+<html>
+<head>
+  <meta charset="utf-8">
+  <title>%s</title>
+  <script src="https://cdn.jsdelivr.net/npm/vega@5"></script>
+  <script src="https://cdn.jsdelivr.net/npm/vega-lite@5"></script>
+  <script src="https://cdn.jsdelivr.net/npm/vega-embed@6"></script>
+</head>
+<body>
+  <div id="vis"></div>
+  <script>
+    vegaEmbed("#vis", %s);
+  </script>
+</body>
+</html>
+`, htmlEscape(title), vegaSpec))
+}
+
+// Page executes the vis query and returns a complete HTML document.
+func Page(db *dataset.Database, q *ast.Query, title string) ([]byte, error) {
+	spec, err := VegaLite(db, q)
+	if err != nil {
+		return nil, err
+	}
+	return HTMLPage(title, spec), nil
+}
+
+func htmlEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,197 @@
+package render
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"nvbench/internal/ast"
+)
+
+// ParseVegaLite recovers a vis tree from a Vega-Lite specification produced
+// by this package (or any spec using the same canonical field labels) — the
+// reverse of the Section 2.6 mapping, useful for importing existing
+// Vega-Lite corpora into the benchmark's unified representation.
+//
+// Limitations (inherent to the direction): the data-transform subtrees that
+// never appear in a rendered spec cannot be recovered — Filter and
+// Superlative are lost, and binned axes come back as plain grouping because
+// bin labels are materialized into the data. Chart type, the select list,
+// grouping structure and the Order direction (from the sort directive) all
+// round-trip.
+func ParseVegaLite(spec []byte) (*ast.Query, error) {
+	var raw struct {
+		Mark     any                        `json:"mark"`
+		Encoding map[string]json.RawMessage `json:"encoding"`
+	}
+	if err := json.Unmarshal(spec, &raw); err != nil {
+		return nil, fmt.Errorf("render: parse vega spec: %w", err)
+	}
+	if raw.Encoding == nil {
+		return nil, fmt.Errorf("render: spec has no encoding")
+	}
+	mark := ""
+	switch m := raw.Mark.(type) {
+	case string:
+		mark = m
+	case map[string]any:
+		if t, ok := m["type"].(string); ok {
+			mark = t
+		}
+	}
+
+	type channel struct {
+		Field string `json:"field"`
+		Type  string `json:"type"`
+		Sort  any    `json:"sort"`
+	}
+	get := func(name string) (channel, bool) {
+		rawCh, ok := raw.Encoding[name]
+		if !ok {
+			return channel{}, false
+		}
+		var ch channel
+		if err := json.Unmarshal(rawCh, &ch); err != nil {
+			return channel{}, false
+		}
+		return ch, ch.Field != ""
+	}
+
+	x, hasX := get("x")
+	y, hasY := get("y")
+	theta, hasTheta := get("theta")
+	color, hasColor := get("color")
+
+	var chart ast.ChartType
+	var xAttr, yAttr ast.Attr
+	var err error
+	switch {
+	case mark == "arc" && hasTheta && hasColor:
+		chart = ast.Pie
+		if xAttr, err = parseAttrLabel(color.Field); err != nil {
+			return nil, err
+		}
+		if yAttr, err = parseAttrLabel(theta.Field); err != nil {
+			return nil, err
+		}
+	case hasX && hasY:
+		if xAttr, err = parseAttrLabel(x.Field); err != nil {
+			return nil, err
+		}
+		if yAttr, err = parseAttrLabel(y.Field); err != nil {
+			return nil, err
+		}
+		switch mark {
+		case "bar":
+			chart = ast.Bar
+			if hasColor {
+				chart = ast.StackedBar
+			}
+		case "line":
+			chart = ast.Line
+			if hasColor {
+				chart = ast.GroupingLine
+			}
+		case "point", "circle":
+			chart = ast.Scatter
+			if hasColor {
+				chart = ast.GroupingScatter
+			}
+		default:
+			return nil, fmt.Errorf("render: unsupported mark %q", mark)
+		}
+	default:
+		return nil, fmt.Errorf("render: spec lacks x/y or theta/color encoding")
+	}
+
+	core := &ast.Core{Select: []ast.Attr{xAttr, yAttr}}
+	table := xAttr.Table
+	if table == "" {
+		table = yAttr.Table
+	}
+	if table == "" {
+		return nil, fmt.Errorf("render: cannot infer table from field labels")
+	}
+	core.Tables = []string{table}
+
+	var colorAttr ast.Attr
+	if hasColor && chart != ast.Pie {
+		if colorAttr, err = parseAttrLabel(color.Field); err != nil {
+			return nil, err
+		}
+		core.Select = append(core.Select, colorAttr)
+	}
+
+	// Grouping structure: any aggregated measure implies grouping by the
+	// non-aggregated dimensions; grouping scatters group only by color.
+	switch chart {
+	case ast.Scatter:
+	case ast.GroupingScatter:
+		core.Groups = []ast.Group{{Kind: ast.Grouping, Attr: stripAggAttr(colorAttr)}}
+	default:
+		if yAttr.Agg != ast.AggNone {
+			core.Groups = []ast.Group{{Kind: ast.Grouping, Attr: stripAggAttr(xAttr)}}
+			if hasColor && chart != ast.Pie {
+				core.Groups = append(core.Groups, ast.Group{Kind: ast.Grouping, Attr: stripAggAttr(colorAttr)})
+			}
+		}
+	}
+
+	// Order from the sort directive.
+	if hasX {
+		switch s := x.Sort.(type) {
+		case string:
+			switch s {
+			case "-y":
+				core.Order = &ast.Order{Dir: ast.Desc, Attr: yAttr}
+			case "y":
+				core.Order = &ast.Order{Dir: ast.Asc, Attr: yAttr}
+			case "ascending":
+				core.Order = &ast.Order{Dir: ast.Asc, Attr: xAttr}
+			case "descending":
+				core.Order = &ast.Order{Dir: ast.Desc, Attr: xAttr}
+			}
+		}
+	}
+
+	q := &ast.Query{Visualize: chart, Left: core}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("render: imported spec yields invalid tree: %w", err)
+	}
+	return q, nil
+}
+
+// parseAttrLabel parses the canonical field label this package emits:
+// "[agg ][distinct ]table.column".
+func parseAttrLabel(label string) (ast.Attr, error) {
+	var a ast.Attr
+	parts := strings.Fields(label)
+	if len(parts) == 0 {
+		return a, fmt.Errorf("render: empty field label")
+	}
+	i := 0
+	if agg, err := ast.ParseAggFunc(parts[0]); err == nil && agg != ast.AggNone && len(parts) > 1 {
+		a.Agg = agg
+		i++
+	}
+	if i < len(parts) && parts[i] == "distinct" && len(parts) > i+1 {
+		a.Distinct = true
+		i++
+	}
+	if i != len(parts)-1 {
+		return a, fmt.Errorf("render: cannot parse field label %q", label)
+	}
+	key := parts[i]
+	if idx := strings.IndexByte(key, '.'); idx >= 0 {
+		a.Table, a.Column = key[:idx], key[idx+1:]
+	} else {
+		a.Column = key
+	}
+	return a, nil
+}
+
+func stripAggAttr(a ast.Attr) ast.Attr {
+	a.Agg = ast.AggNone
+	a.Distinct = false
+	return a
+}

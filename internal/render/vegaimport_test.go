@@ -1,0 +1,112 @@
+package render
+
+import (
+	"testing"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/bench"
+	"nvbench/internal/spider"
+)
+
+// roundTripSpec renders a query and imports it back.
+func roundTripSpec(t *testing.T, line string) *ast.Query {
+	t.Helper()
+	q, err := ast.ParseString(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := VegaLite(renderDB(), q)
+	if err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	back, err := ParseVegaLite(spec)
+	if err != nil {
+		t.Fatalf("import: %v (spec %s)", err, spec)
+	}
+	return back
+}
+
+func TestVegaImportRoundTripExact(t *testing.T) {
+	// These trees contain only spec-representable structure, so the round
+	// trip is exact.
+	lines := []string{
+		"visualize bar select emp.dept count emp.* from emp group grouping emp.dept",
+		"visualize bar select emp.dept avg emp.salary from emp group grouping emp.dept",
+		"visualize bar select emp.dept count emp.* from emp group grouping emp.dept order desc count emp.*",
+		"visualize pie select emp.dept count emp.* from emp group grouping emp.dept",
+		"visualize scatter select emp.salary emp.bonus from emp",
+		"visualize stacked_bar select emp.dept sum emp.salary emp.rank from emp group grouping emp.dept grouping emp.rank",
+		"visualize grouping_scatter select emp.salary emp.bonus emp.rank from emp group grouping emp.rank",
+	}
+	for _, line := range lines {
+		want, _ := ast.ParseString(line)
+		got := roundTripSpec(t, line)
+		if !want.Equal(got) {
+			t.Errorf("round trip mismatch:\n  in  %s\n  out %s", want, got)
+		}
+	}
+}
+
+func TestVegaImportBinnedDegradesToGrouping(t *testing.T) {
+	// Bin labels are materialized into the data, so the import sees a plain
+	// grouped axis — the documented degradation.
+	got := roundTripSpec(t, "visualize line select emp.hired count emp.* from emp group binning emp.hired year")
+	if got.Visualize != ast.Line {
+		t.Fatalf("chart = %v", got.Visualize)
+	}
+	if len(got.Left.Groups) != 1 || got.Left.Groups[0].Kind != ast.Grouping {
+		t.Fatalf("groups = %v", got.Left.Groups)
+	}
+}
+
+func TestVegaImportErrors(t *testing.T) {
+	cases := [][]byte{
+		[]byte("{not json"),
+		[]byte(`{}`),
+		[]byte(`{"mark":"bar","encoding":{}}`),
+		[]byte(`{"mark":"weird","encoding":{"x":{"field":"t.a"},"y":{"field":"t.b"}}}`),
+		[]byte(`{"mark":"bar","encoding":{"x":{"field":"noTableHere"},"y":{"field":"alsoNone"}}}`),
+	}
+	for i, spec := range cases {
+		if _, err := ParseVegaLite(spec); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestVegaImportOverBenchmark(t *testing.T) {
+	// Every benchmark entry's rendered spec imports back into a valid tree
+	// with the same chart type and select arity.
+	corpus, err := spider.Generate(spider.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range b.Entries {
+		spec, err := VegaLite(e.DB, e.Vis)
+		if err != nil {
+			t.Fatalf("entry %d render: %v", e.ID, err)
+		}
+		got, err := ParseVegaLite(spec)
+		if err != nil {
+			t.Fatalf("entry %d import: %v", e.ID, err)
+		}
+		if got.Visualize != e.Vis.Visualize {
+			t.Errorf("entry %d chart %v -> %v", e.ID, e.Vis.Visualize, got.Visualize)
+		}
+		if len(got.Left.Select) != len(e.Vis.Left.Select) {
+			t.Errorf("entry %d select arity %d -> %d", e.ID, len(e.Vis.Left.Select), len(got.Left.Select))
+		}
+		n++
+		if n >= 60 {
+			break
+		}
+	}
+	if n == 0 {
+		t.Fatal("no entries checked")
+	}
+}

@@ -1,0 +1,172 @@
+package seq2vis
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+var tinyOnce sync.Once
+var tinyModel *Model
+var tinyExamples []Example
+
+// tinyTrained trains one small shared model for the beam/serialize tests.
+func tinyTrained(t *testing.T) (*Model, []Example) {
+	t.Helper()
+	tinyOnce.Do(func() {
+		tinyExamples = ExamplesFromEntries(testBench.Entries)[:30]
+		var inSeqs, outSeqs [][]string
+		for _, ex := range tinyExamples {
+			inSeqs = append(inSeqs, ex.Input)
+			outSeqs = append(outSeqs, ex.Output)
+		}
+		cfg := TinyConfig()
+		cfg.MaxEpochs = 8
+		cfg.Patience = 0
+		tinyModel = NewModel(cfg, NewVocab(inSeqs), NewVocab(outSeqs))
+		tinyModel.Train(tinyExamples, nil)
+	})
+	return tinyModel, tinyExamples
+}
+
+func TestBeamWidthOneIsGreedy(t *testing.T) {
+	m, examples := tinyTrained(t)
+	for _, ex := range examples[:5] {
+		greedy := m.Predict(ex.Input)
+		beam1 := m.PredictBeam(ex.Input, 1)
+		if !reflect.DeepEqual(greedy, beam1) {
+			t.Fatalf("beam width 1 differs from greedy:\n  %v\n  %v", greedy, beam1)
+		}
+	}
+}
+
+func TestBeamNeverWorseOnLikelihood(t *testing.T) {
+	m, examples := tinyTrained(t)
+	for _, ex := range examples[:8] {
+		greedy := m.Predict(ex.Input)
+		beam := m.PredictBeam(ex.Input, 4)
+		gEx, bEx := ex, ex
+		gEx.Output, bEx.Output = greedy, beam
+		gNLL := m.EvalLoss([]Example{gEx}) * float64(len(greedy)+1)
+		bNLL := m.EvalLoss([]Example{bEx}) * float64(len(beam)+1)
+		// Beam optimizes length-normalized log-probability; allow slack for
+		// the normalization difference but catch gross regressions.
+		if bNLL > gNLL*1.5+1 {
+			t.Errorf("beam sequence much less likely than greedy: %.3f vs %.3f", bNLL, gNLL)
+		}
+	}
+}
+
+func TestBeamRespectsMaxLen(t *testing.T) {
+	m, examples := tinyTrained(t)
+	m.Cfg.MaxOutLen = 5
+	out := m.PredictBeam(examples[0].Input, 3)
+	if len(out) > 5 {
+		t.Fatalf("beam exceeded MaxOutLen: %d tokens", len(out))
+	}
+}
+
+func TestBeamPredictorInterface(t *testing.T) {
+	m, examples := tinyTrained(t)
+	var p Predictor = BeamPredictor{Model: m, Width: 3}
+	metrics := Evaluate(p, examples[:10])
+	if metrics.N != 10 {
+		t.Fatalf("N = %d", metrics.N)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	p := []float64{0.1, 0.5, 0.05, 0.3, 0.05}
+	got := topK(p, 3)
+	if len(got) != 3 || got[0].idx != 1 || got[1].idx != 3 || got[2].idx != 0 {
+		t.Fatalf("topK = %+v", got)
+	}
+	if got2 := topK(p, 10); len(got2) != len(p) {
+		t.Fatalf("k > len: %d", len(got2))
+	}
+}
+
+// Property: topK returns k descending probabilities that all appear in the
+// input.
+func TestQuickTopK(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = r.Float64()
+		}
+		k := 1 + r.Intn(8)
+		got := topK(p, k)
+		want := k
+		if want > n {
+			want = n
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].p > got[i-1].p {
+				return false
+			}
+		}
+		for _, s := range got {
+			if s.idx < 0 || s.idx >= n || p[s.idx] != s.p {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m, examples := tinyTrained(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.NumParameters() != m.NumParameters() {
+		t.Fatalf("parameter count changed: %d vs %d", m2.NumParameters(), m.NumParameters())
+	}
+	for _, ex := range examples[:6] {
+		a := m.Predict(ex.Input)
+		b := m2.Predict(ex.Input)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("loaded model predicts differently:\n  %v\n  %v", a, b)
+		}
+	}
+}
+
+func TestLoadRejectsCorrupt(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	// Valid JSON but wrong shape.
+	if _, err := Load(bytes.NewBufferString(`{"config":{"Embed":4,"Hidden":4,"MaxOutLen":4},"in_vocab":["a"],"out_vocab":["b"],"params":[[1,2]]}`)); err == nil {
+		t.Fatal("expected parameter mismatch error")
+	}
+}
+
+func TestNumParameters(t *testing.T) {
+	m, _ := tinyTrained(t)
+	if m.NumParameters() <= 0 {
+		t.Fatal("no parameters")
+	}
+	total := 0
+	for _, p := range m.Params() {
+		total += len(p.Data)
+	}
+	if total != m.NumParameters() {
+		t.Fatal("Params and NumParameters disagree")
+	}
+}

@@ -1,0 +1,94 @@
+package seq2vis
+
+import (
+	"nvbench/internal/ast"
+	"nvbench/internal/deepeye"
+	"nvbench/internal/nl4dv"
+)
+
+// Comparison holds the Table 5 numbers: accuracy by hardness for DeepEye
+// (top-1/3/6/all), NL4DV (top-1), and seq2vis (top-1).
+type Comparison struct {
+	DeepEyeTop1 map[ast.Hardness]Ratio
+	DeepEyeTop3 map[ast.Hardness]Ratio
+	DeepEyeTop6 map[ast.Hardness]Ratio
+	DeepEyeAll  map[ast.Hardness]Ratio
+	NL4DV       map[ast.Hardness]Ratio
+	Seq2Vis     map[ast.Hardness]Ratio
+}
+
+// overall sums a hardness breakdown into one ratio.
+func overall(m map[ast.Hardness]Ratio) Ratio {
+	var out Ratio
+	for _, r := range m {
+		out.Correct += r.Correct
+		out.Total += r.Total
+	}
+	return out
+}
+
+// Overall returns the bottom "Overall" row of Table 5 for each method.
+func (c Comparison) Overall() map[string]float64 {
+	return map[string]float64{
+		"deepeye-top1": overall(c.DeepEyeTop1).Value(),
+		"deepeye-top3": overall(c.DeepEyeTop3).Value(),
+		"deepeye-top6": overall(c.DeepEyeTop6).Value(),
+		"deepeye-all":  overall(c.DeepEyeAll).Value(),
+		"nl4dv":        overall(c.NL4DV).Value(),
+		"seq2vis":      overall(c.Seq2Vis).Value(),
+	}
+}
+
+// treeOrResultMatch scores one candidate against the gold query — tree
+// equality, with result equivalence as the fallback (Section 4.2).
+func treeOrResultMatch(ex Example, pred *ast.Query) bool {
+	if pred == nil {
+		return false
+	}
+	if pred.Equal(ex.Gold) {
+		return true
+	}
+	return resultMatch(ex.DB, pred, ex.Gold, false)
+}
+
+// Compare runs the Table 5 comparison over a test set. The model may be
+// nil, in which case only the baselines are scored.
+func Compare(model *Model, baseline *deepeye.Baseline, parser *nl4dv.Parser, test []Example) Comparison {
+	c := Comparison{
+		DeepEyeTop1: map[ast.Hardness]Ratio{},
+		DeepEyeTop3: map[ast.Hardness]Ratio{},
+		DeepEyeTop6: map[ast.Hardness]Ratio{},
+		DeepEyeAll:  map[ast.Hardness]Ratio{},
+		NL4DV:       map[ast.Hardness]Ratio{},
+		Seq2Vis:     map[ast.Hardness]Ratio{},
+	}
+	addTo := func(m map[ast.Hardness]Ratio, h ast.Hardness, ok bool) {
+		r := m[h]
+		r.add(ok)
+		m[h] = r
+	}
+	const allK = 19 // DeepEye returns ~19 results on average (Section 4.4)
+	for _, ex := range test {
+		if baseline != nil {
+			cands := baseline.TopK(ex.DB, ex.NL, allK)
+			hitAt := -1
+			for i, q := range cands {
+				if treeOrResultMatch(ex, q) {
+					hitAt = i
+					break
+				}
+			}
+			addTo(c.DeepEyeTop1, ex.Hardness, hitAt >= 0 && hitAt < 1)
+			addTo(c.DeepEyeTop3, ex.Hardness, hitAt >= 0 && hitAt < 3)
+			addTo(c.DeepEyeTop6, ex.Hardness, hitAt >= 0 && hitAt < 6)
+			addTo(c.DeepEyeAll, ex.Hardness, hitAt >= 0)
+		}
+		if parser != nil {
+			addTo(c.NL4DV, ex.Hardness, treeOrResultMatch(ex, parser.Parse(ex.DB, ex.NL)))
+		}
+		if model != nil {
+			addTo(c.Seq2Vis, ex.Hardness, treeOrResultMatch(ex, PredictQuery(model, ex)))
+		}
+	}
+	return c
+}

@@ -1,0 +1,64 @@
+package seq2vis
+
+import (
+	"testing"
+
+	"nvbench/internal/deepeye"
+	"nvbench/internal/nl4dv"
+)
+
+func TestCompareBaselinesOnly(t *testing.T) {
+	examples := ExamplesFromEntries(testBench.Entries)
+	if len(examples) > 40 {
+		examples = examples[:40]
+	}
+	c := Compare(nil, deepeye.NewBaseline(), nl4dv.New(), examples)
+	o := c.Overall()
+	for _, k := range []string{"deepeye-top1", "deepeye-top3", "deepeye-top6", "deepeye-all", "nl4dv"} {
+		if o[k] < 0 || o[k] > 1 {
+			t.Errorf("%s = %g out of range", k, o[k])
+		}
+	}
+	// Top-k accuracy must be monotone in k.
+	if o["deepeye-top1"] > o["deepeye-top3"] || o["deepeye-top3"] > o["deepeye-top6"] || o["deepeye-top6"] > o["deepeye-all"] {
+		t.Errorf("top-k monotonicity violated: %v", o)
+	}
+	// seq2vis untouched.
+	if o["seq2vis"] != 0 {
+		t.Errorf("seq2vis scored without a model: %v", o)
+	}
+}
+
+func TestCompareLearnedBeatsBaselines(t *testing.T) {
+	// Memorization setting: train the tiny model on the evaluation set
+	// itself. This reproduces the *shape* of Table 5 cheaply — a learned
+	// model dominates the rule baselines, especially beyond easy queries.
+	// Stride-sample so the set covers all hardness levels, not just the
+	// easy head of the benchmark.
+	all := ExamplesFromEntries(testBench.Entries)
+	var examples []Example
+	stride := len(all)/60 + 1
+	for i := 0; i < len(all) && len(examples) < 60; i += stride {
+		examples = append(examples, all[i])
+	}
+	cfg := TinyConfig()
+	cfg.Hidden = 48
+	cfg.MaxEpochs = 30
+	cfg.Patience = 0
+	inSeqs := [][]string{}
+	outSeqs := [][]string{}
+	for _, ex := range examples {
+		inSeqs = append(inSeqs, ex.Input)
+		outSeqs = append(outSeqs, ex.Output)
+	}
+	m := NewModel(cfg, NewVocab(inSeqs), NewVocab(outSeqs))
+	m.Train(examples, nil)
+	c := Compare(m, deepeye.NewBaseline(), nl4dv.New(), examples)
+	o := c.Overall()
+	if o["seq2vis"] <= o["nl4dv"] {
+		t.Errorf("seq2vis (%.3f) should beat NL4DV (%.3f)", o["seq2vis"], o["nl4dv"])
+	}
+	if o["seq2vis"] <= o["deepeye-top1"] {
+		t.Errorf("seq2vis (%.3f) should beat DeepEye top-1 (%.3f)", o["seq2vis"], o["deepeye-top1"])
+	}
+}

@@ -1,0 +1,297 @@
+// Package seq2vis implements the neural NL→VIS translation of Section 4: a
+// seq2seq encoder–decoder in three variants — basic, +attention (Luong
+// dot-product), +copying (pointer-generator over the input sequence) — plus
+// the evaluation metrics (vis tree matching, vis result matching, vis
+// component matching) and the value-filling heuristic of Section 4.2.
+package seq2vis
+
+import (
+	"strconv"
+	"strings"
+	"unicode"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/bench"
+	"nvbench/internal/bleu"
+	"nvbench/internal/dataset"
+)
+
+// Special vocabulary tokens.
+const (
+	BOS = "<s>"
+	EOS = "</s>"
+	UNK = "<unk>"
+	SEP = "<sep>"
+	// ValuePlaceholder replaces literal values in the output sequence; the
+	// model does not predict V (Section 4.2) — a heuristic fills the slots.
+	ValuePlaceholder = "<value>"
+)
+
+// Example is one training/evaluation instance.
+type Example struct {
+	Input    []string // nl tokens + <sep> + schema tokens
+	Output   []string // masked canonical vis tokens
+	Gold     *ast.Query
+	DB       *dataset.Database
+	NL       string
+	Hardness ast.Hardness
+	Chart    ast.ChartType
+}
+
+// maxSchemaTokens caps the appended schema description.
+const maxSchemaTokens = 48
+
+// schemaTokens linearizes a database schema as qualified column keys.
+func schemaTokens(db *dataset.Database) []string {
+	var out []string
+	for _, t := range db.Tables {
+		for _, c := range t.Columns {
+			out = append(out, t.Name+"."+c.Name)
+			if len(out) >= maxSchemaTokens {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// MaskValues clones the query with every filter literal replaced by the
+// placeholder, returning the masked tree and the original values in
+// left-to-right order.
+func MaskValues(q *ast.Query) (*ast.Query, []ast.Value) {
+	out := q.Clone()
+	var vals []ast.Value
+	for _, c := range out.Cores() {
+		maskFilter(c.Filter, &vals)
+	}
+	return out, vals
+}
+
+func maskFilter(f *ast.Filter, vals *[]ast.Value) {
+	if f == nil {
+		return
+	}
+	if f.Op.IsConnective() {
+		maskFilter(f.Left, vals)
+		maskFilter(f.Right, vals)
+		return
+	}
+	for i, v := range f.Values {
+		*vals = append(*vals, v)
+		f.Values[i] = ast.StringValue(ValuePlaceholder)
+	}
+	if f.Sub != nil {
+		for _, c := range f.Sub.Cores() {
+			maskFilter(c.Filter, vals)
+		}
+	}
+}
+
+// ExamplesFromEntries expands benchmark entries into one example per NL
+// variant.
+func ExamplesFromEntries(entries []*bench.Entry) []Example {
+	var out []Example
+	for _, e := range entries {
+		masked, _ := MaskValues(e.Vis)
+		outTokens := masked.Tokens()
+		schema := schemaTokens(e.DB)
+		for _, nl := range e.NLs {
+			in := append(append(bleu.Tokenize(nl), SEP), schema...)
+			out = append(out, Example{
+				Input:    in,
+				Output:   outTokens,
+				Gold:     e.Vis,
+				DB:       e.DB,
+				NL:       nl,
+				Hardness: e.Hardness,
+				Chart:    e.Chart,
+			})
+		}
+	}
+	return out
+}
+
+// FillValues replaces the placeholders of a predicted (masked) query with
+// literals extracted from the NL question — the Section 4.2 heuristic
+// (~92.3% slot accuracy in the paper). Numbers fill quantitative slots in
+// order of appearance; string slots take quoted spans, then capitalized
+// words, then any leftover token matched against the column's actual
+// values.
+func FillValues(q *ast.Query, nl string, db *dataset.Database) {
+	nums, strs := extractLiterals(nl)
+	ni, si := 0, 0
+	var fill func(f *ast.Filter)
+	fill = func(f *ast.Filter) {
+		if f == nil {
+			return
+		}
+		if f.Op.IsConnective() {
+			fill(f.Left)
+			fill(f.Right)
+			return
+		}
+		// Decide the slot kind from the comparison operator first (range
+		// operators take numbers), then from the column type.
+		wantNum := false
+		switch f.Op {
+		case ast.FilterGT, ast.FilterLT, ast.FilterGE, ast.FilterLE, ast.FilterBetween:
+			wantNum = true
+		default:
+			if db != nil && db.ColumnType(f.Attr.Table, f.Attr.Column) == dataset.Quantitative {
+				wantNum = true
+			}
+		}
+		for i, v := range f.Values {
+			if v.Kind != ast.ValueString || v.Str != ValuePlaceholder {
+				continue
+			}
+			if wantNum && ni < len(nums) {
+				f.Values[i] = ast.NumberValue(nums[ni])
+				ni++
+				continue
+			}
+			if !wantNum && si < len(strs) {
+				s := strs[si]
+				si++
+				if f.Op == ast.FilterLike || f.Op == ast.FilterNotLike {
+					s = likePattern(s, nl)
+				}
+				f.Values[i] = ast.StringValue(s)
+				continue
+			}
+			// Fallback: whatever literal is still available.
+			if ni < len(nums) {
+				f.Values[i] = ast.NumberValue(nums[ni])
+				ni++
+			} else if si < len(strs) {
+				f.Values[i] = ast.StringValue(strs[si])
+				si++
+			}
+		}
+		if f.Sub != nil {
+			for _, c := range f.Sub.Cores() {
+				fill(c.Filter)
+			}
+		}
+	}
+	for _, c := range q.Cores() {
+		fill(c.Filter)
+	}
+}
+
+// likePattern converts a plain literal into a LIKE pattern using the NL
+// phrasing around it ("starts with", "ends with", "contains").
+func likePattern(s, nl string) string {
+	if strings.ContainsAny(s, "%_") {
+		return s
+	}
+	low := strings.ToLower(nl)
+	switch {
+	case strings.Contains(low, "starts with") || strings.Contains(low, "begins with") || strings.Contains(low, "starting with"):
+		return s + "%"
+	case strings.Contains(low, "ends with") || strings.Contains(low, "ending with"):
+		return "%" + s
+	case strings.Contains(low, "contain"):
+		return "%" + s + "%"
+	}
+	return s
+}
+
+// extractLiterals pulls numeric and string literal candidates from an NL
+// question in order of appearance.
+func extractLiterals(nl string) (nums []float64, strs []string) {
+	// Quoted spans first.
+	rest := nl
+	for {
+		i := strings.IndexAny(rest, `"'`)
+		if i < 0 {
+			break
+		}
+		quote := rest[i]
+		j := strings.IndexByte(rest[i+1:], quote)
+		if j < 0 {
+			break
+		}
+		strs = append(strs, rest[i+1:i+1+j])
+		rest = rest[i+j+2:]
+	}
+	quoted := map[string]bool{}
+	for _, s := range strs {
+		quoted[s] = true
+	}
+	for _, f := range strings.Fields(nl) {
+		w := strings.Trim(f, ".,!?;:\"'()")
+		if w == "" {
+			continue
+		}
+		if n, err := strconv.ParseFloat(w, 64); err == nil {
+			nums = append(nums, n)
+			continue
+		}
+		// Capitalized mid-sentence words are value candidates, unless the
+		// quoted scan already captured them.
+		r := []rune(w)
+		if unicode.IsUpper(r[0]) && len(w) > 1 && !strings.HasPrefix(nl, w) && !quoted[w] {
+			strs = append(strs, w)
+		}
+	}
+	return nums, strs
+}
+
+// ValueFillAccuracy measures the heuristic alone: the fraction of masked
+// gold values it recovers from the NL question.
+func ValueFillAccuracy(examples []Example) float64 {
+	total, correct := 0, 0
+	for _, ex := range examples {
+		masked, gold := MaskValues(ex.Gold)
+		if len(gold) == 0 {
+			continue
+		}
+		FillValues(masked, ex.NL, ex.DB)
+		_, filled := collectValues(masked)
+		for i, g := range gold {
+			total++
+			if i < len(filled) && valuesEqual(filled[i], g) {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(correct) / float64(total)
+}
+
+func collectValues(q *ast.Query) (*ast.Query, []ast.Value) {
+	var vals []ast.Value
+	var walk func(f *ast.Filter)
+	walk = func(f *ast.Filter) {
+		if f == nil {
+			return
+		}
+		if f.Op.IsConnective() {
+			walk(f.Left)
+			walk(f.Right)
+			return
+		}
+		vals = append(vals, f.Values...)
+		if f.Sub != nil {
+			for _, c := range f.Sub.Cores() {
+				walk(c.Filter)
+			}
+		}
+	}
+	for _, c := range q.Cores() {
+		walk(c.Filter)
+	}
+	return q, vals
+}
+
+func valuesEqual(a, b ast.Value) bool {
+	if a.Kind != b.Kind {
+		// A number recovered as a string (or vice versa) still counts when
+		// the surface forms match.
+		return a.String() == b.String() || strings.Trim(a.String(), `"`) == strings.Trim(b.String(), `"`)
+	}
+	return a == b
+}

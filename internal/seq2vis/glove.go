@@ -1,0 +1,180 @@
+package seq2vis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// The paper initializes the seq2vis embedding layer with GloVe vectors
+// trained "on the concatenation of the vis query and response output of the
+// training data" (Section 4.2). This file implements that pretraining:
+// a windowed co-occurrence count followed by the GloVe objective
+// (Pennington et al., EMNLP 2014) fitted with SGD —
+//
+//	J = Σ f(X_ij) (wᵢ·w̃ⱼ + bᵢ + b̃ⱼ − log X_ij)²
+//
+// with the standard weighting f(x) = min(1, (x/xmax)^0.75).
+
+// GloVeConfig controls pretraining.
+type GloVeConfig struct {
+	Dim    int
+	Window int
+	Epochs int
+	LR     float64
+	XMax   float64
+	Seed   int64
+}
+
+// DefaultGloVeConfig matches the scale of the seq2vis embedding layer.
+func DefaultGloVeConfig(dim int) GloVeConfig {
+	return GloVeConfig{Dim: dim, Window: 5, Epochs: 12, LR: 0.05, XMax: 50, Seed: 1}
+}
+
+// cooccurrence accumulates symmetric windowed counts over id sequences,
+// weighting by 1/distance as GloVe does.
+func cooccurrence(seqs [][]int, window int) map[[2]int]float64 {
+	x := map[[2]int]float64{}
+	for _, seq := range seqs {
+		for i, wi := range seq {
+			for d := 1; d <= window && i+d < len(seq); d++ {
+				wj := seq[i+d]
+				w := 1.0 / float64(d)
+				x[[2]int{wi, wj}] += w
+				x[[2]int{wj, wi}] += w
+			}
+		}
+	}
+	return x
+}
+
+// PretrainGloVe fits GloVe vectors for a vocabulary over token sequences
+// and returns one dense vector per vocabulary word (main + context vectors
+// summed, as the GloVe paper recommends).
+func PretrainGloVe(vocab *Vocab, seqs [][]string, cfg GloVeConfig) [][]float64 {
+	if cfg.Dim <= 0 {
+		cfg.Dim = 50
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5
+	}
+	if cfg.XMax <= 0 {
+		cfg.XMax = 50
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.05
+	}
+	ids := make([][]int, len(seqs))
+	for i, seq := range seqs {
+		ids[i] = make([]int, len(seq))
+		for j, w := range seq {
+			ids[i][j] = vocab.ID(w)
+		}
+	}
+	x := cooccurrence(ids, cfg.Window)
+
+	r := rand.New(rand.NewSource(cfg.Seed))
+	n := vocab.Size()
+	w := randMatrix(r, n, cfg.Dim)
+	wt := randMatrix(r, n, cfg.Dim)
+	b := make([]float64, n)
+	bt := make([]float64, n)
+
+	type pair struct {
+		i, j int
+		x    float64
+	}
+	pairs := make([]pair, 0, len(x))
+	for k, v := range x {
+		pairs = append(pairs, pair{k[0], k[1], v})
+	}
+	// Map iteration order is random; fix it so pretraining is reproducible.
+	sort.Slice(pairs, func(a, b int) bool {
+		if pairs[a].i != pairs[b].i {
+			return pairs[a].i < pairs[b].i
+		}
+		return pairs[a].j < pairs[b].j
+	})
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		r.Shuffle(len(pairs), func(a, c int) { pairs[a], pairs[c] = pairs[c], pairs[a] })
+		for _, p := range pairs {
+			weight := 1.0
+			if p.x < cfg.XMax {
+				weight = math.Pow(p.x/cfg.XMax, 0.75)
+			}
+			wi, wj := w[p.i], wt[p.j]
+			dot := b[p.i] + bt[p.j]
+			for d := 0; d < cfg.Dim; d++ {
+				dot += wi[d] * wj[d]
+			}
+			diff := dot - math.Log(p.x)
+			g := cfg.LR * weight * diff
+			if g > 1 {
+				g = 1
+			}
+			if g < -1 {
+				g = -1
+			}
+			for d := 0; d < cfg.Dim; d++ {
+				gw, gwt := g*wj[d], g*wi[d]
+				wi[d] -= gw
+				wj[d] -= gwt
+			}
+			b[p.i] -= g
+			bt[p.j] -= g
+		}
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, cfg.Dim)
+		for d := 0; d < cfg.Dim; d++ {
+			out[i][d] = w[i][d] + wt[i][d]
+		}
+	}
+	return out
+}
+
+func randMatrix(r *rand.Rand, rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+		for j := range m[i] {
+			m[i][j] = (r.Float64() - 0.5) / float64(cols)
+		}
+	}
+	return m
+}
+
+// InitInputEmbeddings overwrites the model's input embedding table with
+// pretrained vectors (one per input-vocabulary word, matching Cfg.Embed in
+// width). The vectors remain trainable, as in the paper.
+func (m *Model) InitInputEmbeddings(vecs [][]float64) bool {
+	if len(vecs) != m.In.Size() {
+		return false
+	}
+	for i, v := range vecs {
+		if len(v) != m.Cfg.Embed {
+			return false
+		}
+		copy(m.embIn.Data[i*m.Cfg.Embed:(i+1)*m.Cfg.Embed], v)
+	}
+	return true
+}
+
+// CosineSimilarity returns the cosine between two vectors (0 when either is
+// zero) — the standard probe for embedding quality.
+func CosineSimilarity(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return 0
+	}
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}

@@ -1,0 +1,149 @@
+package seq2vis
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// syntheticCorpus builds sentences where words within a topic co-occur and
+// words across topics never do.
+func syntheticCorpus(r *rand.Rand, n int) [][]string {
+	topics := [][]string{
+		{"bar", "chart", "category", "column", "axis"},
+		{"price", "salary", "budget", "amount", "total"},
+		{"january", "february", "march", "month", "year"},
+	}
+	var out [][]string
+	for i := 0; i < n; i++ {
+		topic := topics[r.Intn(len(topics))]
+		sent := make([]string, 6+r.Intn(6))
+		for j := range sent {
+			sent[j] = topic[r.Intn(len(topic))]
+		}
+		out = append(out, sent)
+	}
+	return out
+}
+
+func TestGloVeGroupsTopics(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	seqs := syntheticCorpus(r, 500)
+	vocab := NewVocab(seqs)
+	vecs := PretrainGloVe(vocab, seqs, DefaultGloVeConfig(16))
+	if len(vecs) != vocab.Size() {
+		t.Fatalf("vectors = %d, vocab = %d", len(vecs), vocab.Size())
+	}
+	sim := func(a, b string) float64 {
+		return CosineSimilarity(vecs[vocab.ID(a)], vecs[vocab.ID(b)])
+	}
+	within := (sim("bar", "chart") + sim("price", "salary") + sim("january", "march")) / 3
+	across := (sim("bar", "price") + sim("salary", "month") + sim("chart", "january")) / 3
+	if within <= across {
+		t.Errorf("within-topic similarity %.3f should exceed cross-topic %.3f", within, across)
+	}
+	if within < 0.3 {
+		t.Errorf("within-topic similarity too low: %.3f", within)
+	}
+}
+
+func TestGloVeDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	seqs := syntheticCorpus(r, 100)
+	vocab := NewVocab(seqs)
+	a := PretrainGloVe(vocab, seqs, DefaultGloVeConfig(8))
+	b := PretrainGloVe(vocab, seqs, DefaultGloVeConfig(8))
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("pretraining not deterministic")
+			}
+		}
+	}
+}
+
+func TestGloVeDefaultsApplied(t *testing.T) {
+	seqs := [][]string{{"a", "b", "a", "b"}}
+	vocab := NewVocab(seqs)
+	vecs := PretrainGloVe(vocab, seqs, GloVeConfig{Epochs: 2})
+	if len(vecs) != vocab.Size() || len(vecs[0]) != 50 {
+		t.Fatalf("defaults not applied: %d × %d", len(vecs), len(vecs[0]))
+	}
+}
+
+func TestInitInputEmbeddings(t *testing.T) {
+	seqs := [][]string{{"alpha", "beta"}, {"gamma"}}
+	vocab := NewVocab(seqs)
+	cfg := TinyConfig()
+	m := NewModel(cfg, vocab, vocab)
+	vecs := PretrainGloVe(vocab, seqs, DefaultGloVeConfig(cfg.Embed))
+	if !m.InitInputEmbeddings(vecs) {
+		t.Fatal("InitInputEmbeddings rejected matching vectors")
+	}
+	// First word's embedding row equals the pretrained vector.
+	for d := 0; d < cfg.Embed; d++ {
+		if m.Params()[0].Data[d] != vecs[0][d] {
+			t.Fatal("embedding row not copied")
+		}
+	}
+	// Mismatched shapes are rejected.
+	if m.InitInputEmbeddings(vecs[:1]) {
+		t.Error("short vector list accepted")
+	}
+	bad := make([][]float64, vocab.Size())
+	for i := range bad {
+		bad[i] = make([]float64, 3)
+	}
+	if m.InitInputEmbeddings(bad) {
+		t.Error("wrong-width vectors accepted")
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	if CosineSimilarity([]float64{1, 0}, []float64{1, 0}) != 1 {
+		t.Error("identical vectors should be 1")
+	}
+	if CosineSimilarity([]float64{1, 0}, []float64{0, 1}) != 0 {
+		t.Error("orthogonal vectors should be 0")
+	}
+	if s := CosineSimilarity([]float64{1, 0}, []float64{-1, 0}); s != -1 {
+		t.Errorf("opposite vectors = %g", s)
+	}
+	if CosineSimilarity([]float64{0, 0}, []float64{1, 1}) != 0 {
+		t.Error("zero vector should be 0")
+	}
+	if CosineSimilarity([]float64{1}, []float64{1, 2}) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+}
+
+func TestGloVeHelpsConvergence(t *testing.T) {
+	// Pretrained embeddings should not hurt: train two tiny models briefly
+	// and compare the final loss.
+	examples := ExamplesFromEntries(testBench.Entries)[:40]
+	var inSeqs, outSeqs [][]string
+	for _, ex := range examples {
+		inSeqs = append(inSeqs, ex.Input)
+		outSeqs = append(outSeqs, ex.Output)
+	}
+	vin, vout := NewVocab(inSeqs), NewVocab(outSeqs)
+	cfg := TinyConfig()
+	cfg.MaxEpochs = 3
+	cfg.Patience = 0
+
+	plain := NewModel(cfg, vin, vout)
+	resPlain := plain.Train(examples, nil)
+
+	pre := NewModel(cfg, vin, vout)
+	vecs := PretrainGloVe(vin, inSeqs, DefaultGloVeConfig(cfg.Embed))
+	if !pre.InitInputEmbeddings(vecs) {
+		t.Fatal("init failed")
+	}
+	resPre := pre.Train(examples, nil)
+
+	lp := resPlain.TrainLoss[len(resPlain.TrainLoss)-1]
+	lg := resPre.TrainLoss[len(resPre.TrainLoss)-1]
+	if lg > lp*2+0.5 {
+		t.Errorf("pretrained start much worse: %.4f vs %.4f", lg, lp)
+	}
+	t.Logf("plain %.4f vs glove %.4f", lp, lg)
+}

@@ -1,0 +1,215 @@
+package seq2vis
+
+import (
+	"runtime"
+	"sync"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+)
+
+// Metrics aggregates the three accuracy measures of Section 4.2 over a test
+// set: vis tree matching, vis result matching, and vis component matching,
+// with the per-type and per-hardness breakdowns of Figure 17 and Table 4.
+type Metrics struct {
+	N         int
+	TreeAcc   float64
+	ResultAcc float64
+	// ByHardness and ByChart break tree accuracy down (Figure 17b).
+	ByHardness map[ast.Hardness]Ratio
+	ByChart    map[ast.ChartType]Ratio
+	// ByChartHardness is the Figure 17(c–e) grid.
+	ByChartHardness map[ast.ChartType]map[ast.Hardness]Ratio
+	// VisTypeAcc is Table 4's VIS block: per gold chart type, how often the
+	// predicted chart type matches.
+	VisTypeAcc map[ast.ChartType]Ratio
+	// Components is Table 4's Axis/Data block keyed by component name.
+	Components map[string]Ratio
+}
+
+// Ratio is a correct/total counter.
+type Ratio struct {
+	Correct int
+	Total   int
+}
+
+// Value returns the ratio as a float (0 when empty).
+func (r Ratio) Value() float64 {
+	if r.Total == 0 {
+		return 0
+	}
+	return float64(r.Correct) / float64(r.Total)
+}
+
+func (r *Ratio) add(ok bool) {
+	r.Total++
+	if ok {
+		r.Correct++
+	}
+}
+
+// Predictor is anything that maps an input token sequence to output tokens;
+// both the neural model and the baseline adapters satisfy it.
+type Predictor interface {
+	Predict(input []string) []string
+}
+
+// PredictQuery decodes, parses and value-fills a complete vis query for one
+// example. A nil return means the decoded sequence did not parse.
+func PredictQuery(p Predictor, ex Example) *ast.Query {
+	tokens := p.Predict(ex.Input)
+	q, err := ast.ParseTokens(tokens)
+	if err != nil || q.Validate() != nil {
+		return nil
+	}
+	FillValues(q, ex.NL, ex.DB)
+	return q
+}
+
+// Evaluate computes all metrics for a predictor over a test set, running
+// examples in parallel.
+func Evaluate(p Predictor, examples []Example) Metrics {
+	m := Metrics{
+		N:               len(examples),
+		ByHardness:      map[ast.Hardness]Ratio{},
+		ByChart:         map[ast.ChartType]Ratio{},
+		ByChartHardness: map[ast.ChartType]map[ast.Hardness]Ratio{},
+		VisTypeAcc:      map[ast.ChartType]Ratio{},
+		Components:      map[string]Ratio{},
+	}
+	type verdict struct {
+		ex        Example
+		tree      bool
+		result    bool
+		compMatch map[string]bool
+		predChart ast.ChartType
+	}
+	verdicts := make([]verdict, len(examples))
+	workers := runtime.GOMAXPROCS(0)
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				ex := examples[i]
+				v := verdict{ex: ex, predChart: ast.ChartNone}
+				pred := PredictQuery(p, ex)
+				if pred != nil {
+					v.predChart = pred.Visualize
+					v.tree = pred.Equal(ex.Gold)
+					v.result = resultMatch(ex.DB, pred, ex.Gold, v.tree)
+					goldC := ast.ExtractComponents(ex.Gold)
+					v.compMatch = goldC.Match(ast.ExtractComponents(pred))
+				}
+				verdicts[i] = v
+			}
+		}()
+	}
+	for i := range examples {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	treeOK, resOK := 0, 0
+	for _, v := range verdicts {
+		if v.tree {
+			treeOK++
+		}
+		if v.result {
+			resOK++
+		}
+		h := m.ByHardness[v.ex.Hardness]
+		h.add(v.tree)
+		m.ByHardness[v.ex.Hardness] = h
+		c := m.ByChart[v.ex.Chart]
+		c.add(v.tree)
+		m.ByChart[v.ex.Chart] = c
+		if m.ByChartHardness[v.ex.Chart] == nil {
+			m.ByChartHardness[v.ex.Chart] = map[ast.Hardness]Ratio{}
+		}
+		ch := m.ByChartHardness[v.ex.Chart][v.ex.Hardness]
+		ch.add(v.tree)
+		m.ByChartHardness[v.ex.Chart][v.ex.Hardness] = ch
+		vt := m.VisTypeAcc[v.ex.Chart]
+		vt.add(v.predChart == v.ex.Chart)
+		m.VisTypeAcc[v.ex.Chart] = vt
+		for _, name := range ast.ComponentNames {
+			if name == "vis" {
+				continue
+			}
+			goldHasIt := componentPresent(v.ex.Gold, name)
+			if !goldHasIt {
+				continue // Table 4 scores components only where they occur
+			}
+			r := m.Components[name]
+			r.add(v.compMatch != nil && v.compMatch[name])
+			m.Components[name] = r
+		}
+	}
+	if m.N > 0 {
+		m.TreeAcc = float64(treeOK) / float64(m.N)
+		m.ResultAcc = float64(resOK) / float64(m.N)
+	}
+	return m
+}
+
+// componentPresent reports whether a query carries a given component.
+func componentPresent(q *ast.Query, name string) bool {
+	c := ast.ExtractComponents(q)
+	switch name {
+	case "axis":
+		return c.Axis != ""
+	case "where":
+		return c.Where != ""
+	case "join":
+		return c.Join != ""
+	case "grouping":
+		return c.Grouping != ""
+	case "binning":
+		return c.Binning != ""
+	case "order":
+		return c.Order != ""
+	}
+	return false
+}
+
+// resultMatch executes both queries and compares their result multisets —
+// the paper's "result matching accuracy" that forgives novel-but-equivalent
+// syntax. A tree match short-circuits.
+func resultMatch(db *dataset.Database, pred, gold *ast.Query, treeMatched bool) bool {
+	if treeMatched {
+		return true
+	}
+	if pred.Visualize != gold.Visualize {
+		return false
+	}
+	// An explicitly sorted visualization is a different chart from its
+	// unsorted counterpart: the axis order is part of the result.
+	if isSorted(gold) != isSorted(pred) {
+		return false
+	}
+	pr, err1 := dataset.Execute(db, pred)
+	if err1 != nil {
+		return false
+	}
+	gr, err2 := dataset.Execute(db, gold)
+	if err2 != nil {
+		return false
+	}
+	if isSorted(gold) {
+		return pr.EqualOrdered(gr)
+	}
+	return pr.Equal(gr)
+}
+
+func isSorted(q *ast.Query) bool {
+	for _, c := range q.Cores() {
+		if c.Order != nil || c.Superlative != nil {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,337 @@
+package seq2vis
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"nvbench/internal/neural"
+)
+
+// Vocab maps tokens to ids.
+type Vocab struct {
+	Words []string
+	Index map[string]int
+}
+
+// NewVocab builds a vocabulary from token sequences, with the special
+// tokens in fixed leading positions.
+func NewVocab(seqs [][]string) *Vocab {
+	v := &Vocab{Index: map[string]int{}}
+	for _, w := range []string{UNK, BOS, EOS} {
+		v.add(w)
+	}
+	// Deterministic order: collect then sort.
+	set := map[string]bool{}
+	for _, seq := range seqs {
+		for _, w := range seq {
+			set[w] = true
+		}
+	}
+	words := make([]string, 0, len(set))
+	for w := range set {
+		words = append(words, w)
+	}
+	sort.Strings(words)
+	for _, w := range words {
+		v.add(w)
+	}
+	return v
+}
+
+func (v *Vocab) add(w string) {
+	if _, ok := v.Index[w]; ok {
+		return
+	}
+	v.Index[w] = len(v.Words)
+	v.Words = append(v.Words, w)
+}
+
+// ID returns the token's id, or the UNK id.
+func (v *Vocab) ID(w string) int {
+	if id, ok := v.Index[w]; ok {
+		return id
+	}
+	return v.Index[UNK]
+}
+
+// Size returns the vocabulary size.
+func (v *Vocab) Size() int { return len(v.Words) }
+
+// Config controls the model architecture and training.
+type Config struct {
+	Embed     int
+	Hidden    int
+	Attention bool
+	Copying   bool
+	LR        float64
+	MaxEpochs int
+	Patience  int // early stopping on validation loss (paper: 5)
+	ClipNorm  float64
+	MaxOutLen int
+	Seed      int64
+	// Progress, when set, is invoked after every epoch with the epoch
+	// number (1-based) and the train/validation losses. Excluded from
+	// serialization.
+	Progress func(epoch int, trainLoss, valLoss float64) `json:"-"`
+}
+
+// DefaultConfig mirrors the paper's training settings scaled to the
+// reproduction: embedding 64, hidden 96 (paper: 100/150 with GloVe),
+// gradient clipping at 2.0, early stopping with patience 5.
+func DefaultConfig() Config {
+	return Config{
+		Embed: 64, Hidden: 96, Attention: true,
+		LR: 2e-3, MaxEpochs: 18, Patience: 5, ClipNorm: 2.0,
+		MaxOutLen: 48, Seed: 1,
+	}
+}
+
+// TinyConfig is a fast configuration for unit tests.
+func TinyConfig() Config {
+	return Config{
+		Embed: 24, Hidden: 32, Attention: true,
+		LR: 4e-3, MaxEpochs: 10, Patience: 4, ClipNorm: 2.0,
+		MaxOutLen: 40, Seed: 1,
+	}
+}
+
+// Model is a seq2vis translator.
+type Model struct {
+	Cfg      Config
+	In, Out  *Vocab
+	embIn    *neural.Tensor
+	embOut   *neural.Tensor
+	encFwd   *neural.LSTMCell
+	encBwd   *neural.LSTMCell
+	bridgeH  *neural.Linear // enc final (2H) -> dec init h
+	bridgeC  *neural.Linear
+	dec      *neural.LSTMCell
+	keyProj  *neural.Linear // enc states (2H) -> attention keys (H)
+	outPlain *neural.Linear // H -> vocab (basic)
+	outAttn  *neural.Linear // 2H -> vocab (attention/copying)
+	gate     *neural.Linear // [h ctx] -> copy gate
+	params   []*neural.Tensor
+}
+
+// NewModel builds a model over fixed vocabularies.
+func NewModel(cfg Config, in, out *Vocab) *Model {
+	r := rand.New(rand.NewSource(cfg.Seed))
+	m := &Model{Cfg: cfg, In: in, Out: out}
+	m.embIn = neural.NewParam(in.Size(), cfg.Embed, r)
+	m.embOut = neural.NewParam(out.Size(), cfg.Embed, r)
+	m.encFwd = neural.NewLSTMCell(cfg.Embed, cfg.Hidden, r)
+	m.encBwd = neural.NewLSTMCell(cfg.Embed, cfg.Hidden, r)
+	m.bridgeH = neural.NewLinear(2*cfg.Hidden, cfg.Hidden, r)
+	m.bridgeC = neural.NewLinear(2*cfg.Hidden, cfg.Hidden, r)
+	m.dec = neural.NewLSTMCell(cfg.Embed, cfg.Hidden, r)
+	m.keyProj = neural.NewLinear(2*cfg.Hidden, cfg.Hidden, r)
+	m.outPlain = neural.NewLinear(cfg.Hidden, out.Size(), r)
+	m.outAttn = neural.NewLinear(3*cfg.Hidden, out.Size(), r)
+	m.gate = neural.NewLinear(3*cfg.Hidden, 1, r)
+	m.params = append(m.params, m.embIn, m.embOut)
+	m.params = append(m.params, m.encFwd.Params()...)
+	m.params = append(m.params, m.encBwd.Params()...)
+	m.params = append(m.params, m.bridgeH.Params()...)
+	m.params = append(m.params, m.bridgeC.Params()...)
+	m.params = append(m.params, m.dec.Params()...)
+	m.params = append(m.params, m.keyProj.Params()...)
+	m.params = append(m.params, m.outPlain.Params()...)
+	m.params = append(m.params, m.outAttn.Params()...)
+	m.params = append(m.params, m.gate.Params()...)
+	return m
+}
+
+// encoded holds the encoder outputs for one input.
+type encoded struct {
+	states *neural.Tensor // n × 2H concatenated bi-LSTM states
+	keys   *neural.Tensor // n × H projected attention keys
+	init   neural.State   // decoder initial state
+	ids    []int          // input token ids (for copying)
+}
+
+// encode runs the bi-directional LSTM over the input tokens.
+func (m *Model) encode(input []string) encoded {
+	n := len(input)
+	ids := make([]int, n)
+	embs := make([]*neural.Tensor, n)
+	for i, w := range input {
+		ids[i] = m.In.ID(w)
+		embs[i] = neural.Lookup(m.embIn, ids[i])
+	}
+	fwd := make([]*neural.Tensor, n)
+	s := m.encFwd.ZeroState()
+	for i := 0; i < n; i++ {
+		s = m.encFwd.Step(embs[i], s)
+		fwd[i] = s.H
+	}
+	bwd := make([]*neural.Tensor, n)
+	s = m.encBwd.ZeroState()
+	for i := n - 1; i >= 0; i-- {
+		s = m.encBwd.Step(embs[i], s)
+		bwd[i] = s.H
+	}
+	rows := make([]*neural.Tensor, n)
+	for i := 0; i < n; i++ {
+		rows[i] = neural.ConcatCols(fwd[i], bwd[i])
+	}
+	states := neural.ConcatRows(rows...)
+	final := neural.ConcatCols(fwd[n-1], bwd[0])
+	init := neural.State{
+		H: neural.Tanh(m.bridgeH.Forward(final)),
+		C: neural.Tanh(m.bridgeC.Forward(final)),
+	}
+	var keys *neural.Tensor
+	if m.Cfg.Attention || m.Cfg.Copying {
+		keys = m.keyProj.Forward(states)
+	}
+	return encoded{states: states, keys: keys, init: init, ids: ids}
+}
+
+// decodeStep produces the output distribution for one step given the
+// previous token embedding.
+func (m *Model) decodeStep(enc encoded, s neural.State, prevEmb *neural.Tensor, copyIDs []int) (*neural.Tensor, neural.State) {
+	s = m.dec.Step(prevEmb, s)
+	if !m.Cfg.Attention && !m.Cfg.Copying {
+		return neural.Softmax(m.outPlain.Forward(s.H)), s
+	}
+	scores := neural.MatMulT(s.H, enc.keys) // 1 × n
+	attn := neural.Softmax(scores)          // 1 × n
+	ctx := neural.MatMul(attn, enc.states)  // 1 × 2H
+	combined := neural.ConcatCols(s.H, ctx) // 1 × 3H
+	pv := neural.Softmax(m.outAttn.Forward(combined))
+	if !m.Cfg.Copying {
+		return pv, s
+	}
+	g := neural.Sigmoid(m.gate.Forward(combined)) // 1 × 1
+	copyDist := neural.ScatterRows(attn, copyIDs, m.Out.Size())
+	mixed := neural.Add(neural.MulBroadcast(pv, g), neural.MulBroadcast(copyDist, neural.OneMinus(g)))
+	return mixed, s
+}
+
+// copyTargets maps each input token to its output-vocabulary id (-1 when
+// the token cannot be generated).
+func (m *Model) copyTargets(input []string) []int {
+	out := make([]int, len(input))
+	for i, w := range input {
+		if id, ok := m.Out.Index[w]; ok {
+			out[i] = id
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// loss computes the mean NLL of the target sequence under teacher forcing.
+func (m *Model) loss(ex Example) *neural.Tensor {
+	enc := m.encode(ex.Input)
+	copyIDs := m.copyTargets(ex.Input)
+	s := enc.init
+	prev := m.Out.ID(BOS)
+	var losses []*neural.Tensor
+	target := append(append([]string(nil), ex.Output...), EOS)
+	for _, w := range target {
+		dist, ns := m.decodeStep(enc, s, neural.Lookup(m.embOut, prev), copyIDs)
+		losses = append(losses, neural.PickLog(dist, m.Out.ID(w)))
+		s = ns
+		prev = m.Out.ID(w)
+	}
+	return neural.Mean(losses)
+}
+
+// Predict greedily decodes the output token sequence for an input.
+func (m *Model) Predict(input []string) []string {
+	enc := m.encode(input)
+	copyIDs := m.copyTargets(input)
+	s := enc.init
+	prev := m.Out.ID(BOS)
+	var out []string
+	for step := 0; step < m.Cfg.MaxOutLen; step++ {
+		dist, ns := m.decodeStep(enc, s, neural.Lookup(m.embOut, prev), copyIDs)
+		best, bestP := 0, math.Inf(-1)
+		for i, p := range dist.Data {
+			if p > bestP {
+				best, bestP = i, p
+			}
+		}
+		if m.Out.Words[best] == EOS {
+			break
+		}
+		out = append(out, m.Out.Words[best])
+		s = ns
+		prev = best
+	}
+	return out
+}
+
+// TrainResult reports the training trajectory.
+type TrainResult struct {
+	TrainLoss []float64
+	ValLoss   []float64
+	Epochs    int
+	Stopped   bool // early stopping triggered
+}
+
+// Train fits the model with per-example Adam updates, shuffling each epoch,
+// clipping gradients, and early-stopping on validation loss.
+func (m *Model) Train(train, val []Example) TrainResult {
+	opt := neural.NewAdam(m.params, m.Cfg.LR)
+	r := rand.New(rand.NewSource(m.Cfg.Seed + 17))
+	res := TrainResult{}
+	best := math.Inf(1)
+	bad := 0
+	idx := make([]int, len(train))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < m.Cfg.MaxEpochs; epoch++ {
+		r.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		total := 0.0
+		for _, i := range idx {
+			l := m.loss(train[i])
+			total += l.Data[0]
+			l.Backward()
+			neural.ClipGradients(m.params, m.Cfg.ClipNorm)
+			opt.Step()
+		}
+		tl := total / float64(max(1, len(train)))
+		res.TrainLoss = append(res.TrainLoss, tl)
+		vl := m.EvalLoss(val)
+		res.ValLoss = append(res.ValLoss, vl)
+		res.Epochs = epoch + 1
+		if m.Cfg.Progress != nil {
+			m.Cfg.Progress(epoch+1, tl, vl)
+		}
+		if vl < best-1e-4 {
+			best = vl
+			bad = 0
+		} else {
+			bad++
+			if m.Cfg.Patience > 0 && bad >= m.Cfg.Patience {
+				res.Stopped = true
+				break
+			}
+		}
+	}
+	return res
+}
+
+// EvalLoss computes the mean loss over a set without updating parameters.
+func (m *Model) EvalLoss(examples []Example) float64 {
+	if len(examples) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, ex := range examples {
+		total += m.loss(ex).Data[0]
+	}
+	return total / float64(len(examples))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,345 @@
+package seq2vis
+
+import (
+	"testing"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/bench"
+	"nvbench/internal/spider"
+)
+
+// testBench builds one small benchmark shared by the package tests.
+var testBench = func() *bench.Benchmark {
+	corpus, err := spider.Generate(spider.TestConfig())
+	if err != nil {
+		panic(err)
+	}
+	b, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	return b
+}()
+
+func TestVocab(t *testing.T) {
+	v := NewVocab([][]string{{"b", "a"}, {"a", "c"}})
+	if v.Size() != 6 { // unk bos eos a b c
+		t.Fatalf("size = %d", v.Size())
+	}
+	if v.ID("a") == v.ID(UNK) {
+		t.Error("known word maps to UNK")
+	}
+	if v.ID("zzz") != v.ID(UNK) {
+		t.Error("unknown word should map to UNK")
+	}
+	// Deterministic regardless of input order.
+	v2 := NewVocab([][]string{{"c", "a"}, {"b", "a"}})
+	for i, w := range v.Words {
+		if v2.Words[i] != w {
+			t.Fatalf("vocab order not deterministic: %v vs %v", v.Words, v2.Words)
+		}
+	}
+}
+
+func TestMaskAndFillValues(t *testing.T) {
+	q, err := ast.ParseString(`select t.a from t filter and > t.price 300 = t.city "Boston"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, vals := MaskValues(q)
+	if len(vals) != 2 {
+		t.Fatalf("masked %d values, want 2", len(vals))
+	}
+	// The original tree is untouched.
+	if q.Left.Filter.Left.Values[0].Num != 300 {
+		t.Fatal("MaskValues mutated the source tree")
+	}
+	// Every masked slot is the placeholder.
+	_, maskedVals := collectValues(masked)
+	for _, v := range maskedVals {
+		if v.Str != ValuePlaceholder {
+			t.Fatalf("unmasked value %v", v)
+		}
+	}
+	// Filling from NL recovers both (t has no schema; city is C by default,
+	// price needs a db to be known as Q — the order-based fallback applies).
+	FillValues(masked, `show rows where price is above 300 in "Boston"`, nil)
+	_, filled := collectValues(masked)
+	if filled[0].String() != "300" && filled[1].String() != "300" {
+		t.Errorf("number not recovered: %v", filled)
+	}
+	found := false
+	for _, v := range filled {
+		if v.Kind == ast.ValueString && v.Str == "Boston" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("string not recovered: %v", filled)
+	}
+}
+
+func TestExtractLiterals(t *testing.T) {
+	nums, strs := extractLiterals(`how many flights from "New York" cost more than 250.5 to Boston?`)
+	if len(nums) != 1 || nums[0] != 250.5 {
+		t.Errorf("nums = %v", nums)
+	}
+	foundNY, foundBoston := false, false
+	for _, s := range strs {
+		if s == "New York" {
+			foundNY = true
+		}
+		if s == "Boston" {
+			foundBoston = true
+		}
+	}
+	if !foundNY || !foundBoston {
+		t.Errorf("strs = %v", strs)
+	}
+}
+
+func TestValueFillAccuracyHigh(t *testing.T) {
+	examples := ExamplesFromEntries(testBench.Entries)
+	acc := ValueFillAccuracy(examples)
+	// The paper's heuristic reaches ~92.3%; the generated corpus keeps
+	// values verbatim in the NL so it should be at least as good.
+	if acc < 0.75 {
+		t.Errorf("value fill accuracy = %.3f", acc)
+	}
+}
+
+func TestExamplesFromEntries(t *testing.T) {
+	examples := ExamplesFromEntries(testBench.Entries[:10])
+	if len(examples) == 0 {
+		t.Fatal("no examples")
+	}
+	for _, ex := range examples {
+		if len(ex.Input) == 0 || len(ex.Output) == 0 {
+			t.Fatal("empty example")
+		}
+		sepSeen := false
+		for _, w := range ex.Input {
+			if w == SEP {
+				sepSeen = true
+			}
+		}
+		if !sepSeen {
+			t.Fatal("input lacks schema separator")
+		}
+		// The masked output must parse back into a valid query shape.
+		if _, err := ast.ParseTokens(ex.Output); err != nil {
+			t.Fatalf("output tokens unparseable: %v (%v)", err, ex.Output)
+		}
+	}
+}
+
+// trainTiny trains a tiny model on a small slice and returns model and
+// held-out examples.
+func trainTiny(t *testing.T, cfg Config, n int) (*Model, []Example, []Example) {
+	t.Helper()
+	examples := ExamplesFromEntries(testBench.Entries)
+	if len(examples) > n {
+		examples = examples[:n]
+	}
+	split := len(examples) * 8 / 10
+	train, test := examples[:split], examples[split:]
+	inSeqs := make([][]string, 0, len(examples))
+	outSeqs := make([][]string, 0, len(examples))
+	for _, ex := range examples {
+		inSeqs = append(inSeqs, ex.Input)
+		outSeqs = append(outSeqs, ex.Output)
+	}
+	m := NewModel(cfg, NewVocab(inSeqs), NewVocab(outSeqs))
+	res := m.Train(train, test)
+	if res.Epochs == 0 || len(res.TrainLoss) != res.Epochs {
+		t.Fatalf("train result inconsistent: %+v", res)
+	}
+	return m, train, test
+}
+
+func TestTrainLossDecreases(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.MaxEpochs = 6
+	cfg.Patience = 0
+	examples := ExamplesFromEntries(testBench.Entries)[:50]
+	inSeqs := make([][]string, 0, len(examples))
+	outSeqs := make([][]string, 0, len(examples))
+	for _, ex := range examples {
+		inSeqs = append(inSeqs, ex.Input)
+		outSeqs = append(outSeqs, ex.Output)
+	}
+	m := NewModel(cfg, NewVocab(inSeqs), NewVocab(outSeqs))
+	res := m.Train(examples, examples[:10])
+	first, last := res.TrainLoss[0], res.TrainLoss[len(res.TrainLoss)-1]
+	if last >= first {
+		t.Fatalf("training loss did not decrease: %.4f -> %.4f", first, last)
+	}
+	if last > first*0.7 {
+		t.Errorf("weak learning: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestModelMemorizesSmallSet(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.MaxEpochs = 25
+	cfg.Patience = 0
+	examples := ExamplesFromEntries(testBench.Entries)[:24]
+	inSeqs := make([][]string, 0, len(examples))
+	outSeqs := make([][]string, 0, len(examples))
+	for _, ex := range examples {
+		inSeqs = append(inSeqs, ex.Input)
+		outSeqs = append(outSeqs, ex.Output)
+	}
+	m := NewModel(cfg, NewVocab(inSeqs), NewVocab(outSeqs))
+	m.Train(examples, nil)
+	metrics := Evaluate(m, examples)
+	if metrics.TreeAcc < 0.5 {
+		t.Fatalf("memorization accuracy = %.3f, want >= 0.5", metrics.TreeAcc)
+	}
+	if metrics.ResultAcc < metrics.TreeAcc {
+		t.Error("result accuracy must be >= tree accuracy")
+	}
+}
+
+func TestEarlyStopping(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.MaxEpochs = 50
+	cfg.Patience = 2
+	examples := ExamplesFromEntries(testBench.Entries)[:16]
+	inSeqs := [][]string{}
+	outSeqs := [][]string{}
+	for _, ex := range examples {
+		inSeqs = append(inSeqs, ex.Input)
+		outSeqs = append(outSeqs, ex.Output)
+	}
+	m := NewModel(cfg, NewVocab(inSeqs), NewVocab(outSeqs))
+	res := m.Train(examples[:12], examples[12:])
+	if !res.Stopped && res.Epochs == 50 {
+		t.Log("early stopping never fired (acceptable but unusual for tiny sets)")
+	}
+	if len(res.ValLoss) != res.Epochs {
+		t.Fatalf("val loss trajectory length %d != %d epochs", len(res.ValLoss), res.Epochs)
+	}
+}
+
+func TestPredictStopsAtMaxLen(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.MaxOutLen = 7
+	examples := ExamplesFromEntries(testBench.Entries)[:4]
+	inSeqs := [][]string{}
+	outSeqs := [][]string{}
+	for _, ex := range examples {
+		inSeqs = append(inSeqs, ex.Input)
+		outSeqs = append(outSeqs, ex.Output)
+	}
+	m := NewModel(cfg, NewVocab(inSeqs), NewVocab(outSeqs))
+	got := m.Predict(examples[0].Input)
+	if len(got) > 7 {
+		t.Fatalf("decode exceeded MaxOutLen: %d tokens", len(got))
+	}
+}
+
+func TestThreeVariantsBuild(t *testing.T) {
+	for _, cfg := range []Config{
+		{Embed: 12, Hidden: 12, LR: 1e-2, MaxEpochs: 1, MaxOutLen: 10, Seed: 1},
+		{Embed: 12, Hidden: 12, Attention: true, LR: 1e-2, MaxEpochs: 1, MaxOutLen: 10, Seed: 1},
+		{Embed: 12, Hidden: 12, Attention: true, Copying: true, LR: 1e-2, MaxEpochs: 1, MaxOutLen: 10, Seed: 1},
+	} {
+		examples := ExamplesFromEntries(testBench.Entries)[:6]
+		inSeqs := [][]string{}
+		outSeqs := [][]string{}
+		for _, ex := range examples {
+			inSeqs = append(inSeqs, ex.Input)
+			outSeqs = append(outSeqs, ex.Output)
+		}
+		m := NewModel(cfg, NewVocab(inSeqs), NewVocab(outSeqs))
+		m.Train(examples, nil)
+		if out := m.Predict(examples[0].Input); out == nil {
+			t.Logf("variant %+v predicted empty (allowed after 1 epoch)", cfg)
+		}
+	}
+}
+
+func TestEvaluateMetricsShape(t *testing.T) {
+	cfg := TinyConfig()
+	cfg.MaxEpochs = 2
+	m, _, test := trainTiny(t, cfg, 40)
+	metrics := Evaluate(m, test)
+	if metrics.N != len(test) {
+		t.Fatalf("N = %d", metrics.N)
+	}
+	if metrics.TreeAcc < 0 || metrics.TreeAcc > 1 || metrics.ResultAcc < metrics.TreeAcc {
+		t.Fatalf("accuracy bounds: tree %.3f result %.3f", metrics.TreeAcc, metrics.ResultAcc)
+	}
+	totalByHardness := 0
+	for _, r := range metrics.ByHardness {
+		totalByHardness += r.Total
+	}
+	if totalByHardness != metrics.N {
+		t.Errorf("hardness breakdown covers %d of %d", totalByHardness, metrics.N)
+	}
+	for name, r := range metrics.Components {
+		if r.Correct > r.Total {
+			t.Errorf("component %s: %d/%d", name, r.Correct, r.Total)
+		}
+	}
+}
+
+// perfectPredictor returns the gold output tokens.
+type perfectPredictor struct{ byKey map[string][]string }
+
+func (p perfectPredictor) Predict(input []string) []string {
+	return p.byKey[keyOf(input)]
+}
+
+func keyOf(in []string) string {
+	s := ""
+	for _, w := range in {
+		s += w + " "
+	}
+	return s
+}
+
+func TestEvaluatePerfectPredictor(t *testing.T) {
+	examples := ExamplesFromEntries(testBench.Entries)[:30]
+	p := perfectPredictor{byKey: map[string][]string{}}
+	for _, ex := range examples {
+		p.byKey[keyOf(ex.Input)] = ex.Output
+	}
+	metrics := Evaluate(p, examples)
+	// Tree matching requires value filling to recover exact literals; the
+	// structure always matches so result accuracy is at least as high.
+	if metrics.TreeAcc < 0.6 {
+		t.Fatalf("perfect predictor tree acc = %.3f", metrics.TreeAcc)
+	}
+	for ct, r := range metrics.VisTypeAcc {
+		if r.Total > 0 && r.Value() != 1 {
+			t.Errorf("vis type acc for %v = %.2f, want 1", ct, r.Value())
+		}
+	}
+}
+
+func TestEvaluateGarbagePredictor(t *testing.T) {
+	examples := ExamplesFromEntries(testBench.Entries)[:10]
+	garbage := predictorFunc(func([]string) []string { return []string{"not", "a", "query"} })
+	metrics := Evaluate(garbage, examples)
+	if metrics.TreeAcc != 0 || metrics.ResultAcc != 0 {
+		t.Fatalf("garbage scored: %+v", metrics)
+	}
+}
+
+type predictorFunc func([]string) []string
+
+func (f predictorFunc) Predict(in []string) []string { return f(in) }
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	r.add(true)
+	r.add(false)
+	if r.Value() != 0.5 {
+		t.Errorf("ratio = %g", r.Value())
+	}
+}

@@ -1,0 +1,69 @@
+package seq2vis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nvbench/internal/neural"
+)
+
+// modelFile is the on-disk JSON shape of a trained model.
+type modelFile struct {
+	Config   Config      `json:"config"`
+	InWords  []string    `json:"in_vocab"`
+	OutWords []string    `json:"out_vocab"`
+	Params   [][]float64 `json:"params"`
+}
+
+// Save serializes the model (config, vocabularies, weights) as JSON.
+func (m *Model) Save(w io.Writer) error {
+	mf := modelFile{Config: m.Cfg, InWords: m.In.Words, OutWords: m.Out.Words}
+	for _, p := range m.params {
+		mf.Params = append(mf.Params, append([]float64(nil), p.Data...))
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(mf)
+}
+
+// Load reconstructs a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var mf modelFile
+	if err := json.NewDecoder(r).Decode(&mf); err != nil {
+		return nil, fmt.Errorf("seq2vis: decode model: %w", err)
+	}
+	in := vocabFromWords(mf.InWords)
+	out := vocabFromWords(mf.OutWords)
+	m := NewModel(mf.Config, in, out)
+	if len(mf.Params) != len(m.params) {
+		return nil, fmt.Errorf("seq2vis: model has %d parameter tensors, file has %d", len(m.params), len(mf.Params))
+	}
+	for i, p := range m.params {
+		if len(mf.Params[i]) != len(p.Data) {
+			return nil, fmt.Errorf("seq2vis: parameter %d size mismatch (%d vs %d)", i, len(p.Data), len(mf.Params[i]))
+		}
+		copy(p.Data, mf.Params[i])
+	}
+	return m, nil
+}
+
+func vocabFromWords(words []string) *Vocab {
+	v := &Vocab{Index: map[string]int{}}
+	for _, w := range words {
+		v.add(w)
+	}
+	return v
+}
+
+// Params exposes the trainable tensors (read-only use intended: parameter
+// counting, custom optimizers, checkpoint diffing).
+func (m *Model) Params() []*neural.Tensor { return m.params }
+
+// NumParameters returns the total scalar parameter count.
+func (m *Model) NumParameters() int {
+	n := 0
+	for _, p := range m.params {
+		n += len(p.Data)
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+// Package server exposes a synthesized benchmark over HTTP: a browsable
+// index of (nl, vis) entries, per-entry pages that render the chart with
+// Vega-Lite, and JSON endpoints for programmatic access. It is the
+// "benchmark browser" used by `cmd/nvbench -serve`.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"html"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/render"
+)
+
+// Server serves one benchmark.
+type Server struct {
+	Bench *bench.Benchmark
+	mux   *http.ServeMux
+}
+
+// New builds a server over a benchmark.
+func New(b *bench.Benchmark) *Server {
+	s := &Server{Bench: b, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/entry/", s.handleEntry)
+	s.mux.HandleFunc("/api/entries", s.handleAPIEntries)
+	s.mux.HandleFunc("/api/entry/", s.handleAPIEntry)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var sb strings.Builder
+	sb.WriteString("<!DOCTYPE html><html><head><title>nvbench browser</title></head><body>")
+	fmt.Fprintf(&sb, "<h1>nvbench — %d vis objects, %d (nl, vis) pairs</h1><table border=1 cellpadding=4>",
+		len(s.Bench.Entries), s.Bench.NumPairs())
+	sb.WriteString("<tr><th>id</th><th>chart</th><th>hardness</th><th>database</th><th>first nl</th></tr>")
+	for _, e := range s.Bench.Entries {
+		nl := ""
+		if len(e.NLs) > 0 {
+			nl = e.NLs[0]
+		}
+		fmt.Fprintf(&sb, `<tr><td><a href="/entry/%d">%d</a></td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>`,
+			e.ID, e.ID, html.EscapeString(e.Chart.String()), html.EscapeString(e.Hardness.String()),
+			html.EscapeString(e.DB.Name), html.EscapeString(nl))
+	}
+	sb.WriteString("</table></body></html>")
+	fmt.Fprint(w, sb.String())
+}
+
+func (s *Server) entryByPath(path, prefix string) (*bench.Entry, error) {
+	idStr := strings.TrimPrefix(path, prefix)
+	idStr = strings.TrimSuffix(idStr, "/vega")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad entry id %q", idStr)
+	}
+	if id < 0 || id >= len(s.Bench.Entries) {
+		return nil, fmt.Errorf("entry %d out of range", id)
+	}
+	return s.Bench.Entries[id], nil
+}
+
+func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByPath(r.URL.Path, "/entry/")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	spec, err := render.VegaLite(e.DB, e.Vis)
+	if err != nil {
+		http.Error(w, "render: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "<h1>entry %d — %s (%s)</h1><p><code>%s</code></p><ul>",
+		e.ID, html.EscapeString(e.Chart.String()), html.EscapeString(e.Hardness.String()),
+		html.EscapeString(e.Vis.String()))
+	for _, nl := range e.NLs {
+		fmt.Fprintf(&sb, "<li>%s</li>", html.EscapeString(nl))
+	}
+	sb.WriteString(`</ul><div id="vis"></div>`)
+	page := string(render.HTMLPage(fmt.Sprintf("entry %d", e.ID), spec))
+	// Inject the entry header before the chart container.
+	page = strings.Replace(page, `<div id="vis"></div>`, sb.String(), 1)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, page)
+}
+
+// apiEntry is the JSON shape of one entry.
+type apiEntry struct {
+	ID       int      `json:"id"`
+	Database string   `json:"database"`
+	Domain   string   `json:"domain"`
+	Chart    string   `json:"chart"`
+	Hardness string   `json:"hardness"`
+	VQL      string   `json:"vql"`
+	NLs      []string `json:"nl_queries"`
+	Manual   bool     `json:"manual_nl"`
+}
+
+func toAPI(e *bench.Entry) apiEntry {
+	return apiEntry{
+		ID: e.ID, Database: e.DB.Name, Domain: e.DB.Domain,
+		Chart: e.Chart.String(), Hardness: e.Hardness.String(),
+		VQL: e.Vis.String(), NLs: e.NLs, Manual: e.Manual,
+	}
+}
+
+func (s *Server) handleAPIEntries(w http.ResponseWriter, r *http.Request) {
+	out := make([]apiEntry, 0, len(s.Bench.Entries))
+	for _, e := range s.Bench.Entries {
+		out = append(out, toAPI(e))
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleAPIEntry(w http.ResponseWriter, r *http.Request) {
+	e, err := s.entryByPath(r.URL.Path, "/api/entry/")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if strings.HasSuffix(r.URL.Path, "/vega") {
+		spec, err := render.VegaLite(e.DB, e.Vis)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(spec)
+		return
+	}
+	writeJSON(w, toAPI(e))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,113 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/spider"
+)
+
+var testServer = func() *Server {
+	corpus, err := spider.Generate(spider.TestConfig())
+	if err != nil {
+		panic(err)
+	}
+	b, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		panic(err)
+	}
+	return New(b)
+}()
+
+func get(t *testing.T, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	testServer.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestIndexListsEntries(t *testing.T) {
+	rec := get(t, "/")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "nvbench") || !strings.Contains(body, "/entry/0") {
+		t.Errorf("index missing content")
+	}
+}
+
+func TestEntryPageRendersChart(t *testing.T) {
+	rec := get(t, "/entry/0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"vegaEmbed", "entry 0", "<li>"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("entry page missing %q", want)
+		}
+	}
+}
+
+func TestAPIEntries(t *testing.T) {
+	rec := get(t, "/api/entries")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var entries []map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(entries) != len(testServer.Bench.Entries) {
+		t.Fatalf("entries = %d, want %d", len(entries), len(testServer.Bench.Entries))
+	}
+	first := entries[0]
+	for _, key := range []string{"id", "chart", "hardness", "vql", "nl_queries"} {
+		if _, ok := first[key]; !ok {
+			t.Errorf("entry JSON missing %q", key)
+		}
+	}
+}
+
+func TestAPIEntryAndVega(t *testing.T) {
+	rec := get(t, "/api/entry/0")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var e map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	rec = get(t, "/api/entry/0/vega")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("vega status = %d", rec.Code)
+	}
+	var spec map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &spec); err != nil {
+		t.Fatalf("bad vega JSON: %v", err)
+	}
+	if spec["mark"] == nil {
+		t.Error("vega spec missing mark")
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	for _, path := range []string{"/nope", "/entry/abc", "/entry/999999", "/api/entry/-1"} {
+		if rec := get(t, path); rec.Code != http.StatusNotFound {
+			t.Errorf("%s: status = %d, want 404", path, rec.Code)
+		}
+	}
+}
+
+func TestHTMLEscaping(t *testing.T) {
+	rec := get(t, "/")
+	if strings.Contains(rec.Body.String(), "<script>alert") {
+		t.Error("unescaped content")
+	}
+}

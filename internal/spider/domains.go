@@ -1,0 +1,131 @@
+// Package spider generates a deterministic, Spider-like NL2SQL corpus: a set
+// of multi-table databases across many domains and (nl, sql) pairs at
+// Spider's four hardness levels. It substitutes for the real Spider
+// benchmark data files (see DESIGN.md): the synthesizer consumes only the
+// structure of (nl, sql) pairs, so a generator calibrated to the published
+// corpus statistics (Table 2, Figures 8–9 of the nvBench paper) exercises
+// the identical code paths at the same scale and mix.
+package spider
+
+// domain describes one subject area: its table-name pool and the flavored
+// categorical values its columns draw from.
+type domain struct {
+	name   string
+	tables []string
+	values []string
+}
+
+// domains is the pool of 30 subject areas; the default configuration cycles
+// through it with repetition weights so popular domains (Sport, Customer,
+// School — the Top-5 of Table 2) accumulate the most tables.
+var domains = []domain{
+	{"Sport", []string{"team", "player", "match", "stadium", "coach", "league", "season", "injury"},
+		[]string{"Lions", "Tigers", "Sharks", "Eagles", "Wolves", "Hawks", "Bears", "Panthers", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Customer", []string{"customer", "purchase", "invoice", "payment", "complaint", "account", "address"},
+		[]string{"Gold", "Silver", "Bronze", "Basic", "Premium", "Trial", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"School", []string{"school", "teacher", "course", "classroom", "exam", "grade_report"},
+		[]string{"Math", "Physics", "History", "Biology", "Art", "Music", "Chemistry", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Shop", []string{"shop", "product", "sale", "supplier", "inventory", "discount"},
+		[]string{"Electronics", "Clothing", "Food", "Toys", "Books", "Garden", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Student", []string{"student", "enrollment", "dorm", "club", "scholarship", "advisor"},
+		[]string{"Freshman", "Sophomore", "Junior", "Senior", "Graduate", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"College", []string{"college", "department", "faculty", "program", "campus", "lab"},
+		[]string{"Engineering", "Science", "Arts", "Business", "Medicine", "Law", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Hospital", []string{"hospital", "doctor", "patient", "appointment", "ward", "prescription"},
+		[]string{"Cardiology", "Neurology", "Oncology", "Pediatrics", "Surgery", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Flight", []string{"flight", "airline", "airport", "aircraft", "booking", "route"},
+		[]string{"JFK", "LAX", "ORD", "ATL", "SFO", "SEA", "MIA", "DFW", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Government", []string{"city", "county", "election", "representative", "budget_item", "agency"},
+		[]string{"North", "South", "East", "West", "Central", "Coastal", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"TVShow", []string{"show", "episode", "actor", "channel", "rating_entry", "director"},
+		[]string{"Drama", "Comedy", "News", "Documentary", "Reality", "Thriller", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Music", []string{"artist", "album", "track", "concert", "label", "playlist"},
+		[]string{"Rock", "Pop", "Jazz", "Classical", "HipHop", "Folk", "Blues", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Restaurant", []string{"restaurant", "dish", "reservation", "chef", "menu_item", "review"},
+		[]string{"Italian", "Chinese", "Mexican", "French", "Indian", "Thai", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Library", []string{"book", "author", "member", "loan", "branch", "publisher"},
+		[]string{"Fiction", "NonFiction", "Mystery", "Romance", "SciFi", "Poetry", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Bank", []string{"bank", "loan_record", "branch_office", "client", "transaction_log", "card"},
+		[]string{"Checking", "Savings", "Credit", "Mortgage", "Business", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Car", []string{"car", "maker", "dealer", "model_line", "test_drive", "repair"},
+		[]string{"Sedan", "SUV", "Coupe", "Truck", "Hatchback", "Wagon", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Movie", []string{"movie", "studio", "screening", "cinema", "ticket", "critic"},
+		[]string{"Action", "Horror", "Animation", "Romance", "Western", "Noir", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Hotel", []string{"hotel", "room", "guest", "stay", "amenity", "housekeeper"},
+		[]string{"Single", "Double", "Suite", "Deluxe", "Penthouse", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Company", []string{"company", "employee", "project", "office", "contract", "meeting"},
+		[]string{"Engineering", "Marketing", "Sales", "Finance", "HR", "Legal", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Farm", []string{"farm", "crop", "field_plot", "harvest", "machine", "worker"},
+		[]string{"Wheat", "Corn", "Soy", "Rice", "Barley", "Oats", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Weather", []string{"station", "reading", "region", "sensor", "alert", "forecast"},
+		[]string{"Sunny", "Rainy", "Cloudy", "Snowy", "Windy", "Foggy", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Museum", []string{"museum", "exhibit", "artifact", "visitor", "tour", "curator"},
+		[]string{"Ancient", "Modern", "Medieval", "Renaissance", "Contemporary", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Gym", []string{"gym", "trainer", "session", "membership", "equipment", "class_slot"},
+		[]string{"Yoga", "Pilates", "Boxing", "Spin", "CrossFit", "Swim", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Park", []string{"park", "trail", "ranger", "campsite", "wildlife", "permit"},
+		[]string{"Forest", "Desert", "Mountain", "Wetland", "Prairie", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Ship", []string{"ship", "captain", "voyage", "port", "cargo", "crew_member"},
+		[]string{"Container", "Tanker", "Ferry", "Cruise", "Fishing", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Tech", []string{"device", "firmware", "vendor", "deployment", "incident", "license"},
+		[]string{"Alpha", "Beta", "Stable", "Legacy", "Canary", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Wine", []string{"wine", "winery", "vineyard", "tasting", "grape", "cellar"},
+		[]string{"Red", "White", "Rose", "Sparkling", "Dessert", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Theater", []string{"theater", "play", "performance", "playwright", "stagehand", "costume"},
+		[]string{"Tragedy", "Comedy", "Musical", "Opera", "Ballet", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Race", []string{"race", "runner", "sponsor", "checkpoint", "result_entry", "venue"},
+		[]string{"Marathon", "Sprint", "Relay", "Trail", "Ultra", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Insurance", []string{"policy", "claim", "adjuster", "holder", "premium_record", "coverage"},
+		[]string{"Auto", "Home", "Life", "Health", "Travel", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+	{"Energy", []string{"plant", "turbine", "grid_node", "outage", "meter", "tariff"},
+		[]string{"Solar", "Wind", "Hydro", "Nuclear", "Coal", "Gas", "Classic", "Modern", "Special", "Standard", "Deluxe", "Economy"}},
+}
+
+// columnTemplate describes a reusable column with its type and, for
+// categorical columns, whether it draws domain-flavored values.
+type columnTemplate struct {
+	name    string
+	colType int // 0=C 1=T 2=Q, mirrors dataset.ColType ordering
+	flavor  bool
+}
+
+// columnPool is the shared vocabulary of column templates. The C/T/Q mix of
+// the default configuration is tuned so generated corpora land near the
+// paper's 68.78% / 11.58% / 19.64% split.
+var columnPool = []columnTemplate{
+	{"name", 0, false},
+	{"city", 0, false},
+	{"country", 0, false},
+	{"type", 0, true},
+	{"category", 0, true},
+	{"status", 0, false},
+	{"level", 0, false},
+	{"code", 0, false},
+	{"region", 0, false},
+	{"owner", 0, false},
+	{"label", 0, true},
+	{"created_at", 1, false},
+	{"date", 1, false},
+	{"start_time", 1, false},
+	{"age", 2, false},
+	{"price", 2, false},
+	{"salary", 2, false},
+	{"score", 2, false},
+	{"rank", 2, false},
+	{"capacity", 2, false},
+	{"budget", 2, false},
+	{"weight", 2, false},
+	{"duration", 2, false},
+}
+
+// categoricalValues is the flavor-free pool for generic C columns.
+var categoricalValues = map[string][]string{
+	"name":    {"Avery", "Blake", "Casey", "Drew", "Ellis", "Flynn", "Gray", "Harper", "Indigo", "Jordan", "Kai", "Logan", "Morgan", "Noel", "Oakley", "Parker", "Quinn", "Reese", "Sage", "Tatum", "Umber", "Vale", "Wren", "Xan", "Yael", "Zion"},
+	"city":    {"New York", "Los Angeles", "Chicago", "Houston", "Phoenix", "Boston", "Seattle", "Denver", "Miami", "Austin", "Portland", "Atlanta", "Dallas", "Detroit", "Memphis", "Tucson"},
+	"country": {"USA", "Canada", "France", "Germany", "Japan", "Brazil", "India", "Australia"},
+	"status":  {"active", "inactive", "pending", "closed", "archived"},
+	"level":   {"low", "medium", "high", "critical"},
+	"code":    {"A1", "B2", "C3", "D4", "E5", "F6", "G7", "H8"},
+	"region":  {"north", "south", "east", "west", "central"},
+	"owner":   {"alpha corp", "beta llc", "gamma inc", "delta co", "epsilon ltd"},
+}

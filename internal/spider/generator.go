@@ -1,0 +1,316 @@
+package spider
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+)
+
+// Config controls corpus generation. The zero value is unusable; use
+// DefaultConfig or TestConfig.
+type Config struct {
+	Seed         int64
+	NumDatabases int
+	// PairsPerDB is the average number of (nl, sql) pairs per database.
+	PairsPerDB int
+	// MaxRows caps table sizes (the paper's corpus has one 183,978-row
+	// outlier; keep benchmarks tractable by default).
+	MaxRows int
+}
+
+// DefaultConfig mirrors the Spider scale the paper piggybacks: 153 usable
+// databases and ~10k pairs.
+func DefaultConfig() Config {
+	return Config{Seed: 1, NumDatabases: 153, PairsPerDB: 67, MaxRows: 4000}
+}
+
+// TestConfig is a small deterministic corpus for unit tests.
+func TestConfig() Config {
+	return Config{Seed: 1, NumDatabases: 8, PairsPerDB: 12, MaxRows: 200}
+}
+
+// Pair is one (nl, sql) benchmark entry.
+type Pair struct {
+	ID       int
+	DB       *dataset.Database
+	NL       string
+	SQL      string
+	Query    *ast.Query
+	Hardness ast.Hardness
+}
+
+// Corpus is a generated NL2SQL benchmark.
+type Corpus struct {
+	Databases []*dataset.Database
+	Pairs     []*Pair
+}
+
+// Generate builds a corpus deterministically from the configuration seed.
+func Generate(cfg Config) (*Corpus, error) {
+	if cfg.NumDatabases <= 0 || cfg.PairsPerDB <= 0 {
+		return nil, fmt.Errorf("spider: config requires positive sizes")
+	}
+	if cfg.MaxRows <= 0 {
+		cfg.MaxRows = 4000
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	c := &Corpus{}
+	id := 0
+	for i := 0; i < cfg.NumDatabases; i++ {
+		dom := pickDomain(r, i)
+		db := generateDatabase(r, dom, i, cfg.MaxRows)
+		c.Databases = append(c.Databases, db)
+		n := cfg.PairsPerDB/2 + r.Intn(cfg.PairsPerDB)
+		for j := 0; j < n; j++ {
+			p, err := generatePair(r, db, id)
+			if err != nil {
+				return nil, err
+			}
+			c.Pairs = append(c.Pairs, p)
+			id++
+		}
+	}
+	return c, nil
+}
+
+// pickDomain weights the head of the domain list so the Top-5 of Table 2
+// (Sport, Customer, School, Shop, Student) dominate.
+func pickDomain(r *rand.Rand, i int) domain {
+	if r.Float64() < 0.45 {
+		return domains[r.Intn(5)]
+	}
+	return domains[r.Intn(len(domains))]
+}
+
+// generateDatabase builds one database: 2–8 tables with an id primary key
+// each, flavored columns, foreign keys to earlier tables, and generated rows.
+func generateDatabase(r *rand.Rand, dom domain, idx int, maxRows int) *dataset.Database {
+	db := &dataset.Database{
+		Name:   fmt.Sprintf("%s_%d", dom.tables[0], idx),
+		Domain: dom.name,
+	}
+	nTables := 2 + r.Intn(7)
+	if nTables > len(dom.tables) {
+		nTables = len(dom.tables)
+	}
+	order := r.Perm(len(dom.tables))[:nTables]
+	for ti, oi := range order {
+		tname := dom.tables[oi]
+		t := &dataset.Table{Name: tname}
+		// Identifier columns are visually nominal: the paper's C/T/Q
+		// classification types keys as categorical, which is what keeps
+		// categorical columns at ~69% of the corpus (Table 2).
+		t.Columns = append(t.Columns, dataset.Column{Name: "id", Type: dataset.Categorical})
+		// Foreign key column to an earlier table.
+		if ti > 0 {
+			ref := db.Tables[0]
+			if ti > 1 && r.Intn(2) == 0 {
+				ref = db.Tables[r.Intn(ti)]
+			}
+			fkCol := ref.Name + "_id"
+			t.Columns = append(t.Columns, dataset.Column{Name: fkCol, Type: dataset.Categorical})
+			db.ForeignKeys = append(db.ForeignKeys, dataset.ForeignKey{
+				FromTable: tname, FromColumn: fkCol, ToTable: ref.Name, ToColumn: "id",
+			})
+		}
+		// Sample extra columns type-first so the corpus-wide C/T/Q mix lands
+		// near the paper's 69/12/20 split (the id and FK columns are always
+		// quantitative, so non-key columns are drawn categorical-heavy).
+		nCols := 2 + r.Intn(5)
+		haveC := false
+		for k := 0; k < nCols; k++ {
+			var wantType int
+			switch p := r.Float64(); {
+			case p < 0.53:
+				wantType = 0
+			case p < 0.71:
+				wantType = 1
+			default:
+				wantType = 2
+			}
+			tmpl, ok := sampleTemplate(r, t, wantType)
+			if !ok {
+				continue
+			}
+			t.Columns = append(t.Columns, dataset.Column{Name: tmpl.name, Type: dataset.ColType(tmpl.colType)})
+			if tmpl.colType == 0 {
+				haveC = true
+			}
+		}
+		if !haveC {
+			t.Columns = append(t.Columns, dataset.Column{Name: "category", Type: dataset.Categorical})
+		}
+		fillRows(r, db, t, dom, maxRows)
+		db.AddTable(t)
+	}
+	return db
+}
+
+func tableHasColumn(t *dataset.Table, name string) bool {
+	_, ok := t.Column(name)
+	return ok
+}
+
+// sampleTemplate draws an unused column template of the requested type from
+// the pool (ok=false when the type's templates are exhausted for the table).
+func sampleTemplate(r *rand.Rand, t *dataset.Table, wantType int) (columnTemplate, bool) {
+	var candidates []columnTemplate
+	for _, ct := range columnPool {
+		if ct.colType == wantType && !tableHasColumn(t, ct.name) {
+			candidates = append(candidates, ct)
+		}
+	}
+	if len(candidates) == 0 {
+		return columnTemplate{}, false
+	}
+	return candidates[r.Intn(len(candidates))], true
+}
+
+// quantGen describes how a quantitative column's values are drawn; the mix
+// reproduces Figure 9(a): log-normal most common, then power-law, normal and
+// exponential; never uniform.
+type quantGen struct {
+	kind  int // 0 lognormal, 1 powerlaw, 2 normal, 3 exponential
+	scale float64
+}
+
+func pickQuantGen(r *rand.Rand) quantGen {
+	p := r.Float64()
+	switch {
+	case p < 0.40:
+		return quantGen{0, 10 + r.Float64()*90}
+	case p < 0.65:
+		return quantGen{1, 1 + r.Float64()*9}
+	case p < 0.85:
+		return quantGen{2, 20 + r.Float64()*80}
+	default:
+		return quantGen{3, 5 + r.Float64()*45}
+	}
+}
+
+func (g quantGen) draw(r *rand.Rand) float64 {
+	switch g.kind {
+	case 0:
+		return math.Round(g.scale*math.Exp(0.7*r.NormFloat64())*100) / 100
+	case 1:
+		// Pareto with alpha ~ 2.2.
+		return math.Round(g.scale*math.Pow(1-r.Float64(), -1/2.2)*100) / 100
+	case 2:
+		return math.Round((g.scale+g.scale/4*r.NormFloat64())*100) / 100
+	default:
+		return math.Round(g.scale*r.ExpFloat64()*100) / 100
+	}
+}
+
+// fillRows populates a table: row counts are log-normally distributed so
+// most tables stay small (5–100 rows, Figure 8b) with an occasional large
+// one, and quantitative values follow the Figure 9(a) distribution mix.
+func fillRows(r *rand.Rand, db *dataset.Database, t *dataset.Table, dom domain, maxRows int) {
+	n := int(math.Exp(3 + 1.1*r.NormFloat64()))
+	if n < 1 {
+		n = 1
+	}
+	if n > maxRows {
+		n = maxRows
+	}
+	gens := map[string]quantGen{}
+	base := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < n; i++ {
+		row := make([]dataset.Cell, len(t.Columns))
+		for ci, col := range t.Columns {
+			switch {
+			case col.Name == "id":
+				row[ci] = dataset.S(strconv.Itoa(i + 1))
+			case isFKColumn(db, t.Name, col.Name):
+				ref := refTableSize(db, t.Name, col.Name)
+				if ref < 1 {
+					ref = 1
+				}
+				row[ci] = dataset.S(strconv.Itoa(1 + r.Intn(ref)))
+			case col.Type == dataset.Categorical:
+				row[ci] = dataset.S(drawCategorical(r, dom, col.Name))
+			case col.Type == dataset.Temporal:
+				// Up to ~9 years of spread with time-of-day variation.
+				d := time.Duration(r.Int63n(int64(9 * 365 * 24 * time.Hour)))
+				row[ci] = dataset.T(base.Add(d).Add(time.Duration(r.Intn(86400)) * time.Second))
+			default:
+				g, ok := gens[col.Name]
+				if !ok {
+					g = pickQuantGen(r)
+					gens[col.Name] = g
+				}
+				v := g.draw(r)
+				// Correlate later quantitative columns with the table's
+				// first one so Q–Q scatters exhibit real correlation
+				// (otherwise every scatter candidate is pruned as
+				// uninformative by the quality filter).
+				if fi := firstQuantIdx(t, ci); fi >= 0 && fi != ci {
+					if base, ok := row[fi].Number(); ok {
+						v = 0.6*base + 0.4*v
+					}
+				}
+				row[ci] = dataset.N(math.Round(v*100) / 100)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+}
+
+// firstQuantIdx returns the index of the table's first non-key quantitative
+// column before position limit, or -1.
+func firstQuantIdx(t *dataset.Table, limit int) int {
+	for i := 0; i < limit; i++ {
+		c := t.Columns[i]
+		if c.Type == dataset.Quantitative && c.Name != "id" && !strings.HasSuffix(c.Name, "_id") {
+			return i
+		}
+	}
+	return -1
+}
+
+func isFKColumn(db *dataset.Database, table, column string) bool {
+	for _, fk := range db.ForeignKeys {
+		if fk.FromTable == table && fk.FromColumn == column {
+			return true
+		}
+	}
+	return false
+}
+
+func refTableSize(db *dataset.Database, table, column string) int {
+	for _, fk := range db.ForeignKeys {
+		if fk.FromTable == table && fk.FromColumn == column {
+			if t := db.Table(fk.ToTable); t != nil {
+				return len(t.Rows)
+			}
+		}
+	}
+	return 0
+}
+
+// drawCategorical picks a value: flavored columns use the domain pool,
+// generic ones the shared pools, with a Zipf-like skew so a few values
+// dominate (realistic group cardinalities).
+func drawCategorical(r *rand.Rand, dom domain, colName string) string {
+	pool := categoricalValues[colName]
+	switch colName {
+	case "type", "category", "label":
+		pool = dom.values
+	}
+	if len(pool) == 0 {
+		pool = dom.values
+	}
+	// Zipf-ish: squared uniform biases toward the head of the pool.
+	u := r.Float64()
+	idx := int(u * u * float64(len(pool)))
+	if idx >= len(pool) {
+		idx = len(pool) - 1
+	}
+	return pool[idx]
+}

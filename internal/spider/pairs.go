@@ -1,0 +1,443 @@
+package spider
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+	"nvbench/internal/sqlparser"
+)
+
+// shape identifies a query template family. The mix is weighted so the
+// classified hardness distribution lands near Spider's (and the paper's
+// Figure 10): medium dominant, then easy and hard, extra hard the tail.
+type shape int
+
+const (
+	shapeSelect shape = iota
+	shapeSelectTwo
+	shapeTwoQuant
+	shapeWhere
+	shapeGroupCount
+	shapeGroupAgg
+	shapeTemporalCount
+	shapeOrderBy
+	shapeGroupWhere
+	shapeGroupHaving
+	shapeGroupOrder
+	shapeSuperlative
+	shapeJoinGroup
+	shapeThreeCol
+	shapeTemporalThree
+	shapeQuantQuantCat
+	shapeNested
+	shapeSetOp
+	shapeBetween
+	shapeLike
+)
+
+var shapeWeights = []struct {
+	s shape
+	w int
+}{
+	{shapeSelect, 8},
+	{shapeSelectTwo, 7},
+	{shapeTwoQuant, 5},
+	{shapeWhere, 10},
+	{shapeGroupCount, 14},
+	{shapeGroupAgg, 10},
+	{shapeTemporalCount, 7},
+	{shapeOrderBy, 6},
+	{shapeGroupWhere, 6},
+	{shapeGroupHaving, 5},
+	{shapeGroupOrder, 6},
+	{shapeSuperlative, 4},
+	{shapeJoinGroup, 5},
+	{shapeThreeCol, 3},
+	{shapeTemporalThree, 3},
+	{shapeQuantQuantCat, 3},
+	{shapeNested, 3},
+	{shapeSetOp, 2},
+	{shapeBetween, 3},
+	{shapeLike, 3},
+}
+
+func pickShape(r *rand.Rand) shape {
+	total := 0
+	for _, sw := range shapeWeights {
+		total += sw.w
+	}
+	n := r.Intn(total)
+	for _, sw := range shapeWeights {
+		if n < sw.w {
+			return sw.s
+		}
+		n -= sw.w
+	}
+	return shapeSelect
+}
+
+// colsOf returns the table's column names of one type, excluding ids and
+// foreign keys (they make poor NL subjects).
+func colsOf(db *dataset.Database, t *dataset.Table, ct dataset.ColType) []string {
+	var out []string
+	for _, c := range t.Columns {
+		if c.Type != ct {
+			continue
+		}
+		if c.Name == "id" || strings.HasSuffix(c.Name, "_id") {
+			continue
+		}
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+func pick(r *rand.Rand, xs []string) string { return xs[r.Intn(len(xs))] }
+
+// generatePair builds one (nl, sql) pair over a database. Shapes that the
+// chosen table cannot express (e.g. no temporal column) fall back to
+// simpler shapes, so generation always succeeds.
+func generatePair(r *rand.Rand, db *dataset.Database, id int) (*Pair, error) {
+	for attempt := 0; attempt < 20; attempt++ {
+		t := db.Tables[r.Intn(len(db.Tables))]
+		s := pickShape(r)
+		sqlText, nl, ok := buildShape(r, db, t, s)
+		if !ok {
+			continue
+		}
+		q, err := sqlparser.Parse(sqlText, db)
+		if err != nil {
+			return nil, fmt.Errorf("spider: generated unparseable SQL %q: %w", sqlText, err)
+		}
+		return &Pair{
+			ID:       id,
+			DB:       db,
+			NL:       nl,
+			SQL:      sqlText,
+			Query:    q,
+			Hardness: ast.Classify(q),
+		}, nil
+	}
+	// Guaranteed fallback: every table has an id column.
+	t := db.Tables[0]
+	sqlText := fmt.Sprintf("SELECT id FROM %s", t.Name)
+	nl := fmt.Sprintf("List the ids of all %ss.", noun(t.Name))
+	q, err := sqlparser.Parse(sqlText, db)
+	if err != nil {
+		return nil, err
+	}
+	return &Pair{ID: id, DB: db, NL: nl, SQL: sqlText, Query: q, Hardness: ast.Classify(q)}, nil
+}
+
+// noun renders a table name as an NL noun ("grade_report" -> "grade report").
+func noun(table string) string { return strings.ReplaceAll(table, "_", " ") }
+
+// word renders a column name for NL.
+func word(col string) string { return strings.ReplaceAll(col, "_", " ") }
+
+// sampleValue draws a literal from a column's actual values so filters are
+// satisfiable.
+func sampleValue(r *rand.Rand, t *dataset.Table, col string) (dataset.Cell, bool) {
+	vals := t.ColumnValues(col)
+	if len(vals) == 0 {
+		return dataset.Cell{}, false
+	}
+	return vals[r.Intn(len(vals))], true
+}
+
+var aggNames = []struct {
+	sql, nl string
+}{
+	{"AVG", "average"},
+	{"SUM", "total"},
+	{"MAX", "maximum"},
+	{"MIN", "minimum"},
+}
+
+// buildShape renders SQL text and an NL question for a shape, or ok=false
+// when the table lacks the needed column types.
+func buildShape(r *rand.Rand, db *dataset.Database, t *dataset.Table, s shape) (sqlText, nl string, ok bool) {
+	cCols := colsOf(db, t, dataset.Categorical)
+	tCols := colsOf(db, t, dataset.Temporal)
+	qCols := colsOf(db, t, dataset.Quantitative)
+	tn := noun(t.Name)
+
+	switch s {
+	case shapeSelect:
+		if len(cCols) == 0 {
+			return "", "", false
+		}
+		c := pick(r, cCols)
+		sqlText = fmt.Sprintf("SELECT %s FROM %s", c, t.Name)
+		nl = pickf(r,
+			"What are the %ss of all %ss?",
+			"List the %s of every %s.",
+			"Show the %s for each %s.",
+		)
+		nl = fmt.Sprintf(nl, word(c), tn)
+	case shapeSelectTwo:
+		if len(cCols) < 1 || len(qCols) < 1 {
+			return "", "", false
+		}
+		c, q := pick(r, cCols), pick(r, qCols)
+		sqlText = fmt.Sprintf("SELECT %s, %s FROM %s", c, q, t.Name)
+		nl = fmt.Sprintf(pickf(r,
+			"What are the %s and %s of each %s?",
+			"List the %s and %s of all %ss.",
+		), word(c), word(q), tn)
+	case shapeTwoQuant:
+		if len(qCols) < 2 {
+			return "", "", false
+		}
+		perm := r.Perm(len(qCols))
+		q1, q2 := qCols[perm[0]], qCols[perm[1]]
+		sqlText = fmt.Sprintf("SELECT %s, %s FROM %s", q1, q2, t.Name)
+		nl = fmt.Sprintf(pickf(r,
+			"What is the relationship between %s and %s for %ss?",
+			"Show %s versus %s across all %ss.",
+		), word(q1), word(q2), tn)
+	case shapeWhere:
+		if len(cCols) < 1 || len(qCols) < 1 {
+			return "", "", false
+		}
+		c, q := pick(r, cCols), pick(r, qCols)
+		v, ok2 := sampleValue(r, t, q)
+		if !ok2 {
+			return "", "", false
+		}
+		sqlText = fmt.Sprintf("SELECT %s FROM %s WHERE %s > %s", c, t.Name, q, v.String())
+		nl = fmt.Sprintf(pickf(r,
+			"What are the %ss of %ss whose %s is greater than %s?",
+			"Find the %s of every %s with %s above %s.",
+		), word(c), tn, word(q), v.String())
+	case shapeGroupCount:
+		if len(cCols) == 0 {
+			return "", "", false
+		}
+		c := pick(r, cCols)
+		sqlText = fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s", c, t.Name, c)
+		nl = fmt.Sprintf(pickf(r,
+			"How many %ss are there for each %s?",
+			"Count the number of %ss per %s.",
+			"What is the number of %ss in each %s?",
+		), tn, word(c))
+	case shapeGroupAgg:
+		if len(cCols) == 0 || len(qCols) == 0 {
+			return "", "", false
+		}
+		c, q := pick(r, cCols), pick(r, qCols)
+		agg := aggNames[r.Intn(len(aggNames))]
+		sqlText = fmt.Sprintf("SELECT %s, %s(%s) FROM %s GROUP BY %s", c, agg.sql, q, t.Name, c)
+		nl = fmt.Sprintf(pickf(r,
+			"What is the %s %s for each %s of %ss?",
+			"Show the %s %s per %s across all %ss.",
+		), agg.nl, word(q), word(c), tn)
+	case shapeTemporalCount:
+		if len(tCols) == 0 {
+			return "", "", false
+		}
+		tc := pick(r, tCols)
+		sqlText = fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s", tc, t.Name, tc)
+		nl = fmt.Sprintf(pickf(r,
+			"How many %ss are there over %s?",
+			"Count the %ss by %s.",
+		), tn, word(tc))
+	case shapeOrderBy:
+		if len(cCols) == 0 || len(qCols) == 0 {
+			return "", "", false
+		}
+		c, q := pick(r, cCols), pick(r, qCols)
+		dir, dirNL := "DESC", "descending"
+		if r.Intn(2) == 0 {
+			dir, dirNL = "ASC", "ascending"
+		}
+		sqlText = fmt.Sprintf("SELECT %s, %s FROM %s ORDER BY %s %s", c, q, t.Name, q, dir)
+		nl = fmt.Sprintf("List the %s and %s of all %ss in %s order of %s.",
+			word(c), word(q), tn, dirNL, word(q))
+	case shapeGroupWhere:
+		if len(cCols) == 0 || len(qCols) == 0 {
+			return "", "", false
+		}
+		c, q := pick(r, cCols), pick(r, qCols)
+		v, ok2 := sampleValue(r, t, q)
+		if !ok2 {
+			return "", "", false
+		}
+		sqlText = fmt.Sprintf("SELECT %s, COUNT(*) FROM %s WHERE %s > %s GROUP BY %s",
+			c, t.Name, q, v.String(), c)
+		nl = fmt.Sprintf("For %ss with %s above %s, how many are there in each %s?",
+			tn, word(q), v.String(), word(c))
+	case shapeGroupHaving:
+		if len(cCols) == 0 {
+			return "", "", false
+		}
+		c := pick(r, cCols)
+		k := 1 + r.Intn(5)
+		sqlText = fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s HAVING COUNT(*) > %d",
+			c, t.Name, c, k)
+		nl = fmt.Sprintf("Which %ss of %ss appear more than %d times, and how often?",
+			word(c), tn, k)
+	case shapeGroupOrder:
+		if len(cCols) == 0 {
+			return "", "", false
+		}
+		c := pick(r, cCols)
+		sqlText = fmt.Sprintf("SELECT %s, COUNT(*) FROM %s GROUP BY %s ORDER BY COUNT(*) DESC",
+			c, t.Name, c)
+		nl = fmt.Sprintf("How many %ss are there for each %s, from most to fewest?", tn, word(c))
+	case shapeSuperlative:
+		if len(cCols) == 0 || len(qCols) == 0 {
+			return "", "", false
+		}
+		c, q := pick(r, cCols), pick(r, qCols)
+		k := 1 + r.Intn(8)
+		kind, kindNL := "DESC", "highest"
+		if r.Intn(2) == 0 {
+			kind, kindNL = "ASC", "lowest"
+		}
+		sqlText = fmt.Sprintf("SELECT %s, %s FROM %s ORDER BY %s %s LIMIT %d",
+			c, q, t.Name, q, kind, k)
+		nl = fmt.Sprintf("What are the %s and %s of the %d %ss with the %s %s?",
+			word(c), word(q), k, tn, kindNL, word(q))
+	case shapeJoinGroup:
+		fk := joinableFK(db, t.Name)
+		if fk == nil {
+			return "", "", false
+		}
+		other := db.Table(fk.ToTable)
+		oc := colsOf(db, other, dataset.Categorical)
+		if len(oc) == 0 {
+			return "", "", false
+		}
+		c := pick(r, oc)
+		sqlText = fmt.Sprintf("SELECT %s.%s, COUNT(*) FROM %s JOIN %s ON %s.%s = %s.%s GROUP BY %s.%s",
+			other.Name, c, t.Name, other.Name,
+			t.Name, fk.FromColumn, other.Name, fk.ToColumn, other.Name, c)
+		nl = fmt.Sprintf("How many %ss are there for each %s of the %s they belong to?",
+			tn, word(c), noun(other.Name))
+	case shapeThreeCol:
+		if len(cCols) < 2 || len(qCols) < 1 {
+			return "", "", false
+		}
+		perm := r.Perm(len(cCols))
+		c1, c2 := cCols[perm[0]], cCols[perm[1]]
+		q := pick(r, qCols)
+		agg := aggNames[r.Intn(len(aggNames))]
+		sqlText = fmt.Sprintf("SELECT %s, %s(%s), %s FROM %s GROUP BY %s, %s",
+			c1, agg.sql, q, c2, t.Name, c1, c2)
+		nl = fmt.Sprintf("What is the %s %s for each %s, broken down by %s, among %ss?",
+			agg.nl, word(q), word(c1), word(c2), tn)
+	case shapeTemporalThree:
+		if len(tCols) == 0 || len(qCols) == 0 || len(cCols) == 0 {
+			return "", "", false
+		}
+		tc, q, c := pick(r, tCols), pick(r, qCols), pick(r, cCols)
+		sqlText = fmt.Sprintf("SELECT %s, %s, %s FROM %s", tc, q, c, t.Name)
+		nl = fmt.Sprintf("Show the %s and %s of %ss over %s.",
+			word(q), word(c), tn, word(tc))
+	case shapeQuantQuantCat:
+		if len(qCols) < 2 || len(cCols) == 0 {
+			return "", "", false
+		}
+		perm := r.Perm(len(qCols))
+		q1, q2 := qCols[perm[0]], qCols[perm[1]]
+		c := pick(r, cCols)
+		sqlText = fmt.Sprintf("SELECT %s, %s, %s FROM %s", q1, q2, c, t.Name)
+		nl = fmt.Sprintf("Compare %s against %s for %ss of each %s.",
+			word(q1), word(q2), tn, word(c))
+	case shapeNested:
+		if len(cCols) == 0 || len(qCols) == 0 {
+			return "", "", false
+		}
+		c, q := pick(r, cCols), pick(r, qCols)
+		sqlText = fmt.Sprintf("SELECT %s FROM %s WHERE %s > (SELECT AVG(%s) FROM %s)",
+			c, t.Name, q, q, t.Name)
+		nl = fmt.Sprintf("Which %ss have a %s above the average %s of all %ss? Show their %s.",
+			tn, word(q), word(q), tn, word(c))
+	case shapeSetOp:
+		if len(cCols) == 0 || len(qCols) == 0 {
+			return "", "", false
+		}
+		c, q := pick(r, cCols), pick(r, qCols)
+		v1, ok1 := sampleValue(r, t, q)
+		v2, ok2 := sampleValue(r, t, q)
+		if !ok1 || !ok2 {
+			return "", "", false
+		}
+		op, opNL := "UNION", "or"
+		if r.Intn(2) == 0 {
+			op, opNL = "INTERSECT", "and also"
+		}
+		sqlText = fmt.Sprintf("SELECT %s FROM %s WHERE %s > %s %s SELECT %s FROM %s WHERE %s < %s",
+			c, t.Name, q, v1.String(), op, c, t.Name, q, v2.String())
+		nl = fmt.Sprintf("Show the %s of %ss whose %s is above %s %s below %s.",
+			word(c), tn, word(q), v1.String(), opNL, v2.String())
+	case shapeBetween:
+		if len(cCols) == 0 || len(qCols) == 0 {
+			return "", "", false
+		}
+		c, q := pick(r, cCols), pick(r, qCols)
+		v1, ok1 := sampleValue(r, t, q)
+		v2, ok2 := sampleValue(r, t, q)
+		if !ok1 || !ok2 {
+			return "", "", false
+		}
+		lo, hi := v1, v2
+		if lo.Compare(hi) > 0 {
+			lo, hi = hi, lo
+		}
+		sqlText = fmt.Sprintf("SELECT %s, COUNT(*) FROM %s WHERE %s BETWEEN %s AND %s GROUP BY %s",
+			c, t.Name, q, lo.String(), hi.String(), c)
+		nl = fmt.Sprintf("How many %ss have a %s between %s and %s, per %s?",
+			tn, word(q), lo.String(), hi.String(), word(c))
+	case shapeLike:
+		if len(cCols) == 0 {
+			return "", "", false
+		}
+		c := pick(r, cCols)
+		v, ok2 := sampleValue(r, t, c)
+		if !ok2 || len(v.Str) == 0 {
+			return "", "", false
+		}
+		prefix := v.Str[:1]
+		sqlText = fmt.Sprintf("SELECT %s, COUNT(*) FROM %s WHERE %s LIKE '%s%%' GROUP BY %s",
+			c, t.Name, c, prefix, c)
+		nl = fmt.Sprintf("Count the %ss for each %s that starts with %q.", tn, word(c), prefix)
+	default:
+		return "", "", false
+	}
+	return sqlText, nl, true
+}
+
+func joinableFK(db *dataset.Database, table string) *dataset.ForeignKey {
+	for i, fk := range db.ForeignKeys {
+		if fk.FromTable == table {
+			return &db.ForeignKeys[i]
+		}
+	}
+	return nil
+}
+
+// pickf chooses one format string.
+func pickf(r *rand.Rand, options ...string) string { return options[r.Intn(len(options))] }
+
+// GeneratePairsFor synthesizes n (nl, sql) pairs over a user-supplied
+// database using the same query-shape machinery the built-in corpus uses.
+// This is the entry point for building an NL2VIS benchmark from your own
+// data (e.g. tables loaded with dataset.FromCSV) without handwriting SQL.
+// IDs start at startID.
+func GeneratePairsFor(db *dataset.Database, n int, seed int64, startID int) ([]*Pair, error) {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*Pair, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := generatePair(r, db, startID+i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,116 @@
+// Package sqlparser parses the Spider SQL subset into the unified AST of
+// package ast. The subset covers SELECT (with DISTINCT and the five
+// aggregates), FROM with multi-table joins, WHERE with AND/OR and the full
+// comparison/BETWEEN/LIKE/IN predicate set (including nested subqueries),
+// GROUP BY, HAVING, ORDER BY, LIMIT, and INTERSECT/UNION/EXCEPT.
+//
+// ORDER BY + LIMIT maps to the grammar's Superlative subtree (most/least);
+// ORDER BY alone maps to Order; a bare LIMIT becomes a Superlative on the
+// first selected attribute. JOIN ... ON conditions are recorded only as the
+// joined table set — the executor re-derives join predicates from schema
+// foreign keys, mirroring SemQL's implicit join resolution.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits SQL text into tokens. Identifiers are lower-cased (SQL is case
+// insensitive); string literals keep their case.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '\'' || c == '"':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < n {
+				if input[j] == quote {
+					if j+1 < n && input[j+1] == quote { // doubled quote escape
+						sb.WriteByte(quote)
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			if j >= n {
+				return nil, fmt.Errorf("sqlparser: unterminated string at %d", i)
+			}
+			toks = append(toks, token{kind: tokString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9'):
+			j := i
+			seenDot := false
+			for j < n && (input[j] >= '0' && input[j] <= '9' || (input[j] == '.' && !seenDot)) {
+				if input[j] == '.' {
+					seenDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < n && isIdentPart(rune(input[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: strings.ToLower(input[i:j]), pos: i})
+			i = j
+		case c == '>' || c == '<' || c == '!':
+			if i+1 < n && input[i+1] == '=' {
+				toks = append(toks, token{kind: tokSymbol, text: input[i : i+2], pos: i})
+				i += 2
+			} else if c == '<' && i+1 < n && input[i+1] == '>' {
+				toks = append(toks, token{kind: tokSymbol, text: "!=", pos: i})
+				i += 2
+			} else if c == '!' {
+				return nil, fmt.Errorf("sqlparser: stray '!' at %d", i)
+			} else {
+				toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+				i++
+			}
+		case strings.ContainsRune("(),.*=;", rune(c)):
+			toks = append(toks, token{kind: tokSymbol, text: string(c), pos: i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlparser: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}

@@ -1,0 +1,339 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+)
+
+func schemaDB() *dataset.Database {
+	return &dataset.Database{
+		Name: "flightdb",
+		Tables: []*dataset.Table{
+			{
+				Name: "flight",
+				Columns: []dataset.Column{
+					{Name: "fno", Type: dataset.Quantitative},
+					{Name: "origin", Type: dataset.Categorical},
+					{Name: "destination", Type: dataset.Categorical},
+					{Name: "price", Type: dataset.Quantitative},
+					{Name: "departure", Type: dataset.Temporal},
+					{Name: "aid", Type: dataset.Quantitative},
+				},
+			},
+			{
+				Name: "airline",
+				Columns: []dataset.Column{
+					{Name: "aid", Type: dataset.Quantitative},
+					{Name: "name", Type: dataset.Categorical},
+				},
+			},
+		},
+		ForeignKeys: []dataset.ForeignKey{
+			{FromTable: "flight", FromColumn: "aid", ToTable: "airline", ToColumn: "aid"},
+		},
+	}
+}
+
+func parseOK(t *testing.T, sql string) *ast.Query {
+	t.Helper()
+	q, err := Parse(sql, schemaDB())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate(%q): %v", sql, err)
+	}
+	return q
+}
+
+func TestSimpleSelect(t *testing.T) {
+	q := parseOK(t, "SELECT origin FROM flight")
+	if len(q.Left.Select) != 1 || q.Left.Select[0].Key() != "flight.origin" {
+		t.Fatalf("select = %+v", q.Left.Select)
+	}
+	if len(q.Left.Tables) != 1 || q.Left.Tables[0] != "flight" {
+		t.Fatalf("tables = %v", q.Left.Tables)
+	}
+}
+
+func TestQualifiedAndStar(t *testing.T) {
+	q := parseOK(t, "SELECT flight.origin, COUNT(*) FROM flight GROUP BY origin")
+	if q.Left.Select[1].Agg != ast.AggCount || q.Left.Select[1].Column != "*" {
+		t.Fatalf("count(*) = %+v", q.Left.Select[1])
+	}
+	if len(q.Left.Groups) != 1 || q.Left.Groups[0].Attr.Key() != "flight.origin" {
+		t.Fatalf("groups = %+v", q.Left.Groups)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	q := parseOK(t, "SELECT MAX(price), MIN(price), SUM(price), AVG(price), COUNT(DISTINCT origin) FROM flight")
+	wantAggs := []ast.AggFunc{ast.AggMax, ast.AggMin, ast.AggSum, ast.AggAvg, ast.AggCount}
+	for i, w := range wantAggs {
+		if q.Left.Select[i].Agg != w {
+			t.Errorf("select[%d].Agg = %v, want %v", i, q.Left.Select[i].Agg, w)
+		}
+	}
+	if !q.Left.Select[4].Distinct {
+		t.Error("COUNT(DISTINCT ...) should set Distinct")
+	}
+}
+
+func TestWhereOperators(t *testing.T) {
+	cases := []struct {
+		sql string
+		op  ast.FilterOp
+	}{
+		{"SELECT origin FROM flight WHERE price > 300", ast.FilterGT},
+		{"SELECT origin FROM flight WHERE price < 300", ast.FilterLT},
+		{"SELECT origin FROM flight WHERE price >= 300", ast.FilterGE},
+		{"SELECT origin FROM flight WHERE price <= 300", ast.FilterLE},
+		{"SELECT origin FROM flight WHERE price = 300", ast.FilterEQ},
+		{"SELECT origin FROM flight WHERE price != 300", ast.FilterNE},
+		{"SELECT origin FROM flight WHERE price <> 300", ast.FilterNE},
+		{"SELECT origin FROM flight WHERE price BETWEEN 100 AND 300", ast.FilterBetween},
+		{"SELECT origin FROM flight WHERE origin LIKE 'New%'", ast.FilterLike},
+		{"SELECT origin FROM flight WHERE origin NOT LIKE 'New%'", ast.FilterNotLike},
+		{"SELECT origin FROM flight WHERE origin IN ('JFK', 'LAX')", ast.FilterIn},
+		{"SELECT origin FROM flight WHERE origin NOT IN ('JFK')", ast.FilterNotIn},
+	}
+	for _, c := range cases {
+		q := parseOK(t, c.sql)
+		if q.Left.Filter == nil || q.Left.Filter.Op != c.op {
+			t.Errorf("%q: filter = %+v, want op %v", c.sql, q.Left.Filter, c.op)
+		}
+	}
+}
+
+func TestWherePrecedence(t *testing.T) {
+	// a AND b OR c parses as (a AND b) OR c.
+	q := parseOK(t, "SELECT origin FROM flight WHERE price > 1 AND price < 9 OR origin = 'JFK'")
+	f := q.Left.Filter
+	if f.Op != ast.FilterOr || f.Left.Op != ast.FilterAnd {
+		t.Fatalf("precedence wrong: %v", f)
+	}
+	// Parentheses override.
+	q = parseOK(t, "SELECT origin FROM flight WHERE price > 1 AND (price < 9 OR origin = 'JFK')")
+	f = q.Left.Filter
+	if f.Op != ast.FilterAnd || f.Right.Op != ast.FilterOr {
+		t.Fatalf("paren precedence wrong: %v", f)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	q := parseOK(t, "SELECT origin, COUNT(*) FROM flight GROUP BY origin HAVING COUNT(*) > 10")
+	if q.Left.Filter == nil || !q.Left.Filter.Having {
+		t.Fatalf("having not set: %+v", q.Left.Filter)
+	}
+	if q.Left.Filter.Attr.Agg != ast.AggCount {
+		t.Fatalf("having attr = %+v", q.Left.Filter.Attr)
+	}
+}
+
+func TestWherePlusHavingCombined(t *testing.T) {
+	q := parseOK(t, "SELECT origin, COUNT(*) FROM flight WHERE price > 100 GROUP BY origin HAVING COUNT(*) > 2")
+	f := q.Left.Filter
+	if f.Op != ast.FilterAnd {
+		t.Fatalf("expected AND of where+having, got %v", f.Op)
+	}
+	if f.Left.Having || !f.Right.Having {
+		t.Fatalf("having flags wrong: %v / %v", f.Left.Having, f.Right.Having)
+	}
+}
+
+func TestOrderByAndLimit(t *testing.T) {
+	q := parseOK(t, "SELECT origin FROM flight ORDER BY price DESC")
+	if q.Left.Order == nil || q.Left.Order.Dir != ast.Desc {
+		t.Fatalf("order = %+v", q.Left.Order)
+	}
+	q = parseOK(t, "SELECT origin FROM flight ORDER BY price ASC")
+	if q.Left.Order == nil || q.Left.Order.Dir != ast.Asc {
+		t.Fatalf("order = %+v", q.Left.Order)
+	}
+	// ORDER BY + LIMIT becomes Superlative.
+	q = parseOK(t, "SELECT origin FROM flight ORDER BY price DESC LIMIT 5")
+	if q.Left.Order != nil || q.Left.Superlative == nil {
+		t.Fatalf("superlative not built: %+v / %+v", q.Left.Order, q.Left.Superlative)
+	}
+	if !q.Left.Superlative.Most || q.Left.Superlative.K != 5 {
+		t.Fatalf("superlative = %+v", q.Left.Superlative)
+	}
+	// LIMIT alone becomes a "least" superlative on the first select attr.
+	q = parseOK(t, "SELECT origin FROM flight LIMIT 3")
+	if q.Left.Superlative == nil || q.Left.Superlative.K != 3 || q.Left.Superlative.Most {
+		t.Fatalf("bare limit = %+v", q.Left.Superlative)
+	}
+}
+
+func TestJoins(t *testing.T) {
+	q := parseOK(t, "SELECT airline.name, COUNT(*) FROM flight JOIN airline ON flight.aid = airline.aid GROUP BY airline.name")
+	if len(q.Left.Tables) != 2 {
+		t.Fatalf("tables = %v", q.Left.Tables)
+	}
+	if !q.HasJoin() {
+		t.Error("HasJoin should be true")
+	}
+	// Comma joins too.
+	q = parseOK(t, "SELECT airline.name FROM flight, airline WHERE price > 10")
+	if len(q.Left.Tables) != 2 {
+		t.Fatalf("comma join tables = %v", q.Left.Tables)
+	}
+}
+
+func TestAliases(t *testing.T) {
+	q := parseOK(t, "SELECT f.origin, a.name FROM flight AS f JOIN airline AS a ON f.aid = a.aid")
+	if q.Left.Select[0].Table != "flight" || q.Left.Select[1].Table != "airline" {
+		t.Fatalf("alias resolution: %+v", q.Left.Select)
+	}
+	// Implicit alias without AS.
+	q = parseOK(t, "SELECT f.origin FROM flight f")
+	if q.Left.Select[0].Table != "flight" {
+		t.Fatalf("implicit alias: %+v", q.Left.Select)
+	}
+}
+
+func TestBareColumnResolution(t *testing.T) {
+	// "name" exists only in airline; schema resolution must find it.
+	q := parseOK(t, "SELECT name FROM flight JOIN airline ON flight.aid = airline.aid")
+	if q.Left.Select[0].Table != "airline" {
+		t.Fatalf("bare column resolved to %q, want airline", q.Left.Select[0].Table)
+	}
+}
+
+func TestNestedSubqueries(t *testing.T) {
+	q := parseOK(t, "SELECT origin FROM flight WHERE aid IN (SELECT aid FROM airline WHERE name = 'Delta')")
+	if !q.HasNested() {
+		t.Fatal("HasNested should be true")
+	}
+	q = parseOK(t, "SELECT origin FROM flight WHERE price > (SELECT AVG(price) FROM flight)")
+	if !q.HasNested() {
+		t.Fatal("scalar subquery: HasNested should be true")
+	}
+}
+
+func TestSetOperators(t *testing.T) {
+	for _, c := range []struct {
+		kw string
+		op ast.SetOp
+	}{
+		{"INTERSECT", ast.SetIntersect},
+		{"UNION", ast.SetUnion},
+		{"EXCEPT", ast.SetExcept},
+	} {
+		q := parseOK(t, "SELECT origin FROM flight "+c.kw+" SELECT destination FROM flight")
+		if q.SetOp != c.op || q.Right == nil {
+			t.Errorf("%s: setop = %v", c.kw, q.SetOp)
+		}
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	q := parseOK(t, "SELECT DISTINCT origin FROM flight")
+	if !q.Left.Select[0].Distinct {
+		t.Fatal("DISTINCT not set")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	q := parseOK(t, "SELECT origin FROM flight WHERE origin = 'O''Hare'")
+	if q.Left.Filter.Values[0].Str != "O'Hare" {
+		t.Fatalf("escaped quote: %q", q.Left.Filter.Values[0].Str)
+	}
+	q = parseOK(t, `SELECT origin FROM flight WHERE origin = "New York"`)
+	if q.Left.Filter.Values[0].Str != "New York" {
+		t.Fatalf("double quoted: %q", q.Left.Filter.Values[0].Str)
+	}
+}
+
+func TestTrailingSemicolon(t *testing.T) {
+	parseOK(t, "SELECT origin FROM flight;")
+}
+
+func TestCanonicalRoundTrip(t *testing.T) {
+	// The SQL->AST->tokens->AST pipeline must be stable.
+	sqls := []string{
+		"SELECT origin, COUNT(*) FROM flight GROUP BY origin",
+		"SELECT MAX(price) FROM flight WHERE origin = 'JFK'",
+		"SELECT origin FROM flight ORDER BY price DESC LIMIT 3",
+		"SELECT airline.name, AVG(flight.price) FROM flight JOIN airline ON flight.aid = airline.aid GROUP BY airline.name HAVING COUNT(*) > 1",
+		"SELECT origin FROM flight WHERE aid IN (SELECT aid FROM airline) UNION SELECT destination FROM flight",
+	}
+	for _, sql := range sqls {
+		q := parseOK(t, sql)
+		q2, err := ast.ParseTokens(q.Tokens())
+		if err != nil {
+			t.Fatalf("token round trip of %q: %v", sql, err)
+		}
+		if !q.Equal(q2) {
+			t.Errorf("round trip mismatch for %q:\n  %s\n  %s", sql, q, q2)
+		}
+	}
+}
+
+func TestParseWithoutSchema(t *testing.T) {
+	q, err := Parse("SELECT a, b FROM t WHERE a > 1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Left.Select[0].Table != "t" {
+		t.Fatalf("no-schema resolution: %+v", q.Left.Select[0])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM flight",
+		"SELECT origin flight",
+		"SELECT origin FROM",
+		"SELECT origin FROM nosuchtable",
+		"SELECT origin FROM flight WHERE",
+		"SELECT origin FROM flight WHERE price >",
+		"SELECT origin FROM flight WHERE price !> 3",
+		"SELECT origin FROM flight WHERE price BETWEEN 1",
+		"SELECT origin FROM flight GROUP origin",
+		"SELECT origin FROM flight ORDER price",
+		"SELECT origin FROM flight LIMIT x",
+		"SELECT origin FROM flight WHERE origin NOT price",
+		"SELECT origin FROM flight UNION",
+		"SELECT origin FROM flight WHERE 1",
+		"SELECT origin FROM flight GROUP BY origin trailing nonsense here",
+		"SELECT COUNT(origin FROM flight",
+		"SELECT origin FROM flight WHERE origin = 'unterminated",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql, schemaDB()); err == nil {
+			t.Errorf("Parse(%q): expected error", sql)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("not sql", nil)
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex("SELECT a >= 1.5 != 'x''y'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind != tokEOF {
+			texts = append(texts, tk.text)
+		}
+	}
+	want := "select a >= 1.5 != x'y"
+	if got := strings.Join(texts, " "); got != want {
+		t.Errorf("lex = %q, want %q", got, want)
+	}
+}

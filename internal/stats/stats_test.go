@@ -1,0 +1,260 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Variance(xs) != 4 {
+		t.Errorf("Variance = %g", Variance(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Errorf("StdDev = %g", StdDev(xs))
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Error("empty input should yield 0")
+	}
+}
+
+func TestSkewness(t *testing.T) {
+	sym := []float64{1, 2, 3, 4, 5, 6, 7}
+	if g := Skewness(sym); math.Abs(g) > 1e-9 {
+		t.Errorf("symmetric skewness = %g", g)
+	}
+	right := []float64{1, 1, 1, 1, 2, 2, 3, 10, 50}
+	if g := Skewness(right); g <= 1 {
+		t.Errorf("right-skewed skewness = %g, want > 1", g)
+	}
+	if Skewness([]float64{1, 2}) != 0 {
+		t.Error("short input should yield 0")
+	}
+	if Skewness([]float64{3, 3, 3, 3}) != 0 {
+		t.Error("constant input should yield 0")
+	}
+}
+
+func TestClassifySkew(t *testing.T) {
+	cases := []struct {
+		g    float64
+		want SkewClass
+	}{
+		{0, ApproxSymmetric}, {0.49, ApproxSymmetric}, {-0.3, ApproxSymmetric},
+		{0.5, ModeratelySkewed}, {-0.9, ModeratelySkewed},
+		{1, HighlySkewed}, {-5, HighlySkewed},
+	}
+	for _, c := range cases {
+		if got := ClassifySkew(c.g); got != c.want {
+			t.Errorf("ClassifySkew(%g) = %v, want %v", c.g, got, c.want)
+		}
+	}
+}
+
+func TestQuartilesAndPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	q1, q2, q3 := Quartiles(xs)
+	if q1 != 3.5 || q2 != 6 || q3 != 8.5 {
+		t.Errorf("quartiles = %g %g %g", q1, q2, q3)
+	}
+	if Percentile([]float64{5}, 0.5) != 5 {
+		t.Error("single element percentile")
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile")
+	}
+}
+
+func TestOutlierPercent(t *testing.T) {
+	clean := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := OutlierPercent(clean); p != 0 {
+		t.Errorf("clean outliers = %g", p)
+	}
+	dirty := append(append([]float64{}, clean...), 1000)
+	if p := OutlierPercent(dirty); p <= 0 {
+		t.Errorf("dirty outliers = %g", p)
+	}
+	if OutlierPercent(nil) != 0 {
+		t.Error("empty outliers")
+	}
+}
+
+func TestClassifyOutliers(t *testing.T) {
+	cases := []struct {
+		frac float64
+		want OutlierClass
+	}{
+		{0, NoOutliers}, {0.005, FewOutliers}, {0.01, FewOutliers},
+		{0.05, SomeOutliers}, {0.10, SomeOutliers}, {0.2, ManyOutliers},
+	}
+	for _, c := range cases {
+		if got := ClassifyOutliers(c.frac); got != c.want {
+			t.Errorf("ClassifyOutliers(%g) = %v, want %v", c.frac, got, c.want)
+		}
+	}
+}
+
+func sample(r *rand.Rand, n int, gen func() float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = gen()
+	}
+	return xs
+}
+
+func TestFitDistributionRecovers(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 400
+	cases := []struct {
+		name string
+		gen  func() float64
+		want Distribution
+	}{
+		{"normal", func() float64 { return 50 + 5*r.NormFloat64() }, DistNormal},
+		{"lognormal", func() float64 { return math.Exp(1 + 0.6*r.NormFloat64()) }, DistLogNormal},
+		{"exponential", func() float64 { return r.ExpFloat64() * 10 }, DistExponential},
+		{"uniform", func() float64 { return r.Float64() * 100 }, DistUniform},
+		{"powerlaw", func() float64 { return 1 * math.Pow(1-r.Float64(), -1/1.5) }, DistPowerLaw}, // alpha = 2.5
+	}
+	for _, c := range cases {
+		xs := sample(r, n, c.gen)
+		got, ks := FitDistribution(xs)
+		if got != c.want {
+			t.Errorf("%s: fit = %v (ks=%.3f), want %v", c.name, got, ks, c.want)
+		}
+	}
+}
+
+func TestFitDistributionChiSquare(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	// chi-square with k=4 as a sum of 4 squared standard normals.
+	gen := func() float64 {
+		s := 0.0
+		for i := 0; i < 4; i++ {
+			z := r.NormFloat64()
+			s += z * z
+		}
+		return s
+	}
+	xs := sample(r, 500, gen)
+	got, ks := FitDistribution(xs)
+	// Chi-square(4) is close to other right-skewed candidates; accept
+	// chi-square or the overlapping gamma-family shapes.
+	if got != DistChiSquare && got != DistLogNormal && got != DistExponential {
+		t.Errorf("chi2 fit = %v (ks=%.3f)", got, ks)
+	}
+}
+
+func TestFitDistributionDegenerate(t *testing.T) {
+	if d, _ := FitDistribution([]float64{1, 2, 3}); d != DistNone {
+		t.Error("short column should be DistNone")
+	}
+	constant := make([]float64, 50)
+	for i := range constant {
+		constant[i] = 7
+	}
+	if d, _ := FitDistribution(constant); d != DistNone {
+		t.Error("constant column should be DistNone")
+	}
+}
+
+func TestGammaP(t *testing.T) {
+	// P(1, x) = 1 - exp(-x) for the exponential special case.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-x)
+		if got := gammaP(1, x); math.Abs(got-want) > 1e-7 {
+			t.Errorf("gammaP(1,%g) = %g, want %g", x, got, want)
+		}
+	}
+	// Chi-square(2) median is 2*ln 2.
+	if got := gammaP(1, math.Ln2); math.Abs(got-0.5) > 1e-7 {
+		t.Errorf("chi2(2) median CDF = %g", got)
+	}
+	if gammaP(2, 0) != 0 || gammaP(0, 1) != 0 {
+		t.Error("gammaP boundary cases")
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	if got := normalCDF(0, 0, 1); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Phi(0) = %g", got)
+	}
+	if got := normalCDF(1.96, 0, 1); math.Abs(got-0.975) > 1e-3 {
+		t.Errorf("Phi(1.96) = %g", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{5, 10, 100})
+	for _, v := range []float64{1, 5, 6, 10, 50, 1000} {
+		h.Add(v)
+	}
+	want := []int{2, 2, 1, 1}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.Total() != 6 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %g", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %g", got)
+	}
+	if Correlation(xs, []float64{1, 1, 1, 1, 1}) != 0 {
+		t.Error("constant column correlation should be 0")
+	}
+	if Correlation(xs, xs[:3]) != 0 {
+		t.Error("length mismatch should be 0")
+	}
+}
+
+// Property: the KS statistic is always in [0, 1], and fitting never panics
+// on arbitrary finite data.
+func TestQuickFitBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(120)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = (r.Float64() - 0.5) * 2000 // both signs
+		}
+		_, ks := FitDistribution(xs)
+		return ks >= 0 && (ks <= 1 || math.IsInf(ks, 1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: outlier percentage is within [0, 1] and quartiles are ordered.
+func TestQuickQuartileOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 100
+		}
+		q1, q2, q3 := Quartiles(xs)
+		p := OutlierPercent(xs)
+		return q1 <= q2 && q2 <= q3 && p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,181 @@
+// Package tpc provides TPC-H and TPC-DS shaped databases and the four
+// Figure 7 visualization queries the paper uses to validate the
+// transformation and filtering mechanism (Section 2.4): TPC-H Q20 (a pie
+// with too many slices — bad), TPC-H Q8 (market share over years — good),
+// TPC-DS Q9 (a single-value bar — bad), and TPC-DS Q7 (a two-variable
+// scatter — good). Data is generated deterministically; only the schema and
+// query shapes matter for the experiment.
+package tpc
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+)
+
+// TPCH builds a reduced TPC-H database: supplier, part, orders and
+// lineitem, sized so the Figure 7(a)/(b) charts exhibit the intended
+// good/bad behaviour.
+func TPCH(seed int64) *dataset.Database {
+	r := rand.New(rand.NewSource(seed))
+	supplier := &dataset.Table{
+		Name: "supplier",
+		Columns: []dataset.Column{
+			{Name: "id", Type: dataset.Quantitative},
+			{Name: "name", Type: dataset.Categorical},
+			{Name: "nation", Type: dataset.Categorical},
+			{Name: "acctbal", Type: dataset.Quantitative},
+		},
+	}
+	nations := []string{"BRAZIL", "FRANCE", "GERMANY", "JAPAN", "KENYA", "PERU", "CHINA", "INDIA"}
+	for i := 0; i < 90; i++ { // many suppliers: Q20's pie becomes unreadable
+		supplier.Rows = append(supplier.Rows, []dataset.Cell{
+			dataset.N(float64(i + 1)),
+			dataset.S(fmt.Sprintf("Supplier#%03d", i+1)),
+			dataset.S(nations[r.Intn(len(nations))]),
+			dataset.N(1000 + r.Float64()*9000),
+		})
+	}
+	orders := &dataset.Table{
+		Name: "orders",
+		Columns: []dataset.Column{
+			{Name: "id", Type: dataset.Quantitative},
+			{Name: "orderdate", Type: dataset.Temporal},
+			{Name: "totalprice", Type: dataset.Quantitative},
+			{Name: "supplier_id", Type: dataset.Quantitative},
+			{Name: "mktshare", Type: dataset.Quantitative},
+		},
+	}
+	base := time.Date(1993, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 600; i++ {
+		yearOffset := r.Intn(5)
+		orders.Rows = append(orders.Rows, []dataset.Cell{
+			dataset.N(float64(i + 1)),
+			dataset.T(base.AddDate(yearOffset, r.Intn(12), r.Intn(28))),
+			dataset.N(1000 + r.Float64()*50000),
+			dataset.N(float64(1 + r.Intn(90))),
+			dataset.N(0.02 + 0.01*float64(yearOffset) + r.Float64()*0.01),
+		})
+	}
+	return &dataset.Database{
+		Name:   "tpch",
+		Domain: "Benchmark",
+		Tables: []*dataset.Table{supplier, orders},
+		ForeignKeys: []dataset.ForeignKey{
+			{FromTable: "orders", FromColumn: "supplier_id", ToTable: "supplier", ToColumn: "id"},
+		},
+	}
+}
+
+// TPCDS builds a reduced TPC-DS database: store_sales with item, shaped for
+// Figure 7(c)/(d).
+func TPCDS(seed int64) *dataset.Database {
+	r := rand.New(rand.NewSource(seed))
+	sales := &dataset.Table{
+		Name: "store_sales",
+		Columns: []dataset.Column{
+			{Name: "id", Type: dataset.Quantitative},
+			{Name: "quantity", Type: dataset.Quantitative},
+			{Name: "list_price", Type: dataset.Quantitative},
+			{Name: "coupon_amt", Type: dataset.Quantitative},
+			{Name: "channel", Type: dataset.Categorical},
+		},
+	}
+	channels := []string{"store", "web", "catalog"}
+	for i := 0; i < 400; i++ {
+		price := 5 + r.Float64()*95
+		sales.Rows = append(sales.Rows, []dataset.Cell{
+			dataset.N(float64(i + 1)),
+			dataset.N(float64(1 + r.Intn(60))),
+			dataset.N(price),
+			dataset.N(price*0.1 + r.Float64()*3), // correlated with price
+			dataset.S(channels[r.Intn(len(channels))]),
+		})
+	}
+	return &dataset.Database{
+		Name:   "tpcds",
+		Domain: "Benchmark",
+		Tables: []*dataset.Table{sales},
+	}
+}
+
+// Case is one Figure 7 experiment row.
+type Case struct {
+	Name       string
+	Label      string // the paper's panel, e.g. "(a) TPC-H Q20"
+	DB         *dataset.Database
+	Query      *ast.Query
+	ExpectGood bool
+	Reason     string // why the paper calls it good/bad
+}
+
+// Figure7 returns the four cases with their expected filter verdicts.
+func Figure7(seed int64) []Case {
+	h := TPCH(seed)
+	ds := TPCDS(seed + 1)
+	q20 := &ast.Query{ // pie of per-supplier account balance: ~90 slices
+		Visualize: ast.Pie,
+		Left: &ast.Core{
+			Select: []ast.Attr{
+				{Column: "name", Table: "supplier"},
+				{Agg: ast.AggSum, Column: "acctbal", Table: "supplier"},
+			},
+			Tables: []string{"supplier"},
+			Groups: []ast.Group{{Kind: ast.Grouping, Attr: ast.Attr{Column: "name", Table: "supplier"}}},
+		},
+	}
+	q8 := &ast.Query{ // market share trend over years
+		Visualize: ast.Bar,
+		Left: &ast.Core{
+			Select: []ast.Attr{
+				{Column: "orderdate", Table: "orders"},
+				{Agg: ast.AggAvg, Column: "mktshare", Table: "orders"},
+			},
+			Tables: []string{"orders"},
+			Groups: []ast.Group{{
+				Kind: ast.Binning,
+				Attr: ast.Attr{Column: "orderdate", Table: "orders"},
+				Bin:  ast.BinYear,
+			}},
+		},
+	}
+	q9 := &ast.Query{ // one aggregate value as a bar
+		Visualize: ast.Bar,
+		Left: &ast.Core{
+			Select: []ast.Attr{
+				{Column: "channel", Table: "store_sales"},
+				{Agg: ast.AggSum, Column: "quantity", Table: "store_sales"},
+			},
+			Tables: []string{"store_sales"},
+			Filter: &ast.Filter{
+				Op:     ast.FilterEQ,
+				Attr:   ast.Attr{Column: "channel", Table: "store_sales"},
+				Values: []ast.Value{ast.StringValue("store")},
+			},
+			Groups: []ast.Group{{Kind: ast.Grouping, Attr: ast.Attr{Column: "channel", Table: "store_sales"}}},
+		},
+	}
+	q7 := &ast.Query{ // correlation between two quantities
+		Visualize: ast.Scatter,
+		Left: &ast.Core{
+			Select: []ast.Attr{
+				{Column: "list_price", Table: "store_sales"},
+				{Column: "coupon_amt", Table: "store_sales"},
+			},
+			Tables: []string{"store_sales"},
+		},
+	}
+	return []Case{
+		{Name: "tpch-q20", Label: "(a) TPC-H Q20", DB: h, Query: q20, ExpectGood: false,
+			Reason: "pie with ~90 slices is unreadable"},
+		{Name: "tpch-q8", Label: "(b) TPC-H Q8", DB: h, Query: q8, ExpectGood: true,
+			Reason: "market share trend over years"},
+		{Name: "tpcds-q9", Label: "(c) TPC-DS Q9", DB: ds, Query: q9, ExpectGood: false,
+			Reason: "a single value is better shown as a table"},
+		{Name: "tpcds-q7", Label: "(d) TPC-DS Q7", DB: ds, Query: q7, ExpectGood: true,
+			Reason: "correlation between two variables"},
+	}
+}

@@ -1,0 +1,74 @@
+package tpc
+
+import (
+	"testing"
+
+	"nvbench/internal/dataset"
+	"nvbench/internal/deepeye"
+)
+
+func TestSchemasExecutable(t *testing.T) {
+	for _, c := range Figure7(1) {
+		if err := c.Query.Validate(); err != nil {
+			t.Fatalf("%s: invalid query: %v", c.Name, err)
+		}
+		res, err := dataset.Execute(c.DB, c.Query)
+		if err != nil {
+			t.Fatalf("%s: execution failed: %v", c.Name, err)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s: empty result", c.Name)
+		}
+	}
+}
+
+func TestFigure7FilterVerdicts(t *testing.T) {
+	fl := deepeye.NewFilter()
+	for _, c := range Figure7(1) {
+		good, reason, _, err := fl.Good(c.DB, c.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if good != c.ExpectGood {
+			t.Errorf("%s (%s): filter said good=%v (reason %q), paper expects good=%v (%s)",
+				c.Name, c.Label, good, reason, c.ExpectGood, c.Reason)
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	a, b := TPCH(9), TPCH(9)
+	if len(a.Tables[0].Rows) != len(b.Tables[0].Rows) {
+		t.Fatal("row counts differ")
+	}
+	for i, row := range a.Tables[0].Rows {
+		for j := range row {
+			if row[j].String() != b.Tables[0].Rows[i][j].String() {
+				t.Fatalf("cell (%d,%d) differs", i, j)
+			}
+		}
+	}
+}
+
+func TestQ20SliceCount(t *testing.T) {
+	cases := Figure7(1)
+	res, err := dataset.Execute(cases[0].DB, cases[0].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) <= deepeye.MaxPieSlices {
+		t.Fatalf("Q20 pie has only %d slices; the bad case needs more than %d",
+			len(res.Rows), deepeye.MaxPieSlices)
+	}
+}
+
+func TestQ9SingleValue(t *testing.T) {
+	cases := Figure7(1)
+	res, err := dataset.Execute(cases[2].DB, cases[2].Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("Q9 should produce a single value, got %d rows", len(res.Rows))
+	}
+}
