@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The mini-module under testdata/srcmod seeds exactly one violation per
+// analyzer: a non-exhaustive enum switch and a time.Now call and a stdout
+// print in fixture/internal/core, and a dropped error in fixture/cmd/tool.
+
+func TestDriverFindsSeededViolations(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "testdata/srcmod", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"internal/core/core.go:15:2: switch over ast.Kind is not exhaustive: missing KindPie (add the cases or a default) (exhaustive)",
+		"internal/core/core.go:26:9: call to time.Now in deterministic package core; inject the timestamp from the caller (detrand)",
+		"internal/core/core.go:31:2: fmt.Println prints to os.Stdout from internal package core; write to an injected io.Writer (noprint)",
+		"cmd/tool/main.go:16:2: unhandled error returned by save (errdrop)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q\ngot:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(stderr.String(), "4 finding(s)") {
+		t.Errorf("stderr missing summary, got: %s", stderr.String())
+	}
+}
+
+func TestDriverJSONOutput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "testdata/srcmod", "-json", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var diags []jsonDiagnostic
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 4 {
+		t.Fatalf("got %d findings, want 4: %+v", len(diags), diags)
+	}
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if d.File == "" || d.Line == 0 || d.Message == "" {
+			t.Errorf("incomplete JSON diagnostic: %+v", d)
+		}
+	}
+	for _, name := range []string{"detrand", "errdrop", "exhaustive", "noprint"} {
+		if byAnalyzer[name] != 1 {
+			t.Errorf("analyzer %s reported %d findings, want 1", name, byAnalyzer[name])
+		}
+	}
+}
+
+func TestDriverDisableFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "testdata/srcmod", "-errdrop=false", "./..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if strings.Contains(stdout.String(), "errdrop") {
+		t.Errorf("disabled analyzer still reported:\n%s", stdout.String())
+	}
+	stdout.Reset()
+	stderr.Reset()
+	code = run([]string{"-C", "testdata/srcmod", "-errdrop=false", "-exhaustive=false", "-detrand=false", "-noprint=false", "./..."}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("all analyzers disabled: exit code = %d, want 0; stdout: %s", code, stdout.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected empty output, got: %s", stdout.String())
+	}
+}
+
+func TestDriverSelectsPackages(t *testing.T) {
+	// Restricting the pattern to cmd/... must only surface the errdrop
+	// finding.
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-C", "testdata/srcmod", "./cmd/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "errdrop") || strings.Contains(out, "exhaustive") {
+		t.Errorf("unexpected findings for ./cmd/...:\n%s", out)
+	}
+}
+
+func TestDriverBadUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-C", "testdata/srcmod", "./no-such-dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad pattern: exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-not-a-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag: exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-C", "/", "./..."}, &stdout, &stderr); code != 2 {
+		t.Fatalf("no module: exit code = %d, want 2", code)
+	}
+}

@@ -1,0 +1,18 @@
+// Command tool carries the seeded errdrop violation: a call whose returned
+// error is silently discarded.
+package main
+
+import (
+	"os"
+
+	"fixture/internal/core"
+)
+
+func save(path string) error {
+	return os.WriteFile(path, []byte("x"), 0o644)
+}
+
+func main() {
+	save("out.json")
+	core.Announce(1)
+}

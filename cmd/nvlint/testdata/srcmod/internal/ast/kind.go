@@ -1,0 +1,13 @@
+// Package ast declares the mini-module's enum, mirroring the real
+// internal/ast iota enums.
+package ast
+
+// Kind is a small chart-kind enum.
+type Kind int
+
+// Kind variants.
+const (
+	KindBar Kind = iota
+	KindPie
+	KindLine
+)

@@ -1,0 +1,32 @@
+// Package core carries one seeded violation for each package-scoped
+// analyzer: a non-exhaustive switch over the enum from fixture/internal/ast
+// (exhaustive), a time.Now call (detrand) and a print to stdout (noprint).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fixture/internal/ast"
+)
+
+// Label names a kind but forgets KindPie and has no default.
+func Label(k ast.Kind) string {
+	switch k {
+	case ast.KindBar:
+		return "bar"
+	case ast.KindLine:
+		return "line"
+	}
+	return ""
+}
+
+// Stamp leaks the wall clock into a deterministic package.
+func Stamp() int64 {
+	return time.Now().Unix()
+}
+
+// Announce prints to stdout from a library package.
+func Announce(n int) {
+	fmt.Println("synthesized", n)
+}

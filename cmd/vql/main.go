@@ -98,7 +98,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Println()
-		os.Stdout.Write(out)
+		if _, err := os.Stdout.Write(out); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Println()
 	}
 }

@@ -1,0 +1,111 @@
+// Package analysistest runs an Analyzer over a fixture package and checks
+// its diagnostics against expectations embedded in the fixture source, in
+// the style of golang.org/x/tools/go/analysis/analysistest.
+//
+// An expectation is a comment of the form
+//
+//	// want "regexp"
+//
+// placed on the line where a diagnostic is expected. Several expectations
+// may share one comment: // want "first" "second". Every diagnostic must
+// match exactly one expectation on its line and every expectation must be
+// matched by exactly one diagnostic, so both missed findings and
+// regressions (extra findings) fail the test.
+package analysistest
+
+import (
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nvbench/internal/analysis"
+)
+
+// wantRe matches one quoted expectation; the payload is a Go-quoted string
+// (interpreted or raw/backquoted) holding a regular expression.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads the single fixture package in dir under importPath, applies the
+// analyzer, and reports any mismatch between diagnostics and // want
+// expectations as test errors. It returns the diagnostics for additional
+// assertions.
+func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	loader := analysis.NewAdHocLoader(dir, importPath)
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
+
+	wants := collectWants(t, pkg)
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+	return diags
+}
+
+// collectWants extracts the expectations from every comment in the package.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseComment(t, pkg, c)...)
+			}
+		}
+	}
+	return wants
+}
+
+func parseComment(t *testing.T, pkg *analysis.Package, c *ast.Comment) []*expectation {
+	t.Helper()
+	text := strings.TrimPrefix(c.Text, "//")
+	idx := strings.Index(text, "want ")
+	if idx < 0 {
+		return nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	var out []*expectation
+	for _, q := range wantRe.FindAllString(text[idx+len("want "):], -1) {
+		pat, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %s: %v", pos, q, err)
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s: bad want regexp %q: %v", pos, pat, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re})
+	}
+	return out
+}
+
+// claim marks the first unclaimed expectation on the diagnostic's line whose
+// regexp matches the message, and reports whether one was found.
+func claim(wants []*expectation, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+package analysis
+
+import "go/ast"
+
+// Preorder calls f for every node in every file, in depth-first source
+// order. It is the traversal primitive most analyzers need.
+func Preorder(files []*ast.File, f func(ast.Node)) {
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n != nil {
+				f(n)
+			}
+			return true
+		})
+	}
+}
+
+// WithStack calls f for every node with the stack of enclosing nodes,
+// outermost first (stack[0] is the *ast.File, stack[len-1] is n itself).
+// Returning false from f skips the node's children.
+func WithStack(files []*ast.File, f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, file := range files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			if !f(n, stack) {
+				// Children are skipped, so the post-visit callback
+				// with n == nil never fires for this node: pop now.
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			return true
+		})
+	}
+}

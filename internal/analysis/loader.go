@@ -1,0 +1,312 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// ImportPath is the package's import path within the module
+	// (e.g. "nvbench/internal/ast").
+	ImportPath string
+	// Dir is the absolute directory the files were read from.
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the parsed source files, sorted by file name.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module from source. Imports
+// of other module packages resolve back into the module directory; every
+// other import resolves into GOROOT/src (with the stdlib vendor directory as
+// fallback), so the loader needs no compiled export data and no tooling
+// outside the standard library. Cgo is disabled when selecting files, which
+// keeps the whole standard library type-checkable from source.
+type Loader struct {
+	Fset *token.FileSet
+	// ModPath and ModDir identify the module whose packages are loaded.
+	ModPath string
+	ModDir  string
+	// IncludeTests selects in-package _test.go files of loaded root
+	// packages. Dependencies are always loaded without test files.
+	IncludeTests bool
+
+	ctxt    build.Context
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader for the module rooted at or above dir (the
+// nearest ancestor containing go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir := abs
+	for {
+		if _, err := os.Stat(filepath.Join(modDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(modDir)
+		if parent == modDir {
+			return nil, fmt.Errorf("analysis: no go.mod found at or above %s", abs)
+		}
+		modDir = parent
+	}
+	modPath, err := modulePath(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return NewAdHocLoader(modDir, modPath), nil
+}
+
+// NewAdHocLoader creates a loader that treats dir as the root of a module
+// named modPath without requiring a go.mod file. It is used by the
+// analysistest harness to load fixture packages under arbitrary synthetic
+// import paths.
+func NewAdHocLoader(dir, modPath string) *Loader {
+	ctxt := build.Default
+	ctxt.CgoEnabled = false
+	return &Loader{
+		Fset:    token.NewFileSet(),
+		ModPath: modPath,
+		ModDir:  dir,
+		ctxt:    ctxt,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s", file)
+}
+
+// Load resolves package patterns relative to the module root and returns the
+// matched packages, type-checked, sorted by import path. Supported patterns:
+// "./..." (every package under the module), "./dir/..." (every package under
+// dir) and "./dir" (one package). Directories named testdata or vendor and
+// hidden directories are skipped, as the go tool does.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		switch {
+		case pat == "all" || pat == "...":
+			pat = "./..."
+			fallthrough
+		case strings.HasSuffix(pat, "/..."):
+			root := filepath.Join(l.ModDir, strings.TrimSuffix(pat, "/..."))
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if l.hasGoFiles(path) {
+					dirs[path] = true
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			dir := filepath.Join(l.ModDir, pat)
+			if !l.hasGoFiles(dir) {
+				return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+			}
+			dirs[dir] = true
+		}
+	}
+	paths := make([]string, 0, len(dirs))
+	for dir := range dirs {
+		rel, err := filepath.Rel(l.ModDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		paths = append(paths, importPathJoin(l.ModPath, rel))
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := l.load(path, l.IncludeTests)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir type-checks the single package in dir under the given import
+// path, including in-package test files when IncludeTests is set. Unlike
+// Load, dir need not be inside the module directory.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := l.loadDir(abs, importPath, l.IncludeTests)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+func importPathJoin(mod, rel string) string {
+	if rel == "." || rel == "" {
+		return mod
+	}
+	return mod + "/" + filepath.ToSlash(rel)
+}
+
+// hasGoFiles reports whether dir contains at least one buildable,
+// non-test Go file (or a test file, when IncludeTests is set).
+func (l *Loader) hasGoFiles(dir string) bool {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return false
+	}
+	return len(bp.GoFiles) > 0 || (l.IncludeTests && len(bp.TestGoFiles) > 0)
+}
+
+// load returns the type-checked package for an import path, using the cache
+// and detecting cycles.
+func (l *Loader) load(path string, tests bool) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+	pkg, err := l.loadDir(dir, path, tests)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// resolveDir maps an import path to a source directory: module packages into
+// ModDir, everything else into GOROOT/src with the stdlib vendor tree as a
+// fallback.
+func (l *Loader) resolveDir(path string) (string, error) {
+	if path == l.ModPath {
+		return l.ModDir, nil
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModPath+"/"); ok {
+		return filepath.Join(l.ModDir, filepath.FromSlash(rest)), nil
+	}
+	goroot := l.ctxt.GOROOT
+	for _, dir := range []string{
+		filepath.Join(goroot, "src", filepath.FromSlash(path)),
+		filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path)),
+	} {
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, nil
+		}
+	}
+	return "", fmt.Errorf("analysis: cannot resolve import %q (not in module %s or GOROOT)", path, l.ModPath)
+}
+
+// loadDir parses and type-checks the package in dir.
+func (l *Loader) loadDir(dir, path string, tests bool) (*Package, error) {
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %v", dir, err)
+	}
+	names := append([]string(nil), bp.GoFiles...)
+	if tests {
+		names = append(names, bp.TestGoFiles...)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			pkg, err := l.load(p, false)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, typeErrs[0])
+	}
+	return &Package{
+		ImportPath: path,
+		Dir:        dir,
+		Fset:       l.Fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return f(path)
+}

@@ -1,0 +1,22 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"nvbench/internal/analysis/analysistest"
+	"nvbench/internal/analysis/passes/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata/src/internal/core", "example.com/internal/core", detrand.Analyzer)
+}
+
+func TestDetrandSkipsOtherPackages(t *testing.T) {
+	// The same fixture under a non-deterministic import path must produce
+	// no findings: the analyzer is scoped, not global.
+	loaderPath := "example.com/internal/crowd"
+	diags := runQuiet(t, "testdata/src/internal/core", loaderPath)
+	if len(diags) != 0 {
+		t.Fatalf("expected no diagnostics outside deterministic packages, got %v", diags)
+	}
+}

@@ -1,0 +1,72 @@
+// Package corefix is the detrand fixture: it stands in for a deterministic
+// package (the loader gives it an import path ending in internal/core).
+package corefix
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func clock() int64 {
+	t := time.Now() // want `call to time\.Now in deterministic package corefix`
+	return t.Unix()
+}
+
+func injectedClock(now time.Time) int64 {
+	return now.Unix() // using an injected timestamp is fine
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `use of global math/rand state \(rand\.Intn\)`
+}
+
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed)) // constructors are the sanctioned pattern
+	return r.Float64()                  // methods on *rand.Rand are fine
+}
+
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `use of global math/rand state \(rand\.Shuffle\)`
+}
+
+func unsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map appends in map-iteration order with no later sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sortedAppend(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // collect-then-sort idiom: deterministic
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeInMapOrder(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `range over map writes output in map-iteration order`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func orderIndependent(m map[string]int) int {
+	total := 0
+	for _, v := range m { // reductions do not observe iteration order
+		total += v
+	}
+	return total
+}
+
+func sliceAppend(xs []int) []int {
+	var out []int
+	for _, x := range xs { // ranging over a slice is ordered; never flagged
+		out = append(out, x*2)
+	}
+	return out
+}

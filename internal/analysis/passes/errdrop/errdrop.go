@@ -1,0 +1,96 @@
+// Package errdrop reports expression statements that call a function whose
+// (last) result is an error and discard it — the classic unchecked
+// Write/Flush/Close. A benchmark writer that ignores a short write or a
+// failed flush emits a silently truncated corpus, so dropped errors are
+// treated as lint failures rather than style nits.
+//
+// A small allowlist mirrors errcheck's defaults for APIs whose errors are
+// documented to be always nil or are pure console output: fmt.Print* and
+// fmt.Fprint*, and methods on bytes.Buffer, strings.Builder and the hash
+// packages.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"nvbench/internal/analysis"
+)
+
+// Analyzer is the dropped-error check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "calls must not discard a returned error\n\n" +
+		"An expression statement whose call returns an error (alone or as\n" +
+		"the last result) silently drops it; assign and handle it instead.",
+	Run: run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) []analysis.Diagnostic {
+	analysis.Preorder(pass.Files, func(n ast.Node) {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+		if !ok || !returnsError(pass, call) || allowed(pass, call) {
+			return
+		}
+		pass.Reportf(call.Pos(), "unhandled error returned by %s", types.ExprString(ast.Unparen(call.Fun)))
+	})
+	return pass.Diagnostics()
+}
+
+// returnsError reports whether the call's sole or last result is an error.
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		return t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errorType)
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// allowed reports whether the callee is on the never-fails allowlist.
+func allowed(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if s, isMethod := pass.Info.Selections[sel]; isMethod {
+		// Methods: allow receivers whose error results are documented to
+		// be always nil (in-memory accumulators and hashes). The static
+		// receiver type, not the method's declaring package, decides —
+		// hash.Hash's Write is declared by the embedded io.Writer.
+		return allowedRecv(s.Recv())
+	}
+	// Package-qualified call. Console printing is allowed: the error from
+	// writing to os.Stdout is not actionable in this repo's CLIs.
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint"))
+}
+
+// allowedRecv reports whether a method receiver type belongs to bytes,
+// strings, or one of the hash packages.
+func allowedRecv(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	pkg := named.Obj().Pkg().Path()
+	return pkg == "bytes" || pkg == "strings" || pkg == "hash" || strings.HasPrefix(pkg, "hash/")
+}

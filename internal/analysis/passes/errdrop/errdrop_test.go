@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"nvbench/internal/analysis/analysistest"
+	"nvbench/internal/analysis/passes/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, "testdata/src/errdropfix", "example.com/errdropfix", errdrop.Analyzer)
+}

@@ -1,0 +1,47 @@
+// Package errdropfix is the errdrop fixture.
+package errdropfix
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"strings"
+)
+
+func fails() error                 { return nil }
+func failsWithValue() (int, error) { return 0, nil }
+func succeeds() int                { return 0 }
+
+func dropped() {
+	fails()          // want `unhandled error returned by fails`
+	failsWithValue() // want `unhandled error returned by failsWithValue`
+	succeeds()       // no error result: fine
+}
+
+func droppedMethods(w *bufio.Writer, f *os.File, out io.Writer) {
+	w.Flush()              // want `unhandled error returned by w\.Flush`
+	f.Close()              // want `unhandled error returned by f\.Close`
+	out.Write([]byte("x")) // want `unhandled error returned by out\.Write`
+}
+
+func handled(w *bufio.Writer) error {
+	if err := fails(); err != nil {
+		return err
+	}
+	_ = fails()     // explicit discard is visible in review; not flagged
+	defer w.Flush() // deferred calls are out of scope for this analyzer
+	return w.Flush()
+}
+
+func allowlisted(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("console output is allowlisted")
+	fmt.Fprintf(os.Stderr, "as is fmt.Fprint*\n")
+	buf.WriteString("bytes.Buffer errors are always nil")
+	sb.WriteString("strings.Builder too")
+	h := fnv.New64a()
+	h.Write([]byte("hash.Hash.Write never fails"))
+	_ = h.Sum64()
+}

@@ -1,0 +1,12 @@
+package exhaustive_test
+
+import (
+	"testing"
+
+	"nvbench/internal/analysis/analysistest"
+	"nvbench/internal/analysis/passes/exhaustive"
+)
+
+func TestExhaustive(t *testing.T) {
+	analysistest.Run(t, "testdata/src/internal/ast", "example.com/internal/ast", exhaustive.Analyzer)
+}

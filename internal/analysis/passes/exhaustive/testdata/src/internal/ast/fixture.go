@@ -1,0 +1,96 @@
+// Package astfix is the exhaustive-analyzer fixture: it plays the role of
+// internal/ast (the loader gives it an import path ending in internal/ast)
+// and declares a small iota enum with switches of every interesting shape.
+package astfix
+
+import "fmt"
+
+// Color is an iota enum like ast.ChartType.
+type Color int
+
+// Color variants.
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Crimson aliases Red; covering either name covers the value.
+const Crimson = Red
+
+// Flag is a two-constant enum.
+type Flag int
+
+// Flag variants.
+const (
+	Off Flag = iota
+	On
+)
+
+// single has only one constant of its type, so it is not an enum.
+type single int
+
+const onlyOne single = 0
+
+func covered(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	case Blue:
+		return "blue"
+	}
+	return "?"
+}
+
+func coveredMultiValueCase(c Color) string {
+	switch c {
+	case Crimson, Green: // alias Crimson covers Red's value
+	case Blue:
+	}
+	return "?"
+}
+
+func defaulted(c Color) string {
+	switch c {
+	case Red:
+		return "red"
+	default:
+		return "other"
+	}
+}
+
+func missingOne(c Color) string {
+	switch c { // want `switch over astfix\.Color is not exhaustive: missing Blue`
+	case Red:
+		return "red"
+	case Green:
+		return "green"
+	}
+	return "?"
+}
+
+func missingTwo(f Flag, c Color) {
+	switch f { // want `switch over astfix\.Flag is not exhaustive: missing Off, On`
+	}
+	switch c { // want `switch over astfix\.Color is not exhaustive: missing Green, Blue`
+	case Red:
+	}
+}
+
+func notEnums(s string, n int, o single) {
+	switch s { // string tag: not an enum
+	case "x":
+	}
+	switch n { // untyped int tag: not an enum
+	case 1:
+	}
+	switch o { // single constant: not an enum
+	case onlyOne:
+	}
+	switch { // tagless switch is never checked
+	case s == "":
+	}
+	fmt.Sprint(s)
+}

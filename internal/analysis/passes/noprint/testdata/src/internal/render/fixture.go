@@ -1,0 +1,20 @@
+// Package renderfix is the noprint fixture, loaded under an internal/...
+// import path.
+package renderfix
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+func report(w io.Writer, n int) {
+	fmt.Println("done:", n)                 // want `fmt\.Println prints to os\.Stdout`
+	fmt.Printf("done: %d\n", n)             // want `fmt\.Printf prints to os\.Stdout`
+	fmt.Print(n)                            // want `fmt\.Print prints to os\.Stdout`
+	fmt.Fprintf(os.Stdout, "done: %d\n", n) // want `fmt\.Fprintf to os\.Stdout`
+	fmt.Fprintln((os.Stdout), "done")       // want `fmt\.Fprintln to os\.Stdout`
+	fmt.Fprintf(w, "done: %d\n", n)         // injected writer: the sanctioned pattern
+	fmt.Fprintf(os.Stderr, "warn: %d\n", n) // stderr diagnostics are out of scope
+	_ = fmt.Sprintf("done: %d", n)          // formatting without printing is fine
+}

@@ -1,0 +1,17 @@
+package analysis
+
+import "strings"
+
+// PathMatchesAny reports whether an import path equals one of the suffixes
+// or ends with "/"+suffix. Analyzers use it to scope themselves to package
+// families ("internal/ast", "internal/core", ...) in a way that works both
+// for the real module ("nvbench/internal/ast") and for test fixtures loaded
+// under synthetic module paths ("example.com/internal/ast").
+func PathMatchesAny(path string, suffixes []string) bool {
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

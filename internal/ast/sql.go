@@ -100,7 +100,6 @@ func splitFilterSQL(f *Filter, where, having *[]string) {
 	case FilterAnd:
 		splitFilterSQL(f.Left, where, having)
 		splitFilterSQL(f.Right, where, having)
-		return
 	case FilterOr:
 		expr := "(" + f.Left.sqlPredicate() + " OR " + f.Right.sqlPredicate() + ")"
 		if f.allHaving() {
@@ -108,12 +107,12 @@ func splitFilterSQL(f *Filter, where, having *[]string) {
 		} else {
 			*where = append(*where, expr)
 		}
-		return
-	}
-	if f.Having {
-		*having = append(*having, f.sqlPredicate())
-	} else {
-		*where = append(*where, f.sqlPredicate())
+	default:
+		if f.Having {
+			*having = append(*having, f.sqlPredicate())
+		} else {
+			*where = append(*where, f.sqlPredicate())
+		}
 	}
 }
 
@@ -137,7 +136,13 @@ func (f *Filter) sqlPredicate() string {
 		return "(" + f.Left.sqlPredicate() + " AND " + f.Right.sqlPredicate() + ")"
 	case FilterOr:
 		return "(" + f.Left.sqlPredicate() + " OR " + f.Right.sqlPredicate() + ")"
+	default:
+		return f.leafPredicate()
 	}
+}
+
+// leafPredicate renders one non-connective predicate as SQL.
+func (f *Filter) leafPredicate() string {
 	attr := f.Attr.sqlExpr()
 	if f.Sub != nil {
 		switch f.Op {
@@ -166,8 +171,9 @@ func (f *Filter) sqlPredicate() string {
 		return attr + " LIKE " + sqlValue(f.Values[0])
 	case FilterNotLike:
 		return attr + " NOT LIKE " + sqlValue(f.Values[0])
+	default:
+		return attr + " " + sqlOp(f.Op) + " " + sqlValue(f.Values[0])
 	}
-	return attr + " " + sqlOp(f.Op) + " " + sqlValue(f.Values[0])
 }
 
 func sqlOp(op FilterOp) string {
@@ -184,8 +190,11 @@ func sqlOp(op FilterOp) string {
 		return "="
 	case FilterNE:
 		return "!="
+	default:
+		// Connectives and multi-value predicates never reach here; their
+		// canonical spelling doubles as a safe fallback.
+		return op.String()
 	}
-	return op.String()
 }
 
 func sqlValue(v Value) string {

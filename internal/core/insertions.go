@@ -165,8 +165,9 @@ func orderable(ct ast.ChartType) bool {
 	switch ct {
 	case ast.Bar, ast.StackedBar, ast.Line, ast.GroupingLine:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // attrVisType is the visual type of an attribute: aggregates always yield

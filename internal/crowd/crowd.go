@@ -106,6 +106,8 @@ func qualityShift(e *bench.Entry) float64 {
 		shift -= 0.15
 	}
 	switch e.Hardness {
+	case ast.Easy, ast.Medium:
+		// No extra difficulty penalty.
 	case ast.Hard:
 		shift -= 0.2
 	case ast.ExtraHard:

@@ -132,6 +132,8 @@ func Execute(db *Database, q *ast.Query) (*Result, error) {
 				out.Rows = append(out.Rows, row)
 			}
 		}
+	default:
+		return nil, fmt.Errorf("dataset: unsupported set operator %v", q.SetOp)
 	}
 	return out, nil
 }
@@ -427,8 +429,9 @@ func aggregate(rel *relation, rows [][]Cell, a ast.Attr) (Cell, error) {
 			return N(sum / float64(n)), nil
 		}
 		return N(sum), nil
+	default:
+		return Cell{}, fmt.Errorf("dataset: unsupported aggregate %v", a.Agg)
 	}
-	return Cell{}, fmt.Errorf("dataset: unsupported aggregate %v", a.Agg)
 }
 
 // binCell maps a cell into its bin label.
@@ -460,8 +463,10 @@ func binCell(c Cell, g ast.Group, min, size float64) Cell {
 		}
 		lo := min + float64(idx)*size
 		return S(fmt.Sprintf("[%g,%g)", lo, lo+size))
+	default:
+		// BinNone: the cell passes through unbinned.
+		return c
 	}
-	return c
 }
 
 // orderAndLimit applies the Order or Superlative subtree to a materialized
@@ -676,6 +681,8 @@ func evalFilter(db *Database, rel *relation, row []Cell, f *ast.Filter, having b
 			return true, nil
 		}
 		return evalFilter(db, rel, row, f.Right, having)
+	default:
+		// Every other operator is a leaf predicate, evaluated below.
 	}
 	if f.Having != having {
 		return true, nil
@@ -708,6 +715,8 @@ func evalHaving(db *Database, rel *relation, g *groupState, f *ast.Filter) (bool
 			return true, nil
 		}
 		return evalHaving(db, rel, g, f.Right)
+	default:
+		// Every other operator is a leaf predicate, evaluated below.
 	}
 	if !f.Having {
 		return true, nil
@@ -769,6 +778,8 @@ func evalPredicate(db *Database, cell Cell, f *ast.Filter) (bool, error) {
 			return m, nil
 		}
 		return !m, nil
+	default:
+		// Single-value comparison operators are evaluated below.
 	}
 	if len(values) != 1 {
 		return false, fmt.Errorf("dataset: %s needs one value", f.Op)
@@ -787,8 +798,9 @@ func evalPredicate(db *Database, cell Cell, f *ast.Filter) (bool, error) {
 		return cmp == 0, nil
 	case ast.FilterNE:
 		return cmp != 0, nil
+	default:
+		return false, fmt.Errorf("dataset: unsupported filter op %v", f.Op)
 	}
-	return false, fmt.Errorf("dataset: unsupported filter op %v", f.Op)
 }
 
 func cellToValue(c Cell) ast.Value {

@@ -48,6 +48,8 @@ func vectorize(f Features) []float64 {
 		typeSlot = 5
 	case ast.GroupingScatter:
 		typeSlot = 6
+	default:
+		// ChartNone has no one-hot slot; typeSlot stays -1.
 	}
 	if typeSlot >= 0 {
 		v[5+typeSlot] = 1
@@ -212,8 +214,10 @@ func goldLabel(f Features) bool {
 		return f.Tuples >= 3 && f.XType != dataset.Categorical
 	case ast.Scatter, ast.GroupingScatter:
 		return f.Tuples >= 8 && math.Abs(f.Correlation) > 0.05
+	default:
+		// ChartNone is never a valid chart.
+		return false
 	}
-	return false
 }
 
 // SyntheticTrainingSet generates a labeled chart corpus by sampling feature

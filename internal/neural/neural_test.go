@@ -3,6 +3,7 @@ package neural
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -190,14 +191,23 @@ func TestBackwardRequiresScalar(t *testing.T) {
 }
 
 func TestShapePanics(t *testing.T) {
-	for name, f := range map[string]func(){
+	cases := map[string]func(){
 		"matmul":  func() { MatMul(NewTensor(1, 2), NewTensor(3, 1)) },
 		"add":     func() { Add(NewTensor(2, 2), NewTensor(3, 3)) },
 		"mul":     func() { Mul(NewTensor(1, 2), NewTensor(1, 3)) },
 		"concat":  func() { ConcatCols(NewTensor(1, 2), NewTensor(2, 2)) },
 		"lookup":  func() { Lookup(NewTensor(2, 2), 5) },
 		"scatter": func() { ScatterRows(NewTensor(1, 2), []int{0}, 3) },
-	} {
+	}
+	// Iterate a sorted key slice so the subtests run in the same order
+	// every time; ranging over the map directly would randomize it.
+	names := make([]string, 0, len(cases))
+	for name := range cases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := cases[name]
 		func() {
 			defer func() {
 				if recover() == nil {

@@ -286,6 +286,8 @@ func filterPhrase(f *ast.Filter) string {
 		return filterPhrase(f.Left) + " and " + filterPhrase(f.Right)
 	case ast.FilterOr:
 		return filterPhrase(f.Left) + " or " + filterPhrase(f.Right)
+	default:
+		// Every other operator is a leaf predicate, phrased below.
 	}
 	attr := attrWord(f.Attr)
 	if f.Sub != nil {
@@ -317,6 +319,8 @@ func filterPhrase(f *ast.Filter) string {
 			neg = "not "
 		}
 		return fmt.Sprintf("%s is %sone of %s", attr, neg, strings.Join(vals, ", "))
+	default:
+		// Comparison operators (and a malformed between) are phrased below.
 	}
 	if len(vals) == 1 {
 		return fmt.Sprintf("%s is %s %s", attr, opWord(f.Op), vals[0])
@@ -342,8 +346,11 @@ func opWord(op ast.FilterOp) string {
 		return "like"
 	case ast.FilterNotLike:
 		return "not like"
+	default:
+		// Connectives and multi-value predicates have no comparison word;
+		// fall back to the canonical spelling.
+		return op.String()
 	}
-	return op.String()
 }
 
 // attrWord renders an attribute for NL, replacing the COUNT(*) star with a
@@ -377,8 +384,10 @@ func aggWords(a ast.AggFunc) []string {
 		return []string{"minimum", "smallest"}
 	case ast.AggCount:
 		return []string{"number of", "count"}
+	default:
+		// AggNone: a bare column has no aggregate word.
+		return []string{""}
 	}
-	return []string{""}
 }
 
 func binUnitWord(u ast.BinUnit) string {
@@ -397,8 +406,10 @@ func binUnitWord(u ast.BinUnit) string {
 		return "year"
 	case ast.BinNumeric:
 		return "equal-width bucket"
+	default:
+		// BinNone: a generic word keeps malformed groups readable.
+		return "bucket"
 	}
-	return "bucket"
 }
 
 func pickPhrase(r *rand.Rand, options []string) string {

@@ -90,8 +90,7 @@ func vegaType(q *ast.Query, a ast.Attr, pos int) string {
 			}
 		}
 	}
-	switch q.Visualize {
-	case ast.Scatter, ast.GroupingScatter:
+	if q.Visualize == ast.Scatter || q.Visualize == ast.GroupingScatter {
 		return "quantitative"
 	}
 	if pos == 0 {
@@ -110,8 +109,10 @@ func vegaMark(ct ast.ChartType) string {
 		return "line"
 	case ast.Scatter, ast.GroupingScatter:
 		return "point"
+	default:
+		// ChartNone never renders; "bar" is a harmless fallback.
+		return "bar"
 	}
-	return "bar"
 }
 
 // dataValues converts result rows into field->value records.

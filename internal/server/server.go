@@ -139,7 +139,10 @@ func (s *Server) handleAPIEntry(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(spec)
+		if _, err := w.Write(spec); err != nil {
+			// The client went away mid-response; nothing to clean up.
+			return
+		}
 		return
 	}
 	writeJSON(w, toAPI(e))

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 pre-merge gate: formatting, vet, build, the repo's own static
+# analyzers (cmd/nvlint), and race-enabled tests for the fast packages on
+# the synthesis hot path. Everything runs offline with the Go toolchain
+# only. Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l cmd internal examples ./*.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== nvlint ./..."
+go run ./cmd/nvlint ./...
+
+echo "== go test -race (fast packages)"
+go test -race ./internal/ast ./internal/sqlparser ./internal/spider ./internal/core
+
+echo "check: OK"
