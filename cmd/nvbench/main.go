@@ -6,18 +6,28 @@
 // Usage:
 //
 //	nvbench -dbs 40 -pairs 20 -seed 1 -out pairs.json
+//
+// The synthesis pipeline is fault tolerant: pairs are processed by a
+// worker pool (-workers), transient failures are retried (-retries), and
+// pairs that still fail are quarantined and reported instead of aborting
+// the run. A deterministic fault plan (-faults, -fault-seed) injects
+// errors, panics and latency at registered sites for chaos testing.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"nvbench/internal/bench"
 	"nvbench/internal/dataset"
+	"nvbench/internal/fault"
 	"nvbench/internal/render"
 	"nvbench/internal/server"
 	"nvbench/internal/spider"
@@ -27,19 +37,47 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nvbench: ")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is main without the process plumbing, so tests can drive the full
+// CLI in-process with an arbitrary fault plan and inspect the output.
+func run(ctx context.Context, args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("nvbench", flag.ContinueOnError)
 	var (
-		dbs      = flag.Int("dbs", 30, "number of databases to generate")
-		pairs    = flag.Int("pairs", 20, "average (nl, sql) pairs per database")
-		seed     = flag.Int64("seed", 1, "generation seed")
-		maxPairs = flag.Int("max-pairs", 0, "cap on total source pairs (0 = all)")
-		out      = flag.String("out", "", "write (nl, vis) pairs as JSON to this file")
-		vega     = flag.Bool("vega", false, "include a Vega-Lite spec per exported entry")
-		serve    = flag.String("serve", "", "serve the benchmark browser on this address (e.g. :8080)")
-		csvPath  = flag.String("csv", "", "build the benchmark from this CSV file instead of the generated corpus")
-		csvTable = flag.String("table", "data", "table name for the -csv input")
-		csvPairs = flag.Int("gen-pairs", 12, "number of (nl, sql) pairs to generate for the -csv input")
+		dbs       = fs.Int("dbs", 30, "number of databases to generate")
+		pairs     = fs.Int("pairs", 20, "average (nl, sql) pairs per database")
+		seed      = fs.Int64("seed", 1, "generation seed")
+		maxPairs  = fs.Int("max-pairs", 0, "cap on total source pairs (0 = all)")
+		out       = fs.String("out", "", "write (nl, vis) pairs as JSON to this file")
+		vega      = fs.Bool("vega", false, "include a Vega-Lite spec per exported entry")
+		serve     = fs.String("serve", "", "serve the benchmark browser on this address (e.g. :8080)")
+		csvPath   = fs.String("csv", "", "build the benchmark from this CSV file instead of the generated corpus")
+		csvTable  = fs.String("table", "data", "table name for the -csv input")
+		csvPairs  = fs.Int("gen-pairs", 12, "number of (nl, sql) pairs to generate for the -csv input")
+		workers   = fs.Int("workers", 0, "synthesis worker pool size (0 = GOMAXPROCS)")
+		retries   = fs.Int("retries", 3, "attempts per pair before quarantining it")
+		faults    = fs.String("faults", "", `fault plan, e.g. "parse:error:0.05,*:panic:0.01" (site:kind:rate[:delay])`)
+		faultSeed = fs.Int64("fault-seed", 1, "seed for the deterministic fault plan")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var plan *fault.Plan
+	if *faults != "" {
+		var err error
+		plan, err = fault.ParsePlan(*faults, *faultSeed)
+		if err != nil {
+			return err
+		}
+		defer fault.Activate(plan)()
+		fmt.Fprintf(w, "fault plan active: %s (seed %d)\n\n", plan, *faultSeed)
+	}
 
 	var corpus *spider.Corpus
 	var err error
@@ -50,63 +88,78 @@ func main() {
 		corpus, err = spider.Generate(cfg)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("generated corpus: %d databases, %d (nl, sql) pairs\n\n", len(corpus.Databases), len(corpus.Pairs))
+	fmt.Fprintf(w, "generated corpus: %d databases, %d (nl, sql) pairs\n\n", len(corpus.Databases), len(corpus.Pairs))
 
-	bench.WriteTable2(os.Stdout, bench.ComputeTable2(corpus))
-	fmt.Println()
+	bench.WriteTable2(w, bench.ComputeTable2(corpus))
+	fmt.Fprintln(w)
 
 	f8 := bench.ComputeFigure8(corpus)
-	fmt.Println("Figure 8: distribution of columns and rows per table")
-	printHist(" #columns", f8.ColumnHist, []string{"<=2", "3-5", "6-10", "11-20", "21-48", ">48"})
-	printHist(" #rows", f8.RowHist, []string{"<=5", "6-100", "101-1k", "1k-10k", ">10k"})
-	fmt.Println()
+	fmt.Fprintln(w, "Figure 8: distribution of columns and rows per table")
+	printHist(w, " #columns", f8.ColumnHist, []string{"<=2", "3-5", "6-10", "11-20", "21-48", ">48"})
+	printHist(w, " #rows", f8.RowHist, []string{"<=5", "6-100", "101-1k", "1k-10k", ">10k"})
+	fmt.Fprintln(w)
 
 	f9 := bench.ComputeFigure9(corpus)
-	fmt.Printf("Figure 9: column-level statistics (%d quantitative columns)\n", f9.QuantColumns)
-	fmt.Print("  best-fit distribution:")
+	fmt.Fprintf(w, "Figure 9: column-level statistics (%d quantitative columns)\n", f9.QuantColumns)
+	fmt.Fprint(w, "  best-fit distribution:")
 	for _, d := range append([]stats.Distribution{stats.DistNone}, stats.AllDistributions...) {
-		fmt.Printf(" %s=%d", d, f9.DistCounts[d])
+		fmt.Fprintf(w, " %s=%d", d, f9.DistCounts[d])
 	}
-	fmt.Println()
-	fmt.Printf("  skewness: symmetric=%d moderate=%d high=%d\n",
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "  skewness: symmetric=%d moderate=%d high=%d\n",
 		f9.SkewCounts[stats.ApproxSymmetric], f9.SkewCounts[stats.ModeratelySkewed], f9.SkewCounts[stats.HighlySkewed])
-	fmt.Printf("  outliers: 0%%=%d (0,1%%]=%d (1,10%%]=%d >10%%=%d\n",
+	fmt.Fprintf(w, "  outliers: 0%%=%d (0,1%%]=%d (1,10%%]=%d >10%%=%d\n",
 		f9.OutlierCounts[stats.NoOutliers], f9.OutlierCounts[stats.FewOutliers],
 		f9.OutlierCounts[stats.SomeOutliers], f9.OutlierCounts[stats.ManyOutliers])
-	fmt.Println()
+	fmt.Fprintln(w)
 
 	opts := bench.DefaultOptions()
 	opts.MaxPairs = *maxPairs
+	opts.Workers = *workers
+	opts.Retries = *retries
 	b, err := bench.Build(corpus, opts)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("synthesized benchmark: %d vis objects, %d (nl, vis) pairs, manual NL fraction %.2f%%\n\n",
+	fmt.Fprintf(w, "synthesized benchmark: %d vis objects, %d (nl, vis) pairs, manual NL fraction %.2f%%\n\n",
 		len(b.Entries), b.NumPairs(), 100*b.ManualFraction())
 
-	bench.WriteTable3(os.Stdout, b.Table3(), len(b.Entries), b.NumPairs())
-	fmt.Println()
-	bench.WriteFigure10(os.Stdout, b.TypeHardnessMatrix())
-	fmt.Println()
+	bench.WriteTable3(w, b.Table3(), len(b.Entries), b.NumPairs())
+	fmt.Fprintln(w)
+	bench.WriteFigure10(w, b.TypeHardnessMatrix())
+	fmt.Fprintln(w)
 
-	fmt.Println("Section 2.4: filtered candidates by reason")
+	fmt.Fprintln(w, "Section 2.4: filtered candidates by reason")
 	for _, k := range b.SortedRejectionReasons() {
-		fmt.Printf("  %-34s %d\n", k, b.Rejections[k])
+		fmt.Fprintf(w, "  %-34s %d\n", k, b.Rejections[k])
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintf(w, "run stats: workers=%d retried_attempts=%d classifier_fallbacks=%d\n",
+		b.Stats.Workers, b.Stats.RetriedAttempts, b.Stats.ClassifierFallbacks)
+	bench.WriteQuarantine(w, b)
+	if plan != nil {
+		fmt.Fprintln(w, "fault injections by site:")
+		for _, st := range plan.Stats() {
+			fmt.Fprintf(w, "  %-12s calls=%-6d errors=%-5d panics=%-5d delays=%d\n",
+				st.Site, st.Calls, st.Errors, st.Panics, st.Latency)
+		}
 	}
 
 	if *out != "" {
 		if err := export(b, *out, *vega); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nwrote %s\n", *out)
+		fmt.Fprintf(w, "\nwrote %s\n", *out)
 	}
 
 	if *serve != "" {
-		fmt.Printf("\nserving benchmark browser on %s\n", *serve)
-		log.Fatal(http.ListenAndServe(*serve, server.New(b)))
+		fmt.Fprintf(w, "\nserving benchmark browser on %s\n", *serve)
+		return server.New(b).Run(ctx, *serve)
 	}
+	return nil
 }
 
 // corpusFromCSV loads one CSV table and auto-generates (nl, sql) pairs over
@@ -129,16 +182,16 @@ func corpusFromCSV(path, table string, nPairs int, seed int64) (*spider.Corpus, 
 	return &spider.Corpus{Databases: []*dataset.Database{db}, Pairs: pairs}, nil
 }
 
-func printHist(label string, h *stats.Histogram, names []string) {
-	fmt.Printf(" %s:", label)
+func printHist(w io.Writer, label string, h *stats.Histogram, names []string) {
+	fmt.Fprintf(w, " %s:", label)
 	for i, n := range h.Counts {
 		name := fmt.Sprintf("b%d", i)
 		if i < len(names) {
 			name = names[i]
 		}
-		fmt.Printf(" %s=%d", name, n)
+		fmt.Fprintf(w, " %s=%d", name, n)
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // exportedEntry is the JSON shape of one benchmark record.

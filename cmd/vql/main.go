@@ -52,7 +52,7 @@ func main() {
 		return
 	}
 
-	q, err := sqlparser.Parse(*sql, database)
+	q, err := sqlparser.TryParse(*sql, database)
 	if err != nil {
 		log.Fatalf("parse: %v", err)
 	}

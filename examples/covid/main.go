@@ -157,7 +157,7 @@ func trainingPairs(db *dataset.Database) []*spider.Pair {
 	}
 	var pairs []*spider.Pair
 	for i, s := range specs {
-		q, err := sqlparser.Parse(s.sql, db)
+		q, err := sqlparser.TryParse(s.sql, db)
 		if err != nil {
 			log.Fatalf("training pair %d: %v", i, err)
 		}

@@ -39,7 +39,7 @@ func main() {
 	}
 	var pairs []*spider.Pair
 	for i, r := range raw {
-		q, err := sqlparser.Parse(r.sql, db)
+		q, err := sqlparser.TryParse(r.sql, db)
 		if err != nil {
 			log.Fatalf("pair %d: %v", i, err)
 		}
@@ -86,7 +86,7 @@ S8, west, 15.1, 24, 2023-01-12
 		log.Fatal(err)
 	}
 	db := &dataset.Database{Name: "csvdb", Domain: "Weather", Tables: []*dataset.Table{tbl}}
-	q, err := sqlparser.Parse("SELECT region, AVG(temp) FROM weather GROUP BY region", db)
+	q, err := sqlparser.TryParse("SELECT region, AVG(temp) FROM weather GROUP BY region", db)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -27,7 +27,7 @@ func main() {
 	sql := "SELECT origin, COUNT(*) FROM flight GROUP BY origin"
 	fmt.Printf("input nl:  %s\ninput sql: %s\n\n", nl, sql)
 
-	query, err := sqlparser.Parse(sql, db)
+	query, err := sqlparser.TryParse(sql, db)
 	if err != nil {
 		log.Fatal(err)
 	}

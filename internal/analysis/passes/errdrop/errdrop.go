@@ -7,7 +7,9 @@
 // A small allowlist mirrors errcheck's defaults for APIs whose errors are
 // documented to be always nil or are pure console output: fmt.Print* and
 // fmt.Fprint*, and methods on bytes.Buffer, strings.Builder and the hash
-// packages.
+// packages. In-repo log-and-return helpers (internal/server's writeJSON
+// and writeBytes, which log write failures themselves) are allowlisted by
+// package-path suffix and name — see logAndReturnHelpers.
 package errdrop
 
 import (
@@ -58,27 +60,60 @@ func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
 	}
 }
 
+// logAndReturnHelpers are in-repo functions that handle their own failure
+// (they log it) and return the error only for optional inspection; calls
+// that drop that return are deliberate, not accidents. Keyed by package
+// path suffix → function names.
+var logAndReturnHelpers = map[string][]string{
+	"internal/server": {"writeJSON", "writeBytes"},
+}
+
 // allowed reports whether the callee is on the never-fails allowlist.
 func allowed(pass *analysis.Pass, call *ast.CallExpr) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, isMethod := pass.Info.Selections[sel]; isMethod {
+			// Methods: allow receivers whose error results are documented to
+			// be always nil (in-memory accumulators and hashes). The static
+			// receiver type, not the method's declaring package, decides —
+			// hash.Hash's Write is declared by the embedded io.Writer.
+			return allowedRecv(s.Recv())
+		}
+	}
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil {
 		return false
 	}
-	if s, isMethod := pass.Info.Selections[sel]; isMethod {
-		// Methods: allow receivers whose error results are documented to
-		// be always nil (in-memory accumulators and hashes). The static
-		// receiver type, not the method's declaring package, decides —
-		// hash.Hash's Write is declared by the embedded io.Writer.
-		return allowedRecv(s.Recv())
+	// Console printing is allowed: the error from writing to os.Stdout is
+	// not actionable in this repo's CLIs.
+	if fn.Pkg().Path() == "fmt" &&
+		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")) {
+		return true
 	}
-	// Package-qualified call. Console printing is allowed: the error from
-	// writing to os.Stdout is not actionable in this repo's CLIs.
-	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil {
-		return false
+	for suffix, names := range logAndReturnHelpers {
+		if !analysis.PathMatchesAny(fn.Pkg().Path(), []string{suffix}) {
+			continue
+		}
+		for _, name := range names {
+			if fn.Name() == name {
+				return true
+			}
+		}
 	}
-	return fn.Pkg().Path() == "fmt" &&
-		(strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint"))
+	return false
+}
+
+// callee resolves the called function for both same-package calls (plain
+// identifier) and package-qualified or method calls (selector).
+func callee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.Info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
 }
 
 // allowedRecv reports whether a method receiver type belongs to bytes,

@@ -10,3 +10,18 @@ import (
 func TestErrdrop(t *testing.T) {
 	analysistest.Run(t, "testdata/src/errdropfix", "example.com/errdropfix", errdrop.Analyzer)
 }
+
+func TestErrdropServerWriteHelpers(t *testing.T) {
+	// Under the internal/server import path, writeJSON/writeBytes drops are
+	// allowlisted (they log their own failure); only flush() is flagged.
+	analysistest.Run(t, "testdata/src/internal/server", "example.com/internal/server", errdrop.Analyzer)
+}
+
+func TestErrdropServerAllowlistIsPathScoped(t *testing.T) {
+	// The same fixture under a different import path loses the allowlist:
+	// writeJSON, writeBytes and flush drops are all flagged.
+	diags := runQuiet(t, "testdata/src/internal/server", "example.com/notserver")
+	if len(diags) != 3 {
+		t.Fatalf("expected 3 diagnostics outside internal/server, got %d: %v", len(diags), diags)
+	}
+}

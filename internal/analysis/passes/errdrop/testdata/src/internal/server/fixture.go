@@ -1,0 +1,20 @@
+// Package server mirrors the real internal/server response writers:
+// writeJSON and writeBytes log a write failure themselves and return the
+// error only for optional inspection, so same-package calls that drop it
+// are deliberate and allowlisted. Everything else still gets flagged.
+package server
+
+import "errors"
+
+func writeJSON(v any) error     { return errors.New("client gone") }
+func writeBytes(b []byte) error { return errors.New("client gone") }
+func flush() error              { return errors.New("not a log-and-return helper") }
+
+func handlers() {
+	writeJSON(1)    // allowlisted: logs its own failure
+	writeBytes(nil) // allowlisted: logs its own failure
+	flush()         // want `unhandled error returned by flush`
+	if err := writeJSON(2); err != nil {
+		_ = err // handling remains possible; the return is not vestigial
+	}
+}

@@ -6,13 +6,15 @@
 package bench
 
 import (
-	"fmt"
+	"context"
 	"sort"
+	"time"
 
 	"nvbench/internal/ast"
 	"nvbench/internal/bleu"
 	"nvbench/internal/core"
 	"nvbench/internal/dataset"
+	"nvbench/internal/fault"
 	"nvbench/internal/nledit"
 	"nvbench/internal/spider"
 )
@@ -38,6 +40,11 @@ type Benchmark struct {
 	Entries []*Entry
 	// Rejections counts filtered candidates by reason (Section 2.4 buckets).
 	Rejections map[string]int
+	// Quarantine lists source pairs skipped after exhausting retries,
+	// in source-pair order.
+	Quarantine []Quarantined
+	// Stats summarizes the build's robustness events.
+	Stats RunStats
 }
 
 // Options configure assembly.
@@ -49,6 +56,13 @@ type Options struct {
 	// MaxVisPerPair bounds kept vis per source pair, keeping the benchmark
 	// balanced across sources (0 = no bound).
 	MaxVisPerPair int
+	// Workers sizes the synthesis worker pool (0 = GOMAXPROCS).
+	Workers int
+	// Retries is the attempt budget per pair stage for transient failures
+	// (values < 1 mean a single attempt).
+	Retries int
+	// RetryBackoff is the wait schedule between attempts.
+	RetryBackoff fault.Backoff
 }
 
 // DefaultOptions returns the paper-default pipeline configuration.
@@ -57,10 +71,16 @@ func DefaultOptions() Options {
 		Synth:         core.New(),
 		Edit:          nledit.New(1),
 		MaxVisPerPair: 8,
+		Retries:       3,
+		RetryBackoff:  fault.Backoff{Initial: 2 * time.Millisecond, Max: 20 * time.Millisecond},
 	}
 }
 
-// Build assembles a benchmark from a corpus.
+// Build assembles a benchmark from a corpus. Per-pair synthesis runs on a
+// worker pool with panic recovery and bounded retries; pairs that still
+// fail are quarantined (see Benchmark.Quarantine), never fatal. The
+// assembled benchmark is byte-identical to a serial build: workers only
+// compute, and entries are assembled in source-pair order.
 func Build(corpus *spider.Corpus, opts Options) (*Benchmark, error) {
 	if opts.Synth == nil {
 		opts.Synth = core.New()
@@ -68,25 +88,32 @@ func Build(corpus *spider.Corpus, opts Options) (*Benchmark, error) {
 	if opts.Edit == nil {
 		opts.Edit = nledit.New(1)
 	}
+	if opts.Retries < 1 {
+		opts.Retries = 1
+	}
 	b := &Benchmark{Corpus: corpus, Rejections: map[string]int{}}
 	pairs := corpus.Pairs
 	if opts.MaxPairs > 0 && len(pairs) > opts.MaxPairs {
 		pairs = pairs[:opts.MaxPairs]
 	}
+	var degraded0 int64
+	if opts.Synth.Filter != nil {
+		degraded0 = opts.Synth.Filter.DegradedCount()
+	}
+	results := runPool(context.Background(), opts, pairs)
 	id := 0
-	for _, p := range pairs {
-		kept, rejected, err := opts.Synth.Synthesize(p.DB, p.Query)
-		if err != nil {
-			return nil, fmt.Errorf("bench: pair %d: %w", p.ID, err)
+	for pi, p := range pairs {
+		r := results[pi]
+		b.Stats.RetriedAttempts += r.attempts - 1
+		for _, rej := range r.rejected {
+			b.Rejections[bucketReason(rej.Reason)]++
 		}
-		for _, r := range rejected {
-			b.Rejections[bucketReason(r.Reason)]++
+		if r.quarantine != nil {
+			b.Quarantine = append(b.Quarantine, *r.quarantine)
+			continue
 		}
-		if opts.MaxVisPerPair > 0 && len(kept) > opts.MaxVisPerPair {
-			kept = diverseTruncate(kept, opts.MaxVisPerPair)
-		}
-		for _, v := range kept {
-			variants := opts.Edit.Variants(p.NL, v.Query, v.Edit)
+		for vi, v := range r.kept {
+			variants := r.variants[vi]
 			if len(variants) == 0 {
 				continue
 			}
@@ -112,6 +139,12 @@ func Build(corpus *spider.Corpus, opts Options) (*Benchmark, error) {
 			})
 			id++
 		}
+	}
+	b.Stats.Workers = poolSize(opts.Workers, len(pairs))
+	b.Stats.PairsProcessed = len(pairs)
+	b.Stats.PairsQuarantined = len(b.Quarantine)
+	if opts.Synth.Filter != nil {
+		b.Stats.ClassifierFallbacks = opts.Synth.Filter.DegradedCount() - degraded0
 	}
 	return b, nil
 }
@@ -168,6 +201,8 @@ func diverseTruncate(kept []*core.VisObject, n int) []*core.VisObject {
 // failure families.
 func bucketReason(reason string) string {
 	switch {
+	case contains(reason, "transient"):
+		return "transient failure"
 	case contains(reason, "single value"):
 		return "single value"
 	case contains(reason, "slices"):

@@ -1,0 +1,140 @@
+// Fault-tolerant assembly: Build fans the per-pair synthesis work out to a
+// worker pool, retries transient failures with bounded backoff, and
+// quarantines pairs that still fail — recording (pair, stage, error,
+// attempts) — instead of aborting the run. Workers only compute; entries
+// are assembled sequentially in source-pair order afterwards, so the
+// benchmark (IDs included) is byte-identical to the serial build.
+
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"nvbench/internal/core"
+	"nvbench/internal/fault"
+	"nvbench/internal/nledit"
+	"nvbench/internal/spider"
+)
+
+// Quarantined records one source pair the build skipped after exhausting
+// its retry budget, and why.
+type Quarantined struct {
+	PairID   int    `json:"pair_id"`
+	Stage    string `json:"stage"` // "synthesize" or "variants"
+	Err      string `json:"error"`
+	Attempts int    `json:"attempts"`
+}
+
+// RunStats summarizes a build's robustness events.
+type RunStats struct {
+	Workers             int   // pool size used
+	PairsProcessed      int   // pairs attempted
+	PairsQuarantined    int   // pairs skipped after retries
+	RetriedAttempts     int   // attempts beyond each pair's first
+	ClassifierFallbacks int64 // classifier calls degraded to rules-only
+}
+
+// pairResult is one worker's output for one source pair.
+type pairResult struct {
+	kept       []*core.VisObject
+	variants   [][]nledit.Variant // parallel to kept
+	rejected   []core.Rejection
+	quarantine *Quarantined
+	attempts   int
+}
+
+// processPair runs the full per-pair pipeline (synthesize, truncate,
+// NL variants) under panic recovery and the retry budget.
+func processPair(ctx context.Context, opts Options, p *spider.Pair) pairResult {
+	var res pairResult
+	synth := func() error {
+		kept, rejected, err := opts.Synth.Synthesize(p.DB, p.Query)
+		if err != nil {
+			return err
+		}
+		res.kept, res.rejected = kept, rejected
+		return nil
+	}
+	err, tried := fault.Retry(ctx, opts.Retries, opts.RetryBackoff, synth)
+	res.attempts = tried
+	if err != nil {
+		res.quarantine = &Quarantined{PairID: p.ID, Stage: "synthesize", Err: err.Error(), Attempts: tried}
+		return res
+	}
+	if opts.MaxVisPerPair > 0 && len(res.kept) > opts.MaxVisPerPair {
+		res.kept = diverseTruncate(res.kept, opts.MaxVisPerPair)
+	}
+	genVariants := func() error {
+		return fault.Safely("bench/variants", func() error {
+			if err := fault.Inject(fault.SiteVariants); err != nil {
+				return err
+			}
+			res.variants = make([][]nledit.Variant, len(res.kept))
+			for i, v := range res.kept {
+				res.variants[i] = opts.Edit.Variants(p.NL, v.Query, v.Edit)
+			}
+			return nil
+		})
+	}
+	err, tried = fault.Retry(ctx, opts.Retries, opts.RetryBackoff, genVariants)
+	res.attempts += tried - 1
+	if err != nil {
+		res.quarantine = &Quarantined{PairID: p.ID, Stage: "variants", Err: err.Error(), Attempts: tried}
+		res.kept, res.variants, res.rejected = nil, nil, nil
+	}
+	return res
+}
+
+// poolSize resolves the configured worker count against the work size.
+func poolSize(configured, nPairs int) int {
+	w := configured
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > nPairs {
+		w = nPairs
+	}
+	return max(1, w)
+}
+
+// runPool processes pairs concurrently and returns results indexed like
+// pairs. Work distribution is racy by design; assembly order is not.
+func runPool(ctx context.Context, opts Options, pairs []*spider.Pair) []pairResult {
+	workers := poolSize(opts.Workers, len(pairs))
+	results := make([]pairResult, len(pairs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = processPair(ctx, opts, pairs[i])
+			}
+		}()
+	}
+	for i := range pairs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
+
+// WriteQuarantine renders the quarantine report: one line per skipped
+// pair, stable order (by pair id), plus a summary header. The format is
+// documented in README.md ("Quarantine report").
+func WriteQuarantine(w io.Writer, b *Benchmark) {
+	if len(b.Quarantine) == 0 {
+		fmt.Fprintf(w, "quarantine: 0 of %d pairs skipped\n", b.Stats.PairsProcessed)
+		return
+	}
+	fmt.Fprintf(w, "quarantine: %d of %d pairs skipped\n", len(b.Quarantine), b.Stats.PairsProcessed)
+	for _, q := range b.Quarantine {
+		fmt.Fprintf(w, "  pair %-6d stage=%-10s attempts=%d  %s\n", q.PairID, q.Stage, q.Attempts, q.Err)
+	}
+}

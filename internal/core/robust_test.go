@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"nvbench/internal/fault"
+	"nvbench/internal/sqlparser"
+)
+
+// Synthesize must survive injected failure at every pipeline site it owns:
+// errors become returned errors, panics are recovered to errors, and the
+// classifier degrades to rules-only instead of failing the pair.
+func TestSynthesizeInjectedErrorIsTransient(t *testing.T) {
+	plan := fault.NewPlan(5).Add(fault.Rule{Site: fault.SiteSynthesize, Kind: fault.KindError, Rate: 1})
+	defer fault.Activate(plan)()
+	db := flightDB()
+	q := sqlparser.Parse("SELECT origin, price FROM flight", db)
+	_, _, err := New().Synthesize(db, q)
+	if err == nil || !fault.IsTransient(err) {
+		t.Fatalf("err = %v, want transient injected error", err)
+	}
+}
+
+func TestSynthesizeRecoversInjectedPanic(t *testing.T) {
+	for _, site := range []string{fault.SiteSynthesize, fault.SiteExecute, fault.SiteClassify} {
+		plan := fault.NewPlan(5).Add(fault.Rule{Site: site, Kind: fault.KindPanic, Rate: 1})
+		restore := fault.Activate(plan)
+		db := flightDB()
+		q := sqlparser.Parse("SELECT origin, price FROM flight", db)
+		kept, _, err := New().Synthesize(db, q)
+		restore()
+		switch site {
+		case fault.SiteClassify:
+			// Classifier panics degrade to rules-only scoring; the pair
+			// itself succeeds.
+			if err != nil {
+				t.Fatalf("site %s: err = %v, want degraded success", site, err)
+			}
+			if len(kept) == 0 {
+				t.Fatalf("site %s: no vis kept under rules-only fallback", site)
+			}
+		default:
+			if err == nil {
+				t.Fatalf("site %s: panic not surfaced as error", site)
+			}
+			var pe *fault.PanicError
+			if !errors.As(err, &pe) {
+				t.Fatalf("site %s: err = %v, want recovered PanicError", site, err)
+			}
+			if !fault.IsTransient(err) {
+				t.Fatalf("site %s: injected panic should be transient", site)
+			}
+		}
+	}
+}
+
+func TestSynthesizeTransientExecutionBucketsSeparately(t *testing.T) {
+	plan := fault.NewPlan(5).Add(fault.Rule{Site: fault.SiteExecute, Kind: fault.KindError, Rate: 1})
+	defer fault.Activate(plan)()
+	db := flightDB()
+	q := sqlparser.Parse("SELECT origin, price FROM flight", db)
+	kept, rejected, err := New().Synthesize(db, q)
+	if err != nil {
+		t.Fatalf("per-candidate execution faults must not fail the pair: %v", err)
+	}
+	if len(kept) != 0 {
+		t.Fatalf("kept %d vis with every execution failing", len(kept))
+	}
+	if len(rejected) == 0 {
+		t.Fatal("no rejections recorded")
+	}
+	for _, r := range rejected {
+		if len(r.Reason) < 9 || r.Reason[:9] != "transient" {
+			t.Fatalf("rejection %q not classified transient", r.Reason)
+		}
+	}
+}

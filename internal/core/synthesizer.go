@@ -13,6 +13,7 @@ import (
 	"nvbench/internal/ast"
 	"nvbench/internal/dataset"
 	"nvbench/internal/deepeye"
+	"nvbench/internal/fault"
 )
 
 // EditKind labels one tree-edit operation.
@@ -140,8 +141,25 @@ func New() *Synthesizer {
 }
 
 // Synthesize runs the full Section 2.3 + 2.4 pipeline on one SQL tree and
-// returns the kept vis objects plus the rejected candidates.
-func (s *Synthesizer) Synthesize(db *dataset.Database, sql *ast.Query) ([]*VisObject, []Rejection, error) {
+// returns the kept vis objects plus the rejected candidates. A panic
+// anywhere in the pipeline (a malformed tree hitting a synthesizer bug, or
+// an injected fault) is recovered and surfaced as the returned error, so
+// one bad pair can never abort a whole benchmark build.
+func (s *Synthesizer) Synthesize(db *dataset.Database, sql *ast.Query) (kept []*VisObject, rejected []Rejection, err error) {
+	err = fault.Safely("core/synthesize", func() error {
+		kept, rejected, err = s.synthesize(db, sql)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return kept, rejected, nil
+}
+
+func (s *Synthesizer) synthesize(db *dataset.Database, sql *ast.Query) ([]*VisObject, []Rejection, error) {
+	if err := fault.Inject(fault.SiteSynthesize); err != nil {
+		return nil, nil, fmt.Errorf("core: %w", err)
+	}
 	if err := sql.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("core: invalid sql tree: %w", err)
 	}
@@ -151,16 +169,27 @@ func (s *Synthesizer) Synthesize(db *dataset.Database, sql *ast.Query) ([]*VisOb
 	for _, c := range cands {
 		feats, res, err := deepeye.Extract(db, c.Query)
 		if err != nil {
-			rejected = append(rejected, Rejection{Query: c.Query, Reason: "execution: " + err.Error()})
+			// Transient (injected/flaky) execution failures are recorded in
+			// their own bucket: they are infrastructure losses, not
+			// chart-quality verdicts, and must not skew the Section 2.4
+			// rejection statistics.
+			reason := "execution: " + err.Error()
+			if fault.IsTransient(err) {
+				reason = "transient: " + err.Error()
+			}
+			rejected = append(rejected, Rejection{Query: c.Query, Reason: reason})
 			continue
 		}
 		if ok, reason := deepeye.RuleCheck(feats); !ok {
 			rejected = append(rejected, Rejection{Query: c.Query, Reason: reason})
 			continue
 		}
-		if s.Filter != nil && !s.Filter.DisableClassifier && !s.Filter.Clf.Predict(feats) {
-			rejected = append(rejected, Rejection{Query: c.Query, Reason: "classifier: low quality score"})
-			continue
+		if s.Filter != nil {
+			good, _ := s.Filter.PredictSafe(feats)
+			if !good {
+				rejected = append(rejected, Rejection{Query: c.Query, Reason: "classifier: low quality score"})
+				continue
+			}
 		}
 		kept = append(kept, &VisObject{
 			Candidate: c,

@@ -48,7 +48,7 @@ var testSynth = New()
 
 func synthesize(t *testing.T, db *dataset.Database, sql string) ([]*VisObject, []Rejection) {
 	t.Helper()
-	q, err := sqlparser.Parse(sql, db)
+	q, err := sqlparser.TryParse(sql, db)
 	if err != nil {
 		t.Fatalf("parse %q: %v", sql, err)
 	}
@@ -156,7 +156,7 @@ func TestGroupingScatter(t *testing.T) {
 	s := New()
 	s.MaxCandidates = 256
 	db := flightDB()
-	q, err := sqlparser.Parse("SELECT price, distance, origin FROM flight", db)
+	q, err := sqlparser.TryParse("SELECT price, distance, origin FROM flight", db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +206,7 @@ func TestFilterSubtreeKept(t *testing.T) {
 }
 
 func TestOrderDeletionVariant(t *testing.T) {
-	q, err := sqlparser.Parse("SELECT origin, price FROM flight ORDER BY price DESC", flightDB())
+	q, err := sqlparser.TryParse("SELECT origin, price FROM flight ORDER BY price DESC", flightDB())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestEditScriptsRecorded(t *testing.T) {
 }
 
 func TestDeduplication(t *testing.T) {
-	cands := testSynth.Candidates(flightDB(), sqlparser.MustParse("SELECT origin, price FROM flight", nil))
+	cands := testSynth.Candidates(flightDB(), sqlparser.Parse("SELECT origin, price FROM flight", nil))
 	seen := map[string]bool{}
 	for _, c := range cands {
 		k := c.Query.String()
@@ -264,7 +264,7 @@ func TestDeduplication(t *testing.T) {
 func TestMaxCandidatesBound(t *testing.T) {
 	s := New()
 	s.MaxCandidates = 5
-	cands := s.Candidates(flightDB(), sqlparser.MustParse("SELECT origin, destination, price FROM flight", nil))
+	cands := s.Candidates(flightDB(), sqlparser.Parse("SELECT origin, destination, price FROM flight", nil))
 	if len(cands) > 5 {
 		t.Fatalf("bound violated: %d candidates", len(cands))
 	}
@@ -301,7 +301,7 @@ func TestRejectionsHaveReasons(t *testing.T) {
 func TestSetOpSynthesis(t *testing.T) {
 	db := flightDB()
 	sql := "SELECT origin FROM flight WHERE price > 150 UNION SELECT destination FROM flight WHERE price < 260"
-	q, err := sqlparser.Parse(sql, db)
+	q, err := sqlparser.TryParse(sql, db)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -270,6 +270,9 @@ type Filter struct {
 	// DisableClassifier keeps only the rule layer (used by the filter-off
 	// ablation bench).
 	DisableClassifier bool
+	// degraded counts classifier failures absorbed by the rules-only
+	// fallback (see PredictSafe).
+	degraded degradeCounter
 }
 
 var (
@@ -301,10 +304,7 @@ func (fl *Filter) Good(db *dataset.Database, q *ast.Query) (bool, string, *datas
 	if ok, reason := RuleCheck(f); !ok {
 		return false, reason, res, nil
 	}
-	if fl.DisableClassifier {
-		return true, "", res, nil
-	}
-	if !fl.Clf.Predict(f) {
+	if good, _ := fl.PredictSafe(f); !good {
 		return false, "classifier: low quality score", res, nil
 	}
 	return true, "", res, nil

@@ -1,0 +1,71 @@
+package deepeye
+
+import (
+	"testing"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/dataset"
+	"nvbench/internal/fault"
+)
+
+func goodBarFeatures() Features {
+	return Features{
+		VisType: ast.Bar, Tuples: 8, DistinctX: 8, UniqueRatio: 1,
+		MinY: 1, MaxY: 50, XType: dataset.Categorical, YType: dataset.Quantitative,
+	}
+}
+
+func TestPredictSafeMatchesPredictWithoutFaults(t *testing.T) {
+	fl := NewFilter()
+	f := goodBarFeatures()
+	good, degraded := fl.PredictSafe(f)
+	if degraded {
+		t.Fatal("clean call reported degraded")
+	}
+	if good != fl.Clf.Predict(f) {
+		t.Fatal("PredictSafe disagrees with Predict on the clean path")
+	}
+	if fl.DegradedCount() != 0 {
+		t.Fatalf("DegradedCount = %d, want 0", fl.DegradedCount())
+	}
+}
+
+func TestPredictSafeDegradesOnInjectedPanic(t *testing.T) {
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteClassify, Kind: fault.KindPanic, Rate: 1})
+	defer fault.Activate(plan)()
+	fl := NewFilter()
+	good, degraded := fl.PredictSafe(goodBarFeatures())
+	if !good || !degraded {
+		t.Fatalf("PredictSafe = (%v, %v), want rules-only fallback (true, true)", good, degraded)
+	}
+	if fl.DegradedCount() != 1 {
+		t.Fatalf("DegradedCount = %d, want 1", fl.DegradedCount())
+	}
+}
+
+func TestPredictSafeDegradesOnInjectedError(t *testing.T) {
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteClassify, Kind: fault.KindError, Rate: 1})
+	defer fault.Activate(plan)()
+	fl := NewFilter()
+	if good, degraded := fl.PredictSafe(goodBarFeatures()); !good || !degraded {
+		t.Fatalf("PredictSafe = (%v, %v), want (true, true)", good, degraded)
+	}
+}
+
+func TestFilterGoodSurvivesClassifierFault(t *testing.T) {
+	plan := fault.NewPlan(2).Add(fault.Rule{Site: fault.SiteClassify, Kind: fault.KindPanic, Rate: 1})
+	defer fault.Activate(plan)()
+	db := chartDB()
+	q := parse(t, "visualize bar select sales.region count sales.* from sales group grouping sales.region")
+	fl := NewFilter()
+	ok, reason, res, err := fl.Good(db, q)
+	if err != nil {
+		t.Fatalf("Good under classifier fault: %v", err)
+	}
+	if !ok || reason != "" || res == nil {
+		t.Fatalf("Good = (%v, %q), want rules-only keep", ok, reason)
+	}
+	if fl.DegradedCount() == 0 {
+		t.Fatal("degradation not recorded")
+	}
+}

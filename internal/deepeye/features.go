@@ -18,6 +18,7 @@ import (
 
 	"nvbench/internal/ast"
 	"nvbench/internal/dataset"
+	"nvbench/internal/fault"
 	"nvbench/internal/stats"
 )
 
@@ -39,6 +40,9 @@ type Features struct {
 // Extract executes the query and derives the feature vector. The select
 // list is expected in [x, y, (z)] order, the layout the synthesizer emits.
 func Extract(db *dataset.Database, q *ast.Query) (Features, *dataset.Result, error) {
+	if err := fault.Inject(fault.SiteExecute); err != nil {
+		return Features{}, nil, fmt.Errorf("deepeye: %w", err)
+	}
 	res, err := dataset.Execute(db, q)
 	if err != nil {
 		return Features{}, nil, err

@@ -1,0 +1,116 @@
+// Recovery helpers: transient-error classification, panic→error capture,
+// and bounded retry with backoff. These are the primitives the synthesis
+// pipeline and the benchmark server build their hardening on.
+
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// errTransient is the classification sentinel; it never escapes directly.
+var errTransient = errors.New("transient")
+
+// transientError wraps an error and marks it retryable.
+type transientError struct{ err error }
+
+func (t *transientError) Error() string        { return t.err.Error() }
+func (t *transientError) Unwrap() error        { return t.err }
+func (t *transientError) Is(target error) bool { return target == errTransient }
+
+// Transient marks an error as retryable for Retry and the pipeline's
+// bounded-retry layer. A nil error stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether the error (anywhere in its chain) is marked
+// transient. Injected errors are transient by construction.
+func IsTransient(err error) bool { return errors.Is(err, errTransient) }
+
+// PanicError is a panic captured by Safely, carrying the panic value.
+type PanicError struct {
+	Value any
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("recovered panic: %v", e.Value) }
+
+// Is marks recovered *injected* panics transient: the stand-in failure is
+// a flaky dependency, so the retry layer may re-attempt them. Organic
+// panics stay permanent — retrying a deterministic bug wastes the budget.
+func (e *PanicError) Is(target error) bool {
+	if target != errTransient {
+		return false
+	}
+	_, injected := e.Value.(PanicValue)
+	return injected
+}
+
+// Safely runs fn and converts a panic into a *PanicError. The site label
+// is only used in the error text; Safely does not itself inject.
+func Safely(site string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%s: %w", site, &PanicError{Value: r})
+		}
+	}()
+	return fn()
+}
+
+// Backoff is the retry schedule: Initial doubling each attempt, capped at
+// Max. The zero value disables waiting (useful in tests).
+type Backoff struct {
+	Initial time.Duration
+	Max     time.Duration
+}
+
+// delay returns the wait before retry attempt (attempt ≥ 1).
+func (b Backoff) delay(attempt int) time.Duration {
+	d := b.Initial
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if b.Max > 0 && d >= b.Max {
+			return b.Max
+		}
+	}
+	if b.Max > 0 && d > b.Max {
+		d = b.Max
+	}
+	return d
+}
+
+// Retry runs fn up to attempts times, waiting per the backoff schedule
+// between tries. Only transient-classified failures are retried;
+// permanent errors return immediately. The context cancels waiting (and
+// further attempts). It returns the last error and the number of
+// attempts actually made.
+func Retry(ctx context.Context, attempts int, b Backoff, fn func() error) (err error, tried int) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	for i := 1; i <= attempts; i++ {
+		tried = i
+		err = fn()
+		if err == nil || !IsTransient(err) || i == attempts {
+			return err, tried
+		}
+		d := b.delay(i)
+		if d <= 0 {
+			continue
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return fmt.Errorf("retry canceled after attempt %d: %w (last error: %v)", i, ctx.Err(), err), tried
+		case <-t.C:
+		}
+	}
+	return err, tried
+}

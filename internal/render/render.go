@@ -11,10 +11,14 @@ import (
 
 	"nvbench/internal/ast"
 	"nvbench/internal/dataset"
+	"nvbench/internal/fault"
 )
 
 // VegaLite executes the vis query and renders a Vega-Lite v5 specification.
 func VegaLite(db *dataset.Database, q *ast.Query) ([]byte, error) {
+	if err := fault.Inject(fault.SiteRender); err != nil {
+		return nil, fmt.Errorf("render: %w", err)
+	}
 	res, err := dataset.Execute(db, q)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,78 @@
+// The hardening middleware chain: panic recovery, per-request timeout
+// with context propagation, concurrency-limited load shedding, and the
+// fault-injection hook that lets the chaos tests drive all three.
+
+package server
+
+import (
+	"net/http"
+
+	"nvbench/internal/fault"
+)
+
+// withRecover converts handler panics into 500 responses and keeps the
+// connection (and the process) alive. http.ErrAbortHandler passes through
+// — it is net/http's own sanctioned abort signal.
+func (s *Server) withRecover(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			s.logf("server: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+			// Best effort: if the response has not started, this is a
+			// clean 500; mid-stream, net/http closes the connection.
+			http.Error(w, "internal server error", http.StatusInternalServerError)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withTimeout bounds one request end to end. The wrapped handler sees a
+// context that is canceled at the deadline, and a request that exceeds it
+// gets 503 — buffered writes from the late handler are discarded, never
+// interleaved (http.TimeoutHandler semantics).
+func (s *Server) withTimeout(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.TimeoutHandler(next, s.cfg.RequestTimeout, "request timed out\n")
+}
+
+// withShed rejects work beyond the concurrent-request ceiling with 503 +
+// Retry-After instead of queueing without bound. Saturation answers in
+// microseconds, which is what keeps the pool drainable under overload.
+func (s *Server) withShed(next http.Handler) http.Handler {
+	if s.cfg.MaxInFlight <= 0 {
+		return next
+	}
+	sem := make(chan struct{}, s.cfg.MaxInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// injectFaults is the server's registered fault site. Error-kind
+// injections answer 500 directly (handlers have no error channel to
+// propagate through); panic- and latency-kind injections pass through the
+// real recovery and timeout layers above.
+func (s *Server) injectFaults(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := fault.Inject(fault.SiteServer); err != nil {
+			http.Error(w, "injected fault", http.StatusInternalServerError)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}

@@ -1,0 +1,346 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nvbench/internal/fault"
+)
+
+// --- route and writer error paths -----------------------------------------
+
+func TestVegaSuffixOnlyValidUnderAPI(t *testing.T) {
+	// /api/entry/0/vega serves the spec; /entry/0/vega must 404 — the
+	// suffix has no meaning on the HTML route.
+	if rec := get(t, "/api/entry/0/vega"); rec.Code != http.StatusOK {
+		t.Fatalf("/api/entry/0/vega = %d, want 200", rec.Code)
+	}
+	if rec := get(t, "/entry/0/vega"); rec.Code != http.StatusNotFound {
+		t.Fatalf("/entry/0/vega = %d, want 404", rec.Code)
+	}
+}
+
+func TestEntryErrorPaths(t *testing.T) {
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/entry/banana", http.StatusNotFound},
+		{"/entry/-7", http.StatusNotFound},
+		{"/entry/123456789", http.StatusNotFound},
+		{"/api/entry/banana", http.StatusNotFound},
+		{"/api/entry/123456789/vega", http.StatusNotFound},
+		{"/api/entry/", http.StatusNotFound},
+	} {
+		if rec := get(t, tc.path); rec.Code != tc.want {
+			t.Errorf("%s = %d, want %d", tc.path, rec.Code, tc.want)
+		}
+	}
+}
+
+func TestRenderFailureReturns500(t *testing.T) {
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteRender, Kind: fault.KindError, Rate: 1})
+	defer fault.Activate(plan)()
+	for _, path := range []string{"/entry/0", "/api/entry/0/vega"} {
+		rec := get(t, path)
+		if rec.Code != http.StatusInternalServerError {
+			t.Errorf("%s under render fault = %d, want 500", path, rec.Code)
+		}
+	}
+}
+
+// brokenWriter fails every write, simulating a client that disconnected
+// mid-response.
+type brokenWriter struct {
+	*httptest.ResponseRecorder
+	writes int
+}
+
+func (b *brokenWriter) Write([]byte) (int, error) {
+	b.writes++
+	return 0, errors.New("broken pipe")
+}
+
+func TestWriteJSONMidStreamFailureDoesNotWriteHeader(t *testing.T) {
+	s := New(testServer.Bench)
+	bw := &brokenWriter{ResponseRecorder: httptest.NewRecorder()}
+	err := writeJSON(s, bw, map[string]string{"k": "v"})
+	if err == nil {
+		t.Fatal("write failure not surfaced")
+	}
+	if bw.writes == 0 {
+		t.Fatal("nothing attempted the body write")
+	}
+	// The old bug: http.Error after body bytes were already handed to the
+	// ResponseWriter — a superfluous WriteHeader plus an error payload
+	// appended to a half-sent body. Now the failure is logged only.
+	if bw.Code != http.StatusOK {
+		t.Fatalf("status rewritten to %d after mid-stream failure", bw.Code)
+	}
+	if got := bw.Body.String(); got != "" {
+		t.Fatalf("error text appended to broken response: %q", got)
+	}
+}
+
+func TestWriteJSONEncodeFailureIsClean500(t *testing.T) {
+	s := New(testServer.Bench)
+	rec := httptest.NewRecorder()
+	if err := writeJSON(s, rec, map[string]any{"bad": func() {}}); err == nil {
+		t.Fatal("unencodable value accepted")
+	}
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("encode failure = %d, want clean 500 (nothing written yet)", rec.Code)
+	}
+}
+
+// --- middleware ------------------------------------------------------------
+
+func TestHealthEndpoints(t *testing.T) {
+	if rec := get(t, "/healthz"); rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
+		t.Fatalf("/healthz = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, "/readyz"); rec.Code != http.StatusOK {
+		t.Fatalf("/readyz = %d", rec.Code)
+	}
+}
+
+func TestRecoverMiddlewareTurnsPanicInto500(t *testing.T) {
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteServer, Kind: fault.KindPanic, Rate: 1})
+	defer fault.Activate(plan)()
+	rec := get(t, "/api/entries")
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler = %d, want 500", rec.Code)
+	}
+	// Probes sit outside the injection site and keep answering.
+	if rec := get(t, "/healthz"); rec.Code != http.StatusOK {
+		t.Fatalf("/healthz under handler panics = %d", rec.Code)
+	}
+}
+
+func TestTimeoutMiddleware(t *testing.T) {
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteServer, Kind: fault.KindLatency, Rate: 1, Delay: 200 * time.Millisecond})
+	defer fault.Activate(plan)()
+	cfg := DefaultConfig()
+	cfg.RequestTimeout = 30 * time.Millisecond
+	s := NewWithConfig(testServer.Bench, cfg)
+	req := httptest.NewRequest(http.MethodGet, "/api/entries", nil)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out request = %d, want 503", rec.Code)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("timeout response took %v; the slow handler blocked the client", elapsed)
+	}
+	if !strings.Contains(rec.Body.String(), "timed out") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestLoadSheddingReturns503WithRetryAfter(t *testing.T) {
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteServer, Kind: fault.KindLatency, Rate: 1, Delay: 150 * time.Millisecond})
+	defer fault.Activate(plan)()
+	cfg := DefaultConfig()
+	cfg.MaxInFlight = 2
+	s := NewWithConfig(testServer.Bench, cfg)
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	const n = 10
+	codes := make(chan int, n)
+	retryAfter := make(chan string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/api/entry/0")
+			if err != nil {
+				codes <- -1
+				return
+			}
+			defer resp.Body.Close()
+			_, _ = io.Copy(io.Discard, resp.Body)
+			codes <- resp.StatusCode
+			retryAfter <- resp.Header.Get("Retry-After")
+		}()
+	}
+	wg.Wait()
+	close(codes)
+	close(retryAfter)
+	ok, shed := 0, 0
+	for c := range codes {
+		switch c {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Fatalf("unexpected status %d", c)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("ok=%d shed=%d; want both admission and shedding at ceiling 2", ok, shed)
+	}
+	sawRetryAfter := false
+	for ra := range retryAfter {
+		if ra == "1" {
+			sawRetryAfter = true
+		}
+	}
+	if !sawRetryAfter {
+		t.Fatal("no shed response carried Retry-After")
+	}
+}
+
+// --- graceful shutdown and the chaos harness -------------------------------
+
+// startServer runs s.Serve on an ephemeral port and returns the base URL,
+// the cancel that begins graceful shutdown, and a channel with Serve's
+// return value.
+func startServer(t *testing.T, s *Server) (url string, cancel context.CancelFunc, done chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done = make(chan error, 1)
+	go func() { done <- s.Serve(ctx, ln) }()
+	return "http://" + ln.Addr().String(), cancel, done
+}
+
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteServer, Kind: fault.KindLatency, Rate: 1, Delay: 250 * time.Millisecond})
+	defer fault.Activate(plan)()
+	cfg := DefaultConfig()
+	cfg.DrainTimeout = 2 * time.Second
+	s := NewWithConfig(testServer.Bench, cfg)
+	url, cancel, done := startServer(t, s)
+
+	// Readiness is up before shutdown.
+	resp, err := http.Get(url + "/readyz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz before shutdown: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	// Put a slow request in flight, then begin shutdown while it runs.
+	inflight := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(url + "/api/entry/0")
+		if err != nil {
+			inflight <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			inflight <- fmt.Errorf("in-flight request = %d", resp.StatusCode)
+			return
+		}
+		_, err = io.Copy(io.Discard, resp.Body)
+		inflight <- err
+	}()
+	time.Sleep(80 * time.Millisecond) // let the request reach the handler
+	cancel()
+
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request dropped during drain: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve returned %v, want clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not complete")
+	}
+	if s.Ready() {
+		t.Fatal("server still ready after shutdown")
+	}
+	// Direct probe (the listener is closed): readiness reports draining.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after shutdown = %d, want 503", rec.Code)
+	}
+}
+
+// TestServerSurvivesChaos is the acceptance harness: under injected
+// handler panics, slow renders and render errors, a burst of concurrent
+// requests must all receive well-formed HTTP responses — no dropped
+// connections — and graceful shutdown must still complete cleanly.
+func TestServerSurvivesChaos(t *testing.T) {
+	plan := fault.NewPlan(99).
+		Add(fault.Rule{Site: fault.SiteServer, Kind: fault.KindPanic, Rate: 0.15}).
+		Add(fault.Rule{Site: fault.SiteServer, Kind: fault.KindLatency, Rate: 0.3, Delay: 5 * time.Millisecond}).
+		Add(fault.Rule{Site: fault.SiteRender, Kind: fault.KindError, Rate: 0.2}).
+		Add(fault.Rule{Site: fault.SiteRender, Kind: fault.KindPanic, Rate: 0.1})
+	defer fault.Activate(plan)()
+
+	cfg := DefaultConfig()
+	cfg.RequestTimeout = 2 * time.Second
+	cfg.MaxInFlight = 64
+	cfg.DrainTimeout = 8 * time.Second
+	s := NewWithConfig(testServer.Bench, cfg)
+	url, cancel, done := startServer(t, s)
+
+	paths := []string{"/", "/entry/0", "/api/entries", "/api/entry/0", "/api/entry/0/vega", "/healthz"}
+	const workers, perWorker = 8, 25
+	errs := make(chan error, workers*perWorker)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 5 * time.Second}
+			for i := 0; i < perWorker; i++ {
+				path := paths[(w+i)%len(paths)]
+				resp, err := client.Get(url + path)
+				if err != nil {
+					errs <- fmt.Errorf("%s: connection error: %w", path, err)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK, http.StatusInternalServerError, http.StatusServiceUnavailable, http.StatusNotFound:
+					// All well-formed outcomes under chaos.
+				default:
+					errs <- fmt.Errorf("%s: unexpected status %d", path, resp.StatusCode)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Drop client-side keep-alive connections before shutting down, as
+	// departing clients would; the drain then only waits on true in-flight
+	// work.
+	if tr, ok := http.DefaultTransport.(*http.Transport); ok {
+		tr.CloseIdleConnections()
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown after chaos: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("shutdown hung after chaos")
+	}
+}

@@ -2,38 +2,160 @@
 // index of (nl, vis) entries, per-entry pages that render the chart with
 // Vega-Lite, and JSON endpoints for programmatic access. It is the
 // "benchmark browser" used by `cmd/nvbench -serve`.
+//
+// The server is hardened for production traffic: every request passes
+// through a middleware chain (panic recovery, per-request timeout with
+// context propagation, concurrency-limited load shedding), liveness and
+// readiness probes are served at /healthz and /readyz, and Run provides
+// context-aware graceful shutdown that drains in-flight requests.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"html"
+	"log"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"nvbench/internal/bench"
 	"nvbench/internal/render"
 )
 
-// Server serves one benchmark.
-type Server struct {
-	Bench *bench.Benchmark
-	mux   *http.ServeMux
+// Config tunes the hardening layers.
+type Config struct {
+	// RequestTimeout bounds one request end to end; the handler's context
+	// is canceled at the deadline and the client gets 503. 0 disables.
+	RequestTimeout time.Duration
+	// MaxInFlight is the concurrent-request ceiling before the server
+	// sheds load with 503 + Retry-After. 0 disables shedding.
+	MaxInFlight int
+	// DrainTimeout bounds graceful shutdown's wait for in-flight requests.
+	DrainTimeout time.Duration
+	// Logger receives middleware diagnostics; nil uses the process logger.
+	Logger *log.Logger
 }
 
-// New builds a server over a benchmark.
-func New(b *bench.Benchmark) *Server {
-	s := &Server{Bench: b, mux: http.NewServeMux()}
-	s.mux.HandleFunc("/", s.handleIndex)
-	s.mux.HandleFunc("/entry/", s.handleEntry)
-	s.mux.HandleFunc("/api/entries", s.handleAPIEntries)
-	s.mux.HandleFunc("/api/entry/", s.handleAPIEntry)
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config {
+	return Config{
+		RequestTimeout: 10 * time.Second,
+		MaxInFlight:    256,
+		DrainTimeout:   5 * time.Second,
+	}
+}
+
+// Server serves one benchmark.
+type Server struct {
+	Bench   *bench.Benchmark
+	cfg     Config
+	ready   atomic.Bool
+	handler http.Handler
+}
+
+// New builds a server over a benchmark with the default hardening config.
+func New(b *bench.Benchmark) *Server { return NewWithConfig(b, DefaultConfig()) }
+
+// NewWithConfig builds a server with explicit hardening settings.
+func NewWithConfig(b *bench.Benchmark, cfg Config) *Server {
+	s := &Server{Bench: b, cfg: cfg}
+	app := http.NewServeMux()
+	app.HandleFunc("/", s.handleIndex)
+	app.HandleFunc("/entry/", s.handleEntry)
+	app.HandleFunc("/api/entries", s.handleAPIEntries)
+	app.HandleFunc("/api/entry/", s.handleAPIEntry)
+
+	// Chain, innermost first: fault injection sits next to the app so
+	// injected panics and stalls exercise every outer layer; then the
+	// per-request timeout, then load shedding so a saturated pool answers
+	// cheaply, with panic recovery outermost.
+	var h http.Handler = s.injectFaults(app)
+	h = s.withTimeout(h)
+	h = s.withShed(h)
+
+	// Probes bypass shedding and timeouts: a saturated server must still
+	// answer its load balancer.
+	root := http.NewServeMux()
+	root.HandleFunc("/healthz", s.handleHealthz)
+	root.HandleFunc("/readyz", s.handleReadyz)
+	root.Handle("/", h)
+	s.handler = s.withRecover(root)
+	s.ready.Store(true)
 	return s
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// logf writes one middleware diagnostic line.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Ready reports whether the server accepts benchmark traffic (true from
+// construction until shutdown begins).
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Run serves on addr until ctx is canceled, then shuts down gracefully:
+// readiness flips to 503 so load balancers stop routing, in-flight
+// requests get DrainTimeout to finish, and only then does Run force-close.
+func (s *Server) Run(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is Run over an existing listener (tests use ephemeral ports).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		s.ready.Store(false)
+		return err
+	case <-ctx.Done():
+	}
+	s.ready.Store(false)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		// Drain budget exhausted; cut the stragglers loose. The close
+		// error is unactionable at this point — we are exiting.
+		_ = srv.Close()
+		return fmt.Errorf("server: shutdown drain incomplete: %w", err)
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	writeBytes(s, w, []byte("ok\n"))
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	writeBytes(s, w, []byte("ready\n"))
+}
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
@@ -56,12 +178,17 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 			html.EscapeString(e.DB.Name), html.EscapeString(nl))
 	}
 	sb.WriteString("</table></body></html>")
-	fmt.Fprint(w, sb.String())
+	writeBytes(s, w, []byte(sb.String()))
 }
 
-func (s *Server) entryByPath(path, prefix string) (*bench.Entry, error) {
+// entryByPath resolves an entry from a URL path. The "/vega" suffix is
+// only meaningful under /api/entry/; HTML routes pass allowVega=false and
+// get a 404 for it.
+func (s *Server) entryByPath(path, prefix string, allowVega bool) (*bench.Entry, error) {
 	idStr := strings.TrimPrefix(path, prefix)
-	idStr = strings.TrimSuffix(idStr, "/vega")
+	if allowVega {
+		idStr = strings.TrimSuffix(idStr, "/vega")
+	}
 	id, err := strconv.Atoi(idStr)
 	if err != nil {
 		return nil, fmt.Errorf("bad entry id %q", idStr)
@@ -73,7 +200,7 @@ func (s *Server) entryByPath(path, prefix string) (*bench.Entry, error) {
 }
 
 func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
-	e, err := s.entryByPath(r.URL.Path, "/entry/")
+	e, err := s.entryByPath(r.URL.Path, "/entry/", false)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -95,7 +222,7 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 	// Inject the entry header before the chart container.
 	page = strings.Replace(page, `<div id="vis"></div>`, sb.String(), 1)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(w, page)
+	writeBytes(s, w, []byte(page))
 }
 
 // apiEntry is the JSON shape of one entry.
@@ -123,11 +250,11 @@ func (s *Server) handleAPIEntries(w http.ResponseWriter, r *http.Request) {
 	for _, e := range s.Bench.Entries {
 		out = append(out, toAPI(e))
 	}
-	writeJSON(w, out)
+	writeJSON(s, w, out)
 }
 
 func (s *Server) handleAPIEntry(w http.ResponseWriter, r *http.Request) {
-	e, err := s.entryByPath(r.URL.Path, "/api/entry/")
+	e, err := s.entryByPath(r.URL.Path, "/api/entry/", true)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -139,20 +266,35 @@ func (s *Server) handleAPIEntry(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		if _, err := w.Write(spec); err != nil {
-			// The client went away mid-response; nothing to clean up.
-			return
-		}
+		writeBytes(s, w, spec)
 		return
 	}
-	writeJSON(w, toAPI(e))
+	writeJSON(s, w, toAPI(e))
 }
 
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
+// writeJSON encodes v and writes it in one shot. Encoding happens before
+// any byte reaches the wire, so an encode failure still yields a clean
+// 500; a mid-stream write failure (client gone) is logged and returned —
+// never answered with a late http.Error, which would be a superfluous
+// WriteHeader on an already-started response.
+func writeJSON(s *Server, w http.ResponseWriter, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return err
 	}
+	w.Header().Set("Content-Type", "application/json")
+	return writeBytes(s, w, append(data, '\n'))
+}
+
+// writeBytes writes an already-encoded response body, logging write
+// failures (the client went away; nothing else to clean up). The error
+// return is for optional inspection — dropping it is allowlisted in the
+// errdrop analyzer.
+func writeBytes(s *Server, w http.ResponseWriter, b []byte) error {
+	if _, err := w.Write(b); err != nil {
+		s.logf("server: write %d bytes: %v", len(b), err)
+		return err
+	}
+	return nil
 }

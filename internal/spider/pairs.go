@@ -1,12 +1,14 @@
 package spider
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 
 	"nvbench/internal/ast"
 	"nvbench/internal/dataset"
+	"nvbench/internal/fault"
 	"nvbench/internal/sqlparser"
 )
 
@@ -108,8 +110,11 @@ func generatePair(r *rand.Rand, db *dataset.Database, id int) (*Pair, error) {
 		if !ok {
 			continue
 		}
-		q, err := sqlparser.Parse(sqlText, db)
+		q, err := sqlparser.TryParse(sqlText, db)
 		if err != nil {
+			if fault.IsTransient(err) {
+				continue // injected/flaky parse; draw another shape
+			}
 			return nil, fmt.Errorf("spider: generated unparseable SQL %q: %w", sqlText, err)
 		}
 		return &Pair{
@@ -121,11 +126,18 @@ func generatePair(r *rand.Rand, db *dataset.Database, id int) (*Pair, error) {
 			Hardness: ast.Classify(q),
 		}, nil
 	}
-	// Guaranteed fallback: every table has an id column.
+	// Guaranteed fallback: every table has an id column. The SQL is
+	// organically always parseable, so only transient (injected) parse
+	// failures need absorbing — a short zero-backoff retry does it.
 	t := db.Tables[0]
 	sqlText := fmt.Sprintf("SELECT id FROM %s", t.Name)
 	nl := fmt.Sprintf("List the ids of all %ss.", noun(t.Name))
-	q, err := sqlparser.Parse(sqlText, db)
+	var q *ast.Query
+	err, _ := fault.Retry(context.Background(), 8, fault.Backoff{}, func() error {
+		var perr error
+		q, perr = sqlparser.TryParse(sqlText, db)
+		return perr
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -7,12 +7,18 @@ import (
 
 	"nvbench/internal/ast"
 	"nvbench/internal/dataset"
+	"nvbench/internal/fault"
 )
 
-// Parse parses an SQL statement into a unified AST. The optional db schema
-// resolves bare (unqualified) column names and validates table references;
-// pass nil to parse purely syntactically (bare columns keep an empty table).
-func Parse(sql string, db *dataset.Database) (*ast.Query, error) {
+// TryParse parses an SQL statement into a unified AST. The optional db
+// schema resolves bare (unqualified) column names and validates table
+// references; pass nil to parse purely syntactically (bare columns keep an
+// empty table). TryParse is the exported boundary the pipeline uses: it
+// reports malformed input as an error, never a panic.
+func TryParse(sql string, db *dataset.Database) (*ast.Query, error) {
+	if err := fault.Inject(fault.SiteParse); err != nil {
+		return nil, fmt.Errorf("sqlparser: %w", err)
+	}
 	toks, err := lex(sql)
 	if err != nil {
 		return nil, err
@@ -611,9 +617,11 @@ func (p *parser) parseLiteral() (ast.Value, error) {
 	return ast.Value{}, fmt.Errorf("sqlparser: expected literal at %d, got %q", t.pos, t.text)
 }
 
-// MustParse parses sql and panics on error; for tests and examples.
-func MustParse(sql string, db *dataset.Database) *ast.Query {
-	q, err := Parse(sql, db)
+// Parse is the thin must-wrapper over TryParse for tests and examples: it
+// panics on malformed input. Pipeline and server code must call TryParse
+// and propagate the error instead.
+func Parse(sql string, db *dataset.Database) *ast.Query {
+	q, err := TryParse(sql, db)
 	if err != nil {
 		panic(fmt.Sprintf("sqlparser: %v (input: %s)", err, strings.TrimSpace(sql)))
 	}

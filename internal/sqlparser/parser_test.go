@@ -1,11 +1,13 @@
 package sqlparser
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"nvbench/internal/ast"
 	"nvbench/internal/dataset"
+	"nvbench/internal/fault"
 )
 
 func schemaDB() *dataset.Database {
@@ -39,9 +41,9 @@ func schemaDB() *dataset.Database {
 
 func parseOK(t *testing.T, sql string) *ast.Query {
 	t.Helper()
-	q, err := Parse(sql, schemaDB())
+	q, err := TryParse(sql, schemaDB())
 	if err != nil {
-		t.Fatalf("Parse(%q): %v", sql, err)
+		t.Fatalf("TryParse(%q): %v", sql, err)
 	}
 	if err := q.Validate(); err != nil {
 		t.Fatalf("Validate(%q): %v", sql, err)
@@ -274,7 +276,7 @@ func TestCanonicalRoundTrip(t *testing.T) {
 }
 
 func TestParseWithoutSchema(t *testing.T) {
-	q, err := Parse("SELECT a, b FROM t WHERE a > 1", nil)
+	q, err := TryParse("SELECT a, b FROM t WHERE a > 1", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,19 +308,28 @@ func TestParseErrors(t *testing.T) {
 		"SELECT origin FROM flight WHERE origin = 'unterminated",
 	}
 	for _, sql := range bad {
-		if _, err := Parse(sql, schemaDB()); err == nil {
-			t.Errorf("Parse(%q): expected error", sql)
+		if _, err := TryParse(sql, schemaDB()); err == nil {
+			t.Errorf("TryParse(%q): expected error", sql)
 		}
 	}
 }
 
-func TestMustParsePanics(t *testing.T) {
+func TestTryParseFaultInjection(t *testing.T) {
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteParse, Kind: fault.KindError, Rate: 1})
+	defer fault.Activate(plan)()
+	_, err := TryParse("SELECT origin FROM flight", schemaDB())
+	if !errors.Is(err, fault.ErrInjected) || !fault.IsTransient(err) {
+		t.Fatalf("err = %v, want transient injected error", err)
+	}
+}
+
+func TestParseWrapperPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("MustParse should panic on bad input")
+			t.Fatal("Parse must-wrapper should panic on bad input")
 		}
 	}()
-	MustParse("not sql", nil)
+	Parse("not sql", nil)
 }
 
 func TestLexerTokens(t *testing.T) {

@@ -31,12 +31,12 @@ func TestSQLRenderRoundTrip(t *testing.T) {
 		"SELECT origin FROM flight WHERE price = 2.5 AND destination != 'BOS'",
 	}
 	for _, sql := range sqls {
-		q1, err := Parse(sql, db)
+		q1, err := TryParse(sql, db)
 		if err != nil {
 			t.Fatalf("parse %q: %v", sql, err)
 		}
 		rendered := q1.SQL()
-		q2, err := Parse(rendered, db)
+		q2, err := TryParse(rendered, db)
 		if err != nil {
 			t.Fatalf("re-parse %q (from %q): %v", rendered, sql, err)
 		}
@@ -103,7 +103,7 @@ func TestQuickSQLRoundTrip(t *testing.T) {
 		if q.Validate() != nil {
 			return true // skip invalid random draws
 		}
-		q2, err := Parse(q.SQL(), db)
+		q2, err := TryParse(q.SQL(), db)
 		if err != nil {
 			t.Logf("render %q failed to parse: %v", q.SQL(), err)
 			return false

@@ -26,4 +26,7 @@ go run ./cmd/nvlint ./...
 echo "== go test -race (fast packages)"
 go test -race ./internal/ast ./internal/sqlparser ./internal/spider ./internal/core
 
+echo "== faultguard: fault-injection suite with -race"
+go test -race ./internal/fault ./internal/deepeye ./internal/bench ./internal/server ./cmd/nvbench
+
 echo "check: OK"
