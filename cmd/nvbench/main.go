@@ -32,6 +32,7 @@ import (
 	"nvbench/internal/server"
 	"nvbench/internal/spider"
 	"nvbench/internal/stats"
+	"nvbench/internal/store"
 )
 
 func main() {
@@ -63,6 +64,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		retries   = fs.Int("retries", 3, "attempts per pair before quarantining it")
 		faults    = fs.String("faults", "", `fault plan, e.g. "parse:error:0.05,*:panic:0.01" (site:kind:rate[:delay])`)
 		faultSeed = fs.Int64("fault-seed", 1, "seed for the deterministic fault plan")
+		storeDir  = fs.String("store", "", "benchmark store directory; alone, load the stored benchmark instead of building")
+		save      = fs.Bool("save", false, "persist the built benchmark to -store")
+		incr      = fs.Bool("incremental", false, "build through -store's pair cache, skipping unchanged pairs")
+		fsck      = fs.Bool("fsck", false, "verify every artifact in -store, report corruption and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,6 +82,31 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		}
 		defer fault.Activate(plan)()
 		fmt.Fprintf(w, "fault plan active: %s (seed %d)\n\n", plan, *faultSeed)
+	}
+
+	if (*save || *incr || *fsck) && *storeDir == "" {
+		return fmt.Errorf("-save, -incremental and -fsck require -store")
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			return err
+		}
+	}
+	if *fsck {
+		rep, err := st.Verify()
+		if err != nil {
+			return err
+		}
+		store.WriteFsck(w, rep)
+		if !rep.OK() {
+			return fmt.Errorf("store %s is corrupt", *storeDir)
+		}
+		return nil
+	}
+	if st != nil && !*save && !*incr {
+		return serveStore(ctx, st, w, *out, *vega, *serve)
 	}
 
 	var corpus *spider.Corpus
@@ -119,6 +149,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	opts.MaxPairs = *maxPairs
 	opts.Workers = *workers
 	opts.Retries = *retries
+	fingerprint := store.Fingerprint(opts)
+	if *incr {
+		opts.Cache = st.PairCache(fingerprint)
+	}
 	b, err := bench.Build(corpus, opts)
 	if err != nil {
 		return err
@@ -137,8 +171,13 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "run stats: workers=%d retried_attempts=%d classifier_fallbacks=%d\n",
+	fmt.Fprintf(w, "run stats: workers=%d retried_attempts=%d classifier_fallbacks=%d",
 		b.Stats.Workers, b.Stats.RetriedAttempts, b.Stats.ClassifierFallbacks)
+	if *incr {
+		fmt.Fprintf(w, " cache_hits=%d cache_misses=%d cache_write_errors=%d",
+			b.Stats.CacheHits, b.Stats.CacheMisses, b.Stats.CacheWriteErrors)
+	}
+	fmt.Fprintln(w)
 	bench.WriteQuarantine(w, b)
 	if plan != nil {
 		fmt.Fprintln(w, "fault injections by site:")
@@ -146,6 +185,16 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			fmt.Fprintf(w, "  %-12s calls=%-6d errors=%-5d panics=%-5d delays=%d\n",
 				st.Site, st.Calls, st.Errors, st.Panics, st.Latency)
 		}
+	}
+
+	var manifest *store.Manifest
+	if *save {
+		manifest, err = st.Save(b, store.BuildInfo{Seed: *seed, Fingerprint: fingerprint})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nsaved %d entries (%d database payloads) to %s\n",
+			len(manifest.Entries), len(manifest.Databases), *storeDir)
 	}
 
 	if *out != "" {
@@ -157,7 +206,44 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 
 	if *serve != "" {
 		fmt.Fprintf(w, "\nserving benchmark browser on %s\n", *serve)
-		return server.New(b).Run(ctx, *serve)
+		srv := server.New(b)
+		if manifest != nil {
+			if err := srv.SetEntryETags(manifest.EntryHashes()); err != nil {
+				return err
+			}
+		}
+		return srv.Run(ctx, *serve)
+	}
+	return nil
+}
+
+// serveStore is the -store load path: reconstruct the benchmark from disk
+// (no corpus, no synthesis), print its shape, and optionally export or
+// serve it with the manifest's content hashes as cache validators.
+func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, vega bool, serve string) error {
+	b, m, err := st.Load()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "loaded store %s: %d vis objects, %d (nl, vis) pairs, %d database payloads\n\n",
+		st.Dir(), len(b.Entries), b.NumPairs(), len(m.Databases))
+	bench.WriteTable3(w, b.Table3(), len(b.Entries), b.NumPairs())
+	fmt.Fprintln(w)
+	bench.WriteFigure10(w, b.TypeHardnessMatrix())
+
+	if out != "" {
+		if err := export(b, out, vega); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\nwrote %s\n", out)
+	}
+	if serve != "" {
+		fmt.Fprintf(w, "\nserving benchmark browser on %s\n", serve)
+		srv := server.New(b)
+		if err := srv.SetEntryETags(m.EntryHashes()); err != nil {
+			return err
+		}
+		return srv.Run(ctx, serve)
 	}
 	return nil
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI drives the full CLI in-process.
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	err := run(context.Background(), args, &buf)
+	return buf.String(), err
+}
+
+var smallBuild = []string{"-dbs", "3", "-pairs", "5", "-seed", "2"}
+
+func TestStoreSaveLoadFsckFlow(t *testing.T) {
+	dir := t.TempDir()
+
+	// Build and save.
+	out, err := runCLI(t, append(smallBuild, "-store", dir, "-save")...)
+	if err != nil {
+		t.Fatalf("save run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "saved ") || !strings.Contains(out, dir) {
+		t.Fatalf("save run output missing save line:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "MANIFEST.json")); err != nil {
+		t.Fatalf("no manifest written: %v", err)
+	}
+
+	// A clean store passes fsck.
+	out, err = runCLI(t, "-store", dir, "-fsck")
+	if err != nil {
+		t.Fatalf("fsck of clean store: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "fsck: 0 of ") {
+		t.Fatalf("fsck output:\n%s", out)
+	}
+
+	// Load mode reconstructs the benchmark without synthesizing.
+	out, err = runCLI(t, "-store", dir)
+	if err != nil {
+		t.Fatalf("load run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "loaded store") || !strings.Contains(out, "Table 3") {
+		t.Fatalf("load run output:\n%s", out)
+	}
+	if strings.Contains(out, "synthesized benchmark") {
+		t.Fatalf("load mode ran a build:\n%s", out)
+	}
+
+	// Flip one byte in one entry artifact: fsck reports it and fails.
+	matches, err := filepath.Glob(filepath.Join(dir, "entries", "*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no entry artifacts: %v", err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(matches[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCLI(t, "-store", dir, "-fsck")
+	if err == nil {
+		t.Fatalf("fsck of corrupt store succeeded:\n%s", out)
+	}
+	if !strings.Contains(out, "fsck: 1 of ") || !strings.Contains(out, "does not match address") {
+		t.Fatalf("fsck corruption report:\n%s", out)
+	}
+
+	// Load mode degrades with a clear error, not a panic.
+	if out, err = runCLI(t, "-store", dir); err == nil {
+		t.Fatalf("load of corrupt store succeeded:\n%s", out)
+	} else if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("load error does not name corruption: %v", err)
+	}
+}
+
+func TestIncrementalFlagReportsCacheCounters(t *testing.T) {
+	dir := t.TempDir()
+	args := append(smallBuild, "-store", dir, "-incremental", "-save")
+
+	out, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("cold incremental run: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "cache_hits=") || !strings.Contains(out, "cache_misses=") {
+		t.Fatalf("run stats missing cache counters:\n%s", out)
+	}
+
+	out2, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("warm incremental run: %v\n%s", err, out2)
+	}
+	if !strings.Contains(out2, "cache_misses=0") {
+		t.Fatalf("warm run did not hit the cache everywhere:\n%s", out2)
+	}
+	// The paper tables and the benchmark shape are identical cold vs warm.
+	if benchSection(out) != benchSection(out2) {
+		t.Fatalf("warm run output diverged:\ncold:\n%s\nwarm:\n%s", out, out2)
+	}
+}
+
+// benchSection strips the run-stats line (cache counters legitimately
+// differ between cold and warm runs) from a CLI transcript.
+func benchSection(out string) string {
+	var keep []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "run stats:") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+func TestStoreFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-save"},
+		{"-incremental"},
+		{"-fsck"},
+	} {
+		if out, err := runCLI(t, args...); err == nil || !strings.Contains(err.Error(), "-store") {
+			t.Errorf("%v: err = %v\n%s", args, err, out)
+		}
+	}
+}

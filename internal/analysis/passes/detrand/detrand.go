@@ -26,6 +26,7 @@ var DetPackageSuffixes = []string{
 	"internal/nledit",
 	"internal/render",
 	"internal/spider",
+	"internal/store",
 }
 
 // Analyzer is the determinism check.

@@ -11,6 +11,12 @@ func TestDetrand(t *testing.T) {
 	analysistest.Run(t, "testdata/src/internal/core", "example.com/internal/core", detrand.Analyzer)
 }
 
+func TestDetrandStoreFixture(t *testing.T) {
+	// The store package is determinism-gated too: its manifest and fsck
+	// report emission follow the collect-then-sort idiom this fixture pins.
+	analysistest.Run(t, "testdata/src/internal/store", "example.com/internal/store", detrand.Analyzer)
+}
+
 func TestDetrandSkipsOtherPackages(t *testing.T) {
 	// The same fixture under a non-deterministic import path must produce
 	// no findings: the analyzer is scoped, not global.

@@ -1,0 +1,74 @@
+// Package storefix is the detrand fixture for the store package's idioms:
+// content-addressed artifact emission must be deterministic, so map-order
+// walks are collected and sorted before anything reaches disk.
+package storefix
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+type corruption struct {
+	Path   string
+	Detail string
+}
+
+// verifyStyle mirrors store.Verify: findings accumulate from map-range
+// walks and are sorted by path before the report is returned. The append
+// inside the range is sanctioned because a sort follows in the same
+// function — the collect-then-sort idiom.
+func verifyStyle(missing map[string]string) []corruption {
+	var out []corruption
+	for path, detail := range missing { // collect-then-sort: deterministic
+		out = append(out, corruption{Path: path, Detail: detail})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// manifestStyle mirrors Save's database dedup: hashes collected from a
+// map-keyed dedup table must be sorted before they land in the manifest.
+func manifestStyle(written map[string]bool) []string {
+	hashes := make([]string, 0, len(written))
+	for h := range written {
+		hashes = append(hashes, h)
+	}
+	sort.Strings(hashes)
+	return hashes
+}
+
+// unsortedManifest forgets the sort: the manifest would change between
+// runs of the same build, breaking the golden-determinism gate.
+func unsortedManifest(written map[string]bool) []string {
+	var hashes []string
+	for h := range written { // want `range over map appends in map-iteration order with no later sort`
+		hashes = append(hashes, h)
+	}
+	return hashes
+}
+
+// fsckPrintInMapOrder writes the report straight from the map: the line
+// order would differ run to run.
+func fsckPrintInMapOrder(w io.Writer, corrupt map[string]string) {
+	for path, detail := range corrupt { // want `range over map writes output in map-iteration order`
+		fmt.Fprintf(w, "  %s %s\n", path, detail)
+	}
+}
+
+// stampedManifest embeds a wall-clock timestamp, so a re-Save of the same
+// benchmark would never be byte-identical.
+func stampedManifest() string {
+	return time.Now().Format(time.RFC3339) // want `call to time\.Now in deterministic package storefix`
+}
+
+// rehashCount is a pure reduction over the map; iteration order is not
+// observable in the result.
+func rehashCount(artifacts map[string][]byte) int {
+	n := 0
+	for range artifacts {
+		n++
+	}
+	return n
+}

@@ -63,6 +63,9 @@ type Options struct {
 	Retries int
 	// RetryBackoff is the wait schedule between attempts.
 	RetryBackoff fault.Backoff
+	// Cache is the incremental-build cache; pairs with a cached outcome
+	// skip synthesis entirely (nil disables caching).
+	Cache PairCache
 }
 
 // DefaultOptions returns the paper-default pipeline configuration.
@@ -104,38 +107,38 @@ func Build(corpus *spider.Corpus, opts Options) (*Benchmark, error) {
 	id := 0
 	for pi, p := range pairs {
 		r := results[pi]
-		b.Stats.RetriedAttempts += r.attempts - 1
-		for _, rej := range r.rejected {
-			b.Rejections[bucketReason(rej.Reason)]++
+		if r.attempts > 0 {
+			b.Stats.RetriedAttempts += r.attempts - 1
+		}
+		if opts.Cache != nil {
+			if r.cacheHit {
+				b.Stats.CacheHits++
+			} else {
+				b.Stats.CacheMisses++
+			}
+			if r.cachePutErr != nil {
+				b.Stats.CacheWriteErrors++
+			}
 		}
 		if r.quarantine != nil {
 			b.Quarantine = append(b.Quarantine, *r.quarantine)
 			continue
 		}
-		for vi, v := range r.kept {
-			variants := r.variants[vi]
-			if len(variants) == 0 {
-				continue
-			}
-			nls := make([]string, len(variants))
-			manual := false
-			for i, vr := range variants {
-				nls[i] = vr.Text
-				if vr.Manual {
-					manual = true
-				}
-			}
+		for reason, n := range r.outcome.Rejections {
+			b.Rejections[reason] += n
+		}
+		for _, cv := range r.outcome.Kept {
 			b.Entries = append(b.Entries, &Entry{
 				ID:       id,
 				PairID:   p.ID,
 				DB:       p.DB,
 				SourceNL: p.NL,
-				Vis:      v.Query,
-				NLs:      nls,
-				Manual:   manual,
-				Hardness: v.Hardness,
-				Chart:    v.Query.Visualize,
-				Edit:     v.Edit,
+				Vis:      cv.Vis,
+				NLs:      cv.NLs,
+				Manual:   cv.Manual,
+				Hardness: cv.Hardness,
+				Chart:    cv.Vis.Visualize,
+				Edit:     cv.Edit,
 			})
 			id++
 		}

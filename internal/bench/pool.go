@@ -36,27 +36,39 @@ type RunStats struct {
 	PairsQuarantined    int   // pairs skipped after retries
 	RetriedAttempts     int   // attempts beyond each pair's first
 	ClassifierFallbacks int64 // classifier calls degraded to rules-only
+	CacheHits           int   // pairs served from the incremental cache
+	CacheMisses         int   // pairs synthesized because the cache missed
+	CacheWriteErrors    int   // cache Put failures (build output unaffected)
 }
 
 // pairResult is one worker's output for one source pair.
 type pairResult struct {
-	kept       []*core.VisObject
-	variants   [][]nledit.Variant // parallel to kept
-	rejected   []core.Rejection
-	quarantine *Quarantined
-	attempts   int
+	outcome     *PairOutcome
+	quarantine  *Quarantined
+	attempts    int
+	cacheHit    bool
+	cachePutErr error
 }
 
 // processPair runs the full per-pair pipeline (synthesize, truncate,
-// NL variants) under panic recovery and the retry budget.
+// NL variants) under panic recovery and the retry budget. With a cache
+// configured it is consulted first; a hit skips synthesis entirely and a
+// successful fresh outcome is written back.
 func processPair(ctx context.Context, opts Options, p *spider.Pair) pairResult {
+	if opts.Cache != nil {
+		if out, ok := opts.Cache.Get(p); ok {
+			return pairResult{outcome: out, cacheHit: true}
+		}
+	}
 	var res pairResult
+	var kept []*core.VisObject
+	var rejected []core.Rejection
 	synth := func() error {
-		kept, rejected, err := opts.Synth.Synthesize(p.DB, p.Query)
+		k, rej, err := opts.Synth.Synthesize(p.DB, p.Query)
 		if err != nil {
 			return err
 		}
-		res.kept, res.rejected = kept, rejected
+		kept, rejected = k, rej
 		return nil
 	}
 	err, tried := fault.Retry(ctx, opts.Retries, opts.RetryBackoff, synth)
@@ -65,17 +77,18 @@ func processPair(ctx context.Context, opts Options, p *spider.Pair) pairResult {
 		res.quarantine = &Quarantined{PairID: p.ID, Stage: "synthesize", Err: err.Error(), Attempts: tried}
 		return res
 	}
-	if opts.MaxVisPerPair > 0 && len(res.kept) > opts.MaxVisPerPair {
-		res.kept = diverseTruncate(res.kept, opts.MaxVisPerPair)
+	if opts.MaxVisPerPair > 0 && len(kept) > opts.MaxVisPerPair {
+		kept = diverseTruncate(kept, opts.MaxVisPerPair)
 	}
+	var variants [][]nledit.Variant
 	genVariants := func() error {
 		return fault.Safely("bench/variants", func() error {
 			if err := fault.Inject(fault.SiteVariants); err != nil {
 				return err
 			}
-			res.variants = make([][]nledit.Variant, len(res.kept))
-			for i, v := range res.kept {
-				res.variants[i] = opts.Edit.Variants(p.NL, v.Query, v.Edit)
+			variants = make([][]nledit.Variant, len(kept))
+			for i, v := range kept {
+				variants[i] = opts.Edit.Variants(p.NL, v.Query, v.Edit)
 			}
 			return nil
 		})
@@ -84,9 +97,45 @@ func processPair(ctx context.Context, opts Options, p *spider.Pair) pairResult {
 	res.attempts += tried - 1
 	if err != nil {
 		res.quarantine = &Quarantined{PairID: p.ID, Stage: "variants", Err: err.Error(), Attempts: tried}
-		res.kept, res.variants, res.rejected = nil, nil, nil
+		return res
+	}
+	res.outcome = assembleOutcome(kept, variants, rejected)
+	if opts.Cache != nil {
+		res.cachePutErr = opts.Cache.Put(p, res.outcome)
 	}
 	return res
+}
+
+// assembleOutcome normalizes a fresh synthesis result into the cacheable,
+// assembly-ready form: vis objects without variants are dropped (they never
+// become entries) and rejection reasons are bucketed.
+func assembleOutcome(kept []*core.VisObject, variants [][]nledit.Variant, rejected []core.Rejection) *PairOutcome {
+	out := &PairOutcome{Rejections: map[string]int{}}
+	for _, rej := range rejected {
+		out.Rejections[bucketReason(rej.Reason)]++
+	}
+	for i, v := range kept {
+		vs := variants[i]
+		if len(vs) == 0 {
+			continue
+		}
+		nls := make([]string, len(vs))
+		manual := false
+		for j, vr := range vs {
+			nls[j] = vr.Text
+			if vr.Manual {
+				manual = true
+			}
+		}
+		out.Kept = append(out.Kept, CachedVis{
+			Vis:      v.Query,
+			Edit:     v.Edit,
+			Hardness: v.Hardness,
+			NLs:      nls,
+			Manual:   manual,
+		})
+	}
+	return out
 }
 
 // poolSize resolves the configured worker count against the work size.

@@ -43,6 +43,8 @@ const (
 	SiteVariants   = "variants"   // bench NL-variant generation
 	SiteRender     = "render"     // render.VegaLite
 	SiteServer     = "server"     // server per-request middleware
+	SiteStoreSave  = "store.save" // store artifact writes (Save, cache Put)
+	SiteStoreLoad  = "store.load" // store artifact reads (Load, Verify, cache Get)
 )
 
 // Sites lists every registered injection site.
@@ -50,6 +52,7 @@ func Sites() []string {
 	return []string{
 		SiteParse, SiteSynthesize, SiteExecute, SiteClassify,
 		SiteVariants, SiteRender, SiteServer,
+		SiteStoreSave, SiteStoreLoad,
 	}
 }
 

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// cachedRoutes are the entry routes that carry cache validators.
+var cachedRoutes = []string{"/api/entry/0", "/api/entry/0/vega", "/entry/0"}
+
+func getWithHeader(t *testing.T, s *Server, path, header, value string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	if header != "" {
+		req.Header.Set(header, value)
+	}
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestEntryETagRevalidation(t *testing.T) {
+	for _, path := range cachedRoutes {
+		rec := getWithHeader(t, testServer, path, "", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: status = %d", path, rec.Code)
+		}
+		tag := rec.Header().Get("ETag")
+		if !strings.HasPrefix(tag, `"`) || !strings.HasSuffix(tag, `"`) || len(tag) < 3 {
+			t.Fatalf("%s: ETag = %q, want a quoted strong validator", path, tag)
+		}
+		if cc := rec.Header().Get("Cache-Control"); cc != "no-cache" {
+			t.Fatalf("%s: Cache-Control = %q", path, cc)
+		}
+		// Revalidating with the tag gets 304 and no body.
+		rec = getWithHeader(t, testServer, path, "If-None-Match", tag)
+		if rec.Code != http.StatusNotModified {
+			t.Fatalf("%s: conditional status = %d, want 304", path, rec.Code)
+		}
+		if rec.Body.Len() != 0 {
+			t.Fatalf("%s: 304 carried a %d-byte body", path, rec.Body.Len())
+		}
+		// A stale or foreign tag gets the full response.
+		rec = getWithHeader(t, testServer, path, "If-None-Match", `"deadbeef"`)
+		if rec.Code != http.StatusOK || rec.Body.Len() == 0 {
+			t.Fatalf("%s: stale-tag status = %d", path, rec.Code)
+		}
+		// Wildcard and tag lists match too.
+		for _, v := range []string{"*", `"nope", ` + tag, "W/" + tag} {
+			if rec := getWithHeader(t, testServer, path, "If-None-Match", v); rec.Code != http.StatusNotModified {
+				t.Fatalf("%s: If-None-Match %q = %d, want 304", path, v, rec.Code)
+			}
+		}
+	}
+}
+
+func TestEntryETagsDifferPerEntry(t *testing.T) {
+	if len(testServer.Bench.Entries) < 2 {
+		t.Skip("need two entries")
+	}
+	a := getWithHeader(t, testServer, "/api/entry/0", "", "").Header().Get("ETag")
+	b := getWithHeader(t, testServer, "/api/entry/1", "", "").Header().Get("ETag")
+	if a == b {
+		t.Fatalf("entries 0 and 1 share ETag %s", a)
+	}
+}
+
+func TestSetEntryETags(t *testing.T) {
+	s := New(testServer.Bench)
+	if err := s.SetEntryETags([]string{"short"}); err == nil && len(testServer.Bench.Entries) != 1 {
+		t.Fatal("length mismatch accepted")
+	}
+	tags := make([]string, len(testServer.Bench.Entries))
+	for i := range tags {
+		tags[i] = fmt.Sprintf("hash%04d", i)
+	}
+	if err := s.SetEntryETags(tags); err != nil {
+		t.Fatal(err)
+	}
+	rec := getWithHeader(t, s, "/api/entry/0", "", "")
+	if got := rec.Header().Get("ETag"); got != `"hash0000"` {
+		t.Fatalf("ETag = %q, want the store-provided hash", got)
+	}
+	if rec := getWithHeader(t, s, "/api/entry/0", "If-None-Match", `"hash0000"`); rec.Code != http.StatusNotModified {
+		t.Fatalf("store-tag revalidation = %d, want 304", rec.Code)
+	}
+}

@@ -12,6 +12,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"html"
@@ -56,6 +58,11 @@ type Server struct {
 	cfg     Config
 	ready   atomic.Bool
 	handler http.Handler
+	// etags holds one strong cache validator per entry, indexed by entry
+	// ID. Defaults to a hash of each entry's JSON representation; a
+	// store-backed server overrides them with the manifest's content
+	// hashes via SetEntryETags.
+	etags []string
 }
 
 // New builds a server over a benchmark with the default hardening config.
@@ -64,6 +71,17 @@ func New(b *bench.Benchmark) *Server { return NewWithConfig(b, DefaultConfig()) 
 // NewWithConfig builds a server with explicit hardening settings.
 func NewWithConfig(b *bench.Benchmark, cfg Config) *Server {
 	s := &Server{Bench: b, cfg: cfg}
+	s.etags = make([]string, len(b.Entries))
+	for i, e := range b.Entries {
+		data, err := json.Marshal(toAPI(e))
+		if err != nil {
+			// An entry that cannot marshal would fail every handler anyway;
+			// an empty validator just disables caching for it.
+			continue
+		}
+		sum := sha256.Sum256(data)
+		s.etags[i] = hex.EncodeToString(sum[:])
+	}
 	app := http.NewServeMux()
 	app.HandleFunc("/", s.handleIndex)
 	app.HandleFunc("/entry/", s.handleEntry)
@@ -91,6 +109,40 @@ func NewWithConfig(b *bench.Benchmark, cfg Config) *Server {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
+
+// SetEntryETags replaces the per-entry cache validators, one per entry in
+// ID order — a store-backed server passes the manifest's content hashes so
+// clients revalidate against the exact stored artifact. Call before
+// serving; it is not safe to call concurrently with requests.
+func (s *Server) SetEntryETags(tags []string) error {
+	if len(tags) != len(s.Bench.Entries) {
+		return fmt.Errorf("server: %d etags for %d entries", len(tags), len(s.Bench.Entries))
+	}
+	s.etags = tags
+	return nil
+}
+
+// notModified sets the entry's cache-validator headers and answers an
+// If-None-Match hit with 304, reporting whether the response is complete.
+// Validators are strong — two entries with the same bytes revalidate
+// interchangeably — and Cache-Control: no-cache makes clients revalidate
+// every use, so a rebuilt store invalidates stale copies immediately.
+func (s *Server) notModified(w http.ResponseWriter, r *http.Request, e *bench.Entry) bool {
+	if e.ID < 0 || e.ID >= len(s.etags) || s.etags[e.ID] == "" {
+		return false
+	}
+	tag := `"` + s.etags[e.ID] + `"`
+	w.Header().Set("ETag", tag)
+	w.Header().Set("Cache-Control", "no-cache")
+	for _, c := range strings.Split(r.Header.Get("If-None-Match"), ",") {
+		c = strings.TrimPrefix(strings.TrimSpace(c), "W/")
+		if c == tag || c == "*" {
+			w.WriteHeader(http.StatusNotModified)
+			return true
+		}
+	}
+	return false
+}
 
 // logf writes one middleware diagnostic line.
 func (s *Server) logf(format string, args ...any) {
@@ -205,6 +257,9 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
+	if s.notModified(w, r, e) {
+		return
+	}
 	spec, err := render.VegaLite(e.DB, e.Vis)
 	if err != nil {
 		http.Error(w, "render: "+err.Error(), http.StatusInternalServerError)
@@ -245,18 +300,71 @@ func toAPI(e *bench.Entry) apiEntry {
 	}
 }
 
-func (s *Server) handleAPIEntries(w http.ResponseWriter, r *http.Request) {
-	out := make([]apiEntry, 0, len(s.Bench.Entries))
-	for _, e := range s.Bench.Entries {
-		out = append(out, toAPI(e))
+// Pagination bounds for /api/entries.
+const (
+	defaultPageLimit = 100
+	maxPageLimit     = 1000
+)
+
+// entriesPage is the paginated JSON shape of /api/entries.
+type entriesPage struct {
+	Total   int        `json:"total"`
+	Offset  int        `json:"offset"`
+	Limit   int        `json:"limit"`
+	Entries []apiEntry `json:"entries"`
+}
+
+// pageParam parses one non-negative integer query parameter.
+func pageParam(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
 	}
-	writeJSON(s, w, out)
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s %q: want a non-negative integer", name, v)
+	}
+	return n, nil
+}
+
+func (s *Server) handleAPIEntries(w http.ResponseWriter, r *http.Request) {
+	offset, err := pageParam(r, "offset", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	limit, err := pageParam(r, "limit", defaultPageLimit)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if limit > maxPageLimit {
+		http.Error(w, fmt.Sprintf("limit %d exceeds maximum %d", limit, maxPageLimit), http.StatusBadRequest)
+		return
+	}
+	total := len(s.Bench.Entries)
+	start := offset
+	if start > total {
+		start = total
+	}
+	end := start + limit
+	if end > total {
+		end = total
+	}
+	page := entriesPage{Total: total, Offset: offset, Limit: limit, Entries: make([]apiEntry, 0, end-start)}
+	for _, e := range s.Bench.Entries[start:end] {
+		page.Entries = append(page.Entries, toAPI(e))
+	}
+	writeJSON(s, w, page)
 }
 
 func (s *Server) handleAPIEntry(w http.ResponseWriter, r *http.Request) {
 	e, err := s.entryByPath(r.URL.Path, "/api/entry/", true)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if s.notModified(w, r, e) {
 		return
 	}
 	if strings.HasSuffix(r.URL.Path, "/vega") {

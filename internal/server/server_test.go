@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -55,22 +56,95 @@ func TestEntryPageRendersChart(t *testing.T) {
 	}
 }
 
-func TestAPIEntries(t *testing.T) {
-	rec := get(t, "/api/entries")
+// apiPage mirrors the paginated /api/entries response shape.
+type apiPage struct {
+	Total   int              `json:"total"`
+	Offset  int              `json:"offset"`
+	Limit   int              `json:"limit"`
+	Entries []map[string]any `json:"entries"`
+}
+
+func getPage(t *testing.T, path string) apiPage {
+	t.Helper()
+	rec := get(t, path)
 	if rec.Code != http.StatusOK {
-		t.Fatalf("status = %d", rec.Code)
+		t.Fatalf("%s: status = %d: %s", path, rec.Code, rec.Body.String())
 	}
-	var entries []map[string]any
-	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
-		t.Fatalf("bad JSON: %v", err)
+	var page apiPage
+	if err := json.Unmarshal(rec.Body.Bytes(), &page); err != nil {
+		t.Fatalf("%s: bad JSON: %v", path, err)
 	}
-	if len(entries) != len(testServer.Bench.Entries) {
-		t.Fatalf("entries = %d, want %d", len(entries), len(testServer.Bench.Entries))
+	return page
+}
+
+func TestAPIEntries(t *testing.T) {
+	page := getPage(t, "/api/entries")
+	total := len(testServer.Bench.Entries)
+	if page.Total != total {
+		t.Fatalf("total = %d, want %d", page.Total, total)
 	}
-	first := entries[0]
+	if page.Offset != 0 || page.Limit != 100 {
+		t.Fatalf("defaults = offset %d limit %d, want 0/100", page.Offset, page.Limit)
+	}
+	want := total
+	if want > 100 {
+		want = 100
+	}
+	if len(page.Entries) != want {
+		t.Fatalf("entries = %d, want %d", len(page.Entries), want)
+	}
+	first := page.Entries[0]
 	for _, key := range []string{"id", "chart", "hardness", "vql", "nl_queries"} {
 		if _, ok := first[key]; !ok {
 			t.Errorf("entry JSON missing %q", key)
+		}
+	}
+}
+
+func TestAPIEntriesPagination(t *testing.T) {
+	total := len(testServer.Bench.Entries)
+	if total < 3 {
+		t.Fatalf("test benchmark too small (%d entries)", total)
+	}
+	page := getPage(t, "/api/entries?offset=1&limit=2")
+	if page.Total != total || page.Offset != 1 || page.Limit != 2 {
+		t.Fatalf("page meta = %+v", page)
+	}
+	if len(page.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(page.Entries))
+	}
+	if id := page.Entries[0]["id"].(float64); int(id) != 1 {
+		t.Fatalf("first entry id = %v, want 1", id)
+	}
+	// Walking pages covers every entry exactly once.
+	seen := 0
+	for off := 0; off < total; off += 2 {
+		seen += len(getPage(t, "/api/entries?offset="+strconv.Itoa(off)+"&limit=2").Entries)
+	}
+	if seen != total {
+		t.Fatalf("paged walk saw %d entries, want %d", seen, total)
+	}
+	// Past-the-end pages are empty, not errors.
+	if page := getPage(t, "/api/entries?offset=1000000"); len(page.Entries) != 0 || page.Total != total {
+		t.Fatalf("past-the-end page = %+v", page)
+	}
+	// limit=0 is a cheap count probe.
+	if page := getPage(t, "/api/entries?limit=0"); len(page.Entries) != 0 || page.Total != total {
+		t.Fatalf("limit=0 page = %+v", page)
+	}
+}
+
+func TestAPIEntriesBadPagination(t *testing.T) {
+	for _, path := range []string{
+		"/api/entries?offset=x",
+		"/api/entries?offset=-1",
+		"/api/entries?limit=abc",
+		"/api/entries?limit=-5",
+		"/api/entries?limit=1000000",
+		"/api/entries?offset=1.5",
+	} {
+		if rec := get(t, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", path, rec.Code)
 		}
 	}
 }

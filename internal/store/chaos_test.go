@@ -1,0 +1,112 @@
+// Chaos coverage for the store's fault-injection sites: every read goes
+// through store.load and every write through store.save, so a plan on
+// either site must surface as wrapped errors (Save/Load) or graceful
+// degradation (the pair cache) — never a panic.
+
+package store
+
+import (
+	"errors"
+	"testing"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/fault"
+)
+
+func TestChaosSaveFails(t *testing.T) {
+	_, b := testBench(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteStoreSave, Kind: fault.KindError, Rate: 1})
+	defer fault.Activate(plan)()
+	if _, err := st.Save(b, BuildInfo{}); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Save under store.save faults: err = %v, want injected", err)
+	}
+}
+
+func TestChaosLoadFails(t *testing.T) {
+	_, b := testBench(t)
+	st, _ := mustSave(t, t.TempDir(), b)
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteStoreLoad, Kind: fault.KindError, Rate: 1})
+	defer fault.Activate(plan)()
+	if _, _, err := st.Load(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Load under store.load faults: err = %v, want injected", err)
+	}
+	if _, err := st.Verify(); !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Verify under store.load faults: err = %v, want injected", err)
+	}
+}
+
+func TestChaosPartialLoadDegrades(t *testing.T) {
+	// At a 30% error rate Load must either succeed (the failing reads were
+	// retried away — there is no retry in Load, so in practice: the rate
+	// happened to spare every read) or fail with a wrapped injected error.
+	// It must never panic and never return a half-loaded benchmark.
+	_, b := testBench(t)
+	st, m := mustSave(t, t.TempDir(), b)
+	plan := fault.NewPlan(7).Add(fault.Rule{Site: fault.SiteStoreLoad, Kind: fault.KindError, Rate: 0.3})
+	defer fault.Activate(plan)()
+	loaded, _, err := st.Load()
+	if err != nil {
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("unexpected organic error: %v", err)
+		}
+		return
+	}
+	if len(loaded.Entries) != len(m.Entries) {
+		t.Fatalf("successful Load returned %d entries, want %d", len(loaded.Entries), len(m.Entries))
+	}
+}
+
+func TestChaosCacheDegradesUnderFaults(t *testing.T) {
+	corpus, plain := testBench(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bench.DefaultOptions()
+	fp := Fingerprint(opts)
+	opts.Cache = st.PairCache(fp)
+
+	// Writes failing: every Put errors, the build still completes and the
+	// failures are counted, not fatal.
+	restore := fault.Activate(fault.NewPlan(1).Add(
+		fault.Rule{Site: fault.SiteStoreSave, Kind: fault.KindError, Rate: 1}))
+	b, err := bench.Build(corpus, opts)
+	restore()
+	if err != nil {
+		t.Fatalf("build must survive cache write faults: %v", err)
+	}
+	if b.Stats.CacheWriteErrors != len(corpus.Pairs) {
+		t.Fatalf("cache write errors = %d, want %d", b.Stats.CacheWriteErrors, len(corpus.Pairs))
+	}
+	if benchFingerprint(b) != benchFingerprint(plain) {
+		t.Fatal("build output diverged under cache write faults")
+	}
+
+	// Warm the cache cleanly, then fail every read: each Get degrades to a
+	// miss and the build re-synthesizes everything.
+	warmOpts := bench.DefaultOptions()
+	warmOpts.Cache = st.PairCache(fp)
+	if _, err := bench.Build(corpus, warmOpts); err != nil {
+		t.Fatal(err)
+	}
+	readOpts := bench.DefaultOptions()
+	readOpts.Cache = st.PairCache(fp)
+	restore = fault.Activate(fault.NewPlan(1).Add(
+		fault.Rule{Site: fault.SiteStoreLoad, Kind: fault.KindError, Rate: 1}))
+	b2, err := bench.Build(corpus, readOpts)
+	restore()
+	if err != nil {
+		t.Fatalf("build must survive cache read faults: %v", err)
+	}
+	if b2.Stats.CacheHits != 0 || b2.Stats.CacheMisses != len(corpus.Pairs) {
+		t.Fatalf("under read faults: hits=%d misses=%d, want 0/%d",
+			b2.Stats.CacheHits, b2.Stats.CacheMisses, len(corpus.Pairs))
+	}
+	if benchFingerprint(b2) != benchFingerprint(plain) {
+		t.Fatal("build output diverged under cache read faults")
+	}
+}

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"nvbench/internal/dataset"
+)
+
+// FuzzEntryCodec throws arbitrary bytes at the entry decoder and, for any
+// input it accepts, checks the codec is a fixed point: decode → rebuild →
+// re-encode → decode must reproduce the canonical bytes exactly. The
+// decoder may reject garbage (that is its job) but must never panic, and
+// anything it accepts must round-trip byte-identically — the invariant
+// content addressing rests on.
+func FuzzEntryCodec(f *testing.F) {
+	_, b := testBench(f)
+	for i, e := range b.Entries {
+		if i >= 8 {
+			break
+		}
+		data, err := encodeEntry(e, "d41d8c")
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"id":1,"pair_id":2,"db":"x","source_nl":"q","vis":"Visualize BAR Select a , b From t","chart":"BAR","hardness":"Easy","nls":["one"]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+	db := &dataset.Database{Name: "fuzz"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := decodeEntryRecord(data)
+		if err != nil {
+			return // rejected input: fine, as long as we got here without panicking
+		}
+		e, err := rec.toEntry(db)
+		if err != nil {
+			return
+		}
+		first, err := encodeEntry(e, rec.DB)
+		if err != nil {
+			t.Fatalf("decoded entry failed to re-encode: %v", err)
+		}
+		rec2, err := decodeEntryRecord(first)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to decode: %v", err)
+		}
+		e2, err := rec2.toEntry(db)
+		if err != nil {
+			t.Fatalf("canonical record failed to rebuild: %v", err)
+		}
+		second, err := encodeEntry(e2, rec2.DB)
+		if err != nil {
+			t.Fatalf("rebuilt entry failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Errorf("codec is not a fixed point:\n%s\nvs\n%s", first, second)
+		}
+	})
+}
+
+// FuzzSelfHashed checks the cache-artifact framing: verifySelfHashed must
+// accept exactly what selfHashed produced and reject any mutation, without
+// panicking on arbitrary input.
+func FuzzSelfHashed(f *testing.F) {
+	f.Add([]byte(`{"kept":[]}`), true)
+	f.Add([]byte{}, true)
+	f.Add([]byte("no newline anywhere"), false)
+	f.Fuzz(func(t *testing.T, data []byte, frame bool) {
+		if frame {
+			payload, err := verifySelfHashed(selfHashed(data))
+			if err != nil {
+				t.Fatalf("freshly framed payload rejected: %v", err)
+			}
+			if !bytes.Equal(payload, data) {
+				t.Fatal("framing round trip altered the payload")
+			}
+			return
+		}
+		// Arbitrary bytes: any outcome but a panic is acceptable, and an
+		// accepted payload must re-frame to the identical input.
+		payload, err := verifySelfHashed(data)
+		if err == nil && !bytes.Equal(selfHashed(payload), data) {
+			t.Fatal("accepted frame does not re-frame identically")
+		}
+	})
+}

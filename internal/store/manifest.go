@@ -1,0 +1,186 @@
+// Manifest types: the index artifact that names every other artifact by
+// content hash, plus the fsck (Verify) walk that re-hashes all of them.
+
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nvbench/internal/bench"
+)
+
+// BuildInfo records how the stored benchmark was built — enough for a
+// reader (or a future incremental rebuild) to reproduce it.
+type BuildInfo struct {
+	// Seed is the corpus generation seed (0 when the corpus came from
+	// external data, e.g. a CSV import).
+	Seed int64 `json:"seed,omitempty"`
+	// Fingerprint is the synthesizer+editor configuration hash (see
+	// Fingerprint); it is also the namespace of the pair cache.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// EntryRef is one manifest line: where an entry lives and what it must
+// hash to.
+type EntryRef struct {
+	ID     int    `json:"id"`
+	PairID int    `json:"pair_id"`
+	Hash   string `json:"hash"`
+	DB     string `json:"db"`
+}
+
+// Manifest indexes a saved benchmark.
+type Manifest struct {
+	FormatVersion int                 `json:"format_version"`
+	Build         BuildInfo           `json:"build"`
+	Databases     []string            `json:"databases"`
+	Entries       []EntryRef          `json:"entries"`
+	Rejections    map[string]int      `json:"rejections,omitempty"`
+	Quarantine    []bench.Quarantined `json:"quarantine,omitempty"`
+}
+
+// EntryHashes returns the per-entry content hashes in entry-ID order —
+// the values the server hands out as ETags.
+func (m *Manifest) EntryHashes() []string {
+	out := make([]string, len(m.Entries))
+	for i, ref := range m.Entries {
+		out[i] = ref.Hash
+	}
+	return out
+}
+
+// Corruption is one artifact Verify could not validate.
+type Corruption struct {
+	Path   string `json:"path"`
+	Detail string `json:"detail"`
+}
+
+// FsckReport summarizes a Verify walk.
+type FsckReport struct {
+	Checked int          `json:"checked"`
+	Corrupt []Corruption `json:"corrupt,omitempty"`
+}
+
+// OK reports whether the walk found no corruption.
+func (r *FsckReport) OK() bool { return len(r.Corrupt) == 0 }
+
+// Verify is fsck for the store: it re-hashes the manifest against its
+// recorded sum, every entry and database artifact against its content
+// address (manifest-referenced or not — an orphan with a lying filename is
+// corruption too), and every cache artifact against its embedded payload
+// hash. It returns a report rather than failing on the first hit, so one
+// flipped byte and fifty flipped bytes both come back as a complete
+// picture; the error return is reserved for stores that cannot be walked
+// at all (no manifest).
+func (s *Store) Verify() (*FsckReport, error) {
+	rep := &FsckReport{}
+	mdata, err := s.readArtifact(manifestName)
+	if err != nil {
+		return nil, err
+	}
+	rep.Checked++
+	refs := map[string]bool{}
+	sum, err := s.readArtifact(manifestSumName)
+	switch {
+	case err != nil:
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: manifestSumName, Detail: err.Error()})
+	case strings.TrimSpace(string(sum)) != hashBytes(mdata):
+		rep.Corrupt = append(rep.Corrupt, Corruption{
+			Path:   manifestName,
+			Detail: fmt.Sprintf("hash %s does not match recorded %s", hashBytes(mdata), strings.TrimSpace(string(sum))),
+		})
+	}
+	var m Manifest
+	if err := decodeStrict(mdata, &m); err != nil {
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: manifestName, Detail: "undecodable: " + err.Error()})
+		return rep, nil
+	}
+	for _, ref := range m.Entries {
+		refs[entriesDir+"/"+ref.Hash+".json"] = true
+	}
+	for _, h := range m.Databases {
+		refs[dbsDir+"/"+h+".json"] = true
+	}
+	for _, dir := range []string{entriesDir, dbsDir} {
+		names, err := s.listJSON(dir)
+		if err != nil {
+			rep.Corrupt = append(rep.Corrupt, Corruption{Path: dir, Detail: err.Error()})
+			continue
+		}
+		for _, name := range names {
+			rel := dir + "/" + name
+			rep.Checked++
+			data, err := s.readArtifact(rel)
+			if err != nil {
+				rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: err.Error()})
+				continue
+			}
+			want := strings.TrimSuffix(name, ".json")
+			if got := hashBytes(data); got != want {
+				detail := fmt.Sprintf("content hash %s does not match address", got)
+				if !refs[rel] {
+					detail += " (orphan)"
+				}
+				rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: detail})
+			}
+			delete(refs, rel)
+		}
+	}
+	for rel := range refs { // referenced by the manifest but absent on disk
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: "missing artifact"})
+	}
+	names, err := s.listJSON(cacheDir)
+	if err != nil {
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: cacheDir, Detail: err.Error()})
+	}
+	for _, name := range names {
+		rel := cacheDir + "/" + name
+		rep.Checked++
+		data, err := s.readArtifact(rel)
+		if err != nil {
+			rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: err.Error()})
+			continue
+		}
+		if _, err := verifySelfHashed(data); err != nil {
+			rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: err.Error()})
+		}
+	}
+	sort.Slice(rep.Corrupt, func(i, j int) bool { return rep.Corrupt[i].Path < rep.Corrupt[j].Path })
+	return rep, nil
+}
+
+// listJSON returns the sorted .json artifact names under one store
+// subdirectory (temp files from in-flight writes are skipped).
+func (s *Store) listJSON(dir string) ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, dir))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, ent := range ents {
+		name := ent.Name()
+		if ent.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// WriteFsck renders a Verify report in the quarantine-report style: a
+// summary line, then one line per corrupt artifact in path order.
+func WriteFsck(w io.Writer, rep *FsckReport) {
+	fmt.Fprintf(w, "fsck: %d of %d artifacts corrupt\n", len(rep.Corrupt), rep.Checked)
+	for _, c := range rep.Corrupt {
+		fmt.Fprintf(w, "  %-20s %s\n", c.Path, c.Detail)
+	}
+}

@@ -1,0 +1,101 @@
+package store
+
+import (
+	"testing"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/spider"
+)
+
+// BenchmarkStoreRebuild measures the incremental-build win: a cold build
+// synthesizes every pair and fills the cache; a warm build of the same
+// corpus answers every pair from disk. The cold/warm ratio is the headline
+// number scripts/bench.sh records.
+func BenchmarkStoreRebuild(b *testing.B) {
+	corpus, err := spider.Generate(spider.Config{Seed: 11, NumDatabases: 5, PairsPerDB: 10, MaxRows: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fp := Fingerprint(bench.DefaultOptions())
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := bench.DefaultOptions()
+			opts.Cache = st.PairCache(fp)
+			b.StartTimer()
+			if _, err := bench.Build(corpus, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		st, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		prime := bench.DefaultOptions()
+		prime.Cache = st.PairCache(fp)
+		if _, err := bench.Build(corpus, prime); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			opts := bench.DefaultOptions()
+			opts.Cache = st.PairCache(fp)
+			built, err := bench.Build(corpus, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if built.Stats.CacheMisses != 0 {
+				b.Fatalf("warm build missed %d times", built.Stats.CacheMisses)
+			}
+		}
+	})
+}
+
+// BenchmarkStoreSaveLoad measures the serialization round trip itself.
+func BenchmarkStoreSaveLoad(b *testing.B) {
+	corpus, err := spider.Generate(spider.Config{Seed: 11, NumDatabases: 5, PairsPerDB: 10, MaxRows: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	built, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("save", func(b *testing.B) {
+		st, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Save(built, BuildInfo{Seed: 11}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("load", func(b *testing.B) {
+		st, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Save(built, BuildInfo{Seed: 11}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := st.Load(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

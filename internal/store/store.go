@@ -1,0 +1,308 @@
+// Package store persists a synthesized benchmark to a directory as
+// deterministic, content-addressed artifacts — the serialization-and-release
+// step the paper performs on nvBench itself (the published dataset), grown
+// into a serving substrate: build once, rebuild incrementally, serve from
+// disk with cache-validator hashes.
+//
+// Layout of a store directory:
+//
+//	MANIFEST.json     index: format version, build info, entry refs
+//	                  (id, pair, content hash, db hash), db hashes,
+//	                  rejection buckets, quarantine
+//	MANIFEST.sha256   hex SHA-256 of MANIFEST.json (self-check)
+//	stats.json        RunStats of the build (informational; not hashed)
+//	entries/<h>.json  one record per benchmark entry, named by the
+//	                  SHA-256 of its bytes
+//	dbs/<h>.json      deduplicated database payloads, content-addressed
+//	cache/<k>.json    incremental per-pair cache; <k> hashes the pair's
+//	                  inputs, the payload is self-hashed (first line)
+//
+// Every artifact is canonical JSON (sorted keys, fixed indentation), so the
+// same benchmark always serializes to the same bytes: Save is idempotent,
+// a re-Save after Load is byte-identical, and Verify can detect a single
+// flipped byte anywhere. All reads and writes pass through the store.load /
+// store.save fault-injection sites; Load degrades with a wrapped error —
+// never a panic — and cache corruption degrades to a cache miss.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/dataset"
+	"nvbench/internal/fault"
+)
+
+// FormatVersion identifies the artifact layout; Load rejects other versions.
+const FormatVersion = 1
+
+const (
+	manifestName    = "MANIFEST.json"
+	manifestSumName = "MANIFEST.sha256"
+	statsName       = "stats.json"
+	entriesDir      = "entries"
+	dbsDir          = "dbs"
+	cacheDir        = "cache"
+)
+
+// Store is a benchmark store rooted at one directory.
+type Store struct {
+	dir string
+}
+
+// Open roots a store at dir, creating the artifact directories as needed.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"", entriesDir, dbsDir, cacheDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// hashBytes returns the hex SHA-256 of b — the content address used for
+// every artifact in the store.
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// writeArtifact atomically writes one artifact (temp file + rename) under
+// the store root. rel is slash-separated relative to the root.
+func (s *Store) writeArtifact(rel string, data []byte) error {
+	if err := fault.Inject(fault.SiteStoreSave); err != nil {
+		return fmt.Errorf("store: write %s: %w", rel, err)
+	}
+	path := filepath.Join(s.dir, filepath.FromSlash(rel))
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("store: write %s: %w", rel, err)
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), path)
+	}
+	if werr != nil {
+		// Best-effort cleanup; the write error is what the caller acts on.
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("store: write %s: %w", rel, werr)
+	}
+	return nil
+}
+
+// readArtifact reads one artifact from the store root.
+func (s *Store) readArtifact(rel string) ([]byte, error) {
+	if err := fault.Inject(fault.SiteStoreLoad); err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", rel, err)
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, filepath.FromSlash(rel)))
+	if err != nil {
+		return nil, fmt.Errorf("store: read %s: %w", rel, err)
+	}
+	return data, nil
+}
+
+// canonicalJSON is the one serialization every artifact uses: two-space
+// indentation, struct field order, sorted map keys (encoding/json sorts
+// string-keyed maps), trailing newline. Identical values always produce
+// identical bytes.
+func canonicalJSON(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("store: encode: %w", err)
+	}
+	return append(data, '\n'), nil
+}
+
+// decodeStrict decodes canonical JSON, rejecting unknown fields and
+// trailing garbage — both are corruption in a content-addressed artifact.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return fmt.Errorf("trailing data after JSON document")
+	}
+	return nil
+}
+
+// Save persists the benchmark: deduplicated database payloads first, then
+// one record per entry, then the manifest and its self-hash, then the run
+// stats. Content addressing makes Save idempotent — re-saving the same
+// benchmark rewrites identical bytes — and deterministic: two runs of the
+// same build produce byte-identical stores.
+func (s *Store) Save(b *bench.Benchmark, info BuildInfo) (*Manifest, error) {
+	m := &Manifest{
+		FormatVersion: FormatVersion,
+		Build:         info,
+		Entries:       make([]EntryRef, 0, len(b.Entries)),
+		Rejections:    b.Rejections,
+		Quarantine:    b.Quarantine,
+	}
+	dbHash := map[*dataset.Database]string{}
+	written := map[string]bool{}
+	for _, e := range b.Entries {
+		if _, ok := dbHash[e.DB]; ok {
+			continue
+		}
+		data, err := encodeDatabase(e.DB)
+		if err != nil {
+			return nil, err
+		}
+		h := hashBytes(data)
+		dbHash[e.DB] = h
+		if written[h] {
+			continue // two pointers, same content: deduplicated
+		}
+		written[h] = true
+		if err := s.writeArtifact(dbsDir+"/"+h+".json", data); err != nil {
+			return nil, err
+		}
+		m.Databases = append(m.Databases, h)
+	}
+	sort.Strings(m.Databases)
+	for _, e := range b.Entries {
+		data, err := encodeEntry(e, dbHash[e.DB])
+		if err != nil {
+			return nil, err
+		}
+		h := hashBytes(data)
+		if err := s.writeArtifact(entriesDir+"/"+h+".json", data); err != nil {
+			return nil, err
+		}
+		m.Entries = append(m.Entries, EntryRef{ID: e.ID, PairID: e.PairID, Hash: h, DB: dbHash[e.DB]})
+	}
+	mdata, err := canonicalJSON(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeArtifact(manifestName, mdata); err != nil {
+		return nil, err
+	}
+	if err := s.writeArtifact(manifestSumName, []byte(hashBytes(mdata)+"\n")); err != nil {
+		return nil, err
+	}
+	sdata, err := canonicalJSON(b.Stats)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeArtifact(statsName, sdata); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// loadManifest reads and self-checks the manifest, returning it with its
+// raw bytes.
+func (s *Store) loadManifest() (*Manifest, []byte, error) {
+	data, err := s.readArtifact(manifestName)
+	if err != nil {
+		return nil, nil, err
+	}
+	sum, err := s.readArtifact(manifestSumName)
+	if err != nil {
+		return nil, nil, err
+	}
+	if want, got := strings.TrimSpace(string(sum)), hashBytes(data); want != got {
+		return nil, nil, fmt.Errorf("store: %s corrupt: hash %s does not match %s", manifestName, got, want)
+	}
+	var m Manifest
+	if err := decodeStrict(data, &m); err != nil {
+		return nil, nil, fmt.Errorf("store: decode %s: %w", manifestName, err)
+	}
+	if m.FormatVersion != FormatVersion {
+		return nil, nil, fmt.Errorf("store: format version %d, this build reads %d", m.FormatVersion, FormatVersion)
+	}
+	return &m, data, nil
+}
+
+// Load reconstructs the benchmark from the store. Every artifact is
+// re-hashed against its manifest address on the way in, so a corrupted
+// store yields a clear error naming the bad artifact — never a silently
+// wrong benchmark and never a panic. Entries that reference the same
+// database payload share one in-memory *dataset.Database, as they did at
+// build time. The returned benchmark has no Corpus: the corpus is an input
+// of the build, not an artifact of it.
+func (s *Store) Load() (*bench.Benchmark, *Manifest, error) {
+	m, _, err := s.loadManifest()
+	if err != nil {
+		return nil, nil, err
+	}
+	dbs := make(map[string]*dataset.Database, len(m.Databases))
+	for _, h := range m.Databases {
+		rel := dbsDir + "/" + h + ".json"
+		data, err := s.readArtifact(rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if got := hashBytes(data); got != h {
+			return nil, nil, fmt.Errorf("store: %s corrupt: content hash %s does not match address", rel, got)
+		}
+		db, err := decodeDatabase(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: decode %s: %w", rel, err)
+		}
+		dbs[h] = db
+	}
+	b := &bench.Benchmark{
+		Entries:    make([]*bench.Entry, 0, len(m.Entries)),
+		Rejections: map[string]int{},
+		Quarantine: m.Quarantine,
+	}
+	for k, v := range m.Rejections {
+		b.Rejections[k] = v
+	}
+	for _, ref := range m.Entries {
+		rel := entriesDir + "/" + ref.Hash + ".json"
+		data, err := s.readArtifact(rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if got := hashBytes(data); got != ref.Hash {
+			return nil, nil, fmt.Errorf("store: %s corrupt: content hash %s does not match address", rel, got)
+		}
+		rec, err := decodeEntryRecord(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: decode %s: %w", rel, err)
+		}
+		db := dbs[rec.DB]
+		if db == nil {
+			return nil, nil, fmt.Errorf("store: %s references unknown database %s", rel, rec.DB)
+		}
+		e, err := rec.toEntry(db)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: decode %s: %w", rel, err)
+		}
+		if e.ID != ref.ID || e.PairID != ref.PairID {
+			return nil, nil, fmt.Errorf("store: %s: entry (%d, pair %d) does not match manifest ref (%d, pair %d)",
+				rel, e.ID, e.PairID, ref.ID, ref.PairID)
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	if data, err := os.ReadFile(filepath.Join(s.dir, statsName)); err == nil {
+		if err := decodeStrict(data, &b.Stats); err != nil {
+			return nil, nil, fmt.Errorf("store: decode %s: %w", statsName, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("store: read %s: %w", statsName, err)
+	}
+	return b, m, nil
+}

@@ -1,0 +1,407 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/spider"
+)
+
+var testCfg = spider.Config{Seed: 5, NumDatabases: 4, PairsPerDB: 8, MaxRows: 150}
+
+var (
+	buildOnce sync.Once
+	theCorpus *spider.Corpus
+	theBench  *bench.Benchmark
+)
+
+// testBench builds one small benchmark shared (read-only) by the tests.
+func testBench(t testing.TB) (*spider.Corpus, *bench.Benchmark) {
+	t.Helper()
+	buildOnce.Do(func() {
+		c, err := spider.Generate(testCfg)
+		if err != nil {
+			panic(err)
+		}
+		b, err := bench.Build(c, bench.DefaultOptions())
+		if err != nil {
+			panic(err)
+		}
+		theCorpus, theBench = c, b
+	})
+	if len(theBench.Entries) == 0 {
+		t.Fatal("test benchmark is empty")
+	}
+	return theCorpus, theBench
+}
+
+// treeBytes maps every file under root (relative slash path) to its bytes.
+func treeBytes(t *testing.T, root string) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		out[filepath.ToSlash(rel)] = data
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func sameTree(t *testing.T, a, b map[string][]byte) {
+	t.Helper()
+	for name, data := range a {
+		other, ok := b[name]
+		if !ok {
+			t.Errorf("file %s missing from second tree", name)
+			continue
+		}
+		if !bytes.Equal(data, other) {
+			t.Errorf("file %s differs between trees", name)
+		}
+	}
+	for name := range b {
+		if _, ok := a[name]; !ok {
+			t.Errorf("extra file %s in second tree", name)
+		}
+	}
+}
+
+func mustSave(t *testing.T, dir string, b *bench.Benchmark) (*Store, *Manifest) {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := st.Save(b, BuildInfo{Seed: testCfg.Seed, Fingerprint: Fingerprint(bench.DefaultOptions())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, m
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, m := mustSave(t, dir, b)
+	if len(m.Entries) != len(b.Entries) {
+		t.Fatalf("manifest has %d entries, want %d", len(m.Entries), len(b.Entries))
+	}
+	loaded, m2, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m2.Entries) != len(m.Entries) {
+		t.Fatalf("reloaded manifest has %d entries, want %d", len(m2.Entries), len(m.Entries))
+	}
+	if len(loaded.Entries) != len(b.Entries) {
+		t.Fatalf("loaded %d entries, want %d", len(loaded.Entries), len(b.Entries))
+	}
+	dbPtr := map[string]any{}
+	for i, e := range b.Entries {
+		l := loaded.Entries[i]
+		if l.ID != e.ID || l.PairID != e.PairID || l.SourceNL != e.SourceNL ||
+			l.Manual != e.Manual || l.Hardness != e.Hardness || l.Chart != e.Chart {
+			t.Fatalf("entry %d scalar fields diverged: %+v vs %+v", i, l, e)
+		}
+		if !l.Vis.Equal(e.Vis) {
+			t.Fatalf("entry %d vis tree diverged:\n  %s\n  %s", i, l.Vis, e.Vis)
+		}
+		if !reflect.DeepEqual(l.NLs, e.NLs) {
+			t.Fatalf("entry %d NLs diverged", i)
+		}
+		if !reflect.DeepEqual(l.Edit, e.Edit) {
+			t.Fatalf("entry %d edit script diverged:\n  %+v\n  %+v", i, l.Edit, e.Edit)
+		}
+		if l.DB.Name != e.DB.Name || len(l.DB.Tables) != len(e.DB.Tables) {
+			t.Fatalf("entry %d database diverged", i)
+		}
+		// Entries that shared a database in memory must share one after Load.
+		if prev, ok := dbPtr[e.DB.Name]; ok && prev != any(l.DB) {
+			t.Fatalf("entry %d does not share its database instance", i)
+		}
+		dbPtr[e.DB.Name] = l.DB
+	}
+	if !reflect.DeepEqual(loaded.Rejections, b.Rejections) {
+		t.Fatalf("rejections diverged: %v vs %v", loaded.Rejections, b.Rejections)
+	}
+	if loaded.Stats != b.Stats {
+		t.Fatalf("stats diverged: %+v vs %+v", loaded.Stats, b.Stats)
+	}
+	// The strongest form: re-saving the loaded benchmark reproduces the
+	// first store byte for byte.
+	dir2 := t.TempDir()
+	st2, err := Open(dir2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st2.Save(loaded, m.Build); err != nil {
+		t.Fatal(err)
+	}
+	sameTree(t, treeBytes(t, dir), treeBytes(t, dir2))
+}
+
+func TestGoldenManifestDeterminism(t *testing.T) {
+	// Two independent runs of the same build must serialize to
+	// byte-identical stores — the determinism gate for released artifacts.
+	dirs := [2]string{t.TempDir(), t.TempDir()}
+	for i := range dirs {
+		c, err := spider.Generate(testCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := bench.Build(c, bench.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustSave(t, dirs[i], b)
+	}
+	sameTree(t, treeBytes(t, dirs[0]), treeBytes(t, dirs[1]))
+}
+
+// flipByte flips one bit of one byte in the middle of a file.
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatalf("cannot corrupt empty file %s", path)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// anyArtifact returns one artifact path under dir/sub.
+func anyArtifact(t *testing.T, dir, sub string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, sub, "*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no artifacts under %s/%s", dir, sub)
+	}
+	return matches[0]
+}
+
+func TestVerifyCleanStore(t *testing.T) {
+	_, b := testBench(t)
+	st, m := mustSave(t, t.TempDir(), b)
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("clean store reported corrupt: %+v", rep.Corrupt)
+	}
+	// manifest + every entry + every db artifact.
+	if want := 1 + len(m.Entries) + len(m.Databases); rep.Checked != want {
+		t.Fatalf("checked %d artifacts, want %d", rep.Checked, want)
+	}
+}
+
+func TestVerifyDetectsFlippedByte(t *testing.T) {
+	_, b := testBench(t)
+	for _, sub := range []string{entriesDir, dbsDir} {
+		dir := t.TempDir()
+		st, _ := mustSave(t, dir, b)
+		flipByte(t, anyArtifact(t, dir, sub))
+		rep, err := st.Verify()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Corrupt) != 1 {
+			t.Fatalf("%s: corrupt = %+v, want exactly one finding", sub, rep.Corrupt)
+		}
+		if _, _, err := st.Load(); err == nil {
+			t.Fatalf("%s: Load accepted a corrupted store", sub)
+		}
+	}
+}
+
+func TestVerifyDetectsManifestTampering(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, _ := mustSave(t, dir, b)
+	flipByte(t, filepath.Join(dir, manifestName))
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("tampered manifest not detected")
+	}
+	if _, _, err := st.Load(); err == nil {
+		t.Fatal("Load accepted a tampered manifest")
+	}
+}
+
+func TestVerifyDetectsMissingArtifact(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, _ := mustSave(t, dir, b)
+	if err := os.Remove(anyArtifact(t, dir, entriesDir)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("missing artifact not detected")
+	}
+}
+
+// benchFingerprint summarizes everything entry-order-sensitive about a
+// build, for cheap equality checks between cold and warm rebuilds.
+func benchFingerprint(b *bench.Benchmark) string {
+	var sb bytes.Buffer
+	for _, e := range b.Entries {
+		sb.WriteString(e.Vis.String())
+		sb.WriteByte('|')
+		for _, nl := range e.NLs {
+			sb.WriteString(nl)
+			sb.WriteByte('~')
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func TestIncrementalWarmRebuildSkipsSynthesis(t *testing.T) {
+	corpus, plain := testBench(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bench.DefaultOptions()
+	fp := Fingerprint(opts)
+	opts.Cache = st.PairCache(fp)
+	cold, err := bench.Build(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate pairs (same NL, SQL and database) share a cache key, so a
+	// cold build may see a few hits; it must do real synthesis for the rest.
+	if cold.Stats.CacheMisses == 0 || cold.Stats.CacheHits+cold.Stats.CacheMisses != len(corpus.Pairs) {
+		t.Fatalf("cold build: hits=%d misses=%d over %d pairs",
+			cold.Stats.CacheHits, cold.Stats.CacheMisses, len(corpus.Pairs))
+	}
+	if cold.Stats.CacheWriteErrors != 0 {
+		t.Fatalf("cold build: %d cache write errors", cold.Stats.CacheWriteErrors)
+	}
+	warmOpts := bench.DefaultOptions()
+	warmOpts.Cache = st.PairCache(fp)
+	warm, err := bench.Build(corpus, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The acceptance gate: a warm rebuild of an unchanged corpus does zero
+	// synthesis — every pair is a cache hit.
+	if warm.Stats.CacheHits != len(corpus.Pairs) || warm.Stats.CacheMisses != 0 {
+		t.Fatalf("warm build: hits=%d misses=%d, want %d/0",
+			warm.Stats.CacheHits, warm.Stats.CacheMisses, len(corpus.Pairs))
+	}
+	// And the output is byte-identical to both the cold cached build and
+	// the plain uncached build.
+	if benchFingerprint(warm) != benchFingerprint(cold) || benchFingerprint(warm) != benchFingerprint(plain) {
+		t.Fatal("warm rebuild diverged from cold/uncached build")
+	}
+	if !reflect.DeepEqual(warm.Rejections, plain.Rejections) {
+		t.Fatalf("warm rejections diverged: %v vs %v", warm.Rejections, plain.Rejections)
+	}
+}
+
+func TestCorruptCacheDegradesToMiss(t *testing.T) {
+	corpus, _ := testBench(t)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bench.DefaultOptions()
+	fp := Fingerprint(opts)
+	opts.Cache = st.PairCache(fp)
+	cold, err := bench.Build(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(cold, BuildInfo{Fingerprint: fp}); err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, anyArtifact(t, dir, cacheDir))
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("fsck missed the corrupted cache artifact")
+	}
+	warmOpts := bench.DefaultOptions()
+	warmOpts.Cache = st.PairCache(fp)
+	warm, err := bench.Build(corpus, warmOpts)
+	if err != nil {
+		t.Fatalf("corrupt cache must degrade, not fail: %v", err)
+	}
+	if warm.Stats.CacheMisses == 0 {
+		t.Fatal("corrupted artifact should have produced at least one miss")
+	}
+	if warm.Stats.CacheHits+warm.Stats.CacheMisses != len(corpus.Pairs) {
+		t.Fatalf("hits+misses = %d, want %d",
+			warm.Stats.CacheHits+warm.Stats.CacheMisses, len(corpus.Pairs))
+	}
+}
+
+func TestFingerprintSeparatesConfigs(t *testing.T) {
+	a := bench.DefaultOptions()
+	b := bench.DefaultOptions()
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatal("identical configs must share a fingerprint")
+	}
+	b.MaxVisPerPair++
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("config change must change the fingerprint")
+	}
+	c := bench.DefaultOptions()
+	c.Edit.Smooth = false
+	if Fingerprint(a) == Fingerprint(c) {
+		t.Fatal("editor change must change the fingerprint")
+	}
+	// Robustness knobs change how a build runs, not what it produces.
+	d := bench.DefaultOptions()
+	d.Workers, d.Retries = 7, 9
+	if Fingerprint(a) != Fingerprint(d) {
+		t.Fatal("worker/retry knobs must not change the fingerprint")
+	}
+}
+
+func TestLoadMissingStore(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(); err == nil {
+		t.Fatal("Load of an empty store must error")
+	}
+	if _, err := st.Verify(); err == nil {
+		t.Fatal("Verify of an empty store must error")
+	}
+}

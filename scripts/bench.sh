@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Benchmark runner: executes the root reproduction benchmarks (the paper's
+# tables and figures) plus the store's cold-vs-warm incremental rebuild
+# benchmark, and records the store numbers as BENCH_store.json for
+# comparison across commits. Offline, Go toolchain only.
+#
+# Usage: scripts/bench.sh            # quick pass (BENCHTIME=1x)
+#        BENCHTIME=2s scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+OUT="${OUT:-BENCH_store.json}"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== reproduction benchmarks (repo root, -benchtime $BENCHTIME)"
+go test -run '^$' -bench . -benchtime "$BENCHTIME" .
+
+echo
+echo "== store benchmarks (-benchtime $BENCHTIME)"
+go test -run '^$' -bench 'BenchmarkStore' -benchtime "$BENCHTIME" ./internal/store | tee "$tmp"
+
+# Parse "BenchmarkName/case-N  iters  ns/op" lines into a flat JSON object
+# mapping benchmark name to nanoseconds per op.
+awk '
+  BEGIN { print "{"; n = 0 }
+  /^Benchmark/ && $3 ~ /^[0-9.]+$/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "  \"%s\": %s", name, $3
+  }
+  END { if (n) printf "\n"; print "}" }
+' "$tmp" > "$OUT"
+
+echo
+echo "wrote $OUT:"
+cat "$OUT"
+
+# The headline claim: a warm incremental rebuild must beat a cold one.
+cold=$(awk -F': ' '/StoreRebuild\/cold/ {gsub(/[,}]/,"",$2); print $2}' "$OUT")
+warm=$(awk -F': ' '/StoreRebuild\/warm/ {gsub(/[,}]/,"",$2); print $2}' "$OUT")
+if [ -n "$cold" ] && [ -n "$warm" ]; then
+    faster=$(awk -v c="$cold" -v w="$warm" 'BEGIN { print (w < c) ? "yes" : "no" }')
+    echo "warm rebuild faster than cold: $faster (cold ${cold} ns/op, warm ${warm} ns/op)"
+fi
+
+echo "bench: OK"

@@ -26,7 +26,10 @@ go run ./cmd/nvlint ./...
 echo "== go test -race (fast packages)"
 go test -race ./internal/ast ./internal/sqlparser ./internal/spider ./internal/core
 
+echo "== store round trip (determinism gate)"
+go test -run 'TestSaveLoadRoundTrip|TestGoldenManifestDeterminism|TestVerifyDetectsFlippedByte' ./internal/store
+
 echo "== faultguard: fault-injection suite with -race"
-go test -race ./internal/fault ./internal/deepeye ./internal/bench ./internal/server ./cmd/nvbench
+go test -race ./internal/fault ./internal/deepeye ./internal/bench ./internal/server ./internal/store ./cmd/nvbench
 
 echo "check: OK"
