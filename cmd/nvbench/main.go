@@ -11,7 +11,9 @@
 // worker pool (-workers), transient failures are retried (-retries), and
 // pairs that still fail are quarantined and reported instead of aborting
 // the run. A deterministic fault plan (-faults, -fault-seed) injects
-// errors, panics and latency at registered sites for chaos testing.
+// errors, panics, latency, torn writes and process crashes at registered
+// sites for chaos testing. Store damage heals with -repair; an interrupted
+// incremental build picks up from its checkpoint with -resume.
 package main
 
 import (
@@ -68,9 +70,14 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		save      = fs.Bool("save", false, "persist the built benchmark to -store")
 		incr      = fs.Bool("incremental", false, "build through -store's pair cache, skipping unchanged pairs")
 		fsck      = fs.Bool("fsck", false, "verify every artifact in -store, report corruption and exit")
+		repair    = fs.Bool("repair", false, "heal -store in place: salvage artifacts, move damage to lost+found/")
+		resume    = fs.Bool("resume", false, "resume an interrupted build: repair -store if needed, then build with -incremental -save")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume {
+		*incr, *save = true, true
 	}
 
 	var plan *fault.Plan
@@ -84,14 +91,45 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		fmt.Fprintf(w, "fault plan active: %s (seed %d)\n\n", plan, *faultSeed)
 	}
 
-	if (*save || *incr || *fsck) && *storeDir == "" {
-		return fmt.Errorf("-save, -incremental and -fsck require -store")
+	if (*save || *incr || *fsck || *repair) && *storeDir == "" {
+		return fmt.Errorf("-save, -incremental, -fsck, -repair and -resume require -store")
 	}
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
 		if st, err = store.Open(*storeDir); err != nil {
 			return err
+		}
+		if r := st.Status(); r.Journal != store.JournalClean && r.Journal != store.JournalNone {
+			fmt.Fprintf(w, "store %s opened dirty: %s\n\n", *storeDir, r)
+		}
+	}
+
+	// Healing: -repair always repairs; -resume repairs only when the store
+	// fails verification (a clean checkpoint needs no healing). A lossy
+	// repair is fatal unless the run continues into a rebuild (-resume,
+	// which re-synthesizes what was lost) or explicitly serves the salvage.
+	var degraded string
+	if *repair || *resume {
+		need := *repair
+		if !need {
+			// A Verify error means the store cannot even be walked (e.g. the
+			// interrupted save never landed its manifest) — repair territory.
+			frep, err := st.Verify()
+			need = err != nil || !frep.OK()
+		}
+		if need {
+			rep, err := st.Repair()
+			if err != nil {
+				return err
+			}
+			store.WriteRepair(w, rep)
+			fmt.Fprintln(w)
+			degraded = repairDetail(rep)
+			if rep.Lossy() && !*resume && *serve == "" {
+				return fmt.Errorf("store %s: repair lost %d entries and %d databases (bytes preserved under %s)",
+					*storeDir, rep.EntriesLost, rep.DatabasesLost, "lost+found/")
+			}
 		}
 	}
 	if *fsck {
@@ -106,7 +144,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return nil
 	}
 	if st != nil && !*save && !*incr {
-		return serveStore(ctx, st, w, *out, *vega, *serve)
+		return serveStore(ctx, st, w, *out, *vega, *serve, degraded)
 	}
 
 	var corpus *spider.Corpus
@@ -171,8 +209,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 	fmt.Fprintln(w)
 
-	fmt.Fprintf(w, "run stats: workers=%d retried_attempts=%d classifier_fallbacks=%d",
-		b.Stats.Workers, b.Stats.RetriedAttempts, b.Stats.ClassifierFallbacks)
+	fmt.Fprintf(w, "run stats: workers=%d retried_attempts=%d classifier_fallbacks=%d pairs_synthesized=%d",
+		b.Stats.Workers, b.Stats.RetriedAttempts, b.Stats.ClassifierFallbacks, b.Stats.PairsSynthesized)
 	if *incr {
 		fmt.Fprintf(w, " cache_hits=%d cache_misses=%d cache_write_errors=%d",
 			b.Stats.CacheHits, b.Stats.CacheMisses, b.Stats.CacheWriteErrors)
@@ -182,8 +220,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if plan != nil {
 		fmt.Fprintln(w, "fault injections by site:")
 		for _, st := range plan.Stats() {
-			fmt.Fprintf(w, "  %-12s calls=%-6d errors=%-5d panics=%-5d delays=%d\n",
-				st.Site, st.Calls, st.Errors, st.Panics, st.Latency)
+			fmt.Fprintf(w, "  %-12s calls=%-6d errors=%-5d panics=%-5d delays=%-5d torn=%d\n",
+				st.Site, st.Calls, st.Errors, st.Panics, st.Latency, st.Torn)
 		}
 	}
 
@@ -207,6 +245,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	if *serve != "" {
 		fmt.Fprintf(w, "\nserving benchmark browser on %s\n", *serve)
 		srv := server.New(b)
+		srv.SetDegraded(degraded)
 		if manifest != nil {
 			if err := srv.SetEntryETags(manifest.EntryHashes()); err != nil {
 				return err
@@ -217,10 +256,21 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	return nil
 }
 
+// repairDetail compresses a repair report into the one-line note /readyz
+// serves while a repaired store is up; empty for a no-op repair.
+func repairDetail(rep *store.RepairReport) string {
+	if rep.Clean() {
+		return ""
+	}
+	return fmt.Sprintf("store repaired: kept %d entries / %d databases, lost %d entries / %d databases",
+		rep.EntriesKept, rep.DatabasesKept, rep.EntriesLost, rep.DatabasesLost)
+}
+
 // serveStore is the -store load path: reconstruct the benchmark from disk
 // (no corpus, no synthesis), print its shape, and optionally export or
-// serve it with the manifest's content hashes as cache validators.
-func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, vega bool, serve string) error {
+// serve it with the manifest's content hashes as cache validators. A
+// non-empty degraded note marks the store as repaired; /readyz reports it.
+func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, vega bool, serve, degraded string) error {
 	b, m, err := st.Load()
 	if err != nil {
 		return err
@@ -240,6 +290,7 @@ func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, v
 	if serve != "" {
 		fmt.Fprintf(w, "\nserving benchmark browser on %s\n", serve)
 		srv := server.New(b)
+		srv.SetDegraded(degraded)
 		if err := srv.SetEntryETags(m.EntryHashes()); err != nil {
 			return err
 		}

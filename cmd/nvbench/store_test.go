@@ -122,11 +122,158 @@ func benchSection(out string) string {
 	return strings.Join(keep, "\n")
 }
 
+// flipEntryByte corrupts one stored entry artifact in place.
+func flipEntryByte(t *testing.T, dir string) {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "entries", "*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no entry artifacts: %v", err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(matches[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepairCLIHealsLosslessDamage(t *testing.T) {
+	dir := t.TempDir()
+	if out, err := runCLI(t, append(smallBuild, "-store", dir, "-save")...); err != nil {
+		t.Fatalf("save run: %v\n%s", err, out)
+	}
+	// Tear stats.json: informational damage Load rejects but repair drops
+	// without losing any benchmark content.
+	statsPath := filepath.Join(dir, "stats.json")
+	data, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(statsPath, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := runCLI(t, "-store", dir); err == nil {
+		t.Fatalf("load accepted torn stats:\n%s", out)
+	}
+	// Lossless salvage: -repair exits zero and continues into load mode.
+	out, err := runCLI(t, "-store", dir, "-repair")
+	if err != nil {
+		t.Fatalf("lossless repair must exit zero: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "stats.json undecodable") {
+		t.Fatalf("repair report does not name the dropped stats:\n%s", out)
+	}
+	if !strings.Contains(out, "loaded store") {
+		t.Fatalf("repair run did not load the healed store:\n%s", out)
+	}
+	if out, err := runCLI(t, "-store", dir, "-fsck"); err != nil {
+		t.Fatalf("fsck after repair: %v\n%s", err, out)
+	}
+}
+
+func TestRepairCLILossySalvageExitsNonZero(t *testing.T) {
+	dir := t.TempDir()
+	if out, err := runCLI(t, append(smallBuild, "-store", dir, "-save")...); err != nil {
+		t.Fatalf("save run: %v\n%s", err, out)
+	}
+	flipEntryByte(t, dir)
+	out, err := runCLI(t, "-store", dir, "-repair")
+	if err == nil {
+		t.Fatalf("lossy repair exited zero:\n%s", out)
+	}
+	if !strings.Contains(err.Error(), "lost") {
+		t.Fatalf("lossy repair error does not state the loss: %v", err)
+	}
+	if !strings.Contains(out, "lost 1 entries") {
+		t.Fatalf("repair report does not account for the loss:\n%s", out)
+	}
+	// The salvage itself is real: the store now verifies and loads.
+	if out, err := runCLI(t, "-store", dir, "-fsck"); err != nil {
+		t.Fatalf("fsck after lossy repair: %v\n%s", err, out)
+	}
+	out, err = runCLI(t, "-store", dir)
+	if err != nil {
+		t.Fatalf("load after lossy repair: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "loaded store") {
+		t.Fatalf("load output:\n%s", out)
+	}
+}
+
+// TestResumeCLIRecoversInterruptedSave drives the full resume story: a
+// first -resume run on an empty store (verification fails, repair is a
+// near-noop, everything synthesizes), index loss simulating a crash before
+// the manifest landed, then a second -resume run that heals the store and
+// rebuilds it entirely from the pair cache — zero re-synthesis, identical
+// benchmark.
+func TestResumeCLIRecoversInterruptedSave(t *testing.T) {
+	dir := t.TempDir()
+	args := append(smallBuild, "-store", dir, "-resume")
+	out1, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("first resume run: %v\n%s", err, out1)
+	}
+	if !strings.Contains(out1, "cache_misses=") || strings.Contains(out1, "pairs_synthesized=0") {
+		t.Fatalf("cold resume run must synthesize through the cache:\n%s", out1)
+	}
+
+	// Crash-shaped damage: the save's artifacts and journal survive but the
+	// index never landed.
+	for _, name := range []string{"MANIFEST.json", "MANIFEST.sha256"} {
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out2, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("resume after index loss: %v\n%s", err, out2)
+	}
+	if !strings.Contains(out2, "manifest rebuilt") {
+		t.Fatalf("resume did not report the manifest rebuild:\n%s", out2)
+	}
+	if !strings.Contains(out2, "pairs_synthesized=0") || !strings.Contains(out2, "cache_misses=0") {
+		t.Fatalf("resumed run re-synthesized checkpointed pairs:\n%s", out2)
+	}
+	// The resumed benchmark is the one the interrupted run was building.
+	if tail(t, out1) != tail(t, out2) {
+		t.Fatalf("resumed benchmark diverged:\ncold:\n%s\nresumed:\n%s", out1, out2)
+	}
+	if out, err := runCLI(t, "-store", dir, "-fsck"); err != nil {
+		t.Fatalf("fsck after resume: %v\n%s", err, out)
+	}
+
+	// A clean checkpoint needs no healing: one more -resume is just a warm
+	// incremental run.
+	out3, err := runCLI(t, args...)
+	if err != nil {
+		t.Fatalf("resume of clean store: %v\n%s", err, out3)
+	}
+	if strings.Contains(out3, "repair:") {
+		t.Fatalf("resume repaired a clean store:\n%s", out3)
+	}
+}
+
+// tail cuts a CLI transcript down to the benchmark section (everything
+// from synthesis on), minus the run-stats line — the part that must be
+// identical between an uninterrupted and a resumed build.
+func tail(t *testing.T, out string) string {
+	t.Helper()
+	i := strings.Index(out, "synthesized benchmark:")
+	if i < 0 {
+		t.Fatalf("no benchmark section in output:\n%s", out)
+	}
+	return benchSection(out[i:])
+}
+
 func TestStoreFlagValidation(t *testing.T) {
 	for _, args := range [][]string{
 		{"-save"},
 		{"-incremental"},
 		{"-fsck"},
+		{"-repair"},
+		{"-resume"},
 	} {
 		if out, err := runCLI(t, args...); err == nil || !strings.Contains(err.Error(), "-store") {
 			t.Errorf("%v: err = %v\n%s", args, err, out)

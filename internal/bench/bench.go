@@ -110,6 +110,9 @@ func Build(corpus *spider.Corpus, opts Options) (*Benchmark, error) {
 		if r.attempts > 0 {
 			b.Stats.RetriedAttempts += r.attempts - 1
 		}
+		if !r.cacheHit {
+			b.Stats.PairsSynthesized++
+		}
 		if opts.Cache != nil {
 			if r.cacheHit {
 				b.Stats.CacheHits++

@@ -36,6 +36,7 @@ type RunStats struct {
 	PairsQuarantined    int   // pairs skipped after retries
 	RetriedAttempts     int   // attempts beyond each pair's first
 	ClassifierFallbacks int64 // classifier calls degraded to rules-only
+	PairsSynthesized    int   // pairs that ran the synthesis pipeline (not cache-served)
 	CacheHits           int   // pairs served from the incremental cache
 	CacheMisses         int   // pairs synthesized because the cache missed
 	CacheWriteErrors    int   // cache Put failures (build output unaffected)
@@ -174,8 +175,14 @@ func runPool(ctx context.Context, opts Options, pairs []*spider.Pair) []pairResu
 	return results
 }
 
+// quarantineMaxListed caps the detail lines of a quarantine report; the
+// summary header always carries the full count.
+const quarantineMaxListed = 20
+
 // WriteQuarantine renders the quarantine report: one line per skipped
-// pair, stable order (by pair id), plus a summary header. The format is
+// pair, stable order (by pair id), plus a summary header. Detail lines
+// are capped at quarantineMaxListed with an "… and N more" trailer — a
+// fault storm must not scroll the report off the terminal. The format is
 // documented in README.md ("Quarantine report").
 func WriteQuarantine(w io.Writer, b *Benchmark) {
 	if len(b.Quarantine) == 0 {
@@ -183,7 +190,14 @@ func WriteQuarantine(w io.Writer, b *Benchmark) {
 		return
 	}
 	fmt.Fprintf(w, "quarantine: %d of %d pairs skipped\n", len(b.Quarantine), b.Stats.PairsProcessed)
-	for _, q := range b.Quarantine {
+	shown := b.Quarantine
+	if len(shown) > quarantineMaxListed {
+		shown = shown[:quarantineMaxListed]
+	}
+	for _, q := range shown {
 		fmt.Fprintf(w, "  pair %-6d stage=%-10s attempts=%d  %s\n", q.PairID, q.Stage, q.Attempts, q.Err)
+	}
+	if n := len(b.Quarantine) - len(shown); n > 0 {
+		fmt.Fprintf(w, "  … and %d more\n", n)
 	}
 }

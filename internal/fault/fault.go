@@ -17,6 +17,17 @@
 //	classify:panic:0.02         2% of classifier calls panic
 //	render:latency:0.1:20ms     10% of renders stall 20ms
 //	*:panic:0.01                1% of calls at every registered site panic
+//	store.save:torn:0.1         10% of store writes persist only a prefix
+//	store.save:crash:12         the 12th store write aborts the process
+//
+// Two kinds model crashes rather than flaky dependencies. A torn rule
+// returns a *TornError carrying the surviving byte fraction; cooperating
+// writers (internal/store) persist exactly that prefix before failing, so
+// a partially flushed write after power loss is reproducible. A crash rule
+// takes a 1-based call index instead of a rate and aborts the process with
+// os.Exit(CrashExitCode) at exactly that invocation — the crash harness
+// re-execs the workload in a child and sweeps the index to hit every
+// crash point.
 //
 // Injected errors are marked transient (see Transient / IsTransient), so
 // the pipeline's bounded-retry layer treats them as retryable — mirroring
@@ -26,6 +37,7 @@ package fault
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -59,11 +71,13 @@ func Sites() []string {
 // Kind is the effect a rule injects.
 type Kind int
 
-// The three injectable effects.
+// The five injectable effects.
 const (
 	KindError Kind = iota
 	KindPanic
 	KindLatency
+	KindTorn
+	KindCrash
 )
 
 func (k Kind) String() string {
@@ -74,6 +88,10 @@ func (k Kind) String() string {
 		return "panic"
 	case KindLatency:
 		return "latency"
+	case KindTorn:
+		return "torn"
+	case KindCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -87,20 +105,29 @@ func parseKind(s string) (Kind, error) {
 		return KindPanic, nil
 	case "latency":
 		return KindLatency, nil
+	case "torn":
+		return KindTorn, nil
+	case "crash":
+		return KindCrash, nil
 	}
-	return 0, fmt.Errorf("fault: unknown kind %q (want error, panic or latency)", s)
+	return 0, fmt.Errorf("fault: unknown kind %q (want error, panic, latency, torn or crash)", s)
 }
 
 // Rule is one injector: at Site, with probability Rate per invocation,
-// produce Kind (delaying Delay first for KindLatency).
+// produce Kind (delaying Delay first for KindLatency). A KindCrash rule
+// fires on an exact invocation index (Call) instead of a rate.
 type Rule struct {
 	Site  string // a registered site name, or "*" for all
 	Kind  Kind
-	Rate  float64       // firing probability in [0, 1]
+	Rate  float64       // firing probability in [0, 1]; ignored for KindCrash
 	Delay time.Duration // KindLatency stall; ignored otherwise
+	Call  uint64        // KindCrash: the 1-based invocation that aborts the process
 }
 
 func (r Rule) String() string {
+	if r.Kind == KindCrash {
+		return fmt.Sprintf("%s:%s:%d", r.Site, r.Kind, r.Call)
+	}
 	s := fmt.Sprintf("%s:%s:%g", r.Site, r.Kind, r.Rate)
 	if r.Kind == KindLatency {
 		s += ":" + r.Delay.String()
@@ -111,7 +138,7 @@ func (r Rule) String() string {
 // siteState tracks one site's invocation counter and fire counts.
 type siteState struct {
 	calls atomic.Uint64
-	fired [3]atomic.Uint64 // indexed by Kind
+	fired [5]atomic.Uint64 // indexed by Kind
 }
 
 // Plan is a seeded set of rules. The zero value is unusable; build plans
@@ -165,6 +192,17 @@ func ParsePlan(spec string, seed int64) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
+		if kind == KindCrash {
+			if len(parts) == 4 {
+				return nil, fmt.Errorf("fault: delay given for non-latency clause %q", clause)
+			}
+			call, err := strconv.ParseUint(parts[2], 10, 64)
+			if err != nil || call == 0 {
+				return nil, fmt.Errorf("fault: bad crash call %q in %q (want a 1-based call index)", parts[2], clause)
+			}
+			p.Add(Rule{Site: site, Kind: kind, Call: call})
+			continue
+		}
 		rate, err := strconv.ParseFloat(parts[2], 64)
 		if err != nil || rate < 0 || rate > 1 {
 			return nil, fmt.Errorf("fault: bad rate %q in %q (want a number in [0,1])", parts[2], clause)
@@ -217,6 +255,40 @@ func (e *Error) Unwrap() error { return ErrInjected }
 // the transient wrapper.
 func (e *Error) Is(target error) bool { return target == ErrInjected || target == errTransient }
 
+// TornError is an injected partial-write failure: the write persisted only
+// a prefix of its bytes before failing. Frac is the surviving fraction in
+// [0, 1), a pure function of (seed, site, call), so cooperating writers
+// (internal/store) tear the payload at a reproducible offset before
+// returning this error. It unwraps to ErrInjected and is transient.
+type TornError struct {
+	Site string
+	N    uint64  // 1-based invocation index at the site
+	Frac float64 // surviving prefix fraction in [0, 1)
+}
+
+func (e *TornError) Error() string {
+	return fmt.Sprintf("fault: injected torn write at site %q (call %d, kept %.0f%%)", e.Site, e.N, 100*e.Frac)
+}
+
+// Unwrap makes errors.Is(err, ErrInjected) hold.
+func (e *TornError) Unwrap() error { return ErrInjected }
+
+// Is marks torn writes transient, like plain injected errors.
+func (e *TornError) Is(target error) bool { return target == ErrInjected || target == errTransient }
+
+// CrashExitCode is the status an injected crash exits the process with, so
+// the re-exec harness can tell "crashed as planned" (this code) from
+// "workload failed" (any other non-zero exit).
+const CrashExitCode = 86
+
+// crash aborts the process the way a KindCrash rule does: a marker on
+// stderr (the parent harness asserts on it), then an immediate exit that —
+// like a real crash — runs no deferred cleanup.
+func crash(site string, n uint64) {
+	fmt.Fprintf(os.Stderr, "fault: injected crash at site %q (call %d)\n", site, n)
+	os.Exit(CrashExitCode)
+}
+
 // PanicValue is the value injected panics carry, so recovery layers can
 // distinguish injected panics from organic ones in test assertions.
 type PanicValue struct {
@@ -244,10 +316,11 @@ func Activate(p *Plan) (restore func()) {
 func Enabled() bool { return active.Load() != nil }
 
 // Inject consults the active plan at a site. It may sleep (latency rule),
-// panic with a PanicValue (panic rule), or return an injected transient
-// error (error rule). With no active plan it returns nil at the cost of
-// one atomic load. When several rules fire on the same invocation,
-// latency applies first, then panic takes precedence over error.
+// abort the process (crash rule), panic with a PanicValue (panic rule), or
+// return an injected transient error (error or torn rule). With no active
+// plan it returns nil at the cost of one atomic load. When several rules
+// fire on the same invocation, latency applies first, then crash beats
+// panic beats torn beats error.
 func Inject(site string) error {
 	p := active.Load()
 	if p == nil {
@@ -264,8 +337,16 @@ func (p *Plan) inject(site string) error {
 	st := p.state[site]
 	n := st.calls.Add(1)
 	var delay time.Duration
-	doPanic, doError := false, false
+	doCrash, doPanic, doError := false, false, false
+	tornAt := -1.0
 	for i, r := range rules {
+		if r.Kind == KindCrash {
+			if n == r.Call {
+				st.fired[KindCrash].Add(1)
+				doCrash = true
+			}
+			continue
+		}
 		if !fires(p.seed, site, i, n, r.Rate) {
 			continue
 		}
@@ -277,20 +358,50 @@ func (p *Plan) inject(site string) error {
 			}
 		case KindPanic:
 			doPanic = true
+		case KindTorn:
+			if tornAt < 0 {
+				tornAt = tornFrac(p.seed, site, i, n)
+			}
 		case KindError:
 			doError = true
+		case KindCrash:
+			// handled above: crash fires on an exact call index, not a rate
 		}
 	}
 	if delay > 0 {
 		time.Sleep(delay)
 	}
+	if doCrash {
+		crash(site, n)
+	}
 	if doPanic {
 		panic(PanicValue{Site: site, N: n})
+	}
+	if tornAt >= 0 {
+		return &TornError{Site: site, N: n, Frac: tornAt}
 	}
 	if doError {
 		return &Error{Site: site, N: n}
 	}
 	return nil
+}
+
+// mix hashes (seed, site, ruleIdx, n) into a uniform 64-bit value — the
+// shared key derivation behind every injection decision.
+func mix(seed int64, site string, ruleIdx int, n uint64) uint64 {
+	h := uint64(seed) ^ 0x9e3779b97f4a7c15
+	for _, b := range []byte(site) {
+		h = (h ^ uint64(b)) * 0x100000001b3
+	}
+	h ^= uint64(ruleIdx+1) * 0x9e3779b97f4a7c15
+	h ^= n
+	// splitmix64 finalizer: avalanches the combined key into a uniform
+	// 64-bit value.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
 }
 
 // fires decides rule ruleIdx's outcome for invocation n at a site. The
@@ -304,19 +415,14 @@ func fires(seed int64, site string, ruleIdx int, n uint64, rate float64) bool {
 	if rate >= 1 {
 		return true
 	}
-	h := uint64(seed) ^ 0x9e3779b97f4a7c15
-	for _, b := range []byte(site) {
-		h = (h ^ uint64(b)) * 0x100000001b3
-	}
-	h ^= uint64(ruleIdx+1) * 0x9e3779b97f4a7c15
-	h ^= n
-	// splitmix64 finalizer: avalanches the combined key into a uniform
-	// 64-bit value.
-	h += 0x9e3779b97f4a7c15
-	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
-	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
-	h ^= h >> 31
-	return float64(h>>11)/(1<<53) < rate
+	return float64(mix(seed, site, ruleIdx, n)>>11)/(1<<53) < rate
+}
+
+// tornFrac derives the surviving byte fraction of a torn write in [0, 1).
+// The rule index is salted so the fraction decorrelates from the firing
+// decision that shares the same key.
+func tornFrac(seed int64, site string, ruleIdx int, n uint64) float64 {
+	return float64(mix(seed, site, ruleIdx+1000003, n)>>11) / (1 << 53)
 }
 
 // SiteStats is the observed activity at one site.
@@ -326,6 +432,8 @@ type SiteStats struct {
 	Errors   uint64
 	Panics   uint64
 	Latency  uint64
+	Torn     uint64
+	Crashes  uint64
 	RuleList []Rule
 }
 
@@ -339,6 +447,8 @@ func (p *Plan) Stats() []SiteStats {
 			Errors:   st.fired[KindError].Load(),
 			Panics:   st.fired[KindPanic].Load(),
 			Latency:  st.fired[KindLatency].Load(),
+			Torn:     st.fired[KindTorn].Load(),
+			Crashes:  st.fired[KindCrash].Load(),
 			RuleList: p.rules[site],
 		})
 	}

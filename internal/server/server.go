@@ -63,6 +63,10 @@ type Server struct {
 	// store-backed server overrides them with the manifest's content
 	// hashes via SetEntryETags.
 	etags []string
+	// degraded, when non-empty, marks the served benchmark as repaired or
+	// partially salvaged; /readyz reports it (still 200 — degraded data is
+	// servable data).
+	degraded atomic.Pointer[string]
 }
 
 // New builds a server over a benchmark with the default hardening config.
@@ -157,6 +161,19 @@ func (s *Server) logf(format string, args ...any) {
 // construction until shutdown begins).
 func (s *Server) Ready() bool { return s.ready.Load() }
 
+// SetDegraded marks the served benchmark as degraded — loaded from a
+// repaired or partially salvaged store — with a one-line detail that
+// /readyz reports. The server keeps serving: salvaged data beats no data,
+// but orchestrators and humans probing readiness see the caveat. An empty
+// detail clears the mark. Safe to call concurrently with requests.
+func (s *Server) SetDegraded(detail string) {
+	if detail == "" {
+		s.degraded.Store(nil)
+		return
+	}
+	s.degraded.Store(&detail)
+}
+
 // Run serves on addr until ctx is canceled, then shuts down gracefully:
 // readiness flips to 503 so load balancers stop routing, in-flight
 // requests get DrainTimeout to finish, and only then does Run force-close.
@@ -206,6 +223,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if d := s.degraded.Load(); d != nil {
+		writeBytes(s, w, []byte("degraded: "+*d+"\n"))
+		return
+	}
 	writeBytes(s, w, []byte("ready\n"))
 }
 

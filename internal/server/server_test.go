@@ -185,3 +185,29 @@ func TestHTMLEscaping(t *testing.T) {
 		t.Error("unescaped content")
 	}
 }
+
+func TestReadyzReportsDegradedStore(t *testing.T) {
+	// A fresh server of its own: SetDegraded must not leak into the shared
+	// testServer used by the other tests.
+	s := New(testServer.Bench)
+	probe := func() (int, string) {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+		return rec.Code, rec.Body.String()
+	}
+	if code, body := probe(); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz = %d %q, want 200 ready", code, body)
+	}
+	s.SetDegraded("repaired store: lost 2 entries, salvaged 94")
+	code, body := probe()
+	if code != http.StatusOK {
+		t.Fatalf("/readyz on a degraded store = %d; degraded data is still servable", code)
+	}
+	if !strings.HasPrefix(body, "degraded: ") || !strings.Contains(body, "lost 2 entries") {
+		t.Fatalf("/readyz body = %q, want the degradation detail", body)
+	}
+	s.SetDegraded("")
+	if code, body := probe(); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz after clearing = %d %q, want 200 ready", code, body)
+	}
+}

@@ -1,0 +1,387 @@
+// The crash harness: these tests re-exec the test binary as a child that
+// runs a save (or a full cached build) under a deterministic crash plan,
+// aborting the whole process at injected crash point K. The parent sweeps
+// K upward until the child survives, so every store.save call in the
+// operation gets killed exactly once — and after every kill the store
+// must either verify cleanly or repair to a state that verifies and
+// loads. The build sweep goes further: it resumes the interrupted build
+// through the pair cache and requires byte-identical output to an
+// uninterrupted build, with zero re-synthesis for checkpointed pairs.
+
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"nvbench/internal/ast"
+	"nvbench/internal/bench"
+	"nvbench/internal/core"
+	"nvbench/internal/fault"
+	"nvbench/internal/nledit"
+	"nvbench/internal/spider"
+)
+
+// The environment contract between sweep parents and re-exec'd children.
+const (
+	crashEnvDir    = "NVBENCH_CRASH_DIR"    // store directory to damage
+	crashEnvGolden = "NVBENCH_CRASH_GOLDEN" // golden store to load and re-save
+	crashEnvPlan   = "NVBENCH_CRASH_PLAN"   // fault plan, crash point included
+	crashEnvResave = "NVBENCH_CRASH_RESAVE" // save cleanly once before the faulty save
+)
+
+// crashSweepLimit bounds a sweep; a tiny save has far fewer write calls.
+const crashSweepLimit = 400
+
+// crashBuildCfg is the deliberately tiny corpus the crash children build:
+// small enough that re-execing one child per crash point stays cheap.
+var crashBuildCfg = spider.Config{Seed: 3, NumDatabases: 1, PairsPerDB: 4, MaxRows: 60}
+
+// crashBuildOpts is the matching build configuration: classifier-free (no
+// per-process training), single-variant, one worker so resumed runs have
+// a deterministic synthesis count.
+func crashBuildOpts() bench.Options {
+	return bench.Options{
+		Synth: &core.Synthesizer{
+			NumBins:       ast.DefaultNumBins,
+			MaxCandidates: 16,
+			Aggregates:    []ast.AggFunc{ast.AggSum},
+		},
+		Edit:          nledit.New(1),
+		MaxVisPerPair: 2,
+		Workers:       1,
+	}
+}
+
+var (
+	tinyOnce  sync.Once
+	tinyCorp  *spider.Corpus
+	tinyBench *bench.Benchmark
+)
+
+// tinyBuild builds the crash corpus and its uncached benchmark once.
+func tinyBuild(t testing.TB) (*spider.Corpus, *bench.Benchmark) {
+	t.Helper()
+	tinyOnce.Do(func() {
+		c, err := spider.Generate(crashBuildCfg)
+		if err != nil {
+			panic(err)
+		}
+		b, err := bench.Build(c, crashBuildOpts())
+		if err != nil {
+			panic(err)
+		}
+		tinyCorp, tinyBench = c, b
+	})
+	if len(tinyBench.Entries) == 0 {
+		t.Fatal("crash-harness benchmark is empty")
+	}
+	return tinyCorp, tinyBench
+}
+
+func tinyInfo() BuildInfo {
+	return BuildInfo{Seed: crashBuildCfg.Seed, Fingerprint: Fingerprint(crashBuildOpts())}
+}
+
+// runCrashChild re-execs the test binary running only the named child test
+// with env overlaid, returning its exit code and combined output.
+func runCrashChild(t *testing.T, name string, env map[string]string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=^"+name+"$")
+	cmd.Env = os.Environ()
+	for k, v := range env {
+		cmd.Env = append(cmd.Env, k+"="+v)
+	}
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("re-exec %s: %v", name, err)
+	return -1, ""
+}
+
+// assertRecoverable opens a store a child crashed at point k and requires
+// it to verify cleanly as-is, or repair to a state that verifies and
+// loads. wantEntries >= 0 additionally pins the post-recovery entry count
+// (committed data must survive the crash in full).
+func assertRecoverable(t *testing.T, dir string, k, wantEntries int) {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("crash point %d: reopen: %v", k, err)
+	}
+	if rep, err := st.Verify(); err != nil || !rep.OK() {
+		if _, err := st.Repair(); err != nil {
+			t.Fatalf("crash point %d: repair: %v", k, err)
+		}
+		rep, err := st.Verify()
+		if err != nil {
+			t.Fatalf("crash point %d: verify after repair: %v", k, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("crash point %d: store still corrupt after repair: %+v", k, rep.Corrupt)
+		}
+	}
+	loaded, _, err := st.Load()
+	if err != nil {
+		t.Fatalf("crash point %d: load after recovery: %v", k, err)
+	}
+	if wantEntries >= 0 && len(loaded.Entries) != wantEntries {
+		t.Fatalf("crash point %d: recovered %d entries, want %d", k, len(loaded.Entries), wantEntries)
+	}
+}
+
+// sweepSaveCrashes runs the child save at every crash point the plan
+// format can reach, recovering the store after each kill. wantEntries
+// pins the recovered entry count (-1: any consistent state).
+func sweepSaveCrashes(t *testing.T, goldenDir, planFmt string, wantEntries int) {
+	crashed := 0
+	for k := 1; ; k++ {
+		if k > crashSweepLimit {
+			t.Fatalf("crash sweep did not terminate after %d points", crashSweepLimit)
+		}
+		dir := filepath.Join(t.TempDir(), "store")
+		env := map[string]string{
+			crashEnvDir:    dir,
+			crashEnvGolden: goldenDir,
+			crashEnvPlan:   fmt.Sprintf(planFmt, k),
+		}
+		if wantEntries >= 0 {
+			env[crashEnvResave] = "1"
+		}
+		code, out := runCrashChild(t, "TestCrashChildSave", env)
+		if code != 0 && code != fault.CrashExitCode {
+			t.Fatalf("crash point %d: child exited %d, want %d or success:\n%s",
+				k, code, fault.CrashExitCode, out)
+		}
+		assertRecoverable(t, dir, k, wantEntries)
+		if code == 0 {
+			if crashed == 0 {
+				t.Fatal("sweep ended before any crash fired")
+			}
+			t.Logf("sweep covered %d crash points", crashed)
+			return
+		}
+		crashed++
+	}
+}
+
+// TestCrashChildSave is the re-exec'd child: it loads the golden
+// benchmark and saves it into a fresh directory under the given fault
+// plan, dying wherever the plan says. A torn fault aborts the save with
+// an error instead; that damaged state is the point. Without the
+// environment (a normal test run) it is skipped.
+func TestCrashChildSave(t *testing.T) {
+	dir := os.Getenv(crashEnvDir)
+	if dir == "" {
+		t.Skip("crash-sweep child; driven by TestCrashSweepSave")
+	}
+	plan, err := fault.ParsePlan(os.Getenv(crashEnvPlan), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := Open(os.Getenv(crashEnvGolden))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, m, err := golden.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if os.Getenv(crashEnvResave) != "" {
+		// Commit the benchmark first: the faulty save below is then an
+		// idempotent re-save over committed data.
+		if _, err := st.Save(b, m.Build); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer fault.Activate(plan)()
+	if _, err := st.Save(b, m.Build); err != nil && !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("save failed organically: %v", err)
+	}
+}
+
+func TestCrashSweepSave(t *testing.T) {
+	_, b := tinyBuild(t)
+	goldenDir := t.TempDir()
+	goldenSt, err := Open(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := goldenSt.Save(b, tinyInfo()); err != nil {
+		t.Fatal(err)
+	}
+	t.Run("fresh", func(t *testing.T) {
+		// A fresh save killed anywhere: any consistent state is acceptable
+		// (there was no committed data to protect).
+		sweepSaveCrashes(t, goldenDir, "store.save:crash:%d", -1)
+	})
+	t.Run("torn", func(t *testing.T) {
+		// Torn writes compound the crash: prefixes of artifacts land at
+		// their final paths before the process dies.
+		sweepSaveCrashes(t, goldenDir, "store.save:torn:0.4,store.save:crash:%d", -1)
+	})
+	t.Run("resave", func(t *testing.T) {
+		// An idempotent re-save killed anywhere must never lose the
+		// committed benchmark.
+		sweepSaveCrashes(t, goldenDir, "store.save:crash:%d", len(b.Entries))
+	})
+}
+
+// TestCrashChildBuild is the re-exec'd child for the resumable-build
+// sweep: a full incremental build (checkpointing each pair in the store's
+// cache) followed by a save, dying at the planned crash point — possibly
+// in the middle of pair synthesis.
+func TestCrashChildBuild(t *testing.T) {
+	dir := os.Getenv(crashEnvDir)
+	if dir == "" {
+		t.Skip("crash-sweep child; driven by TestCrashSweepBuildResume")
+	}
+	plan, err := fault.ParsePlan(os.Getenv(crashEnvPlan), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corpus, err := spider.Generate(crashBuildCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := crashBuildOpts()
+	opts.Cache = st.PairCache(Fingerprint(crashBuildOpts()))
+	defer fault.Activate(plan)()
+	b, err := bench.Build(corpus, opts)
+	if err != nil {
+		t.Fatal(err) // Build tolerates cache faults; an error is organic
+	}
+	if _, err := st.Save(b, tinyInfo()); err != nil && !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("save failed organically: %v", err)
+	}
+}
+
+// resumeAndCheck does what cmd/nvbench -resume does to an interrupted
+// build — repair if dirty, rebuild through the pair cache, re-save — then
+// requires byte-identical output to the uninterrupted reference and zero
+// re-synthesis for pairs whose checkpoint survived the crash.
+func resumeAndCheck(t *testing.T, dir string, corpus *spider.Corpus, refTree map[string][]byte, k int) {
+	t.Helper()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("crash point %d: reopen: %v", k, err)
+	}
+	if rep, err := st.Verify(); err != nil || !rep.OK() {
+		if _, err := st.Repair(); err != nil {
+			t.Fatalf("crash point %d: repair: %v", k, err)
+		}
+	}
+	opts := crashBuildOpts()
+	cache := st.PairCache(Fingerprint(crashBuildOpts()))
+	opts.Cache = cache
+	// Predict the resume cost: one synthesis per distinct pair whose
+	// checkpoint did not survive, none for the rest.
+	wantSynth := 0
+	seen := map[string]bool{}
+	for _, p := range corpus.Pairs {
+		key, err := cache.key(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if _, ok := cache.Get(p); !ok {
+			wantSynth++
+		}
+	}
+	b, err := bench.Build(corpus, opts)
+	if err != nil {
+		t.Fatalf("crash point %d: resumed build: %v", k, err)
+	}
+	if b.Stats.PairsSynthesized != wantSynth {
+		t.Fatalf("crash point %d: resumed build synthesized %d pairs, want exactly the %d uncheckpointed",
+			k, b.Stats.PairsSynthesized, wantSynth)
+	}
+	if b.Stats.CacheHits+b.Stats.CacheMisses != len(corpus.Pairs) {
+		t.Fatalf("crash point %d: hits=%d misses=%d over %d pairs",
+			k, b.Stats.CacheHits, b.Stats.CacheMisses, len(corpus.Pairs))
+	}
+	if _, err := st.Save(b, tinyInfo()); err != nil {
+		t.Fatalf("crash point %d: resumed save: %v", k, err)
+	}
+	// Byte-identical to the uninterrupted build, salvage area and run
+	// stats aside: stats legitimately differ (the resumed run had cache
+	// hits) and lost+found preserves what repair moved.
+	got := treeBytes(t, dir)
+	delete(got, statsName)
+	for name := range got {
+		if strings.HasPrefix(name, lostFoundDir+"/") {
+			delete(got, name)
+		}
+	}
+	sameTree(t, refTree, got)
+}
+
+func TestCrashSweepBuildResume(t *testing.T) {
+	corpus, _ := tinyBuild(t)
+	refDir := t.TempDir()
+	refSt, err := Open(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := crashBuildOpts()
+	opts.Cache = refSt.PairCache(Fingerprint(crashBuildOpts()))
+	ref, err := bench.Build(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Stats.PairsSynthesized != ref.Stats.CacheMisses {
+		t.Fatalf("cold build synthesized %d pairs with %d misses", ref.Stats.PairsSynthesized, ref.Stats.CacheMisses)
+	}
+	if _, err := refSt.Save(ref, tinyInfo()); err != nil {
+		t.Fatal(err)
+	}
+	refTree := treeBytes(t, refDir)
+	delete(refTree, statsName)
+
+	crashed := 0
+	for k := 1; ; k++ {
+		if k > crashSweepLimit {
+			t.Fatalf("crash sweep did not terminate after %d points", crashSweepLimit)
+		}
+		dir := filepath.Join(t.TempDir(), "store")
+		code, out := runCrashChild(t, "TestCrashChildBuild", map[string]string{
+			crashEnvDir:  dir,
+			crashEnvPlan: fmt.Sprintf("store.save:crash:%d", k),
+		})
+		if code != 0 && code != fault.CrashExitCode {
+			t.Fatalf("crash point %d: child exited %d, want %d or success:\n%s",
+				k, code, fault.CrashExitCode, out)
+		}
+		resumeAndCheck(t, dir, corpus, refTree, k)
+		if code == 0 {
+			if crashed == 0 {
+				t.Fatal("sweep ended before any crash fired")
+			}
+			t.Logf("build sweep covered %d crash points", crashed)
+			return
+		}
+		crashed++
+	}
+}

@@ -60,6 +60,42 @@ func FuzzEntryCodec(f *testing.F) {
 	})
 }
 
+// FuzzJournalRecover throws arbitrary bytes at journal recovery — the
+// code path that runs on every Open of a crashed store — and checks its
+// invariants: never a panic, a begin record exactly when the state says
+// so, and a torn tail only on newline-less input.
+func FuzzJournalRecover(f *testing.F) {
+	begin := mustLine(f, journalRecord{Op: opBegin, Build: &BuildInfo{Seed: 1}})
+	intent := mustLine(f, journalRecord{Op: opIntent, Path: "entries/x.json", Hash: "x"})
+	commit := mustLine(f, journalRecord{Op: opCommit})
+	f.Add([]byte{})
+	f.Add(begin)
+	f.Add(concatLines(begin, intent, commit))
+	f.Add(concatLines(begin, commit[:len(commit)/2]))
+	f.Add([]byte("garbage\nlines\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		j := recoverJournal(data)
+		switch j.State {
+		case JournalClean, JournalInProgress:
+			if j.Begin == nil {
+				t.Fatalf("state %s without a begin record", j.State)
+			}
+		case JournalCorrupt:
+			if j.Begin != nil {
+				t.Fatal("corrupt state despite an intact begin record")
+			}
+		default:
+			t.Fatalf("recovery returned impossible state %s", j.State)
+		}
+		if j.TornTail && len(data) > 0 && data[len(data)-1] == '\n' {
+			t.Fatal("torn tail reported on newline-terminated input")
+		}
+		if len(j.Intents) > 0 && j.Begin == nil {
+			t.Fatal("intents recovered without a begin record")
+		}
+	})
+}
+
 // FuzzSelfHashed checks the cache-artifact framing: verifySelfHashed must
 // accept exactly what selfHashed produced and reject any mutation, without
 // panicking on arbitrary input.

@@ -1,0 +1,269 @@
+// The write-ahead intent journal: JOURNAL.jsonl records what a Save is
+// about to do, so a store that crashed mid-save is diagnosable afterwards.
+//
+// Format: one record per line, each line framed as
+//
+//	<hex sha256 of payload> <compact JSON payload>\n
+//
+// so a torn or flipped record never parses as a different record. A save
+// writes begin (build info) → one intent per integrity-bearing artifact
+// (path + content hash) → commit. The journal is rotated at begin — it is
+// rewritten atomically to hold only the save in flight — which keeps its
+// bytes a pure function of the build: determinism gates that compare whole
+// store trees byte-for-byte hold with the journal included, and a resumed
+// save ends with a journal identical to an uninterrupted one. Appends are
+// fsync'd; recovery tolerates a torn tail record (the crash left a prefix
+// of a line) without discarding the intact records before it.
+//
+// stats.json is deliberately not journaled: it is informational, unhashed,
+// and differs between a cold and a resumed build of the same benchmark.
+
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nvbench/internal/fault"
+)
+
+const journalName = "JOURNAL.jsonl"
+
+// Journal record operations.
+const (
+	opBegin  = "begin"
+	opIntent = "intent"
+	opCommit = "commit"
+)
+
+// journalRecord is one journal line's payload.
+type journalRecord struct {
+	Op    string     `json:"op"`
+	Build *BuildInfo `json:"build,omitempty"` // opBegin: how the save was configured
+	Path  string     `json:"path,omitempty"`  // opIntent: artifact about to be written
+	Hash  string     `json:"hash,omitempty"`  // opIntent: content hash it must have
+}
+
+// JournalState classifies what the journal says about the store.
+type JournalState int
+
+const (
+	// JournalNone: no journal on disk — an empty directory or a store
+	// written by something other than Save.
+	JournalNone JournalState = iota
+	// JournalClean: the last save committed.
+	JournalClean
+	// JournalInProgress: a save logged begin but never commit — the store
+	// holds a mix of the previous state and the interrupted save's
+	// artifacts.
+	JournalInProgress
+	// JournalCorrupt: the journal exists but no intact begin record
+	// survives.
+	JournalCorrupt
+)
+
+func (st JournalState) String() string {
+	switch st {
+	case JournalNone:
+		return "none"
+	case JournalClean:
+		return "clean"
+	case JournalInProgress:
+		return "in-progress"
+	case JournalCorrupt:
+		return "corrupt"
+	}
+	return fmt.Sprintf("state(%d)", int(st))
+}
+
+// journalInfo is the recovered content of a journal.
+type journalInfo struct {
+	State    JournalState
+	Begin    *journalRecord  // last intact begin record
+	Intents  []journalRecord // intents after that begin
+	BadLines int             // unparseable interior records
+	TornTail bool            // final record is a newline-less prefix
+}
+
+// intentHashes returns the recovered intents as path → expected hash.
+func (j *journalInfo) intentHashes() map[string]string {
+	out := make(map[string]string, len(j.Intents))
+	for _, in := range j.Intents {
+		out[in.Path] = in.Hash
+	}
+	return out
+}
+
+// journalLine frames one record for the journal file.
+func journalLine(rec journalRecord) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("store: encode journal record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+66)
+	line = append(line, hashBytes(payload)...)
+	line = append(line, ' ')
+	line = append(line, payload...)
+	return append(line, '\n'), nil
+}
+
+// parseJournalLine recovers one record, rejecting any line whose payload
+// does not hash to its recorded sum.
+func parseJournalLine(line string) (journalRecord, bool) {
+	i := strings.IndexByte(line, ' ')
+	if i < 0 {
+		return journalRecord{}, false
+	}
+	sum, payload := line[:i], line[i+1:]
+	if hashBytes([]byte(payload)) != sum {
+		return journalRecord{}, false
+	}
+	var rec journalRecord
+	if err := decodeStrict([]byte(payload), &rec); err != nil {
+		return journalRecord{}, false
+	}
+	return rec, true
+}
+
+// recoverJournal classifies raw journal bytes. It is a pure function (and
+// fuzzed as one): corrupt interior records are counted, a torn tail is
+// tolerated, and the state reflects the last intact begin/commit pair.
+func recoverJournal(data []byte) journalInfo {
+	j := journalInfo{State: JournalCorrupt}
+	lines := strings.Split(string(data), "\n")
+	if last := len(lines) - 1; lines[last] == "" {
+		lines = lines[:last]
+	} else {
+		j.TornTail = true
+	}
+	committed := false
+	for i, line := range lines {
+		rec, ok := parseJournalLine(line)
+		if !ok {
+			if j.TornTail && i == len(lines)-1 {
+				continue // the crash tore this record; the prefix is expected garbage
+			}
+			j.BadLines++
+			continue
+		}
+		switch rec.Op {
+		case opBegin:
+			rec := rec
+			j.Begin = &rec
+			j.Intents = nil
+			committed = false
+		case opIntent:
+			if j.Begin == nil {
+				j.BadLines++ // an intent outside any save is misplaced
+				continue
+			}
+			j.Intents = append(j.Intents, rec)
+		case opCommit:
+			if j.Begin == nil {
+				j.BadLines++ // likewise a commit with nothing to commit
+				continue
+			}
+			committed = true
+		default:
+			j.BadLines++
+		}
+	}
+	switch {
+	case j.Begin == nil:
+		j.State = JournalCorrupt
+	case committed:
+		j.State = JournalClean
+	default:
+		j.State = JournalInProgress
+	}
+	return j
+}
+
+// readJournal loads and classifies the store's journal.
+func (s *Store) readJournal() journalInfo {
+	data, err := os.ReadFile(filepath.Join(s.dir, journalName))
+	if err != nil {
+		return journalInfo{State: JournalNone}
+	}
+	return recoverJournal(data)
+}
+
+// journalBegin rotates the journal: the file is atomically replaced with a
+// single begin record for the save now starting. Previous records are
+// gone on purpose — they described a committed (or repaired) state that
+// the artifacts themselves now witness.
+func (s *Store) journalBegin(info BuildInfo) error {
+	line, err := journalLine(journalRecord{Op: opBegin, Build: &info})
+	if err != nil {
+		return err
+	}
+	return s.writeArtifact(journalName, line)
+}
+
+// journalAppend durably appends one record. It passes through the
+// store.save injection site; a torn fault persists only a prefix of the
+// line (the state a crash mid-append leaves), then fails. A torn tail
+// left by an earlier crash is healed first so this record starts on a
+// fresh line.
+func (s *Store) journalAppend(rec journalRecord) error {
+	line, err := journalLine(rec)
+	if err != nil {
+		return err
+	}
+	injErr := fault.Inject(fault.SiteStoreSave)
+	var torn *fault.TornError
+	if injErr != nil && !errors.As(injErr, &torn) {
+		return fmt.Errorf("store: journal %s: %w", rec.Op, injErr)
+	}
+	if torn != nil {
+		line = line[:int(torn.Frac*float64(len(line)))]
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, journalName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: journal %s: %w", rec.Op, err)
+	}
+	werr := healTail(f)
+	if werr == nil {
+		_, werr = f.Write(line)
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("store: journal %s: %w", rec.Op, werr)
+	}
+	if torn != nil {
+		return fmt.Errorf("store: journal %s: %w", rec.Op, injErr)
+	}
+	return nil
+}
+
+// healTail positions f at its end, first completing a newline-less final
+// record (a torn append) so recovery keeps discarding exactly one line.
+func healTail(f *os.File) error {
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return err
+	}
+	if end == 0 {
+		return nil
+	}
+	buf := make([]byte, 1)
+	if _, err := f.ReadAt(buf, end-1); err != nil {
+		return err
+	}
+	if buf[0] == '\n' {
+		return nil
+	}
+	_, err = f.Write([]byte("\n"))
+	return err
+}

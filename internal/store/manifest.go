@@ -72,8 +72,8 @@ func (r *FsckReport) OK() bool { return len(r.Corrupt) == 0 }
 // Verify is fsck for the store: it re-hashes the manifest against its
 // recorded sum, every entry and database artifact against its content
 // address (manifest-referenced or not — an orphan with a lying filename is
-// corruption too), and every cache artifact against its embedded payload
-// hash. It returns a report rather than failing on the first hit, so one
+// corruption too), every cache artifact against its embedded payload
+// hash, and checks the journal records a committed save. It returns a report rather than failing on the first hit, so one
 // flipped byte and fifty flipped bytes both come back as a complete
 // picture; the error return is reserved for stores that cannot be walked
 // at all (no manifest).
@@ -133,6 +133,25 @@ func (s *Store) Verify() (*FsckReport, error) {
 	}
 	for rel := range refs { // referenced by the manifest but absent on disk
 		rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: "missing artifact"})
+	}
+	rep.Checked++
+	switch j := s.readJournal(); j.State {
+	case JournalNone:
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: journalName, Detail: "missing journal (no save record)"})
+	case JournalCorrupt:
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: journalName, Detail: "no intact begin record"})
+	case JournalInProgress:
+		rep.Corrupt = append(rep.Corrupt, Corruption{
+			Path:   journalName,
+			Detail: fmt.Sprintf("incomplete save: %d intents without commit (run -repair)", len(j.Intents)),
+		})
+	case JournalClean:
+		if j.BadLines > 0 || j.TornTail {
+			rep.Corrupt = append(rep.Corrupt, Corruption{
+				Path:   journalName,
+				Detail: fmt.Sprintf("%d unreadable records (torn tail: %t)", j.BadLines, j.TornTail),
+			})
+		}
 	}
 	names, err := s.listJSON(cacheDir)
 	if err != nil {

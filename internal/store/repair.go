@@ -1,0 +1,398 @@
+// Repair: fsck with healing. Where Verify only reports, Repair restores
+// the store to a state Verify accepts, salvaging every artifact that still
+// hashes to its address. The invariants it relies on:
+//
+//   - Content addressing means artifacts self-validate: a file that hashes
+//     to its name is exactly what some Save wrote, so entry records can be
+//     trusted enough to rebuild the manifest from them.
+//   - Committed artifacts are never rewritten with different bytes (an
+//     identical re-save skips the write), so a crash can only damage the
+//     save in flight — never silently corrupt history into valid-looking
+//     artifacts.
+//   - The journal names the in-flight save's artifact set, so Repair can
+//     tell that save's leftovers (rolled back to lost+found when the
+//     manifest never landed, rolled forward when it did) from artifacts of
+//     the committed state.
+//
+// Nothing is deleted: everything unsalvageable moves to lost+found/,
+// mirroring the store layout, where a human (or a later tool) can inspect
+// it.
+
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"nvbench/internal/bench"
+)
+
+const lostFoundDir = "lost+found"
+
+// RepairReport says exactly what Repair did and what it could not save.
+type RepairReport struct {
+	TempsSwept      int      `json:"temps_swept"`              // stray temp files removed
+	CorruptMoved    []string `json:"corrupt_moved,omitempty"`  // hash- or decode-invalid artifacts moved to lost+found
+	OrphansMoved    []string `json:"orphans_moved,omitempty"`  // valid but unreferenced artifacts moved to lost+found
+	CacheDropped    int      `json:"cache_dropped"`            // corrupt cache records moved to lost+found
+	StatsDropped    bool     `json:"stats_dropped,omitempty"`  // stats.json was undecodable and moved
+	EntriesKept     int      `json:"entries_kept"`             // entries in the repaired manifest
+	EntriesLost     int      `json:"entries_lost"`             // intended entries that could not be salvaged
+	DatabasesKept   int      `json:"databases_kept"`           // databases in the repaired manifest
+	DatabasesLost   int      `json:"databases_lost"`           // intended databases that could not be salvaged
+	ManifestRebuilt bool     `json:"manifest_rebuilt"`         // manifest was rewritten (rebuilt or trimmed)
+	RolledForward   bool     `json:"rolled_forward,omitempty"` // interrupted save had landed its manifest; committed
+	RolledBack      bool     `json:"rolled_back,omitempty"`    // interrupted save rolled back to the prior manifest
+	JournalReset    bool     `json:"journal_reset,omitempty"`  // journal rewritten as clean
+}
+
+// Lossy reports whether the repair lost benchmark content — the condition
+// under which cmd/nvbench -repair exits non-zero.
+func (r *RepairReport) Lossy() bool { return r.EntriesLost > 0 || r.DatabasesLost > 0 }
+
+// Clean reports whether there was nothing to heal.
+func (r *RepairReport) Clean() bool {
+	return r.TempsSwept == 0 && len(r.CorruptMoved) == 0 && len(r.OrphansMoved) == 0 &&
+		r.CacheDropped == 0 && !r.StatsDropped && !r.ManifestRebuilt &&
+		!r.RolledForward && !r.RolledBack && !r.JournalReset
+}
+
+// moveAside relocates one artifact into lost+found/, mirroring its store
+// path. Same-named collisions overwrite: names are content addresses, so
+// the bytes are the bytes.
+func (s *Store) moveAside(rel string) error {
+	dst := filepath.Join(s.dir, lostFoundDir, filepath.FromSlash(rel))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("store: repair: %w", err)
+	}
+	if err := os.Rename(filepath.Join(s.dir, filepath.FromSlash(rel)), dst); err != nil {
+		return fmt.Errorf("store: repair: %w", err)
+	}
+	return nil
+}
+
+// Repair heals the store in place and reports what it salvaged. After a
+// nil-error return the store passes Verify and Load. On an already-clean
+// store it is a no-op (all-zero report). The error return is reserved for
+// stores it cannot operate on at all (I/O failures); partial salvage is a
+// report, not an error — check Lossy.
+func (s *Store) Repair() (*RepairReport, error) {
+	rep := &RepairReport{}
+	swept, err := s.sweepTemps()
+	if err != nil {
+		return nil, fmt.Errorf("store: repair: %w", err)
+	}
+	rep.TempsSwept = swept
+	s.open.TempsSwept += swept
+	js := s.readJournal()
+
+	// Pass 1: hash-sweep the content-addressed directories. What survives
+	// is trustworthy; what doesn't goes to lost+found.
+	surviving := map[string]map[string]bool{entriesDir: {}, dbsDir: {}}
+	for _, dir := range []string{entriesDir, dbsDir} {
+		names, err := s.listJSON(dir)
+		if err != nil {
+			return nil, fmt.Errorf("store: repair: %w", err)
+		}
+		for _, name := range names {
+			rel := dir + "/" + name
+			data, err := os.ReadFile(filepath.Join(s.dir, dir, name))
+			if err != nil {
+				return nil, fmt.Errorf("store: repair: %w", err)
+			}
+			h := strings.TrimSuffix(name, ".json")
+			if hashBytes(data) != h {
+				if err := s.moveAside(rel); err != nil {
+					return nil, err
+				}
+				rep.CorruptMoved = append(rep.CorruptMoved, rel)
+				continue
+			}
+			surviving[dir][h] = true
+		}
+	}
+
+	// Pass 2: cache records are disposable checkpoints — corrupt ones are
+	// moved, costing a future re-synthesis, nothing else.
+	cacheNames, err := s.listJSON(cacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("store: repair: %w", err)
+	}
+	for _, name := range cacheNames {
+		data, err := os.ReadFile(filepath.Join(s.dir, cacheDir, name))
+		if err != nil {
+			return nil, fmt.Errorf("store: repair: %w", err)
+		}
+		if _, err := verifySelfHashed(data); err != nil {
+			if err := s.moveAside(cacheDir + "/" + name); err != nil {
+				return nil, err
+			}
+			rep.CacheDropped++
+		}
+	}
+
+	// Pass 3: stats.json is informational but Load requires it decodable
+	// when present; a torn one is moved.
+	if data, err := os.ReadFile(filepath.Join(s.dir, statsName)); err == nil {
+		var rs bench.RunStats
+		if decodeStrict(data, &rs) != nil {
+			if err := s.moveAside(statsName); err != nil {
+				return nil, err
+			}
+			rep.StatsDropped = true
+		}
+	}
+
+	// Pass 4: determine the intended manifest. A decodable on-disk
+	// manifest is the intent (its sum is recomputed below); otherwise the
+	// manifest is rebuilt from the surviving entry records, scoped to the
+	// journaled save's artifact set when the journal survives.
+	var intents map[string]string
+	if js.Begin != nil {
+		intents = js.intentHashes()
+	}
+	m, mdataOld := s.repairCandidate(rep)
+	if m != nil {
+		s.repairTrim(rep, m, surviving)
+		if js.State == JournalInProgress {
+			if intents[manifestName] == hashBytes(mdataOld) {
+				rep.RolledForward = true
+			} else {
+				rep.RolledBack = true
+			}
+		}
+	} else {
+		m = s.repairRebuild(rep, surviving, js, intents)
+	}
+
+	// Move orphans: surviving artifacts the repaired manifest does not
+	// reference — typically the rolled-back remains of an uncommitted save.
+	refE, refD := map[string]bool{}, map[string]bool{}
+	for _, ref := range m.Entries {
+		refE[ref.Hash] = true
+	}
+	for _, h := range m.Databases {
+		refD[h] = true
+	}
+	for _, h := range sortedKeys(surviving[entriesDir]) {
+		if !refE[h] {
+			if err := s.moveAside(entriesDir + "/" + h + ".json"); err != nil {
+				return nil, err
+			}
+			rep.OrphansMoved = append(rep.OrphansMoved, entriesDir+"/"+h+".json")
+		}
+	}
+	for _, h := range sortedKeys(surviving[dbsDir]) {
+		if !refD[h] {
+			if err := s.moveAside(dbsDir + "/" + h + ".json"); err != nil {
+				return nil, err
+			}
+			rep.OrphansMoved = append(rep.OrphansMoved, dbsDir+"/"+h+".json")
+		}
+	}
+
+	// Write back through the normal journaled machinery, only if the
+	// on-disk index or journal disagrees with the repaired state.
+	mdata, err := canonicalJSON(m)
+	if err != nil {
+		return nil, err
+	}
+	sum := []byte(hashBytes(mdata) + "\n")
+	curM, _ := os.ReadFile(filepath.Join(s.dir, manifestName))
+	curS, _ := os.ReadFile(filepath.Join(s.dir, manifestSumName))
+	if js.State != JournalClean || !bytes.Equal(curM, mdata) || !bytes.Equal(curS, sum) {
+		rep.ManifestRebuilt = rep.ManifestRebuilt || !bytes.Equal(curM, mdata)
+		if err := s.journalBegin(m.Build); err != nil {
+			return nil, err
+		}
+		if err := s.writeIntended(manifestName, hashBytes(mdata), mdata); err != nil {
+			return nil, err
+		}
+		if err := s.writeIntended(manifestSumName, hashBytes(sum), sum); err != nil {
+			return nil, err
+		}
+		if err := s.journalAppend(journalRecord{Op: opCommit}); err != nil {
+			return nil, err
+		}
+		rep.JournalReset = true
+	}
+	rep.EntriesKept = len(m.Entries)
+	rep.DatabasesKept = len(m.Databases)
+	s.refreshStatus()
+	return rep, nil
+}
+
+// repairCandidate loads the on-disk manifest as the repair intent if it
+// decodes; an undecodable (torn) manifest and a now-orphaned sum are moved
+// aside. Returns the manifest (nil if unusable) and its raw bytes.
+func (s *Store) repairCandidate(rep *RepairReport) (*Manifest, []byte) {
+	mdata, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+	if err != nil {
+		return nil, nil
+	}
+	var m Manifest
+	if decodeStrict(mdata, &m) != nil || m.FormatVersion != FormatVersion {
+		if s.moveAside(manifestName) == nil {
+			rep.CorruptMoved = append(rep.CorruptMoved, manifestName)
+		}
+		return nil, nil
+	}
+	return &m, mdata
+}
+
+// repairTrim drops manifest references whose artifacts did not survive the
+// hash sweep: an entry needs both its own record and its database.
+func (s *Store) repairTrim(rep *RepairReport, m *Manifest, surviving map[string]map[string]bool) {
+	keep := m.Entries[:0:0]
+	for _, ref := range m.Entries {
+		if surviving[entriesDir][ref.Hash] && surviving[dbsDir][ref.DB] {
+			keep = append(keep, ref)
+		}
+	}
+	rep.EntriesLost = len(m.Entries) - len(keep)
+	dbKeep := m.Databases[:0:0]
+	for _, h := range m.Databases {
+		if surviving[dbsDir][h] {
+			dbKeep = append(dbKeep, h)
+		}
+	}
+	rep.DatabasesLost = len(m.Databases) - len(dbKeep)
+	m.Entries = keep
+	m.Databases = dbKeep
+}
+
+// repairRebuild reconstructs a manifest with no usable on-disk copy from
+// the surviving entry records themselves — each one names its ID, pair and
+// database, which is all a manifest line holds. With a surviving journal
+// the rebuild is scoped to the journaled save's artifact set; without one,
+// every surviving artifact is kept.
+func (s *Store) repairRebuild(rep *RepairReport, surviving map[string]map[string]bool, js journalInfo, intents map[string]string) *Manifest {
+	rep.ManifestRebuilt = true
+	m := &Manifest{FormatVersion: FormatVersion}
+	if js.Begin != nil && js.Begin.Build != nil {
+		m.Build = *js.Begin.Build
+	}
+	unloadable := 0
+	for _, h := range sortedKeys(surviving[entriesDir]) {
+		rel := entriesDir + "/" + h + ".json"
+		if intents != nil && intents[rel] == "" {
+			continue // not part of the journaled save; the orphan pass moves it
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, entriesDir, h+".json"))
+		if err != nil {
+			continue
+		}
+		rec, err := decodeEntryRecord(data)
+		if err != nil {
+			// Hash-valid but not an entry record: foreign bytes planted at
+			// a truthful address. Unsalvageable as an entry.
+			if s.moveAside(rel) == nil {
+				surviving[entriesDir][h] = false
+				rep.CorruptMoved = append(rep.CorruptMoved, rel)
+			}
+			continue
+		}
+		if !surviving[dbsDir][rec.DB] {
+			unloadable++ // record survived, its database did not
+			continue
+		}
+		m.Entries = append(m.Entries, EntryRef{ID: rec.ID, PairID: rec.PairID, Hash: h, DB: rec.DB})
+	}
+	sort.Slice(m.Entries, func(i, j int) bool {
+		if m.Entries[i].ID != m.Entries[j].ID {
+			return m.Entries[i].ID < m.Entries[j].ID
+		}
+		return m.Entries[i].Hash < m.Entries[j].Hash
+	})
+	used := map[string]bool{}
+	for _, ref := range m.Entries {
+		if !used[ref.DB] {
+			used[ref.DB] = true
+			m.Databases = append(m.Databases, ref.DB)
+		}
+	}
+	sort.Strings(m.Databases)
+	if intents != nil {
+		intendedE, intendedD := 0, 0
+		for _, p := range sortedKeys(boolSet(intents)) {
+			switch {
+			case strings.HasPrefix(p, entriesDir+"/"):
+				intendedE++
+			case strings.HasPrefix(p, dbsDir+"/"):
+				intendedD++
+			}
+		}
+		rep.EntriesLost = max(0, intendedE-len(m.Entries))
+		rep.DatabasesLost = max(0, intendedD-len(m.Databases))
+	} else {
+		rep.EntriesLost = unloadable
+	}
+	return m
+}
+
+// sortedKeys returns a map's true-valued keys in sorted order — map
+// iteration feeding writes must be ordered in this package (detrand).
+func sortedKeys(m map[string]bool) []string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// boolSet adapts a string-valued map for sortedKeys.
+func boolSet(m map[string]string) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k := range m {
+		out[k] = true
+	}
+	return out
+}
+
+// WriteRepair renders a repair report in the quarantine-report style: a
+// summary, detail lines, then the moved artifacts capped at 20.
+func WriteRepair(w io.Writer, rep *RepairReport) {
+	if rep.Clean() {
+		fmt.Fprintln(w, "repair: clean store, nothing to do")
+		return
+	}
+	fmt.Fprintf(w, "repair: swept %d temp files, moved %d corrupt and %d orphan artifacts, dropped %d cache records\n",
+		rep.TempsSwept, len(rep.CorruptMoved), len(rep.OrphansMoved), rep.CacheDropped)
+	fmt.Fprintf(w, "  kept %d entries / %d databases; lost %d entries / %d databases\n",
+		rep.EntriesKept, rep.DatabasesKept, rep.EntriesLost, rep.DatabasesLost)
+	if rep.RolledForward {
+		fmt.Fprintln(w, "  rolled forward: the interrupted save had landed its manifest; committed")
+	}
+	if rep.RolledBack {
+		fmt.Fprintln(w, "  rolled back: uncommitted save artifacts moved to lost+found")
+	}
+	if rep.ManifestRebuilt {
+		fmt.Fprintln(w, "  manifest rebuilt from surviving artifacts")
+	}
+	if rep.StatsDropped {
+		fmt.Fprintln(w, "  stats.json undecodable; moved to lost+found")
+	}
+	moved := make([]string, 0, len(rep.CorruptMoved)+len(rep.OrphansMoved))
+	moved = append(moved, rep.CorruptMoved...)
+	moved = append(moved, rep.OrphansMoved...)
+	sort.Strings(moved)
+	const maxListed = 20
+	shown := moved
+	if len(shown) > maxListed {
+		shown = shown[:maxListed]
+	}
+	for _, rel := range shown {
+		fmt.Fprintf(w, "  %s/%s\n", lostFoundDir, rel)
+	}
+	if n := len(moved) - len(shown); n > 0 {
+		fmt.Fprintf(w, "  … and %d more\n", n)
+	}
+}

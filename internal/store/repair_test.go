@@ -1,0 +1,293 @@
+// Repair scenario tests: each one damages a store the way a specific
+// crash would and requires Repair to restore an fsck-clean, loadable
+// state, reporting exactly what was salvaged and what was lost.
+
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"nvbench/internal/bench"
+)
+
+// mustRepair runs Repair and requires the store to verify and load
+// afterwards — the postcondition every scenario shares.
+func mustRepair(t *testing.T, st *Store) *RepairReport {
+	t.Helper()
+	rep, err := st.Repair()
+	if err != nil {
+		t.Fatalf("repair: %v", err)
+	}
+	frep, err := st.Verify()
+	if err != nil {
+		t.Fatalf("verify after repair: %v", err)
+	}
+	if !frep.OK() {
+		t.Fatalf("store still corrupt after repair: %+v", frep.Corrupt)
+	}
+	if _, _, err := st.Load(); err != nil {
+		t.Fatalf("load after repair: %v", err)
+	}
+	return rep
+}
+
+func TestRepairCleanStoreIsNoop(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, _ := mustSave(t, dir, b)
+	before := treeBytes(t, dir)
+	rep := mustRepair(t, st)
+	if !rep.Clean() || rep.Lossy() {
+		t.Fatalf("clean store was not a no-op: %+v", rep)
+	}
+	sameTree(t, before, treeBytes(t, dir))
+	var buf bytes.Buffer
+	WriteRepair(&buf, rep)
+	if !strings.Contains(buf.String(), "nothing to do") {
+		t.Fatalf("report = %q, want the clean-store line", buf.String())
+	}
+}
+
+func TestRepairSalvagesAroundFlippedEntry(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, m := mustSave(t, dir, b)
+	victim := anyArtifact(t, dir, entriesDir)
+	flipByte(t, victim)
+	rep := mustRepair(t, st)
+	if !rep.Lossy() || rep.EntriesLost != 1 || len(rep.CorruptMoved) != 1 {
+		t.Fatalf("flipped entry: report = %+v, want exactly one lost entry", rep)
+	}
+	if rep.EntriesKept != len(m.Entries)-1 {
+		t.Fatalf("kept %d entries, want %d", rep.EntriesKept, len(m.Entries)-1)
+	}
+	loaded, _, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Entries) != len(m.Entries)-1 {
+		t.Fatalf("loaded %d entries after repair, want %d", len(loaded.Entries), len(m.Entries)-1)
+	}
+	// Nothing is deleted: the damaged bytes moved to lost+found.
+	moved := filepath.Join(dir, lostFoundDir, entriesDir, filepath.Base(victim))
+	if _, err := os.Stat(moved); err != nil {
+		t.Fatalf("flipped entry not preserved in lost+found: %v", err)
+	}
+	var buf bytes.Buffer
+	WriteRepair(&buf, rep)
+	if !strings.Contains(buf.String(), "lost 1 entries") {
+		t.Fatalf("report does not state the loss:\n%s", buf.String())
+	}
+}
+
+func TestRepairRollsBackUncommittedSave(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, m := mustSave(t, dir, b)
+	// Simulate a second save that crashed right after writing one new entry
+	// artifact: begin logged, intent logged, artifact on disk, no commit.
+	if err := st.journalBegin(m.Build); err != nil {
+		t.Fatal(err)
+	}
+	e := *b.Entries[0]
+	e.ID, e.PairID = 999983, 999983
+	data, err := encodeEntry(&e, m.Entries[0].DB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := hashBytes(data)
+	if err := st.writeIntended(entriesDir+"/"+h+".json", h, data); err != nil {
+		t.Fatal(err)
+	}
+	st.refreshStatus()
+	if st.Status().Journal != JournalInProgress {
+		t.Fatalf("setup: journal = %s, want in-progress", st.Status().Journal)
+	}
+	rep := mustRepair(t, st)
+	if !rep.RolledBack || rep.RolledForward {
+		t.Fatalf("report = %+v, want a rollback", rep)
+	}
+	if rep.Lossy() {
+		t.Fatalf("rollback lost committed data: %+v", rep)
+	}
+	if len(rep.OrphansMoved) != 1 || !strings.Contains(rep.OrphansMoved[0], h) {
+		t.Fatalf("orphans moved = %v, want the uncommitted entry %s", rep.OrphansMoved, h)
+	}
+	loaded, _, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.Entries) != len(m.Entries) {
+		t.Fatalf("rollback left %d entries, want the committed %d", len(loaded.Entries), len(m.Entries))
+	}
+	if st.Status().Journal != JournalClean {
+		t.Fatalf("journal = %s after repair, want clean", st.Status().Journal)
+	}
+}
+
+func TestRepairRollsForwardLandedManifest(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, m := mustSave(t, dir, b)
+	before := treeBytes(t, dir)
+	// Simulate an idempotent re-save that crashed between writing its last
+	// artifact and committing: every intent is logged and every artifact
+	// (manifest included) is on disk and intact.
+	if err := st.journalBegin(m.Build); err != nil {
+		t.Fatal(err)
+	}
+	intend := func(rel string) {
+		t.Helper()
+		data, err := os.ReadFile(filepath.Join(dir, filepath.FromSlash(rel)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.journalAppend(journalRecord{Op: opIntent, Path: rel, Hash: hashBytes(data)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range m.Databases {
+		intend(dbsDir + "/" + h + ".json")
+	}
+	for _, ref := range m.Entries {
+		intend(entriesDir + "/" + ref.Hash + ".json")
+	}
+	intend(manifestName)
+	intend(manifestSumName)
+	st.refreshStatus()
+	if r := st.Status(); r.Journal != JournalInProgress || r.PendingMissing != 0 || r.PendingTorn != 0 {
+		t.Fatalf("setup: status = %+v, want in-progress with all artifacts intact", r)
+	}
+	rep := mustRepair(t, st)
+	if !rep.RolledForward || rep.RolledBack || rep.Lossy() {
+		t.Fatalf("report = %+v, want a lossless roll-forward", rep)
+	}
+	if len(rep.OrphansMoved) != 0 || len(rep.CorruptMoved) != 0 {
+		t.Fatalf("roll-forward moved artifacts aside: %+v", rep)
+	}
+	// Committing the landed save restores the exact uninterrupted tree.
+	// The journal is excluded: repair's commit records only the index
+	// intents, not the full artifact set a Save logs.
+	after := treeBytes(t, dir)
+	delete(before, journalName)
+	delete(after, journalName)
+	sameTree(t, before, after)
+	if st.Status().Journal != JournalClean {
+		t.Fatalf("journal = %s after roll-forward, want clean", st.Status().Journal)
+	}
+}
+
+func TestRepairRebuildsTornManifestFromJournal(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, m := mustSave(t, dir, b)
+	path := filepath.Join(dir, manifestName)
+	mdata, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the manifest: only a prefix survived the crash.
+	if err := os.WriteFile(path, mdata[:len(mdata)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := mustRepair(t, st)
+	if !rep.ManifestRebuilt {
+		t.Fatalf("report = %+v, want a manifest rebuild", rep)
+	}
+	// Every artifact survived and the journal names the full set, so the
+	// rebuild is lossless…
+	if rep.Lossy() || rep.EntriesKept != len(m.Entries) || rep.DatabasesKept != len(m.Databases) {
+		t.Fatalf("rebuild lost content: %+v, want %d entries / %d databases", rep, len(m.Entries), len(m.Databases))
+	}
+	// …and reproduces the content-bearing sections exactly: entry records
+	// carry their IDs, pairs and database hashes. Only the informational
+	// rejection/quarantine sections are gone — they live nowhere else.
+	var orig Manifest
+	if err := decodeStrict(mdata, &orig); err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, _, err := st.loadManifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rebuilt.Entries, orig.Entries) || !reflect.DeepEqual(rebuilt.Databases, orig.Databases) ||
+		rebuilt.Build != orig.Build {
+		t.Fatal("rebuilt manifest diverged from the original entries/databases/build")
+	}
+	if _, err := os.Stat(filepath.Join(dir, lostFoundDir, manifestName)); err != nil {
+		t.Fatalf("torn manifest not preserved in lost+found: %v", err)
+	}
+}
+
+func TestRepairDropsTornStats(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, _ := mustSave(t, dir, b)
+	path := filepath.Join(dir, statsName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.Load(); err == nil {
+		t.Fatal("setup: Load accepted torn stats")
+	}
+	rep := mustRepair(t, st)
+	if !rep.StatsDropped || rep.Lossy() {
+		t.Fatalf("report = %+v, want stats dropped and nothing lost", rep)
+	}
+}
+
+func TestRepairDropsCorruptCache(t *testing.T) {
+	corpus, _ := testBench(t)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := bench.DefaultOptions()
+	fp := Fingerprint(opts)
+	opts.Cache = st.PairCache(fp)
+	built, err := bench.Build(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(built, BuildInfo{Fingerprint: fp}); err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, anyArtifact(t, dir, cacheDir))
+	rep := mustRepair(t, st)
+	if rep.CacheDropped != 1 || rep.Lossy() {
+		t.Fatalf("report = %+v, want one cache record dropped, no loss", rep)
+	}
+}
+
+func TestWriteRepairCapsMovedList(t *testing.T) {
+	// 20 moved artifacts print in full; the 21st starts the trailer.
+	rep := &RepairReport{}
+	for i := 0; i < 20; i++ {
+		rep.CorruptMoved = append(rep.CorruptMoved, "entries/"+strings.Repeat("a", 2)+string(rune('a'+i))+".json")
+	}
+	var buf bytes.Buffer
+	WriteRepair(&buf, rep)
+	if strings.Contains(buf.String(), "more") {
+		t.Fatalf("20 moved artifacts must print without a trailer:\n%s", buf.String())
+	}
+	rep.OrphansMoved = []string{"dbs/zz.json", "dbs/zy.json", "dbs/zx.json"}
+	buf.Reset()
+	WriteRepair(&buf, rep)
+	out := buf.String()
+	if !strings.Contains(out, "… and 3 more") {
+		t.Fatalf("23 moved artifacts must cap at 20 with a trailer:\n%s", out)
+	}
+	if got := strings.Count(out, "lost+found/"); got != 20 {
+		t.Fatalf("listed %d artifacts, want 20:\n%s", got, out)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -56,21 +57,115 @@ const (
 
 // Store is a benchmark store rooted at one directory.
 type Store struct {
-	dir string
+	dir  string
+	open OpenReport
+}
+
+// OpenReport is what Open learned about the store's crash state: how many
+// stray temp files it swept, what the journal says, and — for an
+// interrupted save — how many of its intended artifacts are missing, torn
+// or intact on disk.
+type OpenReport struct {
+	TempsSwept     int          // stray .*.tmp* files removed
+	Journal        JournalState // clean / in-progress / corrupt / none
+	PendingIntents int          // artifacts the interrupted save intended
+	PendingMissing int          // of those, absent on disk
+	PendingTorn    int          // of those, present but hashing wrong (torn write)
+}
+
+// String renders the report as a one-line diagnosis.
+func (r OpenReport) String() string {
+	switch r.Journal {
+	case JournalClean:
+		return "clean"
+	case JournalInProgress:
+		if r.PendingTorn > 0 {
+			return fmt.Sprintf("torn artifact (%d of %d intended artifacts torn, %d missing)",
+				r.PendingTorn, r.PendingIntents, r.PendingMissing)
+		}
+		return fmt.Sprintf("incomplete save (%d intended artifacts, %d missing; roll back with Repair)",
+			r.PendingIntents, r.PendingMissing)
+	case JournalCorrupt:
+		return "corrupt journal"
+	case JournalNone:
+		return "no journal"
+	}
+	return r.Journal.String()
 }
 
 // Open roots a store at dir, creating the artifact directories as needed.
+// It sweeps temp files left by interrupted writes and reads the journal,
+// so a crashed store is diagnosed — not repaired — at open time; see
+// Status and Repair.
 func Open(dir string) (*Store, error) {
 	for _, sub := range []string{"", entriesDir, dbsDir, cacheDir} {
 		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
 			return nil, fmt.Errorf("store: open %s: %w", dir, err)
 		}
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	swept, err := s.sweepTemps()
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	s.open.TempsSwept = swept
+	s.refreshStatus()
+	return s, nil
 }
 
 // Dir returns the store's root directory.
 func (s *Store) Dir() string { return s.dir }
+
+// Status returns what Open (or the last Save/Repair) determined about the
+// store's crash state.
+func (s *Store) Status() OpenReport { return s.open }
+
+// refreshStatus re-reads the journal into the open report, classifying an
+// interrupted save's intended artifacts as intact, torn or missing.
+func (s *Store) refreshStatus() {
+	j := s.readJournal()
+	s.open.Journal = j.State
+	s.open.PendingIntents, s.open.PendingMissing, s.open.PendingTorn = 0, 0, 0
+	if j.State != JournalInProgress {
+		return
+	}
+	s.open.PendingIntents = len(j.Intents)
+	for _, in := range j.Intents {
+		data, err := os.ReadFile(filepath.Join(s.dir, filepath.FromSlash(in.Path)))
+		switch {
+		case err != nil:
+			s.open.PendingMissing++
+		case hashBytes(data) != in.Hash:
+			s.open.PendingTorn++
+		}
+	}
+}
+
+// sweepTemps removes stray .<name>.tmp* files that interrupted writes
+// (kills, crashes) leave behind, returning how many were removed.
+func (s *Store) sweepTemps() (int, error) {
+	swept := 0
+	for _, sub := range []string{"", entriesDir, dbsDir, cacheDir} {
+		ents, err := os.ReadDir(filepath.Join(s.dir, sub))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return swept, err
+		}
+		for _, ent := range ents {
+			name := ent.Name()
+			if ent.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp") {
+				continue
+			}
+			if err := os.Remove(filepath.Join(s.dir, sub, name)); err != nil {
+				return swept, err
+			}
+			swept++
+		}
+	}
+	return swept, nil
+}
 
 // hashBytes returns the hex SHA-256 of b — the content address used for
 // every artifact in the store.
@@ -79,11 +174,20 @@ func hashBytes(b []byte) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// writeArtifact atomically writes one artifact (temp file + rename) under
-// the store root. rel is slash-separated relative to the root.
+// writeArtifact durably writes one artifact: temp file, fsync, rename,
+// fsync of the parent directory — after the call returns, no crash can
+// un-write the artifact. rel is slash-separated relative to the root.
+// Under a torn fault, exactly the surviving prefix lands at the final
+// path — the on-disk state a crash between rename and a full flush would
+// leave — and the injected error is returned.
 func (s *Store) writeArtifact(rel string, data []byte) error {
-	if err := fault.Inject(fault.SiteStoreSave); err != nil {
-		return fmt.Errorf("store: write %s: %w", rel, err)
+	injErr := fault.Inject(fault.SiteStoreSave)
+	var torn *fault.TornError
+	if injErr != nil && !errors.As(injErr, &torn) {
+		return fmt.Errorf("store: write %s: %w", rel, injErr)
+	}
+	if torn != nil {
+		data = data[:int(torn.Frac*float64(len(data)))]
 	}
 	path := filepath.Join(s.dir, filepath.FromSlash(rel))
 	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
@@ -91,6 +195,11 @@ func (s *Store) writeArtifact(rel string, data []byte) error {
 		return fmt.Errorf("store: write %s: %w", rel, err)
 	}
 	_, werr := tmp.Write(data)
+	if werr == nil {
+		// fsync before rename: a crash must never leave the rename as the
+		// only thing that survived.
+		werr = tmp.Sync()
+	}
 	cerr := tmp.Close()
 	if werr == nil {
 		werr = cerr
@@ -98,12 +207,32 @@ func (s *Store) writeArtifact(rel string, data []byte) error {
 	if werr == nil {
 		werr = os.Rename(tmp.Name(), path)
 	}
+	if werr == nil {
+		werr = syncDir(filepath.Dir(path))
+	}
 	if werr != nil {
 		// Best-effort cleanup; the write error is what the caller acts on.
 		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("store: write %s: %w", rel, werr)
 	}
+	if torn != nil {
+		return fmt.Errorf("store: write %s: %w", rel, injErr)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making a rename inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
 }
 
 // readArtifact reads one artifact from the store root.
@@ -144,11 +273,31 @@ func decodeStrict(data []byte, v any) error {
 	return nil
 }
 
-// Save persists the benchmark: deduplicated database payloads first, then
-// one record per entry, then the manifest and its self-hash, then the run
-// stats. Content addressing makes Save idempotent — re-saving the same
-// benchmark rewrites identical bytes — and deterministic: two runs of the
-// same build produce byte-identical stores.
+// writeIntended writes one integrity-bearing artifact through the
+// journal: the intent (path + content hash) is logged and fsync'd first,
+// then the bytes. When an identical artifact is already in place the
+// committed copy is left untouched — a re-save must never expose
+// committed data to a torn rewrite — but the intent is still logged, so
+// the journal names the complete artifact set of the save.
+func (s *Store) writeIntended(rel, hash string, data []byte) error {
+	if err := s.journalAppend(journalRecord{Op: opIntent, Path: rel, Hash: hash}); err != nil {
+		return err
+	}
+	if existing, err := os.ReadFile(filepath.Join(s.dir, filepath.FromSlash(rel))); err == nil && hashBytes(existing) == hash {
+		return nil
+	}
+	return s.writeArtifact(rel, data)
+}
+
+// Save persists the benchmark: a journal rotation (begin) first, then
+// deduplicated database payloads, one record per entry, the manifest and
+// its self-hash — each preceded by its fsync'd journal intent — then the
+// unjournaled run stats, then the journal commit. Content addressing
+// makes Save idempotent — re-saving the same benchmark writes nothing new
+// — and deterministic: two runs of the same build produce byte-identical
+// stores, journal included. A Save that fails or crashes partway leaves
+// the journal without its commit record, which Open diagnoses and Repair
+// heals.
 func (s *Store) Save(b *bench.Benchmark, info BuildInfo) (*Manifest, error) {
 	m := &Manifest{
 		FormatVersion: FormatVersion,
@@ -157,56 +306,72 @@ func (s *Store) Save(b *bench.Benchmark, info BuildInfo) (*Manifest, error) {
 		Rejections:    b.Rejections,
 		Quarantine:    b.Quarantine,
 	}
+	if err := s.journalBegin(info); err != nil {
+		s.refreshStatus()
+		return nil, err
+	}
 	dbHash := map[*dataset.Database]string{}
 	written := map[string]bool{}
-	for _, e := range b.Entries {
-		if _, ok := dbHash[e.DB]; ok {
-			continue
+	save := func() error {
+		for _, e := range b.Entries {
+			if _, ok := dbHash[e.DB]; ok {
+				continue
+			}
+			data, err := encodeDatabase(e.DB)
+			if err != nil {
+				return err
+			}
+			h := hashBytes(data)
+			dbHash[e.DB] = h
+			if written[h] {
+				continue // two pointers, same content: deduplicated
+			}
+			written[h] = true
+			if err := s.writeIntended(dbsDir+"/"+h+".json", h, data); err != nil {
+				return err
+			}
+			m.Databases = append(m.Databases, h)
 		}
-		data, err := encodeDatabase(e.DB)
+		sort.Strings(m.Databases)
+		for _, e := range b.Entries {
+			data, err := encodeEntry(e, dbHash[e.DB])
+			if err != nil {
+				return err
+			}
+			h := hashBytes(data)
+			if err := s.writeIntended(entriesDir+"/"+h+".json", h, data); err != nil {
+				return err
+			}
+			m.Entries = append(m.Entries, EntryRef{ID: e.ID, PairID: e.PairID, Hash: h, DB: dbHash[e.DB]})
+		}
+		mdata, err := canonicalJSON(m)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		h := hashBytes(data)
-		dbHash[e.DB] = h
-		if written[h] {
-			continue // two pointers, same content: deduplicated
+		if err := s.writeIntended(manifestName, hashBytes(mdata), mdata); err != nil {
+			return err
 		}
-		written[h] = true
-		if err := s.writeArtifact(dbsDir+"/"+h+".json", data); err != nil {
-			return nil, err
+		sum := []byte(hashBytes(mdata) + "\n")
+		if err := s.writeIntended(manifestSumName, hashBytes(sum), sum); err != nil {
+			return err
 		}
-		m.Databases = append(m.Databases, h)
-	}
-	sort.Strings(m.Databases)
-	for _, e := range b.Entries {
-		data, err := encodeEntry(e, dbHash[e.DB])
+		sdata, err := canonicalJSON(b.Stats)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		h := hashBytes(data)
-		if err := s.writeArtifact(entriesDir+"/"+h+".json", data); err != nil {
-			return nil, err
+		if err := s.writeArtifact(statsName, sdata); err != nil {
+			return err
 		}
-		m.Entries = append(m.Entries, EntryRef{ID: e.ID, PairID: e.PairID, Hash: h, DB: dbHash[e.DB]})
+		return s.journalAppend(journalRecord{Op: opCommit})
 	}
-	mdata, err := canonicalJSON(m)
-	if err != nil {
+	if err := save(); err != nil {
+		// The journal keeps its uncommitted begin: an aborted save is a
+		// dirty store, and the report says so until Repair (or a
+		// completed re-save) heals it.
+		s.refreshStatus()
 		return nil, err
 	}
-	if err := s.writeArtifact(manifestName, mdata); err != nil {
-		return nil, err
-	}
-	if err := s.writeArtifact(manifestSumName, []byte(hashBytes(mdata)+"\n")); err != nil {
-		return nil, err
-	}
-	sdata, err := canonicalJSON(b.Stats)
-	if err != nil {
-		return nil, err
-	}
-	if err := s.writeArtifact(statsName, sdata); err != nil {
-		return nil, err
-	}
+	s.refreshStatus()
 	return m, nil
 }
 

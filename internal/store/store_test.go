@@ -212,8 +212,8 @@ func TestVerifyCleanStore(t *testing.T) {
 	if !rep.OK() {
 		t.Fatalf("clean store reported corrupt: %+v", rep.Corrupt)
 	}
-	// manifest + every entry + every db artifact.
-	if want := 1 + len(m.Entries) + len(m.Databases); rep.Checked != want {
+	// manifest + journal + every entry + every db artifact.
+	if want := 2 + len(m.Entries) + len(m.Databases); rep.Checked != want {
 		t.Fatalf("checked %d artifacts, want %d", rep.Checked, want)
 	}
 }

@@ -32,4 +32,10 @@ go test -run 'TestSaveLoadRoundTrip|TestGoldenManifestDeterminism|TestVerifyDete
 echo "== faultguard: fault-injection suite with -race"
 go test -race ./internal/fault ./internal/deepeye ./internal/bench ./internal/server ./internal/store ./cmd/nvbench
 
+echo "== crashguard: re-exec crash sweeps and store fuzzers"
+go test -race -run 'TestCrashSweep' ./internal/store
+for fuzz in FuzzEntryCodec FuzzSelfHashed FuzzJournalRecover; do
+    go test -run "^${fuzz}$" -fuzz "^${fuzz}$" -fuzztime 5s ./internal/store
+done
+
 echo "check: OK"
