@@ -30,9 +30,11 @@ import (
 	"nvbench/internal/bench"
 	"nvbench/internal/dataset"
 	"nvbench/internal/fault"
+	"nvbench/internal/obs"
 	"nvbench/internal/render"
 	"nvbench/internal/server"
 	"nvbench/internal/spider"
+	"nvbench/internal/sqlparser"
 	"nvbench/internal/stats"
 	"nvbench/internal/store"
 )
@@ -72,12 +74,39 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		fsck      = fs.Bool("fsck", false, "verify every artifact in -store, report corruption and exit")
 		repair    = fs.Bool("repair", false, "heal -store in place: salvage artifacts, move damage to lost+found/")
 		resume    = fs.Bool("resume", false, "resume an interrupted build: repair -store if needed, then build with -incremental -save")
+		tracePath = fs.String("trace", "", "write a Chrome trace-event file (chrome://tracing) of the run to this path")
+		debugAddr = fs.String("debug-addr", "", "serve net/http/pprof and /metrics on this separate address (e.g. localhost:6060)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *resume {
 		*incr, *save = true, true
+	}
+
+	// Observability: every layer shares one Instruments bundle over a
+	// run-scoped registry (so in-process test runs do not bleed counts into
+	// each other). The tracer is only allocated under -trace; metrics are
+	// always on (nil-safe counters make them nearly free).
+	reg := obs.NewRegistry()
+	ins := &obs.Instruments{
+		Metrics: reg,
+		Clock:   obs.RealClock{},
+		Log:     obs.NewLogger(os.Stderr, obs.RealClock{}),
+	}
+	obs.RegisterBase(reg)
+	fault.RegisterMetrics(reg)
+	defer sqlparser.Instrument(ins)()
+	if *tracePath != "" {
+		ins.Tracer = obs.NewTracer(ins.Clock)
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := server.RunDebug(ctx, *debugAddr, reg); err != nil {
+				log.Printf("debug listener %s: %v", *debugAddr, err)
+			}
+		}()
+		fmt.Fprintf(w, "debug listener (pprof + /metrics) on %s\n\n", *debugAddr)
 	}
 
 	var plan *fault.Plan
@@ -100,6 +129,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		if st, err = store.Open(*storeDir); err != nil {
 			return err
 		}
+		st.Instrument(ins)
 		if r := st.Status(); r.Journal != store.JournalClean && r.Journal != store.JournalNone {
 			fmt.Fprintf(w, "store %s opened dirty: %s\n\n", *storeDir, r)
 		}
@@ -144,7 +174,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return nil
 	}
 	if st != nil && !*save && !*incr {
-		return serveStore(ctx, st, w, *out, *vega, *serve, degraded)
+		return serveStore(ctx, st, w, *out, *vega, *serve, degraded, ins, *tracePath)
 	}
 
 	var corpus *spider.Corpus
@@ -187,6 +217,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	opts.MaxPairs = *maxPairs
 	opts.Workers = *workers
 	opts.Retries = *retries
+	opts.Obs = ins
 	fingerprint := store.Fingerprint(opts)
 	if *incr {
 		opts.Cache = st.PairCache(fingerprint)
@@ -216,6 +247,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			b.Stats.CacheHits, b.Stats.CacheMisses, b.Stats.CacheWriteErrors)
 	}
 	fmt.Fprintln(w)
+	writeStageTable(w, reg)
 	bench.WriteQuarantine(w, b)
 	if plan != nil {
 		fmt.Fprintln(w, "fault injections by site:")
@@ -236,15 +268,20 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	}
 
 	if *out != "" {
-		if err := export(b, *out, *vega); err != nil {
+		if err := export(b, *out, *vega, ins); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "\nwrote %s\n", *out)
 	}
 
+	if err := writeTrace(*tracePath, ins.Tracer); err != nil {
+		return err
+	}
 	if *serve != "" {
 		fmt.Fprintf(w, "\nserving benchmark browser on %s\n", *serve)
-		srv := server.New(b)
+		cfg := server.DefaultConfig()
+		cfg.Obs = ins
+		srv := server.NewWithConfig(b, cfg)
 		srv.SetDegraded(degraded)
 		if manifest != nil {
 			if err := srv.SetEntryETags(manifest.EntryHashes()); err != nil {
@@ -254,6 +291,46 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return srv.Run(ctx, *serve)
 	}
 	return nil
+}
+
+// writeStageTable prints the end-of-run per-stage timing summary from the
+// registry's stage histograms; stages that never ran are omitted.
+func writeStageTable(w io.Writer, reg *obs.Registry) {
+	snap := reg.Snapshot()
+	var rows []string
+	for _, stage := range obs.Stages {
+		h, ok := snap.Histograms[obs.L(obs.StageHistogram, "stage", stage)]
+		if !ok || h.Count == 0 {
+			continue
+		}
+		rows = append(rows, fmt.Sprintf("  %-10s calls=%-6d total=%9.3fms avg=%8.3fms p50=%8.3fms p95=%8.3fms",
+			stage, h.Count, h.Sum*1e3, h.Mean()*1e3, 1e3*h.Quantile(0.5), 1e3*h.Quantile(0.95)))
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "pipeline stage timings:")
+	for _, row := range rows {
+		fmt.Fprintln(w, row)
+	}
+}
+
+// writeTrace flushes the tracer's events as a Chrome trace-event file; a
+// no-op without -trace.
+func writeTrace(path string, tr *obs.Tracer) error {
+	if path == "" || tr == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := tr.WriteJSON(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
 }
 
 // repairDetail compresses a repair report into the one-line note /readyz
@@ -270,7 +347,7 @@ func repairDetail(rep *store.RepairReport) string {
 // (no corpus, no synthesis), print its shape, and optionally export or
 // serve it with the manifest's content hashes as cache validators. A
 // non-empty degraded note marks the store as repaired; /readyz reports it.
-func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, vega bool, serve, degraded string) error {
+func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, vega bool, serve, degraded string, ins *obs.Instruments, tracePath string) error {
 	b, m, err := st.Load()
 	if err != nil {
 		return err
@@ -282,14 +359,19 @@ func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, v
 	bench.WriteFigure10(w, b.TypeHardnessMatrix())
 
 	if out != "" {
-		if err := export(b, out, vega); err != nil {
+		if err := export(b, out, vega, ins); err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "\nwrote %s\n", out)
 	}
+	if err := writeTrace(tracePath, ins.Tracer); err != nil {
+		return err
+	}
 	if serve != "" {
 		fmt.Fprintf(w, "\nserving benchmark browser on %s\n", serve)
-		srv := server.New(b)
+		cfg := server.DefaultConfig()
+		cfg.Obs = ins
+		srv := server.NewWithConfig(b, cfg)
 		srv.SetDegraded(degraded)
 		if err := srv.SetEntryETags(m.EntryHashes()); err != nil {
 			return err
@@ -343,7 +425,7 @@ type exportedEntry struct {
 	VegaLite json.RawMessage `json:"vega_lite,omitempty"`
 }
 
-func export(b *bench.Benchmark, path string, withVega bool) error {
+func export(b *bench.Benchmark, path string, withVega bool, ins *obs.Instruments) error {
 	var entries []exportedEntry
 	for _, e := range b.Entries {
 		ee := exportedEntry{
@@ -356,7 +438,9 @@ func export(b *bench.Benchmark, path string, withVega bool) error {
 			NLs:      e.NLs,
 		}
 		if withVega {
+			stop := ins.TimeHistogram(obs.L(obs.StageHistogram, "stage", obs.StageRender))
 			spec, err := render.VegaLite(e.DB, e.Vis)
+			stop()
 			if err == nil {
 				ee.VegaLite = spec
 			}

@@ -62,7 +62,7 @@ func TestExportJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "pairs.json")
-	if err := export(b, path, true); err != nil {
+	if err := export(b, path, true, nil); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)

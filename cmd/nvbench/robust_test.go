@@ -86,9 +86,29 @@ func TestRunDeterministicUnderSameFaultSeed(t *testing.T) {
 		}
 		return out.String()
 	}
-	if a, b := runOnce(), runOnce(); a != b {
+	if a, b := runOnce(), runOnce(); stripTimings(a) != stripTimings(b) {
 		t.Fatal("identical seeds produced different runs")
 	}
+}
+
+// stripTimings drops the per-stage timing table from a CLI transcript —
+// the one block whose numbers are wall-clock, hence legitimately different
+// between otherwise deterministic runs.
+func stripTimings(out string) string {
+	var keep []string
+	inTable := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "pipeline stage timings:") {
+			inTable = true
+			continue
+		}
+		if inTable && strings.HasPrefix(line, "  ") && strings.Contains(line, "calls=") {
+			continue
+		}
+		inTable = false
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
 }
 
 // TestServeShutsDownGracefully drives -serve through run() and cancels the

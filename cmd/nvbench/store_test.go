@@ -110,10 +110,11 @@ func TestIncrementalFlagReportsCacheCounters(t *testing.T) {
 }
 
 // benchSection strips the run-stats line (cache counters legitimately
-// differ between cold and warm runs) from a CLI transcript.
+// differ between cold and warm runs) and the wall-clock timing table from
+// a CLI transcript.
 func benchSection(out string) string {
 	var keep []string
-	for _, line := range strings.Split(out, "\n") {
+	for _, line := range strings.Split(stripTimings(out), "\n") {
 		if strings.HasPrefix(line, "run stats:") {
 			continue
 		}

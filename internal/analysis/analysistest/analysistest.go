@@ -15,6 +15,7 @@ package analysistest
 
 import (
 	"go/ast"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -45,6 +46,29 @@ func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) []analysis.
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
+	return checkPackage(t, a, pkg)
+}
+
+// RunModule loads one package of a multi-package fixture module and checks
+// it like Run. modDir is the synthetic module root, modPath its module path,
+// and pkgRel the slash-separated path of the package under test relative to
+// modDir; imports of sibling fixture packages (modPath + "/...") resolve
+// back into modDir. Only the loaded package's // want comments are checked.
+func RunModule(t *testing.T, modDir, modPath, pkgRel string, a *analysis.Analyzer) []analysis.Diagnostic {
+	t.Helper()
+	loader := analysis.NewAdHocLoader(modDir, modPath)
+	dir := filepath.Join(modDir, filepath.FromSlash(pkgRel))
+	pkg, err := loader.LoadDir(dir, modPath+"/"+pkgRel)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return checkPackage(t, a, pkg)
+}
+
+// checkPackage applies the analyzer and reconciles its diagnostics with the
+// package's // want expectations.
+func checkPackage(t *testing.T, a *analysis.Analyzer, pkg *analysis.Package) []analysis.Diagnostic {
+	t.Helper()
 	diags := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{pkg})
 
 	wants := collectWants(t, pkg)

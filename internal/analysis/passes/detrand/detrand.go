@@ -9,6 +9,13 @@
 //   - ranging over a map while appending to a slice (with no later sort in
 //     the same function) or while writing output — Go randomizes map
 //     iteration order, so the result ordering differs run to run.
+//
+// One rule is module-wide: internal/obs is the sole sanctioned home of
+// time.Now (obs.RealClock wraps it once; everything else injects an
+// obs.Clock), so a direct time.Now call in any other non-test package is
+// flagged too — with a softer message outside the deterministic set, since
+// there the concern is testability and trace reproducibility rather than
+// corpus corruption.
 package detrand
 
 import (
@@ -29,30 +36,70 @@ var DetPackageSuffixes = []string{
 	"internal/store",
 }
 
+// ObsPackageSuffix is the one package allowed to read the wall clock:
+// obs.RealClock is the module's single time.Now call site, and every other
+// package receives time through an injected obs.Clock.
+const ObsPackageSuffix = "internal/obs"
+
 // Analyzer is the determinism check.
 var Analyzer = &analysis.Analyzer{
 	Name: "detrand",
 	Doc: "deterministic packages must not use time.Now, global math/rand, or ordered map iteration\n\n" +
 		"Benchmark synthesis regenerates byte-for-byte; wall clocks, the\n" +
 		"process-global RNG and map-iteration order leaking into slices or\n" +
-		"output are silent corpus-corruption bugs.",
+		"output are silent corpus-corruption bugs. Module-wide, internal/obs\n" +
+		"is the only package that may call time.Now directly; everything\n" +
+		"else injects an obs.Clock.",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) []analysis.Diagnostic {
-	if !analysis.PathMatchesAny(pass.Pkg.Path(), DetPackageSuffixes) {
-		return nil
+	if analysis.PathMatchesAny(pass.Pkg.Path(), []string{ObsPackageSuffix}) {
+		return nil // the sanctioned home of time.Now
 	}
-	analysis.WithStack(pass.Files, func(n ast.Node, stack []ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			checkCall(pass, n)
-		case *ast.RangeStmt:
-			checkMapRange(pass, n, stack)
+	det := analysis.PathMatchesAny(pass.Pkg.Path(), DetPackageSuffixes)
+	for _, file := range pass.Files {
+		if !det && isTestFile(pass, file) {
+			// Outside the deterministic set, tests may time real servers
+			// and real I/O with the real clock.
+			continue
 		}
-		return true
-	})
+		analysis.WithStack([]*ast.File{file}, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if det {
+					checkCall(pass, n)
+				} else {
+					checkClockCall(pass, n)
+				}
+			case *ast.RangeStmt:
+				if det {
+					checkMapRange(pass, n, stack)
+				}
+			}
+			return true
+		})
+	}
 	return pass.Diagnostics()
+}
+
+// isTestFile reports whether the file is an in-package _test.go file.
+func isTestFile(pass *analysis.Pass, file *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+}
+
+// checkClockCall flags time.Now in packages outside both the deterministic
+// set and internal/obs: the wall clock must arrive through an injected
+// obs.Clock so tests and golden traces can substitute a manual one.
+func checkClockCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := callee(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || fn.Name() != "Now" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to time.Now outside internal/obs; inject an obs.Clock (obs.RealClock in production wiring, a manual clock in tests)")
 }
 
 // checkCall flags time.Now and package-level math/rand functions.

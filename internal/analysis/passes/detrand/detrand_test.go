@@ -1,6 +1,7 @@
 package detrand_test
 
 import (
+	"strings"
 	"testing"
 
 	"nvbench/internal/analysis/analysistest"
@@ -18,11 +19,36 @@ func TestDetrandStoreFixture(t *testing.T) {
 }
 
 func TestDetrandSkipsOtherPackages(t *testing.T) {
-	// The same fixture under a non-deterministic import path must produce
-	// no findings: the analyzer is scoped, not global.
+	// The same fixture under a non-deterministic import path loses the
+	// rand and map-order findings — those are scoped — but keeps exactly
+	// the time.Now one: the clock rule is module-wide.
 	loaderPath := "example.com/internal/crowd"
 	diags := runQuiet(t, "testdata/src/internal/core", loaderPath)
-	if len(diags) != 0 {
-		t.Fatalf("expected no diagnostics outside deterministic packages, got %v", diags)
+	if len(diags) != 1 {
+		t.Fatalf("expected exactly the module-wide clock diagnostic outside deterministic packages, got %v", diags)
 	}
+	if !strings.Contains(diags[0].Message, "outside internal/obs") {
+		t.Fatalf("unexpected diagnostic outside deterministic packages: %v", diags[0])
+	}
+}
+
+func TestDetrandExemptsObsPackage(t *testing.T) {
+	// internal/obs is the sanctioned home of time.Now: its RealClock fixture
+	// calls the wall clock with no // want expectation and must stay silent.
+	diags := analysistest.RunModule(t, "testdata/clockmod", "example.com", "internal/obs", detrand.Analyzer)
+	if len(diags) != 0 {
+		t.Fatalf("internal/obs must be exempt from the clock rule, got %v", diags)
+	}
+}
+
+func TestDetrandClockInjectionFixture(t *testing.T) {
+	// A deterministic package consuming an injected obs.Clock is clean; its
+	// one direct time.Now call keeps the deterministic-package message.
+	analysistest.RunModule(t, "testdata/clockmod", "example.com", "internal/nledit", detrand.Analyzer)
+}
+
+func TestDetrandClockRuleIsModuleWide(t *testing.T) {
+	// Outside the deterministic set, map ordering and randomness are fair
+	// game but time.Now still gets the inject-an-obs.Clock diagnostic.
+	analysistest.RunModule(t, "testdata/clockmod", "example.com", "internal/webui", detrand.Analyzer)
 }

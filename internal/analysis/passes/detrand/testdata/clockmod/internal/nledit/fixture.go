@@ -1,0 +1,31 @@
+// Package nledit is a deterministic-package fixture for the clock rule: an
+// injected obs.Clock is the sanctioned way to read time, while a direct
+// time.Now call keeps getting the deterministic-package diagnostic.
+package nledit
+
+import (
+	"time"
+
+	"example.com/internal/obs"
+)
+
+// Stamper times its edits through an injected clock.
+type Stamper struct {
+	Clock obs.Clock
+}
+
+// injectedClock draws time from the obs.Clock the caller wired in; nothing
+// here touches the wall clock, so detrand stays silent.
+func (s Stamper) injectedClock() int64 {
+	return s.Clock.Now().Unix()
+}
+
+// viaParameter shows the other sanctioned form: the timestamp itself is
+// injected.
+func viaParameter(now time.Time) int64 {
+	return now.Unix()
+}
+
+func wallClock() int64 {
+	return time.Now().Unix() // want `call to time\.Now in deterministic package nledit`
+}

@@ -1,0 +1,18 @@
+// Package obs is the clockmod fixture's stand-in for the real internal/obs:
+// the one package the detrand analyzer exempts from the time.Now rule, so
+// RealClock below carries no // want expectation.
+package obs
+
+import "time"
+
+// Clock abstracts the wall clock so deterministic packages can have time
+// injected instead of reading it.
+type Clock interface {
+	Now() time.Time
+}
+
+// RealClock reads the wall clock. This is the sanctioned call site.
+type RealClock struct{}
+
+// Now returns the current wall-clock time.
+func (RealClock) Now() time.Time { return time.Now() } // exempt: internal/obs owns the wall clock

@@ -1,0 +1,28 @@
+// Package webui is a non-deterministic fixture package: map iteration and
+// seeded randomness are its own business, but time.Now is still flagged —
+// internal/obs is the module-wide home of the wall clock.
+package webui
+
+import (
+	"time"
+
+	"example.com/internal/obs"
+)
+
+// uptime reads time through an injected clock: sanctioned everywhere.
+func uptime(c obs.Clock, start time.Time) time.Duration {
+	return c.Now().Sub(start)
+}
+
+func stamp() time.Time {
+	return time.Now() // want `call to time\.Now outside internal/obs; inject an obs\.Clock`
+}
+
+// collect is fine here: map-order rules apply only to deterministic packages.
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -16,6 +16,7 @@ import (
 	"nvbench/internal/dataset"
 	"nvbench/internal/fault"
 	"nvbench/internal/nledit"
+	"nvbench/internal/obs"
 	"nvbench/internal/spider"
 )
 
@@ -66,6 +67,10 @@ type Options struct {
 	// Cache is the incremental-build cache; pairs with a cached outcome
 	// skip synthesis entirely (nil disables caching).
 	Cache PairCache
+	// Obs receives per-stage latency histograms, build counters, and — when
+	// its Tracer is set — one span per pipeline stage per pair. Nil disables
+	// instrumentation; either way the assembled benchmark is byte-identical.
+	Obs *obs.Instruments
 }
 
 // DefaultOptions returns the paper-default pipeline configuration.
@@ -93,6 +98,9 @@ func Build(corpus *spider.Corpus, opts Options) (*Benchmark, error) {
 	}
 	if opts.Retries < 1 {
 		opts.Retries = 1
+	}
+	if opts.Obs != nil && opts.Synth.Obs == nil {
+		opts.Synth.Obs = opts.Obs
 	}
 	b := &Benchmark{Corpus: corpus, Rejections: map[string]int{}}
 	pairs := corpus.Pairs
@@ -151,6 +159,15 @@ func Build(corpus *spider.Corpus, opts Options) (*Benchmark, error) {
 	b.Stats.PairsQuarantined = len(b.Quarantine)
 	if opts.Synth.Filter != nil {
 		b.Stats.ClassifierFallbacks = opts.Synth.Filter.DegradedCount() - degraded0
+	}
+	if in := opts.Obs; in != nil {
+		in.Add(obs.PairsSynthesized, int64(b.Stats.PairsSynthesized))
+		in.Add(obs.CacheHits, int64(b.Stats.CacheHits))
+		in.Add(obs.CacheMisses, int64(b.Stats.CacheMisses))
+		in.Add(obs.CacheWriteErrors, int64(b.Stats.CacheWriteErrors))
+		in.Add(obs.Quarantined, int64(b.Stats.PairsQuarantined))
+		in.Add(obs.Retries, int64(b.Stats.RetriedAttempts))
+		in.Add(obs.ClassifierFallbacks, b.Stats.ClassifierFallbacks)
 	}
 	return b, nil
 }

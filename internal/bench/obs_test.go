@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"nvbench/internal/obs"
+	"nvbench/internal/spider"
+)
+
+func buildCorpus(t *testing.T) *spider.Corpus {
+	t.Helper()
+	corpus, err := spider.Generate(spider.Config{Seed: 4, NumDatabases: 3, PairsPerDB: 5, MaxRows: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus
+}
+
+// TestInstrumentedBuildIsByteIdentical is the observability layer's core
+// guarantee: metrics and traces flow into the registry and the trace file,
+// never into the benchmark, so a fully instrumented build serializes to the
+// same bytes as a bare one.
+func TestInstrumentedBuildIsByteIdentical(t *testing.T) {
+	corpus := buildCorpus(t)
+
+	bare, err := Build(corpus, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ins := &obs.Instruments{
+		Metrics: obs.NewRegistry(),
+		Tracer:  obs.NewTracer(obs.NewTickingClock(time.Unix(0, 0), time.Millisecond)),
+		Clock:   obs.RealClock{},
+	}
+	opts := DefaultOptions()
+	opts.Obs = ins
+	traced, err := Build(buildCorpus(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bareJSON, err := json.Marshal(bare.Entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracedJSON, err := json.Marshal(traced.Entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(bareJSON) != string(tracedJSON) {
+		t.Fatal("instrumented build produced different entries")
+	}
+	if !reflect.DeepEqual(bare.Rejections, traced.Rejections) {
+		t.Fatalf("rejections diverged: %v vs %v", bare.Rejections, traced.Rejections)
+	}
+}
+
+// TestBuildRecordsStageMetricsAndSpans checks that an instrumented build
+// populates the per-stage histograms, the pipeline counters, and one pair
+// span (with nested stage spans) per source pair.
+func TestBuildRecordsStageMetricsAndSpans(t *testing.T) {
+	corpus := buildCorpus(t)
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer(obs.NewTickingClock(time.Unix(0, 0), time.Millisecond))
+	opts := DefaultOptions()
+	opts.Obs = &obs.Instruments{Metrics: reg, Tracer: tr, Clock: obs.RealClock{}}
+	b, err := Build(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	for _, stage := range []string{obs.StageTreeEdit, obs.StageDeepEye, obs.StageNLEdit} {
+		h := snap.Histograms[obs.L(obs.StageHistogram, "stage", stage)]
+		if h.Count == 0 {
+			t.Errorf("stage %s recorded no observations", stage)
+		}
+	}
+	if got := snap.Counters[obs.PairsSynthesized]; got != int64(b.Stats.PairsSynthesized) {
+		t.Errorf("pairs counter = %d, stats say %d", got, b.Stats.PairsSynthesized)
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			TID  int64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	pairSpans := 0
+	stageSpans := map[string]int{}
+	pairTIDs := map[int64]bool{}
+	for _, ev := range file.TraceEvents {
+		if ev.Name == "pair" {
+			pairSpans++
+			pairTIDs[ev.TID] = true
+		} else {
+			stageSpans[ev.Name]++
+		}
+	}
+	if pairSpans != len(corpus.Pairs) {
+		t.Errorf("pair spans = %d, want one per source pair (%d)", pairSpans, len(corpus.Pairs))
+	}
+	if len(pairTIDs) != pairSpans {
+		t.Errorf("pair spans share tracks: %d tracks for %d pairs", len(pairTIDs), pairSpans)
+	}
+	for _, stage := range []string{obs.StageTreeEdit, obs.StageDeepEye, obs.StageNLEdit} {
+		if stageSpans[stage] == 0 {
+			t.Errorf("no %s spans in trace (have %v)", stage, stageSpans)
+		}
+	}
+}
+
+// BenchmarkBuildInstrumentation compares a bare build against a fully
+// instrumented one; scripts/bench.sh asserts the overhead stays under 5%.
+func BenchmarkBuildInstrumentation(b *testing.B) {
+	corpus, err := spider.Generate(spider.Config{Seed: 4, NumDatabases: 3, PairsPerDB: 6, MaxRows: 60})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(corpus, DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := DefaultOptions()
+			opts.Obs = &obs.Instruments{
+				Metrics: obs.NewRegistry(),
+				Tracer:  obs.NewTracer(obs.RealClock{}),
+				Clock:   obs.RealClock{},
+			}
+			if _, err := Build(corpus, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

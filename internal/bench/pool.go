@@ -17,6 +17,7 @@ import (
 	"nvbench/internal/core"
 	"nvbench/internal/fault"
 	"nvbench/internal/nledit"
+	"nvbench/internal/obs"
 	"nvbench/internal/spider"
 )
 
@@ -56,8 +57,11 @@ type pairResult struct {
 // configured it is consulted first; a hit skips synthesis entirely and a
 // successful fresh outcome is written back.
 func processPair(ctx context.Context, opts Options, p *spider.Pair) pairResult {
+	ctx, pairSpan := opts.Obs.StartSpan(ctx, "pair", "pair_id", p.ID)
+	defer pairSpan.End()
 	if opts.Cache != nil {
 		if out, ok := opts.Cache.Get(p); ok {
+			pairSpan.SetArg("cache", "hit")
 			return pairResult{outcome: out, cacheHit: true}
 		}
 	}
@@ -65,7 +69,7 @@ func processPair(ctx context.Context, opts Options, p *spider.Pair) pairResult {
 	var kept []*core.VisObject
 	var rejected []core.Rejection
 	synth := func() error {
-		k, rej, err := opts.Synth.Synthesize(p.DB, p.Query)
+		k, rej, err := opts.Synth.SynthesizeCtx(ctx, p.DB, p.Query)
 		if err != nil {
 			return err
 		}
@@ -87,6 +91,8 @@ func processPair(ctx context.Context, opts Options, p *spider.Pair) pairResult {
 			if err := fault.Inject(fault.SiteVariants); err != nil {
 				return err
 			}
+			_, doneNL := opts.Obs.Stage(ctx, obs.StageNLEdit)
+			defer doneNL()
 			variants = make([][]nledit.Variant, len(kept))
 			for i, v := range kept {
 				variants[i] = opts.Edit.Variants(p.NL, v.Query, v.Edit)
@@ -199,5 +205,6 @@ func WriteQuarantine(w io.Writer, b *Benchmark) {
 	}
 	if n := len(b.Quarantine) - len(shown); n > 0 {
 		fmt.Fprintf(w, "  … and %d more\n", n)
+		obs.Default.Counter(obs.L(obs.ReportSuppressed, "report", "quarantine")).Add(int64(n))
 	}
 }

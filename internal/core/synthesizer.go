@@ -8,12 +8,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nvbench/internal/ast"
 	"nvbench/internal/dataset"
 	"nvbench/internal/deepeye"
 	"nvbench/internal/fault"
+	"nvbench/internal/obs"
 )
 
 // EditKind labels one tree-edit operation.
@@ -127,6 +129,10 @@ type Synthesizer struct {
 	// Aggregates to enumerate when inserting an aggregate node over a raw
 	// quantitative measure.
 	Aggregates []ast.AggFunc
+	// Obs receives per-stage timings and trace spans (treeedit, deepeye).
+	// Nil disables instrumentation; metrics never influence synthesis
+	// output, so an instrumented run stays byte-identical to a bare one.
+	Obs *obs.Instruments
 }
 
 // New builds a synthesizer with the paper's defaults and a trained DeepEye
@@ -146,8 +152,15 @@ func New() *Synthesizer {
 // an injected fault) is recovered and surfaced as the returned error, so
 // one bad pair can never abort a whole benchmark build.
 func (s *Synthesizer) Synthesize(db *dataset.Database, sql *ast.Query) (kept []*VisObject, rejected []Rejection, err error) {
+	return s.SynthesizeCtx(context.Background(), db, sql)
+}
+
+// SynthesizeCtx is Synthesize with a caller context, so stage trace spans
+// (treeedit, deepeye) nest under the caller's span — one track per source
+// pair in a traced build.
+func (s *Synthesizer) SynthesizeCtx(ctx context.Context, db *dataset.Database, sql *ast.Query) (kept []*VisObject, rejected []Rejection, err error) {
 	err = fault.Safely("core/synthesize", func() error {
-		kept, rejected, err = s.synthesize(db, sql)
+		kept, rejected, err = s.synthesize(ctx, db, sql)
 		return err
 	})
 	if err != nil {
@@ -156,16 +169,20 @@ func (s *Synthesizer) Synthesize(db *dataset.Database, sql *ast.Query) (kept []*
 	return kept, rejected, nil
 }
 
-func (s *Synthesizer) synthesize(db *dataset.Database, sql *ast.Query) ([]*VisObject, []Rejection, error) {
+func (s *Synthesizer) synthesize(ctx context.Context, db *dataset.Database, sql *ast.Query) ([]*VisObject, []Rejection, error) {
 	if err := fault.Inject(fault.SiteSynthesize); err != nil {
 		return nil, nil, fmt.Errorf("core: %w", err)
 	}
 	if err := sql.Validate(); err != nil {
 		return nil, nil, fmt.Errorf("core: invalid sql tree: %w", err)
 	}
+	_, doneTE := s.Obs.Stage(ctx, obs.StageTreeEdit)
 	cands := s.Candidates(db, sql)
+	doneTE()
 	var kept []*VisObject
 	var rejected []Rejection
+	_, doneDE := s.Obs.Stage(ctx, obs.StageDeepEye)
+	defer doneDE()
 	for _, c := range cands {
 		feats, res, err := deepeye.Extract(db, c.Query)
 		if err != nil {

@@ -1,0 +1,71 @@
+// Metrics bridge: the fault plan keeps its own per-site atomic counters
+// (they predate the obs registry and feed the CLI's end-of-run report), so
+// instead of double-counting at every Inject call the plan's counts are
+// republished into an obs.Registry on scrape via a gather hook. Every
+// registered site appears, zeros included, so dashboards see the full site
+// schema even before the first injection fires.
+
+package fault
+
+import "nvbench/internal/obs"
+
+// ActiveStats reports per-site stats of the currently active plan, or nil
+// when injection is off.
+func ActiveStats() []SiteStats {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.Stats()
+}
+
+// metricKinds fixes the kind= label order for published injection counters.
+var metricKinds = []Kind{KindError, KindPanic, KindLatency, KindTorn, KindCrash}
+
+// fired extracts one kind's fire count from a stats row.
+func (s SiteStats) fired(k Kind) uint64 {
+	switch k {
+	case KindError:
+		return s.Errors
+	case KindPanic:
+		return s.Panics
+	case KindLatency:
+		return s.Latency
+	case KindTorn:
+		return s.Torn
+	case KindCrash:
+		return s.Crashes
+	}
+	return 0
+}
+
+// PublishMetrics mirrors the active plan's counters into a registry:
+// nvbench_fault_calls_total{site=...} and
+// nvbench_fault_injections_total{kind=...,site=...} for every registered
+// site and kind. With no active plan all series publish as zero.
+func PublishMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	bySite := map[string]SiteStats{}
+	for _, st := range ActiveStats() {
+		bySite[st.Site] = st
+	}
+	for _, site := range Sites() {
+		st := bySite[site]
+		r.Counter(obs.L(obs.FaultCalls, "site", site)).Set(int64(st.Calls))
+		for _, k := range metricKinds {
+			name := obs.L(obs.FaultInjections, "site", site, "kind", k.String())
+			r.Counter(name).Set(int64(st.fired(k)))
+		}
+	}
+}
+
+// RegisterMetrics installs PublishMetrics as a gather hook on the registry,
+// so every Snapshot and /metrics scrape sees fresh per-site counts.
+func RegisterMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.AddGatherHook(PublishMetrics)
+}

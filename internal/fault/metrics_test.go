@@ -1,0 +1,51 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"nvbench/internal/obs"
+)
+
+func TestPublishMetricsCoversAllSitesWithoutPlan(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	snap := reg.Snapshot() // gather hook publishes zeros
+	for _, site := range Sites() {
+		name := obs.L(obs.FaultCalls, "site", site)
+		if v, ok := snap.Counters[name]; !ok || v != 0 {
+			t.Errorf("%s = %d (present=%v), want 0 published", name, v, ok)
+		}
+		inj := obs.L(obs.FaultInjections, "site", site, "kind", KindError.String())
+		if _, ok := snap.Counters[inj]; !ok {
+			t.Errorf("%s missing from schema", inj)
+		}
+	}
+}
+
+func TestPublishMetricsMirrorsActivePlan(t *testing.T) {
+	reg := obs.NewRegistry()
+	RegisterMetrics(reg)
+	plan := NewPlan(3).Add(Rule{Site: SiteParse, Kind: KindError, Rate: 1})
+	defer Activate(plan)()
+
+	for i := 0; i < 5; i++ {
+		_ = Inject(SiteParse)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.L(obs.FaultCalls, "site", SiteParse)]; got != 5 {
+		t.Errorf("calls = %d, want 5", got)
+	}
+	if got := snap.Counters[obs.L(obs.FaultInjections, "site", SiteParse, "kind", KindError.String())]; got != 5 {
+		t.Errorf("error injections = %d, want 5", got)
+	}
+
+	// The published series survive the Prometheus rendering with both labels.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `nvbench_fault_injections_total{kind="error",site="parse"} 5`) {
+		t.Errorf("rendered metrics missing fault series:\n%s", sb.String())
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+// Canonical metric names. Every exported series in the repo is built from
+// these bases (plus labels via L), so the README metric table, the golden
+// tests, and the wiring sites stay in sync.
+const (
+	// StageHistogram times one pipeline stage execution, labeled
+	// stage=sqlparse|treeedit|deepeye|nledit|render.
+	StageHistogram = "nvbench_stage_seconds"
+
+	// Bench pipeline counters.
+	PairsSynthesized    = "nvbench_pairs_synthesized_total"
+	CacheHits           = "nvbench_cache_hits_total"
+	CacheMisses         = "nvbench_cache_misses_total"
+	CacheWriteErrors    = "nvbench_cache_write_errors_total"
+	Quarantined         = "nvbench_quarantined_total"
+	Retries             = "nvbench_retries_total"
+	ClassifierFallbacks = "nvbench_classifier_fallbacks_total"
+
+	// Fault-injection counters, labeled site= (and kind= for injections).
+	FaultCalls      = "nvbench_fault_calls_total"
+	FaultInjections = "nvbench_fault_injections_total"
+
+	// Store durations (labeled op=save|load|repair) and journal recovery
+	// outcomes (labeled action=rolled_forward|rolled_back).
+	StoreSeconds = "nvbench_store_seconds"
+	StoreJournal = "nvbench_store_journal_total"
+
+	// Report truncation: lines suppressed past the 20-line cap in
+	// quarantine/repair reports, labeled report=quarantine|repair.
+	ReportSuppressed = "nvbench_report_suppressed_total"
+
+	// HTTP server metrics: requests labeled route= and outcome=, latency
+	// labeled route=, plus shed/timeout totals and the in-flight gauge.
+	HTTPRequests = "nvbench_http_requests_total"
+	HTTPSeconds  = "nvbench_http_seconds"
+	HTTPInFlight = "nvbench_http_in_flight"
+	HTTPShed     = "nvbench_http_shed_total"
+	HTTPTimeouts = "nvbench_http_timeouts_total"
+)
+
+// Pipeline stage names used as the stage= label of StageHistogram, in
+// pipeline order.
+const (
+	StageSQLParse = "sqlparse"
+	StageTreeEdit = "treeedit"
+	StageDeepEye  = "deepeye"
+	StageNLEdit   = "nledit"
+	StageRender   = "render"
+)
+
+// Stages lists the pipeline stage names in execution order, for stable
+// iteration in timing tables and tests.
+var Stages = []string{StageSQLParse, StageTreeEdit, StageDeepEye, StageNLEdit, StageRender}
+
+// stageSeries precomputes the labeled StageHistogram series name for each
+// pipeline stage, keeping the per-pair hot path free of label assembly.
+var stageSeries = func() map[string]string {
+	m := make(map[string]string, len(Stages))
+	for _, s := range Stages {
+		m[s] = L(StageHistogram, "stage", s)
+	}
+	return m
+}()
+
+// StageSeries returns the canonical StageHistogram series name for a stage.
+func StageSeries(stage string) string {
+	if name, ok := stageSeries[stage]; ok {
+		return name
+	}
+	return L(StageHistogram, "stage", stage)
+}
+
+// RegisterBase pre-creates the canonical pipeline, cache, and server
+// series in a registry at zero, so a /metrics scrape shows the full schema
+// even before the first build or request touches a series.
+func RegisterBase(r *Registry) {
+	if r == nil {
+		return
+	}
+	for _, stage := range Stages {
+		r.Histogram(L(StageHistogram, "stage", stage))
+	}
+	for _, name := range []string{
+		PairsSynthesized, CacheHits, CacheMisses, CacheWriteErrors,
+		Quarantined, Retries, ClassifierFallbacks,
+		HTTPShed, HTTPTimeouts,
+	} {
+		r.Counter(name)
+	}
+	r.Gauge(HTTPInFlight)
+}
+
+// Instruments bundles the observability handles a layer needs: a metrics
+// registry, an optional tracer, a clock, and an optional structured
+// logger. The zero value and the nil pointer are both fully usable —
+// every method degrades to a no-op (with RealClock as the fallback clock)
+// — so packages thread one *Instruments through unconditionally.
+type Instruments struct {
+	Metrics *Registry
+	Tracer  *Tracer
+	Clock   Clock
+	Log     *Logger
+}
+
+// clock returns the configured clock, falling back to RealClock.
+func (in *Instruments) clock() Clock {
+	if in != nil && in.Clock != nil {
+		return in.Clock
+	}
+	return RealClock{}
+}
+
+// Now reads the instrument clock (RealClock when unset).
+func (in *Instruments) Now() time.Time { return in.clock().Now() }
+
+// StartSpan opens a tracing span when a tracer is configured; otherwise it
+// returns ctx unchanged and a no-op span.
+func (in *Instruments) StartSpan(ctx context.Context, name string, kv ...any) (context.Context, *Span) {
+	if in == nil || in.Tracer == nil {
+		return ctx, nil
+	}
+	return in.Tracer.StartSpan(ctx, name, kv...)
+}
+
+// Stage instruments one pipeline stage: it opens a span named after the
+// stage and, when the returned func runs, records the elapsed time into
+// StageHistogram{stage=name}. Usage:
+//
+//	ctx, done := in.Stage(ctx, obs.StageTreeEdit)
+//	defer done()
+func (in *Instruments) Stage(ctx context.Context, stage string) (context.Context, func()) {
+	if in == nil {
+		return ctx, func() {}
+	}
+	ctx, span := in.StartSpan(ctx, stage)
+	stop := in.TimeHistogram(StageSeries(stage))
+	return ctx, func() {
+		span.End()
+		stop()
+	}
+}
+
+// TimeHistogram starts a timer against the named histogram; the returned
+// func records the elapsed seconds.
+func (in *Instruments) TimeHistogram(name string) func() {
+	if in == nil || in.Metrics == nil {
+		return func() {}
+	}
+	h := in.Metrics.Histogram(name)
+	c := in.clock()
+	start := c.Now()
+	return func() {
+		h.Observe(c.Now().Sub(start).Seconds())
+	}
+}
+
+// Observe records one value into the named histogram.
+func (in *Instruments) Observe(name string, v float64) {
+	if in == nil || in.Metrics == nil {
+		return
+	}
+	in.Metrics.Histogram(name).Observe(v)
+}
+
+// Inc adds one to the named counter.
+func (in *Instruments) Inc(name string) { in.Add(name, 1) }
+
+// Add adds n to the named counter.
+func (in *Instruments) Add(name string, n int64) {
+	if in == nil || in.Metrics == nil || n == 0 {
+		return
+	}
+	in.Metrics.Counter(name).Add(n)
+}
+
+// Logf emits a structured log line when a logger is configured.
+func (in *Instruments) Logf(msg string, kv ...any) {
+	if in == nil {
+		return
+	}
+	in.Log.Log(msg, kv...)
+}

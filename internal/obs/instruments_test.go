@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var in *Instruments
+	if in.Now().IsZero() {
+		t.Fatal("nil instruments must fall back to the real clock")
+	}
+	ctx, span := in.StartSpan(context.Background(), "x")
+	if span != nil {
+		t.Fatal("nil instruments returned a live span")
+	}
+	ctx, done := in.Stage(ctx, StageRender)
+	done()
+	in.TimeHistogram("h")()
+	in.Observe("h", 1)
+	in.Inc("c")
+	in.Add("c", 3)
+	in.Logf("msg", "k", "v")
+	_ = ctx
+}
+
+func TestStageRecordsHistogramAndSpan(t *testing.T) {
+	clock := NewTickingClock(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), time.Second)
+	reg := NewRegistry()
+	in := &Instruments{Metrics: reg, Tracer: NewTracer(clock), Clock: clock}
+
+	ctx, done := in.Stage(context.Background(), StageDeepEye)
+	_ = ctx
+	done()
+
+	s := reg.Snapshot().Histograms[L(StageHistogram, "stage", StageDeepEye)]
+	if s.Count != 1 {
+		t.Fatalf("stage histogram count = %d", s.Count)
+	}
+	if s.Sum <= 0 {
+		t.Fatalf("stage histogram sum = %v", s.Sum)
+	}
+	if in.Tracer.Len() != 1 {
+		t.Fatalf("stage recorded %d spans", in.Tracer.Len())
+	}
+}
+
+func TestTimeHistogramUsesInjectedClock(t *testing.T) {
+	clock := NewTickingClock(time.Unix(0, 0), 250*time.Millisecond)
+	reg := NewRegistry()
+	in := &Instruments{Metrics: reg, Clock: clock}
+	in.TimeHistogram("op_seconds")() // start and stop are adjacent ticks
+	s := reg.Snapshot().Histograms["op_seconds"]
+	if s.Count != 1 || s.Sum != 0.25 {
+		t.Fatalf("count=%d sum=%v, want 1 observation of 0.25s", s.Count, s.Sum)
+	}
+}
+
+func TestAddSkipsZero(t *testing.T) {
+	reg := NewRegistry()
+	in := &Instruments{Metrics: reg}
+	in.Add("maybe_total", 0)
+	if _, ok := reg.Snapshot().Counters["maybe_total"]; ok {
+		t.Fatal("Add(0) materialized a series")
+	}
+	in.Add("maybe_total", 2)
+	if got := reg.Snapshot().Counters["maybe_total"]; got != 2 {
+		t.Fatalf("counter = %d", got)
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logger writes structured key=value lines: `ts=<RFC3339Nano> msg=<msg>
+// k=v ...`. Values containing spaces, quotes, or '=' are quoted. A nil
+// Logger discards everything, so instrumented code logs unconditionally.
+type Logger struct {
+	mu    sync.Mutex
+	w     io.Writer
+	clock Clock
+}
+
+// NewLogger returns a logger writing to w, timestamping via clock
+// (RealClock when nil).
+func NewLogger(w io.Writer, clock Clock) *Logger {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Logger{w: w, clock: clock}
+}
+
+// Log emits one line with msg and alternating key/value pairs. Non-string
+// values render via %v. Safe on a nil logger.
+func (l *Logger) Log(msg string, kv ...any) {
+	if l == nil || l.w == nil {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.clock.Now().UTC().Format(time.RFC3339Nano))
+	b.WriteString(" msg=")
+	b.WriteString(quoteValue(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			k = fmt.Sprintf("%v", kv[i])
+		}
+		b.WriteString(" ")
+		b.WriteString(k)
+		b.WriteString("=")
+		b.WriteString(quoteValue(fmt.Sprintf("%v", kv[i+1])))
+	}
+	b.WriteString("\n")
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprint(l.w, b.String())
+}
+
+// quoteValue quotes a value when it would break key=value tokenization.
+func quoteValue(v string) string {
+	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
+		return fmt.Sprintf("%q", v)
+	}
+	return v
+}

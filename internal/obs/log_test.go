@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerGolden(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, NewManualClock(time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)))
+	l.Log("request", "route", "/api/entries", "status", 503, "outcome", "shed")
+	l.Log("note", "detail", "two words", "empty", "")
+	want := `ts=2026-01-02T03:04:05Z msg=request route=/api/entries status=503 outcome=shed
+ts=2026-01-02T03:04:05Z msg=note detail="two words" empty=""
+`
+	if sb.String() != want {
+		t.Fatalf("log output:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, NewManualClock(time.Unix(0, 0).UTC()))
+	l.Log("m", "k", `a=b "c"`)
+	if !strings.Contains(sb.String(), `k="a=b \"c\""`) {
+		t.Fatalf("value not quoted: %s", sb.String())
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Log("anything", "k", "v") // must not panic
+}

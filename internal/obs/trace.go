@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tracer collects spans and exports them in the Chrome trace-event JSON
+// format (load the file in chrome://tracing or https://ui.perfetto.dev).
+// Spans form parent/child trees through contexts: a span started from a
+// context that already carries one inherits its track (tid), so each
+// root span — one synthesis pair, one HTTP request — renders as one row
+// with its stages nested inside. Safe for concurrent use.
+type Tracer struct {
+	clock   Clock
+	epoch   time.Time
+	mu      sync.Mutex
+	events  []traceEvent
+	nextTID atomic.Int64
+}
+
+// traceEvent is one Chrome trace-event "complete" record.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds since the tracer epoch
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int64          `json:"pid"`
+	TID  int64          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the on-disk wrapper chrome://tracing accepts.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// NewTracer returns a tracer reading time from clock (RealClock for
+// production, a ManualClock for golden tests). The first clock read fixes
+// the trace epoch; event timestamps are microseconds since it.
+func NewTracer(clock Clock) *Tracer {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &Tracer{clock: clock, epoch: clock.Now()}
+}
+
+// Span is one in-flight trace span. The nil Span is a valid no-op, so
+// call sites never guard against a disabled tracer.
+type Span struct {
+	tr    *Tracer
+	name  string
+	start time.Time
+	tid   int64
+	args  map[string]any
+	ended atomic.Bool
+}
+
+type spanKey struct{}
+
+// WithTracer attaches a tracer to a context; StartSpan finds it there.
+type tracerKey struct{}
+
+// WithTracer returns a context carrying the tracer.
+func WithTracer(ctx context.Context, tr *Tracer) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, tr)
+}
+
+// TracerFromContext returns the context's tracer, or nil.
+func TracerFromContext(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return tr
+}
+
+// StartSpan opens a span on the tracer. A span started under a context
+// that already carries one becomes its child (same track); otherwise it
+// opens a new track. kv pairs (alternating string key, value) land in the
+// event's args. The returned context carries the new span; call End to
+// record it.
+func (t *Tracer) StartSpan(ctx context.Context, name string, kv ...any) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	tid := int64(0)
+	if parent, _ := ctx.Value(spanKey{}).(*Span); parent != nil {
+		tid = parent.tid
+	} else {
+		tid = t.nextTID.Add(1)
+	}
+	s := &Span{tr: t, name: name, start: t.clock.Now(), tid: tid, args: kvArgs(kv)}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// StartSpan opens a span on the context's tracer; without one it returns
+// the context unchanged and a no-op span.
+func StartSpan(ctx context.Context, name string, kv ...any) (context.Context, *Span) {
+	return TracerFromContext(ctx).StartSpan(ctx, name, kv...)
+}
+
+// kvArgs folds alternating key/value pairs into an args map.
+func kvArgs(kv []any) map[string]any {
+	if len(kv) == 0 {
+		return nil
+	}
+	args := make(map[string]any, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		k, ok := kv[i].(string)
+		if !ok {
+			continue
+		}
+		args[k] = kv[i+1]
+	}
+	return args
+}
+
+// End closes the span and records its event. Safe to call on a nil span;
+// extra End calls are ignored.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	t := s.tr
+	end := t.clock.Now()
+	ev := traceEvent{
+		Name: s.name,
+		Cat:  "stage",
+		Ph:   "X",
+		TS:   float64(s.start.Sub(t.epoch)) / float64(time.Microsecond),
+		Dur:  float64(end.Sub(s.start)) / float64(time.Microsecond),
+		PID:  1,
+		TID:  s.tid,
+		Args: s.args,
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// SetArg attaches one args entry to the span (no-op after End or on nil).
+func (s *Span) SetArg(k string, v any) {
+	if s == nil || s.ended.Load() {
+		return
+	}
+	if s.args == nil {
+		s.args = map[string]any{}
+	}
+	s.args[k] = v
+}
+
+// WriteJSON renders the collected events as a Chrome trace-event file.
+// Events are sorted by (ts, tid, name) so concurrent builds export
+// deterministically under a deterministic clock.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	events := append([]traceEvent(nil), t.events...)
+	t.mu.Unlock()
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].TS != events[j].TS {
+			return events[i].TS < events[j].TS
+		}
+		if events[i].TID != events[j].TID {
+			return events[i].TID < events[j].TID
+		}
+		return events[i].Name < events[j].Name
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// Len reports how many events have been recorded so far.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+var traceEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestTracerGoldenJSON drives two nested spans under a ticking clock and
+// pins the exact Chrome trace-event file the tracer exports.
+func TestTracerGoldenJSON(t *testing.T) {
+	clock := NewTickingClock(traceEpoch, time.Millisecond)
+	tr := NewTracer(clock) // epoch consumes the first tick
+
+	ctx, root := tr.StartSpan(context.Background(), "pair", "pair_id", 7) // start = +1ms
+	_, child := tr.StartSpan(ctx, "treeedit")                             // start = +2ms
+	child.End()                                                           // end   = +3ms
+	root.End()                                                            // end   = +4ms
+
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "traceEvents": [
+    {
+      "name": "pair",
+      "cat": "stage",
+      "ph": "X",
+      "ts": 1000,
+      "dur": 3000,
+      "pid": 1,
+      "tid": 1,
+      "args": {
+        "pair_id": 7
+      }
+    },
+    {
+      "name": "treeedit",
+      "cat": "stage",
+      "ph": "X",
+      "ts": 2000,
+      "dur": 1000,
+      "pid": 1,
+      "tid": 1
+    }
+  ],
+  "displayTimeUnit": "ms"
+}
+`
+	if sb.String() != want {
+		t.Fatalf("trace JSON:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestChildSpanSharesParentTrack(t *testing.T) {
+	tr := NewTracer(NewTickingClock(traceEpoch, time.Millisecond))
+	ctx1, r1 := tr.StartSpan(context.Background(), "a")
+	_, c1 := tr.StartSpan(ctx1, "a.child")
+	_, r2 := tr.StartSpan(context.Background(), "b")
+	for _, s := range []*Span{c1, r1, r2} {
+		s.End()
+	}
+	var sb strings.Builder
+	if err := tr.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			TID  int64  `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &file); err != nil {
+		t.Fatal(err)
+	}
+	tids := map[string]int64{}
+	for _, ev := range file.TraceEvents {
+		tids[ev.Name] = ev.TID
+	}
+	if tids["a"] != tids["a.child"] {
+		t.Fatalf("child on different track: %v", tids)
+	}
+	if tids["a"] == tids["b"] {
+		t.Fatalf("independent roots share a track: %v", tids)
+	}
+}
+
+func TestSpanNilAndDoubleEndSafety(t *testing.T) {
+	var tr *Tracer
+	ctx, span := tr.StartSpan(context.Background(), "x")
+	if span != nil {
+		t.Fatal("nil tracer returned a live span")
+	}
+	span.End()            // no-op
+	span.SetArg("k", "v") // no-op
+	if err := tr.WriteJSON(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("nil tracer has events")
+	}
+	// A context without a tracer yields no-op spans from the package helper.
+	if _, s := StartSpan(ctx, "y"); s != nil {
+		t.Fatal("StartSpan without tracer returned a live span")
+	}
+
+	live := NewTracer(NewTickingClock(traceEpoch, time.Millisecond))
+	_, s := live.StartSpan(context.Background(), "once")
+	s.End()
+	s.End()
+	if live.Len() != 1 {
+		t.Fatalf("double End recorded %d events", live.Len())
+	}
+}
+
+func TestWithTracerRoundTrip(t *testing.T) {
+	tr := NewTracer(NewTickingClock(traceEpoch, time.Millisecond))
+	ctx := WithTracer(context.Background(), tr)
+	if TracerFromContext(ctx) != tr {
+		t.Fatal("tracer lost in context")
+	}
+	_, s := StartSpan(ctx, "via-context")
+	s.End()
+	if tr.Len() != 1 {
+		t.Fatalf("events = %d", tr.Len())
+	}
+	// Attaching nil leaves the context unchanged.
+	if WithTracer(ctx, nil) != ctx {
+		t.Fatal("WithTracer(nil) rewrapped the context")
+	}
+}

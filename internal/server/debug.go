@@ -1,0 +1,59 @@
+// Opt-in debug listener: net/http/pprof plus a /metrics scrape on a
+// separate address (`nvbench -debug-addr`), so profiling endpoints are
+// never exposed on the benchmark-serving port and never pass through the
+// shed/timeout chain — a profiler under overload is exactly when you need
+// the debug port to answer.
+
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"nvbench/internal/obs"
+)
+
+// NewDebugMux builds the debug handler: the standard pprof surface under
+// /debug/pprof/ and the registry (obs.Default when nil) under /metrics.
+func NewDebugMux(reg *obs.Registry) *http.ServeMux {
+	if reg == nil {
+		reg = obs.Default
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Mid-stream failure: the scraper went away; nothing to answer.
+			return
+		}
+	})
+	return mux
+}
+
+// RunDebug serves the debug mux on addr until ctx is canceled. Errors are
+// returned, not fatal — a debug listener that cannot bind must not take
+// the benchmark server down with it.
+func RunDebug(ctx context.Context, addr string, reg *obs.Registry) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           NewDebugMux(reg),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	return srv.Shutdown(shutCtx)
+}

@@ -6,8 +6,11 @@ package server
 
 import (
 	"net/http"
+	"strings"
+	"sync/atomic"
 
 	"nvbench/internal/fault"
+	"nvbench/internal/obs"
 )
 
 // withRecover converts handler panics into 500 responses and keeps the
@@ -35,12 +38,28 @@ func (s *Server) withRecover(next http.Handler) http.Handler {
 // withTimeout bounds one request end to end. The wrapped handler sees a
 // context that is canceled at the deadline, and a request that exceeds it
 // gets 503 — buffered writes from the late handler are discarded, never
-// interleaved (http.TimeoutHandler semantics).
+// interleaved (http.TimeoutHandler semantics). A fired deadline tags the
+// request's outcome "timeout", which is what lets logs and counters tell
+// a timeout 503 from a shed 503.
 func (s *Server) withTimeout(next http.Handler) http.Handler {
 	if s.cfg.RequestTimeout <= 0 {
 		return next
 	}
-	return http.TimeoutHandler(next, s.cfg.RequestTimeout, "request timed out\n")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// finished flips when the inner handler completes; TimeoutHandler
+		// runs it on its own goroutine, so if ServeHTTP returns first the
+		// deadline fired and the 503 on the wire is a timeout.
+		var finished atomic.Bool
+		inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			defer finished.Store(true)
+			next.ServeHTTP(w, r)
+		})
+		http.TimeoutHandler(inner, s.cfg.RequestTimeout, "request timed out\n").ServeHTTP(w, r)
+		if !finished.Load() {
+			outcomeOf(r).set(outcomeTimeout)
+			s.cfg.Obs.Inc(obs.HTTPTimeouts)
+		}
+	})
 }
 
 // withShed rejects work beyond the concurrent-request ceiling with 503 +
@@ -57,6 +76,8 @@ func (s *Server) withShed(next http.Handler) http.Handler {
 			defer func() { <-sem }()
 			next.ServeHTTP(w, r)
 		default:
+			outcomeOf(r).set(outcomeShed)
+			s.cfg.Obs.Inc(obs.HTTPShed)
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "server overloaded, retry later", http.StatusServiceUnavailable)
 		}
@@ -70,9 +91,72 @@ func (s *Server) withShed(next http.Handler) http.Handler {
 func (s *Server) injectFaults(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if err := fault.Inject(fault.SiteServer); err != nil {
+			outcomeOf(r).set(outcomeFault)
 			http.Error(w, "injected fault", http.StatusInternalServerError)
 			return
 		}
 		next.ServeHTTP(w, r)
+	})
+}
+
+// routeLabel folds a request path into a bounded route set, so per-route
+// series cannot grow with entry IDs (or attacker-chosen paths).
+func routeLabel(path string) string {
+	switch {
+	case path == "/":
+		return "/"
+	case path == "/api/entries":
+		return "/api/entries"
+	case strings.HasPrefix(path, "/api/entry/"):
+		if strings.HasSuffix(path, "/vega") {
+			return "/api/entry/:id/vega"
+		}
+		return "/api/entry/:id"
+	case strings.HasPrefix(path, "/entry/"):
+		return "/entry/:id"
+	default:
+		return "other"
+	}
+}
+
+// withMetrics is the outermost layer of the app chain (inside only panic
+// recovery): per-route request counters with outcome labels, latency
+// histograms, and the in-flight gauge. Every request gets an outcome
+// holder here; inner layers claim theirs (shed, timeout, fault) and the
+// rest classify by status. Non-ok outcomes also emit one structured log
+// line.
+func (s *Server) withMetrics(next http.Handler) http.Handler {
+	in := s.cfg.Obs
+	if in == nil || in.Metrics == nil {
+		return next
+	}
+	inFlight := in.Metrics.Gauge(obs.HTTPInFlight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r.URL.Path)
+		oc := &outcomeHolder{}
+		r = withOutcome(r, oc)
+		rec := &statusRecorder{ResponseWriter: w}
+		inFlight.Inc()
+		stop := in.TimeHistogram(obs.L(obs.HTTPSeconds, "route", route))
+		finished := false
+		defer func() {
+			inFlight.Dec()
+			stop()
+			if !finished {
+				// Unwinding through a panic: recovery above answers 500.
+				oc.set(outcomePanic)
+			}
+			outcome := oc.get()
+			if outcome == "" {
+				outcome = classifyStatus(rec.status())
+			}
+			in.Inc(obs.L(obs.HTTPRequests, "outcome", outcome, "route", route))
+			if outcome != outcomeOK {
+				in.Logf("request", "method", r.Method, "path", r.URL.Path,
+					"route", route, "status", rec.status(), "outcome", outcome)
+			}
+		}()
+		next.ServeHTTP(rec, r)
+		finished = true
 	})
 }

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/fault"
+	"nvbench/internal/obs"
+	"nvbench/internal/spider"
+)
+
+// newObsServer builds a server over a small benchmark with its own metric
+// registry and a captured structured log, so outcome assertions never see
+// another test's traffic.
+func newObsServer(t *testing.T, cfg Config) (*Server, *obs.Registry, *bytes.Buffer) {
+	t.Helper()
+	corpus, err := spider.Generate(spider.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	obs.RegisterBase(reg)
+	var logBuf bytes.Buffer
+	cfg.Obs = &obs.Instruments{
+		Metrics: reg,
+		Clock:   obs.RealClock{},
+		Log:     obs.NewLogger(&logBuf, obs.NewManualClock(time.Unix(0, 0).UTC())),
+	}
+	return NewWithConfig(b, cfg), reg, &logBuf
+}
+
+func doGet(s *Server, path string) *httptest.ResponseRecorder {
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func requestCount(reg *obs.Registry, outcome, route string) int64 {
+	return reg.Snapshot().Counters[obs.L(obs.HTTPRequests, "outcome", outcome, "route", route)]
+}
+
+func TestMetricsEndpointServesPrometheusText(t *testing.T) {
+	s, _, _ := newObsServer(t, DefaultConfig())
+	doGet(s, "/")
+	doGet(s, "/api/entries")
+
+	rec := doGet(s, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE nvbench_http_requests_total counter",
+		`nvbench_http_requests_total{outcome="ok",route="/"} 1`,
+		`nvbench_http_requests_total{outcome="ok",route="/api/entries"} 1`,
+		"# TYPE nvbench_http_in_flight gauge",
+		"# TYPE nvbench_stage_seconds histogram",
+		"nvbench_http_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestOutcomeLabelsOKAndClientError(t *testing.T) {
+	s, reg, logBuf := newObsServer(t, DefaultConfig())
+	if rec := doGet(s, "/"); rec.Code != http.StatusOK {
+		t.Fatalf("/ = %d", rec.Code)
+	}
+	if rec := doGet(s, "/entry/banana"); rec.Code != http.StatusNotFound {
+		t.Fatalf("/entry/banana = %d", rec.Code)
+	}
+	if got := requestCount(reg, "ok", "/"); got != 1 {
+		t.Errorf("ok count = %d", got)
+	}
+	if got := requestCount(reg, "client_error", "/entry/:id"); got != 1 {
+		t.Errorf("client_error count = %d", got)
+	}
+	// ok requests stay out of the structured log; the 404 lands in it.
+	log := logBuf.String()
+	if !strings.Contains(log, "outcome=client_error") || strings.Contains(log, "outcome=ok") {
+		t.Errorf("structured log:\n%s", log)
+	}
+}
+
+func TestOutcomeLabelHandlerError(t *testing.T) {
+	s, reg, _ := newObsServer(t, DefaultConfig())
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteRender, Kind: fault.KindError, Rate: 1})
+	defer fault.Activate(plan)()
+	if rec := doGet(s, "/entry/0"); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("/entry/0 under render fault = %d", rec.Code)
+	}
+	if got := requestCount(reg, "error", "/entry/:id"); got != 1 {
+		t.Errorf("error count = %d", got)
+	}
+}
+
+func TestOutcomeLabelFault(t *testing.T) {
+	s, reg, _ := newObsServer(t, DefaultConfig())
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteServer, Kind: fault.KindError, Rate: 1})
+	defer fault.Activate(plan)()
+	if rec := doGet(s, "/"); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("/ under server fault = %d", rec.Code)
+	}
+	if got := requestCount(reg, "fault", "/"); got != 1 {
+		t.Errorf("fault count = %d", got)
+	}
+}
+
+func TestOutcomeLabelPanic(t *testing.T) {
+	s, reg, logBuf := newObsServer(t, DefaultConfig())
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteServer, Kind: fault.KindPanic, Rate: 1})
+	defer fault.Activate(plan)()
+	if rec := doGet(s, "/"); rec.Code != http.StatusInternalServerError {
+		t.Fatalf("/ under panic fault = %d", rec.Code)
+	}
+	if got := requestCount(reg, "panic", "/"); got != 1 {
+		t.Errorf("panic count = %d", got)
+	}
+	if !strings.Contains(logBuf.String(), "outcome=panic") {
+		t.Errorf("structured log missing panic outcome:\n%s", logBuf.String())
+	}
+}
+
+// TestOutcomeLabelsShedVsTimeout is the satellite's point: both shedding
+// and deadline expiry answer 503, and the outcome label is what tells the
+// operator which one is happening.
+func TestOutcomeLabelsShedVsTimeout(t *testing.T) {
+	// Timeout: a latency injection outlasts the request deadline.
+	cfg := DefaultConfig()
+	cfg.RequestTimeout = 30 * time.Millisecond
+	s, reg, _ := newObsServer(t, cfg)
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteServer, Kind: fault.KindLatency, Rate: 1, Delay: 300 * time.Millisecond})
+	restore := fault.Activate(plan)
+	rec := doGet(s, "/")
+	restore()
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("stalled request = %d, want 503", rec.Code)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.L(obs.HTTPRequests, "outcome", "timeout", "route", "/")]; got != 1 {
+		t.Errorf("timeout outcome count = %d", got)
+	}
+	if got := snap.Counters[obs.HTTPTimeouts]; got != 1 {
+		t.Errorf("timeouts total = %d", got)
+	}
+	if got := snap.Counters[obs.HTTPShed]; got != 0 {
+		t.Errorf("shed total = %d during a timeout", got)
+	}
+
+	// Shed: a burst of concurrent requests against MaxInFlight=1 while a
+	// latency injection stalls the semaphore winner; the rest answer 503
+	// immediately with outcome "shed".
+	cfg = DefaultConfig()
+	cfg.MaxInFlight = 1
+	cfg.RequestTimeout = 5 * time.Second
+	s2, reg2, logBuf := newObsServer(t, cfg)
+	restore = fault.Activate(fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteServer, Kind: fault.KindLatency, Rate: 1, Delay: 300 * time.Millisecond}))
+	defer restore()
+	deadline := time.Now().Add(5 * time.Second)
+	for reg2.Snapshot().Counters[obs.HTTPShed] == 0 && time.Now().Before(deadline) {
+		var wg sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				doGet(s2, "/")
+			}()
+		}
+		wg.Wait()
+	}
+	snap = reg2.Snapshot()
+	if got := snap.Counters[obs.HTTPShed]; got < 1 {
+		t.Fatal("saturated server never shed")
+	}
+	if got := snap.Counters[obs.L(obs.HTTPRequests, "outcome", "shed", "route", "/")]; got < 1 {
+		t.Errorf("shed outcome count = %d", got)
+	}
+	if !strings.Contains(logBuf.String(), "outcome=shed") {
+		t.Errorf("structured log missing shed outcome:\n%s", logBuf.String())
+	}
+}
+
+func TestInFlightGaugeReturnsToZero(t *testing.T) {
+	s, reg, _ := newObsServer(t, DefaultConfig())
+	for i := 0; i < 5; i++ {
+		doGet(s, "/")
+	}
+	if got := reg.Snapshot().Gauges[obs.HTTPInFlight]; got != 0 {
+		t.Fatalf("in-flight gauge = %d after requests drained", got)
+	}
+}
+
+func TestRouteLabelBoundsCardinality(t *testing.T) {
+	for path, want := range map[string]string{
+		"/":                    "/",
+		"/api/entries":         "/api/entries",
+		"/api/entry/42":        "/api/entry/:id",
+		"/api/entry/42/vega":   "/api/entry/:id/vega",
+		"/entry/7":             "/entry/:id",
+		"/no/such/route":       "other",
+		"/entry/../../secrets": "/entry/:id",
+	} {
+		if got := routeLabel(path); got != want {
+			t.Errorf("routeLabel(%q) = %q, want %q", path, got, want)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"nvbench/internal/bench"
+	"nvbench/internal/obs"
 	"nvbench/internal/render"
 )
 
@@ -41,6 +43,11 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Logger receives middleware diagnostics; nil uses the process logger.
 	Logger *log.Logger
+	// Obs provides the metrics registry behind /metrics and the per-route
+	// middleware, plus the structured request logger. Nil defaults to the
+	// process-wide obs.Default registry (instrumentation is always on; it
+	// is too cheap to gate).
+	Obs *obs.Instruments
 }
 
 // DefaultConfig returns the production defaults.
@@ -74,6 +81,9 @@ func New(b *bench.Benchmark) *Server { return NewWithConfig(b, DefaultConfig()) 
 
 // NewWithConfig builds a server with explicit hardening settings.
 func NewWithConfig(b *bench.Benchmark, cfg Config) *Server {
+	if cfg.Obs == nil {
+		cfg.Obs = &obs.Instruments{Metrics: obs.Default}
+	}
 	s := &Server{Bench: b, cfg: cfg}
 	s.etags = make([]string, len(b.Entries))
 	for i, e := range b.Entries {
@@ -95,16 +105,19 @@ func NewWithConfig(b *bench.Benchmark, cfg Config) *Server {
 	// Chain, innermost first: fault injection sits next to the app so
 	// injected panics and stalls exercise every outer layer; then the
 	// per-request timeout, then load shedding so a saturated pool answers
-	// cheaply, with panic recovery outermost.
+	// cheaply, then metrics (which must see shed and timed-out requests
+	// too), with panic recovery outermost.
 	var h http.Handler = s.injectFaults(app)
 	h = s.withTimeout(h)
 	h = s.withShed(h)
+	h = s.withMetrics(h)
 
-	// Probes bypass shedding and timeouts: a saturated server must still
-	// answer its load balancer.
+	// Probes and the metrics scrape bypass shedding and timeouts: a
+	// saturated server must still answer its load balancer and its monitor.
 	root := http.NewServeMux()
 	root.HandleFunc("/healthz", s.handleHealthz)
 	root.HandleFunc("/readyz", s.handleReadyz)
+	root.HandleFunc("/metrics", s.handleMetrics)
 	root.Handle("/", h)
 	s.handler = s.withRecover(root)
 	s.ready.Store(true)
@@ -230,6 +243,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	writeBytes(s, w, []byte("ready\n"))
 }
 
+// handleMetrics serves the registry in the Prometheus text format. The
+// render lands in a buffer first so a slow scraper cannot hold the
+// registry's read path, and a mid-stream write failure degrades like any
+// other response write.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.cfg.Obs.Metrics.WritePrometheus(&buf); err != nil {
+		http.Error(w, "metrics: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeBytes(s, w, buf.Bytes())
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -281,7 +308,7 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 	if s.notModified(w, r, e) {
 		return
 	}
-	spec, err := render.VegaLite(e.DB, e.Vis)
+	spec, err := s.renderSpec(e)
 	if err != nil {
 		http.Error(w, "render: "+err.Error(), http.StatusInternalServerError)
 		return
@@ -299,6 +326,14 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 	page = strings.Replace(page, `<div id="vis"></div>`, sb.String(), 1)
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	writeBytes(s, w, []byte(page))
+}
+
+// renderSpec renders one entry's Vega-Lite spec, timing it into the
+// render stage histogram.
+func (s *Server) renderSpec(e *bench.Entry) (json.RawMessage, error) {
+	stop := s.cfg.Obs.TimeHistogram(obs.L(obs.StageHistogram, "stage", obs.StageRender))
+	defer stop()
+	return render.VegaLite(e.DB, e.Vis)
 }
 
 // apiEntry is the JSON shape of one entry.
@@ -389,7 +424,7 @@ func (s *Server) handleAPIEntry(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if strings.HasSuffix(r.URL.Path, "/vega") {
-		spec, err := render.VegaLite(e.DB, e.Vis)
+		spec, err := s.renderSpec(e)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

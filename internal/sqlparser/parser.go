@@ -16,6 +16,7 @@ import (
 // empty table). TryParse is the exported boundary the pipeline uses: it
 // reports malformed input as an error, never a panic.
 func TryParse(sql string, db *dataset.Database) (*ast.Query, error) {
+	defer timeParse()()
 	if err := fault.Inject(fault.SiteParse); err != nil {
 		return nil, fmt.Errorf("sqlparser: %w", err)
 	}

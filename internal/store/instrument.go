@@ -1,0 +1,25 @@
+// Observability wiring: the store records how long saves, loads and
+// repairs take (nvbench_store_seconds{op=...}) and how journal recovery
+// resolves interrupted saves (nvbench_store_journal_total{action=...}).
+// Durations come from the injected obs clock, never time.Now — store is a
+// deterministic package under the detrand gate.
+
+package store
+
+import "nvbench/internal/obs"
+
+// Instrument attaches observability handles to the store. Nil (the
+// default) disables instrumentation; artifacts on disk are identical
+// either way.
+func (s *Store) Instrument(in *obs.Instruments) { s.ins = in }
+
+// timeOp starts a duration timer for one store operation; the returned
+// func records into nvbench_store_seconds{op=op}.
+func (s *Store) timeOp(op string) func() {
+	return s.ins.TimeHistogram(obs.L(obs.StoreSeconds, "op", op))
+}
+
+// countJournal records one journal recovery outcome.
+func (s *Store) countJournal(action string) {
+	s.ins.Inc(obs.L(obs.StoreJournal, "action", action))
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"nvbench/internal/bench"
+	"nvbench/internal/obs"
 )
 
 const lostFoundDir = "lost+found"
@@ -82,6 +83,7 @@ func (s *Store) moveAside(rel string) error {
 // stores it cannot operate on at all (I/O failures); partial salvage is a
 // report, not an error — check Lossy.
 func (s *Store) Repair() (*RepairReport, error) {
+	defer s.timeOp("repair")()
 	rep := &RepairReport{}
 	swept, err := s.sweepTemps()
 	if err != nil {
@@ -223,6 +225,12 @@ func (s *Store) Repair() (*RepairReport, error) {
 	}
 	rep.EntriesKept = len(m.Entries)
 	rep.DatabasesKept = len(m.Databases)
+	if rep.RolledForward {
+		s.countJournal("rolled_forward")
+	}
+	if rep.RolledBack {
+		s.countJournal("rolled_back")
+	}
 	s.refreshStatus()
 	return rep, nil
 }
@@ -394,5 +402,6 @@ func WriteRepair(w io.Writer, rep *RepairReport) {
 	}
 	if n := len(moved) - len(shown); n > 0 {
 		fmt.Fprintf(w, "  … and %d more\n", n)
+		obs.Default.Counter(obs.L(obs.ReportSuppressed, "report", "repair")).Add(int64(n))
 	}
 }

@@ -41,6 +41,7 @@ import (
 	"nvbench/internal/bench"
 	"nvbench/internal/dataset"
 	"nvbench/internal/fault"
+	"nvbench/internal/obs"
 )
 
 // FormatVersion identifies the artifact layout; Load rejects other versions.
@@ -59,6 +60,7 @@ const (
 type Store struct {
 	dir  string
 	open OpenReport
+	ins  *obs.Instruments // nil disables instrumentation; see Instrument
 }
 
 // OpenReport is what Open learned about the store's crash state: how many
@@ -299,6 +301,7 @@ func (s *Store) writeIntended(rel, hash string, data []byte) error {
 // the journal without its commit record, which Open diagnoses and Repair
 // heals.
 func (s *Store) Save(b *bench.Benchmark, info BuildInfo) (*Manifest, error) {
+	defer s.timeOp("save")()
 	m := &Manifest{
 		FormatVersion: FormatVersion,
 		Build:         info,
@@ -407,6 +410,7 @@ func (s *Store) loadManifest() (*Manifest, []byte, error) {
 // build time. The returned benchmark has no Corpus: the corpus is an input
 // of the build, not an artifact of it.
 func (s *Store) Load() (*bench.Benchmark, *Manifest, error) {
+	defer s.timeOp("load")()
 	m, _, err := s.loadManifest()
 	if err != nil {
 		return nil, nil, err

@@ -32,6 +32,11 @@ go test -run 'TestSaveLoadRoundTrip|TestGoldenManifestDeterminism|TestVerifyDete
 echo "== faultguard: fault-injection suite with -race"
 go test -race ./internal/fault ./internal/deepeye ./internal/bench ./internal/server ./internal/store ./cmd/nvbench
 
+echo "== obsguard: metrics registry race suite, golden exposition and trace, instrumented-build identity"
+go test -race ./internal/obs
+go test -race -run 'TestWritePrometheusGolden|TestTracerGoldenJSON|TestLoggerGolden|TestInstrumentedBuildIsByteIdentical|TestMetricsEndpointServesPrometheusText|TestRunDeterministicUnderSameFaultSeed' \
+    ./internal/obs ./internal/bench ./internal/server ./cmd/nvbench
+
 echo "== crashguard: re-exec crash sweeps and store fuzzers"
 go test -race -run 'TestCrashSweep' ./internal/store
 for fuzz in FuzzEntryCodec FuzzSelfHashed FuzzJournalRecover; do
