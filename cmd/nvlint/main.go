@@ -1,19 +1,27 @@
 // Command nvlint runs the repository's custom static analyzers (see
-// internal/analysis) over module packages and reports violations of the two
+// internal/analysis) over module packages and reports violations of the
 // invariants the compiler cannot enforce: exhaustive handling of the
-// internal/ast enums, and determinism of the benchmark-synthesis packages.
+// internal/ast enums, determinism of the benchmark-synthesis packages,
+// crash-durable store writes, registered fault-injection sites, canonical
+// metric names and mutex discipline on the hot paths.
 //
 // Usage:
 //
 //	nvlint [flags] [packages]
 //
-//	nvlint ./...                 # lint the whole module
-//	nvlint -json ./internal/...  # machine-readable findings
-//	nvlint -errdrop=false ./...  # disable one analyzer
+//	nvlint ./...                      # lint the whole module
+//	nvlint -json ./internal/...       # machine-readable findings
+//	nvlint -errdrop=false ./...       # disable one analyzer
+//	nvlint -fix ./...                 # apply suggested fixes in place
+//	nvlint -cache-dir .nvlint-cache ./...  # reuse results across runs
 //
 // Patterns resolve relative to the module root (found via go.mod, starting
-// at -C). nvlint exits 0 when no analyzer reports a finding, 1 when at
-// least one does, and 2 on usage or load errors.
+// at -C). Packages are analyzed concurrently in dependency order (bounded
+// by -parallel) and, with -cache-dir, results are reused content-addressed:
+// a package whose sources, analyzer versions and dependency results are
+// unchanged is not even type-checked again. nvlint exits 0 when no analyzer
+// reports a finding, 1 when at least one does, and 2 on usage or load
+// errors.
 package main
 
 import (
@@ -23,13 +31,18 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"nvbench/internal/analysis"
 	"nvbench/internal/analysis/passes/detrand"
 	"nvbench/internal/analysis/passes/errdrop"
 	"nvbench/internal/analysis/passes/exhaustive"
+	"nvbench/internal/analysis/passes/faultsite"
+	"nvbench/internal/analysis/passes/fsyncorder"
+	"nvbench/internal/analysis/passes/lockcheck"
 	"nvbench/internal/analysis/passes/noprint"
+	"nvbench/internal/analysis/passes/obslabel"
 )
 
 // all lists every analyzer the driver knows, in flag/report order.
@@ -37,7 +50,11 @@ var all = []*analysis.Analyzer{
 	detrand.Analyzer,
 	errdrop.Analyzer,
 	exhaustive.Analyzer,
+	faultsite.Analyzer,
+	fsyncorder.Analyzer,
+	lockcheck.Analyzer,
 	noprint.Analyzer,
+	obslabel.Analyzer,
 }
 
 func main() {
@@ -58,9 +75,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("nvlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		jsonOut = fs.Bool("json", false, "emit findings as a JSON array")
-		chdir   = fs.String("C", ".", "locate the module starting from this directory")
-		tests   = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		chdir    = fs.String("C", ".", "locate the module starting from this directory")
+		tests    = fs.Bool("tests", false, "also analyze in-package _test.go files")
+		fix      = fs.Bool("fix", false, "apply suggested fixes to the source files")
+		cacheDir = fs.String("cache-dir", "", "reuse analysis results stored in this directory (empty: no cache)")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "number of packages analyzed concurrently")
 	)
 	enabled := make(map[string]*bool, len(all))
 	for _, a := range all {
@@ -81,11 +101,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	loader.IncludeTests = *tests
-	pkgs, err := loader.Load(patterns...)
-	if err != nil {
-		fmt.Fprintln(stderr, "nvlint:", err)
-		return 2
-	}
 
 	var active []*analysis.Analyzer
 	for _, a := range all {
@@ -93,7 +108,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 			active = append(active, a)
 		}
 	}
-	diags := analysis.Run(active, pkgs)
+	eng := &analysis.Engine{Loader: loader, Analyzers: active, Workers: *parallel}
+	if *cacheDir != "" {
+		cache, err := analysis.NewCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(stderr, "nvlint:", err)
+			return 2
+		}
+		eng.Cache = cache
+	}
+	diags, stats, err := eng.Run(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "nvlint:", err)
+		return 2
+	}
+
+	if *fix {
+		// Apply while positions are still absolute; the edits carry
+		// absolute file names.
+		res, err := analysis.ApplyFixes(diags)
+		if err != nil {
+			fmt.Fprintln(stderr, "nvlint:", err)
+			return 2
+		}
+		if res.Applied > 0 || res.Skipped > 0 {
+			fmt.Fprintf(stderr, "nvlint: applied %d fix(es) to %d file(s), skipped %d\n", res.Applied, len(res.Files), res.Skipped)
+		}
+	}
 	for i := range diags {
 		if rel, err := filepath.Rel(loader.ModDir, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].Pos.Filename = rel
@@ -122,7 +163,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, d.String())
 		}
 		if len(diags) > 0 {
-			fmt.Fprintf(stderr, "nvlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(stderr, "nvlint: %d finding(s) in %d package(s)\n", len(diags), stats.Roots)
 		}
 	}
 	if len(diags) > 0 {

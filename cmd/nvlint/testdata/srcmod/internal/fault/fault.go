@@ -1,0 +1,16 @@
+// Package fault carries the seeded faultsite registry violation: two site
+// constants sharing one value, which makes crash-plan specs ambiguous.
+package fault
+
+// Registered injection sites.
+const (
+	SiteSave   = "store.save"
+	SiteLoad   = "store.load"
+	SiteCommit = "store.save"
+)
+
+// Inject fails when the named site is armed.
+func Inject(site string) error {
+	_ = site
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package obs carries the seeded obslabel violation: a histogram constant
+// RegisterBase forgets, so its schema is invisible until first use.
+package obs
+
+// Metric names.
+const (
+	RenderSeconds = "fixture_render_seconds"
+	SaveSeconds   = "fixture_save_seconds"
+)
+
+// L builds a labeled series name.
+func L(base string, kv ...string) string {
+	_ = kv
+	return base
+}
+
+// Registry is a minimal metric factory.
+type Registry struct{}
+
+// Histogram returns a histogram handle.
+func (r *Registry) Histogram(name string) int { _ = name; return 0 }
+
+// RegisterBase pre-creates the canonical series at zero.
+func RegisterBase(r *Registry) {
+	r.Histogram(RenderSeconds)
+}

@@ -1,0 +1,10 @@
+// Package pipeline carries the seeded faultsite consumer violation: an
+// Inject call naming a site the registry never declared.
+package pipeline
+
+import "fixture/internal/fault"
+
+// Render injects at an unregistered site; no crash sweep will reach it.
+func Render() error {
+	return fault.Inject("render.table")
+}

@@ -1,0 +1,35 @@
+// Package server carries the seeded lockcheck and obslabel consumer
+// violations: a blocking call under a held mutex, an unlock with no
+// matching lock, and a non-canonical metric name.
+package server
+
+import (
+	"sync"
+	"time"
+
+	"fixture/internal/obs"
+)
+
+type handler struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Slow blocks every other request behind the mutex.
+func (h *handler) Slow() {
+	h.mu.Lock()
+	time.Sleep(time.Millisecond)
+	h.n++
+	h.mu.Unlock()
+}
+
+// Reset releases a lock it never took.
+func (h *handler) Reset() {
+	h.mu.Unlock()
+	h.n = 0
+}
+
+// Track names its series off-convention.
+func (h *handler) Track() string {
+	return obs.L("Request-Count", "route", "home")
+}

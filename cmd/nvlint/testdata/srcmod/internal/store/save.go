@@ -1,0 +1,10 @@
+// Package store carries the seeded fsyncorder violation: a rename that is
+// never made durable with a directory sync.
+package store
+
+import "os"
+
+// Promote publishes a staged artifact without syncing the parent directory.
+func Promote(tmp, final string) error {
+	return os.Rename(tmp, final)
+}

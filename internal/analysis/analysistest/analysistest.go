@@ -14,15 +14,48 @@
 package analysistest
 
 import (
+	"bytes"
 	"go/ast"
+	"go/format"
+	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 
 	"nvbench/internal/analysis"
 )
+
+// Loaders are shared across every Run/RunModule call in a test binary, keyed
+// by (module dir, module path). Type-checking a fixture pulls large parts of
+// the standard library through the source loader; reusing one loader per
+// fixture module means that work happens once per test binary instead of
+// once per subtest.
+var (
+	loaderMu sync.Mutex
+	loaders  = map[string]*analysis.Loader{}
+)
+
+// loadFixture returns the cached, type-checked fixture package in dir under
+// importPath, creating the (modDir, modPath) loader on first use.
+func loadFixture(t *testing.T, modDir, modPath, dir, importPath string) *analysis.Package {
+	t.Helper()
+	loaderMu.Lock()
+	defer loaderMu.Unlock()
+	key := modDir + "\x00" + modPath
+	loader, ok := loaders[key]
+	if !ok {
+		loader = analysis.NewAdHocLoader(modDir, modPath)
+		loaders[key] = loader
+	}
+	pkg, err := loader.LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	return pkg
+}
 
 // wantRe matches one quoted expectation; the payload is a Go-quoted string
 // (interpreted or raw/backquoted) holding a regular expression.
@@ -41,11 +74,7 @@ type expectation struct {
 // assertions.
 func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
-	loader := analysis.NewAdHocLoader(dir, importPath)
-	pkg, err := loader.LoadDir(dir, importPath)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
-	}
+	pkg := loadFixture(t, dir, importPath, dir, importPath)
 	return checkPackage(t, a, pkg)
 }
 
@@ -56,13 +85,79 @@ func Run(t *testing.T, dir, importPath string, a *analysis.Analyzer) []analysis.
 // back into modDir. Only the loaded package's // want comments are checked.
 func RunModule(t *testing.T, modDir, modPath, pkgRel string, a *analysis.Analyzer) []analysis.Diagnostic {
 	t.Helper()
-	loader := analysis.NewAdHocLoader(modDir, modPath)
 	dir := filepath.Join(modDir, filepath.FromSlash(pkgRel))
-	pkg, err := loader.LoadDir(dir, modPath+"/"+pkgRel)
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
-	}
+	pkg := loadFixture(t, modDir, modPath, dir, modPath+"/"+pkgRel)
 	return checkPackage(t, a, pkg)
+}
+
+// RunFix runs like Run, then applies the diagnostics' suggested fixes in
+// memory and compares the rewritten file against the fixture's want.fixed
+// golden (see checkFixed).
+func RunFix(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	checkFixed(t, dir, Run(t, dir, importPath, a))
+}
+
+// RunModuleFix runs like RunModule, then applies the diagnostics' suggested
+// fixes in memory and compares the rewritten file against the package's
+// want.fixed golden.
+func RunModuleFix(t *testing.T, modDir, modPath, pkgRel string, a *analysis.Analyzer) {
+	t.Helper()
+	dir := filepath.Join(modDir, filepath.FromSlash(pkgRel))
+	checkFixed(t, dir, RunModule(t, modDir, modPath, pkgRel, a))
+}
+
+// checkFixed applies every suggested fix carried by diags to in-memory
+// copies of the fixture sources and diffs the result against the golden
+// file pkgDir/want.fixed. Exactly one fixture file must change (the golden
+// holds its full fixed content), no fix may be skipped for conflicts, and
+// the rewritten file must already be gofmt-clean — the same guarantees
+// nvlint -fix makes.
+func checkFixed(t *testing.T, pkgDir string, diags []analysis.Diagnostic) {
+	t.Helper()
+	sources := map[string][]byte{}
+	for _, d := range diags {
+		for _, fix := range d.Fixes {
+			for _, e := range fix.Edits {
+				if _, ok := sources[e.File]; ok {
+					continue
+				}
+				data, err := os.ReadFile(e.File)
+				if err != nil {
+					t.Fatalf("reading fix target: %v", err)
+				}
+				sources[e.File] = data
+			}
+		}
+	}
+	changed, applied, skipped, err := analysis.ApplyFixesToSource(diags, sources)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	if applied == 0 {
+		t.Fatalf("no suggested fixes to apply; want.fixed mode needs at least one")
+	}
+	if skipped != 0 {
+		t.Errorf("%d fixes skipped for conflicts; fixture fixes must all apply", skipped)
+	}
+	if len(changed) != 1 {
+		t.Fatalf("fixes rewrote %d files, want exactly 1 (the want.fixed golden holds one file)", len(changed))
+	}
+	golden := filepath.Join(pkgDir, "want.fixed")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	for file, got := range changed {
+		if formatted, err := format.Source(got); err != nil {
+			t.Errorf("fixed %s does not parse: %v", file, err)
+		} else if !bytes.Equal(formatted, got) {
+			t.Errorf("fixed %s is not gofmt-clean", file)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("fixed %s does not match %s:\n--- got ---\n%s\n--- want ---\n%s", file, golden, got, want)
+		}
+	}
 }
 
 // checkPackage applies the analyzer and reconciles its diagnostics with the

@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// This file is the content-addressed result cache, reusing internal/store's
+// artifact idioms: payloads are canonical JSON (two-space indent, trailing
+// newline) prefixed by a self-hash line, written via a temp file and
+// rename. The key for one (analyzer, package) pair commits to everything
+// that could change the result:
+//
+//	sha256("nvlint-cache-v1" | analyzer name@version | runtime.Version()
+//	       | per-file sha256 of every source file | per-dependency cache key)
+//
+// Dependency keys recurse, so a one-line edit deep in the module
+// invalidates exactly the edited package and its importers — the
+// "dependency fact hashes" of the key derivation, since facts are part of
+// the cached entry a dep key addresses. Any read failure — missing file,
+// self-hash mismatch, unknown field, trailing garbage — degrades to a
+// cache miss and the package is re-analyzed; corruption can cost time, not
+// correctness.
+
+// cacheKeyVersion invalidates every entry when the wire format changes.
+const cacheKeyVersion = "nvlint-cache-v1"
+
+// Cache stores per-(analyzer, package) results under a directory, one
+// self-hashed JSON file per key. A nil *Cache is a valid always-miss cache.
+type Cache struct {
+	dir string
+}
+
+// NewCache returns a cache rooted at dir, creating it if needed.
+func NewCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// cacheEntry is the serialized result of one analyzer over one package:
+// its diagnostics (with fixes) and its exported package fact, if any.
+type cacheEntry struct {
+	Analyzer    string          `json:"analyzer"`
+	Diagnostics []Diagnostic    `json:"diagnostics"`
+	Fact        json.RawMessage `json:"fact,omitempty"`
+}
+
+// Get loads the entry for key. Every failure mode — absent file, torn
+// write, flipped byte, schema drift — reports a miss.
+func (c *Cache) Get(key string) (*cacheEntry, bool) {
+	if c == nil {
+		return nil, false
+	}
+	data, err := os.ReadFile(c.entryPath(key))
+	if err != nil {
+		return nil, false
+	}
+	payload, ok := checkSelfHashed(data)
+	if !ok {
+		return nil, false
+	}
+	var e cacheEntry
+	if err := decodeStrictJSON(payload, &e); err != nil {
+		return nil, false
+	}
+	return &e, true
+}
+
+// Put stores the entry under key. The write goes through a temp file and a
+// rename so concurrent readers never observe a half-written entry; no fsync
+// is needed because a cache entry lost to a crash is just a future miss.
+func (c *Cache) Put(key string, e *cacheEntry) error {
+	if c == nil {
+		return nil
+	}
+	payload, err := canonicalJSONBytes(e)
+	if err != nil {
+		return err
+	}
+	data := append([]byte(hashHex(payload)+"\n"), payload...)
+	tmp, err := os.CreateTemp(c.dir, "entry-*.tmp")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, c.entryPath(key)); err != nil {
+		_ = os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+func (c *Cache) entryPath(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// cacheKey derives the content-addressed key for running analyzer a over
+// unit u. fileHash maps absolute file paths to content hashes; depKeys maps
+// dependency import paths to their already-computed keys for the same
+// analyzer (the engine fills both bottom-up in dependency order).
+func cacheKey(a *Analyzer, u *Unit, fileHash map[string]string, depKeys map[string]string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s@%s|%s|%s\n", cacheKeyVersion, a.Name, a.Version, runtime.Version(), u.ImportPath)
+	for _, f := range u.Files {
+		fmt.Fprintf(h, "file %s %s\n", filepath.Base(f), fileHash[f])
+	}
+	for _, d := range u.Deps {
+		fmt.Fprintf(h, "dep %s %s\n", d, depKeys[d])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashHex returns the lowercase hex sha256 of data.
+func hashHex(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// checkSelfHashed splits "<hex sha256>\n<payload>" and verifies the hash,
+// returning the payload.
+func checkSelfHashed(data []byte) ([]byte, bool) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	want, payload := string(data[:nl]), data[nl+1:]
+	if want != hashHex(payload) {
+		return nil, false
+	}
+	return payload, true
+}
+
+// canonicalJSONBytes renders v in the store's canonical form: two-space
+// indented JSON with a trailing newline, so identical values are identical
+// bytes and hash equal.
+func canonicalJSONBytes(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// decodeStrictJSON decodes data into v, rejecting unknown fields and
+// trailing content so schema drift reads as corruption, not silence.
+func decodeStrictJSON(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err == nil || !strings.Contains(err.Error(), "EOF") {
+		return fmt.Errorf("analysis: trailing data after cache entry")
+	}
+	return nil
+}

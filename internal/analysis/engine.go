@@ -1,0 +1,207 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+)
+
+// Engine is the cached, parallel analysis driver behind cmd/nvlint. A run
+// proceeds in four stages:
+//
+//  1. Scan resolves the patterns and their module-internal dependency
+//     closure at the go/build metadata layer — no parsing.
+//  2. Cache keys are computed bottom-up over the scan graph from source
+//     file hashes and dependency keys, and every (analyzer, package) pair
+//     is probed. A fully warm run ends here: nothing is type-checked.
+//  3. Packages with at least one miss are loaded (parsed + type-checked)
+//     through the shared Loader.
+//  4. The scheduler walks the dependency DAG with a worker pool: cache
+//     hits replay their stored diagnostics and facts, misses run the
+//     analyzers and store fresh entries. Diagnostics are reported for
+//     root packages only; dependency-closure units contribute facts.
+type Engine struct {
+	Loader    *Loader
+	Analyzers []*Analyzer
+	// Cache enables result reuse; nil analyzes everything every run.
+	Cache *Cache
+	// Workers bounds scheduler parallelism; values < 1 mean 1.
+	Workers int
+}
+
+// RunStats reports what one Engine.Run did, for the driver's -v output and
+// the cache tests.
+type RunStats struct {
+	// Packages is the number of units in the scan closure; Roots of those
+	// matched the patterns directly.
+	Packages int
+	Roots    int
+	// Loaded counts packages that were parsed and type-checked; a fully
+	// warm run loads zero.
+	Loaded int
+	// CacheHits and CacheMisses count (analyzer, package) probes. Both stay
+	// zero when the cache is disabled.
+	CacheHits   int
+	CacheMisses int
+}
+
+// Run analyzes the packages matched by patterns and returns the sorted
+// diagnostics for the root packages. The output is byte-identical to the
+// uncached serial driver over the same roots, whatever mix of cache hits
+// and misses supplied it.
+func (e *Engine) Run(patterns ...string) ([]Diagnostic, RunStats, error) {
+	var stats RunStats
+	units, err := e.Loader.Scan(patterns...)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Packages = len(units)
+	idx := make(map[string]int, len(units))
+	for i, u := range units {
+		idx[u.ImportPath] = i
+		if u.Root {
+			stats.Roots++
+		}
+	}
+	deps := make([][]int, len(units))
+	for i, u := range units {
+		for _, d := range u.Deps {
+			if j, ok := idx[d]; ok && j != i {
+				deps[i] = append(deps[i], j)
+			}
+		}
+	}
+	order := topoUnits(units, deps)
+	if order == nil {
+		return nil, stats, fmt.Errorf("analysis: import cycle in scanned packages")
+	}
+
+	// Stage 2: content hashes, cache keys, probes.
+	fileHash := map[string]string{}
+	for _, u := range units {
+		for _, f := range u.Files {
+			if _, ok := fileHash[f]; ok {
+				continue
+			}
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return nil, stats, err
+			}
+			fileHash[f] = hashHex(data)
+		}
+	}
+	keys := make([]map[string]string, len(e.Analyzers))
+	for ai, a := range e.Analyzers {
+		keys[ai] = make(map[string]string, len(units))
+		for _, i := range order {
+			u := units[i]
+			keys[ai][u.ImportPath] = cacheKey(a, u, fileHash, keys[ai])
+		}
+	}
+	hits := make([][]*cacheEntry, len(units))
+	needLoad := make([]bool, len(units))
+	for i, u := range units {
+		hits[i] = make([]*cacheEntry, len(e.Analyzers))
+		if e.Cache == nil {
+			needLoad[i] = true
+			continue
+		}
+		for ai := range e.Analyzers {
+			if ent, ok := e.Cache.Get(keys[ai][u.ImportPath]); ok {
+				hits[i][ai] = ent
+				stats.CacheHits++
+			} else {
+				stats.CacheMisses++
+				needLoad[i] = true
+			}
+		}
+	}
+
+	// Stage 3: load miss packages serially (the Loader shares one package
+	// map and resolves imports recursively; it is not goroutine-safe).
+	pkgs := make([]*Package, len(units))
+	for _, i := range order {
+		if !needLoad[i] {
+			continue
+		}
+		u := units[i]
+		pkg, err := e.Loader.load(u.ImportPath, u.Root && e.Loader.IncludeTests)
+		if err != nil {
+			return nil, stats, err
+		}
+		pkgs[i] = pkg
+		stats.Loaded++
+	}
+
+	// Stage 4: dependency-ordered parallel execution.
+	facts := newFactStore()
+	results := make([][]Diagnostic, len(units))
+	runDAG(len(units), deps, e.Workers, func(i int) {
+		u := units[i]
+		for ai, a := range e.Analyzers {
+			var diags []Diagnostic
+			if ent := hits[i][ai]; ent != nil {
+				if len(ent.Fact) > 0 {
+					facts.set(a.Name, u.ImportPath, ent.Fact)
+				}
+				diags = ent.Diagnostics
+			} else {
+				pass := &Pass{
+					Analyzer: a,
+					Fset:     pkgs[i].Fset,
+					Files:    pkgs[i].Files,
+					Pkg:      pkgs[i].Types,
+					Info:     pkgs[i].Info,
+					facts:    facts,
+				}
+				diags = a.Run(pass)
+				ent := &cacheEntry{Analyzer: a.Name, Diagnostics: diags}
+				if fact, ok := facts.get(a.Name, u.ImportPath); ok {
+					ent.Fact = fact
+				}
+				// Best effort: a failed cache write only costs the next
+				// run a re-analysis.
+				_ = e.Cache.Put(keys[ai][u.ImportPath], ent)
+			}
+			if u.Root {
+				results[i] = append(results[i], diags...)
+			}
+		}
+	})
+	var out []Diagnostic
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	SortDiagnostics(out)
+	return out, stats, nil
+}
+
+// topoUnits returns unit indices in dependency order (imported before
+// importer), or nil if the graph has a cycle.
+func topoUnits(units []*Unit, deps [][]int) []int {
+	state := make([]int, len(units)) // 0 unvisited, 1 visiting, 2 done
+	order := make([]int, 0, len(units))
+	ok := true
+	var visit func(i int)
+	visit = func(i int) {
+		switch state[i] {
+		case 1:
+			ok = false
+			return
+		case 2:
+			return
+		}
+		state[i] = 1
+		for _, j := range deps[i] {
+			visit(j)
+		}
+		state[i] = 2
+		order = append(order, i)
+	}
+	for i := range units {
+		visit(i)
+	}
+	if !ok {
+		return nil
+	}
+	return order
+}

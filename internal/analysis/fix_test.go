@@ -1,0 +1,176 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixDiag builds a diagnostic at (file, line, col) carrying one fix.
+func fixDiag(file string, line int, fix SuggestedFix) Diagnostic {
+	return Diagnostic{
+		Analyzer: "testfix",
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  fix.Message,
+		Fixes:    []SuggestedFix{fix},
+	}
+}
+
+func TestApplyFixesToSourceRewrites(t *testing.T) {
+	src := []byte("package p\n\nconst Name = \"Bad-Value\"\n")
+	start := strings.Index(string(src), `"Bad-Value"`)
+	diags := []Diagnostic{
+		fixDiag("p.go", 3, SuggestedFix{
+			Message: "canonicalize name",
+			Edits:   []Edit{{File: "p.go", Start: start, End: start + len(`"Bad-Value"`), NewText: `"bad_value"`}},
+		}),
+	}
+	changed, applied, skipped, err := ApplyFixesToSource(diags, map[string][]byte{"p.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 || skipped != 0 {
+		t.Fatalf("applied=%d skipped=%d, want 1/0", applied, skipped)
+	}
+	want := "package p\n\nconst Name = \"bad_value\"\n"
+	if got := string(changed["p.go"]); got != want {
+		t.Fatalf("rewritten source = %q, want %q", got, want)
+	}
+}
+
+func TestApplyFixesOverlapSkipsWholeFix(t *testing.T) {
+	src := []byte("package p\n\nvar x = 1234567890\n")
+	start := strings.Index(string(src), "1234567890")
+	// First fix (earlier diagnostic position) wins; the second overlaps it
+	// and must be skipped whole, including its disjoint second edit.
+	diags := []Diagnostic{
+		fixDiag("p.go", 3, SuggestedFix{
+			Message: "first",
+			Edits:   []Edit{{File: "p.go", Start: start, End: start + 5, NewText: "11111"}},
+		}),
+		fixDiag("p.go", 4, SuggestedFix{
+			Message: "second",
+			Edits: []Edit{
+				{File: "p.go", Start: start + 3, End: start + 8, NewText: "22222"},
+				{File: "p.go", Start: start + 9, End: start + 10, NewText: "9"},
+			},
+		}),
+	}
+	changed, applied, skipped, err := ApplyFixesToSource(diags, map[string][]byte{"p.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 || skipped != 1 {
+		t.Fatalf("applied=%d skipped=%d, want 1/1", applied, skipped)
+	}
+	if got := string(changed["p.go"]); !strings.Contains(got, "1111167890") {
+		t.Fatalf("overlap resolution wrong: %q", got)
+	}
+}
+
+func TestApplyFixesConflictWithinOneFix(t *testing.T) {
+	src := []byte("package p\n\nvar x = 11\n")
+	start := strings.Index(string(src), "11")
+	diags := []Diagnostic{
+		fixDiag("p.go", 3, SuggestedFix{
+			Message: "self-overlapping",
+			Edits: []Edit{
+				{File: "p.go", Start: start, End: start + 2, NewText: "22"},
+				{File: "p.go", Start: start + 1, End: start + 2, NewText: "3"},
+			},
+		}),
+	}
+	changed, applied, skipped, err := ApplyFixesToSource(diags, map[string][]byte{"p.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 0 || skipped != 1 || len(changed) != 0 {
+		t.Fatalf("self-conflicting fix not skipped: applied=%d skipped=%d changed=%v", applied, skipped, changed)
+	}
+}
+
+func TestApplyFixesOutputIsGofmtClean(t *testing.T) {
+	// The edit deliberately introduces bad spacing; the applier must gofmt.
+	src := []byte("package p\n\nvar x = 1\n")
+	start := strings.Index(string(src), "1")
+	diags := []Diagnostic{
+		fixDiag("p.go", 3, SuggestedFix{
+			Message: "widen",
+			Edits:   []Edit{{File: "p.go", Start: start, End: start + 1, NewText: "   ( 1 + 2 )"}},
+		}),
+	}
+	changed, _, _, err := ApplyFixesToSource(diags, map[string][]byte{"p.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "package p\n\nvar x = (1 + 2)\n"
+	if got := string(changed["p.go"]); got != want {
+		t.Fatalf("output not gofmt'd: %q, want %q", got, want)
+	}
+}
+
+func TestApplyFixesUnparseableResultErrors(t *testing.T) {
+	src := []byte("package p\n\nvar x = 1\n")
+	diags := []Diagnostic{
+		fixDiag("p.go", 3, SuggestedFix{
+			Message: "break it",
+			Edits:   []Edit{{File: "p.go", Start: 0, End: len("package p"), NewText: "pack age p"}},
+		}),
+	}
+	if _, _, _, err := ApplyFixesToSource(diags, map[string][]byte{"p.go": src}); err == nil {
+		t.Fatal("expected error for fix producing unparseable Go")
+	}
+}
+
+func TestApplyFixesInsertions(t *testing.T) {
+	src := []byte("package p\n\nfunc f() {}\n")
+	at := strings.Index(string(src), "func f")
+	diags := []Diagnostic{
+		fixDiag("p.go", 3, SuggestedFix{
+			Message: "add comment",
+			Edits:   []Edit{{File: "p.go", Start: at, End: at, NewText: "// f does nothing.\n"}},
+		}),
+	}
+	changed, applied, _, err := ApplyFixesToSource(diags, map[string][]byte{"p.go": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Fatalf("applied = %d, want 1", applied)
+	}
+	if !strings.Contains(string(changed["p.go"]), "// f does nothing.\nfunc f() {}") {
+		t.Fatalf("insertion misplaced: %q", changed["p.go"])
+	}
+}
+
+func TestApplyFixesOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.go")
+	src := "package p\n\nconst Label = \"Mixed-Case\"\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := strings.Index(src, `"Mixed-Case"`)
+	diags := []Diagnostic{
+		fixDiag(path, 3, SuggestedFix{
+			Message: "canonicalize label",
+			Edits:   []Edit{{File: path, Start: start, End: start + len(`"Mixed-Case"`), NewText: `"mixed_case"`}},
+		}),
+	}
+	res, err := ApplyFixes(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != 1 || res.Skipped != 0 || len(res.Files) != 1 {
+		t.Fatalf("FixResult = %+v", res)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "package p\n\nconst Label = \"mixed_case\"\n"; string(got) != want {
+		t.Fatalf("file after -fix = %q, want %q", got, want)
+	}
+}

@@ -114,6 +114,25 @@ func modulePath(file string) (string, error) {
 // dir) and "./dir" (one package). Directories named testdata or vendor and
 // hidden directories are skipped, as the go tool does.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	paths, err := l.expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(paths))
+	for _, path := range paths {
+		pkg, err := l.load(path, l.IncludeTests)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// expandPatterns resolves package patterns to the sorted import paths they
+// match, without parsing anything. Shared by Load and Scan so both agree on
+// what a pattern means.
+func (l *Loader) expandPatterns(patterns []string) ([]string, error) {
 	dirs := map[string]bool{}
 	for _, pat := range patterns {
 		switch {
@@ -158,21 +177,18 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 		paths = append(paths, importPathJoin(l.ModPath, rel))
 	}
 	sort.Strings(paths)
-	out := make([]*Package, 0, len(paths))
-	for _, path := range paths {
-		pkg, err := l.load(path, l.IncludeTests)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, pkg)
-	}
-	return out, nil
+	return paths, nil
 }
 
 // LoadDir type-checks the single package in dir under the given import
 // path, including in-package test files when IncludeTests is set. Unlike
-// Load, dir need not be inside the module directory.
+// Load, dir need not be inside the module directory. Repeat calls for an
+// already-loaded import path return the cached package, so harnesses can
+// share one loader (and its type-checked stdlib) across many runs.
 func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err

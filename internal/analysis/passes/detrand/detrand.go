@@ -43,7 +43,8 @@ const ObsPackageSuffix = "internal/obs"
 
 // Analyzer is the determinism check.
 var Analyzer = &analysis.Analyzer{
-	Name: "detrand",
+	Name:    "detrand",
+	Version: "1",
 	Doc: "deterministic packages must not use time.Now, global math/rand, or ordered map iteration\n\n" +
 		"Benchmark synthesis regenerates byte-for-byte; wall clocks, the\n" +
 		"process-global RNG and map-iteration order leaking into slices or\n" +

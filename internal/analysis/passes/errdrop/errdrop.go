@@ -22,7 +22,8 @@ import (
 
 // Analyzer is the dropped-error check.
 var Analyzer = &analysis.Analyzer{
-	Name: "errdrop",
+	Name:    "errdrop",
+	Version: "1",
 	Doc: "calls must not discard a returned error\n\n" +
 		"An expression statement whose call returns an error (alone or as\n" +
 		"the last result) silently drops it; assign and handle it instead.",

@@ -1,0 +1,25 @@
+// Fixture consumer of the fault registry: constant, literal, unregistered
+// and runtime-built Inject sites.
+package pipeline
+
+import "example.com/internal/fault"
+
+// viaConstant is the canonical call shape.
+func viaConstant() error {
+	return fault.Inject(fault.SiteParse)
+}
+
+// viaLiteral is allowed: the literal matches a registered value.
+func viaLiteral() error {
+	return fault.Inject("store.save")
+}
+
+// unregistered names a site no sweep will ever reach.
+func unregistered() error {
+	return fault.Inject("renderx") // want `fault\.Inject site "renderx" is not registered`
+}
+
+// runtimeSite cannot be validated or enumerated at all.
+func runtimeSite(site string) error {
+	return fault.Inject(site) // want `fault\.Inject site must be a compile-time constant`
+}

@@ -1,0 +1,100 @@
+// Fixture for the fsyncorder analyzer: each function isolates one write
+// pattern the temp→fsync→rename→fsync-dir protocol allows or forbids.
+package store
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// rawWrite puts bytes on a committed path with no fsync and no rename.
+func rawWrite(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "entry.json"), data, 0o644) // want `os\.WriteFile bypasses the temp→fsync→rename protocol`
+}
+
+// createInPlace opens a committed path for writing directly.
+func createInPlace(path string) error {
+	f, err := os.Create(path) // want `os\.Create writes a committed path in place`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// appendNoSync opens for append and returns without ever fsyncing.
+func appendNoSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644) // want `os\.OpenFile with write flags in appendNoSync but no \(\*os\.File\)\.Sync`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// appendWithSync is the journal idiom: open, write, fsync, close.
+func appendWithSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// readOnly opens without write flags; no sync is required.
+func readOnly(path string) error {
+	f, err := os.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// bareRename renames with no directory sync after it.
+func bareRename(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath) // want `os\.Rename in bareRename without a directory sync after it`
+}
+
+// writeArtifact is the sanctioned protocol: temp file, fsync, rename,
+// fsync the parent directory.
+func writeArtifact(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory, making renames inside it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

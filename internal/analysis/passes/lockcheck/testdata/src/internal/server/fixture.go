@@ -1,0 +1,90 @@
+// Fixture hot-path package: lock-by-value signatures, unpaired unlocks and
+// blocking calls made while a lock is held.
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu sync.Mutex
+	n  int
+}
+
+type rwstate struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// byValueParam copies the caller's mutex into the callee.
+func byValueParam(s state) { // want `parameter of byValueParam carries a lock by value`
+	_ = s
+}
+
+// byValueRecv copies the mutex on every call.
+func (s state) byValueRecv() {} // want `receiver of byValueRecv carries a lock by value`
+
+// returnsLock hands out an independent copy of a held mutex.
+func returnsLock() sync.Mutex { // want `result of returnsLock carries a lock by value`
+	var mu sync.Mutex
+	return mu
+}
+
+// pointerParam shares the mutex; nothing to flag.
+func pointerParam(s *state) {
+	_ = s
+}
+
+// unpaired releases a lock this function never acquired.
+func unpaired(s *state) {
+	s.mu.Unlock() // want `s\.mu\.Unlock without a matching Lock in the same function`
+}
+
+// rwUnpaired releases a read lock this function never acquired.
+func rwUnpaired(s *rwstate) {
+	s.mu.RUnlock() // want `s\.mu\.RUnlock without a matching RLock in the same function`
+}
+
+// paired is the canonical critical section.
+func paired(s *state) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// pairedDeferred is the canonical deferred release.
+func pairedDeferred(s *state) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+}
+
+// rwPaired is the canonical read-side section.
+func rwPaired(s *rwstate) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+// sleepUnderLock blocks every other request behind the mutex.
+func sleepUnderLock(s *state) {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking call while holding s\.mu`
+	s.mu.Unlock()
+}
+
+// sleepAfterUnlock blocks outside the critical section; fine.
+func sleepAfterUnlock(s *state) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// waitUnderDeferredLock holds the mutex to function end, covering the Wait.
+func waitUnderDeferredLock(s *state, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wg.Wait() // want `blocking call while holding s\.mu`
+}

@@ -1,0 +1,37 @@
+package obslabel_test
+
+import (
+	"testing"
+
+	"nvbench/internal/analysis/analysistest"
+	"nvbench/internal/analysis/passes/obslabel"
+)
+
+func TestObslabelPreRegistration(t *testing.T) {
+	// The obs package itself: every _seconds constant must be referenced by
+	// RegisterBase.
+	analysistest.RunModule(t, "testdata/obsmod", "example.com", "internal/obs", obslabel.Analyzer)
+}
+
+func TestObslabelConsumersAndFixes(t *testing.T) {
+	// The consumer package: name/label/suffix rules, and the literal
+	// canonicalization fixes must reproduce the want.fixed golden.
+	analysistest.RunModuleFix(t, "testdata/obsmod", "example.com", "internal/webui", obslabel.Analyzer)
+}
+
+func TestCanonicalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Bad-Name", "bad_name"},
+		{"Route-Key", "route_key"},
+		{"already_good", "already_good"},
+		{"HTTP Requests", "http_requests"},
+		{"__lead__and--trail__", "lead_and_trail"},
+		{"9lives", "x_9lives"},
+		{"", "x_"},
+	}
+	for _, c := range cases {
+		if got := obslabel.Canonicalize(c.in); got != c.want {
+			t.Errorf("Canonicalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

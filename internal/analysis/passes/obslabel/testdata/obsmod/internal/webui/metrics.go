@@ -1,0 +1,17 @@
+// Fixture consumer: canonical and drifted metric names and label keys.
+package webui
+
+import "example.com/internal/obs"
+
+var reg obs.Registry
+
+func wire() {
+	obs.L("Bad-Name", "route", "home")      // want `metric name "Bad-Name" is not canonical lowercase_underscore; use "bad_name"`
+	obs.L("good_name", "Route-Key", "home") // want `label key "Route-Key" is not canonical lowercase_underscore; use "route_key"`
+	obs.L(obs.GoodSeconds, "op", "save")
+	reg.Counter("nvbench_items")           // want `counter "nvbench_items" must end in _total`
+	reg.Histogram("nvbench_latency_total") // want `histogram "nvbench_latency_total" must end in _seconds`
+	reg.Gauge("nvbench_depth_total")       // want `gauge "nvbench_depth_total" must not use the _total/_seconds suffixes`
+	reg.Counter("nvbench_done_total")
+	reg.Gauge("nvbench_in_flight")
+}

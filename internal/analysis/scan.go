@@ -1,0 +1,118 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file is the engine's cheap metadata layer. Scan resolves the same
+// patterns Load does but stops at go/build's ImportDir: file lists and
+// import edges, no parsing and no type-checking. That is what lets a fully
+// warm cached run skip source loading entirely — cache keys are computed
+// from Unit file hashes alone, and packages are only type-checked when at
+// least one analyzer misses the cache.
+
+// Unit describes one package discovered by Scan: its buildable files on
+// disk and its module-internal dependencies.
+type Unit struct {
+	// ImportPath is the package's import path within the module.
+	ImportPath string
+	// Dir is the absolute directory the files live in.
+	Dir string
+	// Root marks packages matched directly by the patterns. The engine
+	// reports diagnostics only for roots; dependency-closure units are
+	// analyzed for their facts.
+	Root bool
+	// Files are the absolute paths of the files the loader would analyze
+	// (test files included for roots when IncludeTests is set), sorted.
+	Files []string
+	// Deps are the module-internal import paths, deduplicated and sorted.
+	Deps []string
+}
+
+// Scan resolves patterns to their matched packages plus the transitive
+// module-internal dependency closure, returning units sorted by import
+// path. Standard-library imports are deliberately excluded from Deps: the
+// toolchain release (runtime.Version) stands in for the stdlib's content in
+// cache keys, so a toolchain upgrade invalidates every entry at once.
+func (l *Loader) Scan(patterns ...string) ([]*Unit, error) {
+	rootPaths, err := l.expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	units := make(map[string]*Unit, len(rootPaths))
+	var queue []string
+	add := func(path string, root bool) error {
+		if _, ok := units[path]; ok {
+			return nil
+		}
+		u, err := l.scanOne(path, root)
+		if err != nil {
+			return err
+		}
+		units[path] = u
+		queue = append(queue, u.Deps...)
+		return nil
+	}
+	// Roots first, so a package that is both a root and a dependency keeps
+	// its root file set (which may include tests).
+	for _, p := range rootPaths {
+		if err := add(p, true); err != nil {
+			return nil, err
+		}
+	}
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if err := add(p, false); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Unit, 0, len(units))
+	for _, u := range units {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// scanOne reads one package's metadata via go/build.
+func (l *Loader) scanOne(path string, root bool) (*Unit, error) {
+	dir, err := l.resolveDir(path)
+	if err != nil {
+		return nil, err
+	}
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s: %v", dir, err)
+	}
+	tests := root && l.IncludeTests
+	names := append([]string(nil), bp.GoFiles...)
+	imports := append([]string(nil), bp.Imports...)
+	if tests {
+		names = append(names, bp.TestGoFiles...)
+		imports = append(imports, bp.TestImports...)
+	}
+	sort.Strings(names)
+	files := make([]string, 0, len(names))
+	for _, name := range names {
+		files = append(files, filepath.Join(dir, name))
+	}
+	depSet := map[string]bool{}
+	for _, imp := range imports {
+		if imp == path {
+			continue
+		}
+		if imp == l.ModPath || strings.HasPrefix(imp, l.ModPath+"/") {
+			depSet[imp] = true
+		}
+	}
+	deps := make([]string, 0, len(depSet))
+	for d := range depSet {
+		deps = append(deps, d)
+	}
+	sort.Strings(deps)
+	return &Unit{ImportPath: path, Dir: dir, Root: root, Files: files, Deps: deps}, nil
+}

@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestScanClosureAndRoots(t *testing.T) {
+	mod := writeTestModule(t)
+	loader, err := NewLoader(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.Scan("./app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]*Unit{}
+	for _, u := range units {
+		got[u.ImportPath] = u
+	}
+	if len(units) != 3 {
+		t.Fatalf("Scan(./app) returned %d units, want 3 (app + lib + base closure)", len(units))
+	}
+	if u := got["demo/app"]; u == nil || !u.Root {
+		t.Fatalf("demo/app missing or not a root: %+v", u)
+	}
+	for _, dep := range []string{"demo/lib", "demo/base"} {
+		if u := got[dep]; u == nil || u.Root {
+			t.Fatalf("%s should be a non-root closure unit: %+v", dep, u)
+		}
+	}
+	if want := []string{"demo/lib"}; !reflect.DeepEqual(got["demo/app"].Deps, want) {
+		t.Fatalf("app deps = %v, want %v", got["demo/app"].Deps, want)
+	}
+	if want := []string{"demo/base"}; !reflect.DeepEqual(got["demo/lib"].Deps, want) {
+		t.Fatalf("lib deps = %v, want %v", got["demo/lib"].Deps, want)
+	}
+	if want := filepath.Join(mod, "app", "app.go"); len(got["demo/app"].Files) != 1 || got["demo/app"].Files[0] != want {
+		t.Fatalf("app files = %v, want [%s]", got["demo/app"].Files, want)
+	}
+}
+
+func TestScanAllPatternsAreRoots(t *testing.T) {
+	mod := writeTestModule(t)
+	loader, err := NewLoader(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.Scan("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 4 {
+		t.Fatalf("Scan(./...) returned %d units, want 4", len(units))
+	}
+	for i, u := range units {
+		if !u.Root {
+			t.Fatalf("unit %s not marked root under ./...", u.ImportPath)
+		}
+		if i > 0 && units[i-1].ImportPath >= u.ImportPath {
+			t.Fatalf("units not sorted: %s before %s", units[i-1].ImportPath, u.ImportPath)
+		}
+	}
+}
+
+func TestScanMatchesLoadExpansion(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	units, err := loader.Scan("./internal/analysis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root *Unit
+	for _, u := range units {
+		if u.ImportPath == "nvbench/internal/analysis" {
+			root = u
+		}
+	}
+	if root == nil || !root.Root {
+		t.Fatalf("nvbench/internal/analysis missing from scan: %+v", units)
+	}
+	for _, f := range root.Files {
+		if filepath.Ext(f) != ".go" {
+			t.Fatalf("non-Go file in unit: %s", f)
+		}
+	}
+}

@@ -58,6 +58,15 @@ const (
 // iteration in timing tables and tests.
 var Stages = []string{StageSQLParse, StageTreeEdit, StageDeepEye, StageNLEdit, StageRender}
 
+// StoreOps lists the op= label values of StoreSeconds, in protocol order:
+// the three store entry points internal/store times.
+var StoreOps = []string{"save", "load", "repair"}
+
+// HTTPRoutes lists the bounded route= label set the server middleware emits
+// for HTTPSeconds and HTTPRequests (see server.routeLabel); the server's
+// route-drift test pins the two together.
+var HTTPRoutes = []string{"/", "/api/entries", "/api/entry/:id", "/api/entry/:id/vega", "/entry/:id", "other"}
+
 // stageSeries precomputes the labeled StageHistogram series name for each
 // pipeline stage, keeping the per-pair hot path free of label assembly.
 var stageSeries = func() map[string]string {
@@ -85,6 +94,12 @@ func RegisterBase(r *Registry) {
 	}
 	for _, stage := range Stages {
 		r.Histogram(L(StageHistogram, "stage", stage))
+	}
+	for _, op := range StoreOps {
+		r.Histogram(L(StoreSeconds, "op", op))
+	}
+	for _, route := range HTTPRoutes {
+		r.Histogram(L(HTTPSeconds, "route", route))
 	}
 	for _, name := range []string{
 		PairsSynthesized, CacheHits, CacheMisses, CacheWriteErrors,

@@ -71,7 +71,17 @@ func (s *Store) moveAside(rel string) error {
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("store: repair: %w", err)
 	}
-	if err := os.Rename(filepath.Join(s.dir, filepath.FromSlash(rel)), dst); err != nil {
+	src := filepath.Join(s.dir, filepath.FromSlash(rel))
+	if err := os.Rename(src, dst); err != nil {
+		return fmt.Errorf("store: repair: %w", err)
+	}
+	// A crash between the rename and the next sweep must not resurrect the
+	// quarantined artifact: sync both the destination and source parents so
+	// the move is durable before repair reports the store healed.
+	if err := syncDir(filepath.Dir(dst)); err != nil {
+		return fmt.Errorf("store: repair: %w", err)
+	}
+	if err := syncDir(filepath.Dir(src)); err != nil {
 		return fmt.Errorf("store: repair: %w", err)
 	}
 	return nil

@@ -15,7 +15,7 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1x}"
 OUT="${OUT:-BENCH_store.json}"
 tmp=$(mktemp)
-trap 'rm -f "$tmp"' EXIT
+trap 'rm -f "$tmp" "${lintbin:-}"; rm -rf "${lintcache:-}"' EXIT
 
 echo "== reproduction benchmarks (repo root, -benchtime $BENCHTIME)"
 go test -run '^$' -bench . -benchtime "$BENCHTIME" .
@@ -91,5 +91,44 @@ if ! run_obs_bench; then
     fi
 fi
 echo "instrumented build overhead under 5%: yes"
+
+echo
+LINT_OUT="${LINT_OUT:-BENCH_lint.json}"
+echo "== lint cache benchmark (cold vs warm nvlint ./...)"
+# Build the driver once so both timings measure analysis, not compilation.
+# Timing lives here in the shell (date +%s%N): nvlint itself must stay free
+# of wall-clock reads under the detrand rule.
+lintbin=$(mktemp)
+lintcache=$(mktemp -d)
+go build -o "$lintbin" ./cmd/nvlint
+
+# lint_wall_ms runs the cached driver over the module and prints wall
+# milliseconds. Exit 1 (findings) is still a valid timing; >= 2 is a
+# driver failure.
+lint_wall_ms() {
+    local start end rc=0
+    start=$(date +%s%N)
+    "$lintbin" -cache-dir "$lintcache" ./... >/dev/null 2>&1 || rc=$?
+    end=$(date +%s%N)
+    if [ "$rc" -ge 2 ]; then
+        echo "bench: nvlint failed (exit $rc)" >&2
+        return 1
+    fi
+    echo $(( (end - start) / 1000000 ))
+}
+
+cold_ms=$(lint_wall_ms)
+warm_ms=$(lint_wall_ms)
+printf '{\n  "lint_cold_ms": %s,\n  "lint_warm_ms": %s\n}\n' "$cold_ms" "$warm_ms" > "$LINT_OUT"
+echo "wrote $LINT_OUT:"
+cat "$LINT_OUT"
+
+# The headline claim: a warm, fully cached lint never re-type-checks and
+# must come in under a third of the cold wall time.
+if ! awk -v c="$cold_ms" -v w="$warm_ms" 'BEGIN { exit (w * 3 < c) ? 0 : 1 }'; then
+    echo "bench: warm nvlint (${warm_ms} ms) is not 3x faster than cold (${cold_ms} ms)" >&2
+    exit 1
+fi
+echo "warm lint 3x faster than cold: yes (cold ${cold_ms} ms, warm ${warm_ms} ms)"
 
 echo "bench: OK"
