@@ -70,6 +70,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		faultSeed = fs.Int64("fault-seed", 1, "seed for the deterministic fault plan")
 		storeDir  = fs.String("store", "", "benchmark store directory; alone, load the stored benchmark instead of building")
 		save      = fs.Bool("save", false, "persist the built benchmark to -store")
+		shards    = fs.Int("shards", 0, "store save worker pool size: shards written in parallel (0 = GOMAXPROCS)")
+		shardN    = fs.Int("shard-count", 0, "shard count for a new store (power of two ≤ 256; 0 = default 16; ignored once a store exists)")
 		incr      = fs.Bool("incremental", false, "build through -store's pair cache, skipping unchanged pairs")
 		fsck      = fs.Bool("fsck", false, "verify every artifact in -store, report corruption and exit")
 		repair    = fs.Bool("repair", false, "heal -store in place: salvage artifacts, move damage to lost+found/")
@@ -130,7 +132,15 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			return err
 		}
 		st.Instrument(ins)
-		if r := st.Status(); r.Journal != store.JournalClean && r.Journal != store.JournalNone {
+		if *shardN != 0 {
+			if err := st.SetShardCount(*shardN); err != nil {
+				return err
+			}
+		}
+		if *shards != 0 {
+			st.SetSaveWorkers(*shards)
+		}
+		if r := st.Status(); r.Dirty() {
 			fmt.Fprintf(w, "store %s opened dirty: %s\n\n", *storeDir, r)
 		}
 	}
@@ -139,7 +149,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 	// fails verification (a clean checkpoint needs no healing). A lossy
 	// repair is fatal unless the run continues into a rebuild (-resume,
 	// which re-synthesizes what was lost) or explicitly serves the salvage.
-	var degraded string
+	var degraded *server.Degradation
 	if *repair || *resume {
 		need := *repair
 		if !need {
@@ -333,24 +343,63 @@ func writeTrace(path string, tr *obs.Tracer) error {
 	return cerr
 }
 
-// repairDetail compresses a repair report into the one-line note /readyz
-// serves while a repaired store is up; empty for a no-op repair.
-func repairDetail(rep *store.RepairReport) string {
+// repairDetail compresses a repair report into the structured degradation
+// /readyz serves while a repaired store is up — the one-line summary plus
+// one row per shard the repair touched; nil for a no-op repair.
+func repairDetail(rep *store.RepairReport) *server.Degradation {
 	if rep.Clean() {
-		return ""
+		return nil
 	}
-	return fmt.Sprintf("store repaired: kept %d entries / %d databases, lost %d entries / %d databases",
-		rep.EntriesKept, rep.DatabasesKept, rep.EntriesLost, rep.DatabasesLost)
+	d := &server.Degradation{
+		Detail: fmt.Sprintf("store repaired: kept %d entries / %d databases, lost %d entries / %d databases",
+			rep.EntriesKept, rep.DatabasesKept, rep.EntriesLost, rep.DatabasesLost),
+	}
+	for _, sh := range rep.Shards {
+		d.Shards = append(d.Shards, server.ShardDegradation{
+			Shard: sh.Shard, Lost: sh.EntriesLost, Salvaged: sh.EntriesKept, Detail: "repaired",
+		})
+	}
+	return d
 }
 
 // serveStore is the -store load path: reconstruct the benchmark from disk
 // (no corpus, no synthesis), print its shape, and optionally export or
-// serve it with the manifest's content hashes as cache validators. A
-// non-empty degraded note marks the store as repaired; /readyz reports it.
-func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, vega bool, serve, degraded string, ins *obs.Instruments, tracePath string) error {
+// serve it with the manifest's content hashes as cache validators. When a
+// strict load fails on a sharded store, a serving run falls back to
+// LoadPartial — the healthy shards keep serving, and /readyz names the
+// shards that did not (on top of any repair degradation already noted).
+func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, vega bool, serve string, degraded *server.Degradation, ins *obs.Instruments, tracePath string) error {
 	b, m, err := st.Load()
 	if err != nil {
-		return err
+		if serve == "" {
+			return err
+		}
+		strictErr := err
+		var fails []store.ShardFailure
+		b, m, fails, err = st.LoadPartial()
+		if err != nil {
+			return err
+		}
+		if len(fails) == 0 {
+			// Strict load failed for a non-shard reason (e.g. torn stats);
+			// nothing partial loading can add.
+			return strictErr
+		}
+		if degraded == nil {
+			degraded = &server.Degradation{}
+		}
+		lost := 0
+		for _, f := range fails {
+			lost += f.EntriesLost
+			degraded.Shards = append(degraded.Shards, server.ShardDegradation{
+				Shard: f.Shard, Lost: f.EntriesLost, Detail: f.Err.Error(),
+			})
+			fmt.Fprintf(w, "shard %s unavailable (%d entries): %v\n", f.Shard, f.EntriesLost, f.Err)
+		}
+		if degraded.Detail == "" {
+			degraded.Detail = fmt.Sprintf("partial load: %d shards unavailable, %d entries lost", len(fails), lost)
+		}
+		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "loaded store %s: %d vis objects, %d (nl, vis) pairs, %d database payloads\n\n",
 		st.Dir(), len(b.Entries), b.NumPairs(), len(m.Databases))

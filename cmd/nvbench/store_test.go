@@ -56,18 +56,7 @@ func TestStoreSaveLoadFsckFlow(t *testing.T) {
 	}
 
 	// Flip one byte in one entry artifact: fsck reports it and fails.
-	matches, err := filepath.Glob(filepath.Join(dir, "entries", "*.json"))
-	if err != nil || len(matches) == 0 {
-		t.Fatalf("no entry artifacts: %v", err)
-	}
-	data, err := os.ReadFile(matches[0])
-	if err != nil {
-		t.Fatal(err)
-	}
-	data[len(data)/2] ^= 0x01
-	if err := os.WriteFile(matches[0], data, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	flipEntryByte(t, dir)
 	out, err = runCLI(t, "-store", dir, "-fsck")
 	if err == nil {
 		t.Fatalf("fsck of corrupt store succeeded:\n%s", out)
@@ -123,10 +112,11 @@ func benchSection(out string) string {
 	return strings.Join(keep, "\n")
 }
 
-// flipEntryByte corrupts one stored entry artifact in place.
+// flipEntryByte corrupts one stored entry artifact in place; entries live
+// inside shard directories (shards/NN/entries/).
 func flipEntryByte(t *testing.T, dir string) {
 	t.Helper()
-	matches, err := filepath.Glob(filepath.Join(dir, "entries", "*.json"))
+	matches, err := filepath.Glob(filepath.Join(dir, "shards", "*", "entries", "*.json"))
 	if err != nil || len(matches) == 0 {
 		t.Fatalf("no entry artifacts: %v", err)
 	}

@@ -41,6 +41,12 @@ type RunStats struct {
 	CacheHits           int   // pairs served from the incremental cache
 	CacheMisses         int   // pairs synthesized because the cache missed
 	CacheWriteErrors    int   // cache Put failures (build output unaffected)
+
+	// Per-shard cache attribution, populated only when the cache is a
+	// ShardedCache; keys are shard names ("00".."ff"). A shard whose cache
+	// partition was lost shows up here as a burst of misses.
+	CacheShardHits   map[string]int `json:"CacheShardHits,omitempty"`
+	CacheShardMisses map[string]int `json:"CacheShardMisses,omitempty"`
 }
 
 // pairResult is one worker's output for one source pair.
@@ -49,6 +55,7 @@ type pairResult struct {
 	quarantine  *Quarantined
 	attempts    int
 	cacheHit    bool
+	cacheShard  string // owning shard of the pair's cache record ("" if unknown)
 	cachePutErr error
 }
 
@@ -59,13 +66,17 @@ type pairResult struct {
 func processPair(ctx context.Context, opts Options, p *spider.Pair) pairResult {
 	ctx, pairSpan := opts.Obs.StartSpan(ctx, "pair", "pair_id", p.ID)
 	defer pairSpan.End()
+	var res pairResult
 	if opts.Cache != nil {
+		if sc, ok := opts.Cache.(ShardedCache); ok {
+			res.cacheShard = sc.Shard(p)
+		}
 		if out, ok := opts.Cache.Get(p); ok {
 			pairSpan.SetArg("cache", "hit")
-			return pairResult{outcome: out, cacheHit: true}
+			res.outcome, res.cacheHit = out, true
+			return res
 		}
 	}
-	var res pairResult
 	var kept []*core.VisObject
 	var rejected []core.Rejection
 	synth := func() error {

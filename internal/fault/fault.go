@@ -55,8 +55,16 @@ const (
 	SiteVariants   = "variants"   // bench NL-variant generation
 	SiteRender     = "render"     // render.VegaLite
 	SiteServer     = "server"     // server per-request middleware
-	SiteStoreSave  = "store.save" // store artifact writes (Save, cache Put)
+	SiteStoreSave  = "store.save" // legacy-layout store writes (pre-shard stores)
 	SiteStoreLoad  = "store.load" // store artifact reads (Load, Verify, cache Get)
+
+	// Sharded-store sites: every write inside one shard (journal, entries,
+	// dbs, cache, shard manifest), every root-level write of the merge
+	// (root journal, merged manifest, stats), and the per-shard repair
+	// entry points.
+	SiteShardSave   = "store.shard.save"   // shard-scoped artifact writes
+	SiteShardMerge  = "store.shard.merge"  // root-manifest merge writes
+	SiteShardRepair = "store.shard.repair" // per-shard (and root re-merge) repair
 )
 
 // Sites lists every registered injection site.
@@ -65,6 +73,7 @@ func Sites() []string {
 		SiteParse, SiteSynthesize, SiteExecute, SiteClassify,
 		SiteVariants, SiteRender, SiteServer,
 		SiteStoreSave, SiteStoreLoad,
+		SiteShardSave, SiteShardMerge, SiteShardRepair,
 	}
 }
 

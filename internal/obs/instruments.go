@@ -31,6 +31,12 @@ const (
 	StoreSeconds = "nvbench_store_seconds"
 	StoreJournal = "nvbench_store_journal_total"
 
+	// Per-shard store durations, labeled op=save|load|repair and shard=
+	// (two-hex-digit shard name). Registered lazily per shard the store
+	// actually touches; RegisterBase seeds shard 00 so the schema is
+	// visible on a cold scrape.
+	StoreShardSeconds = "nvbench_store_shard_seconds"
+
 	// Report truncation: lines suppressed past the 20-line cap in
 	// quarantine/repair reports, labeled report=quarantine|repair.
 	ReportSuppressed = "nvbench_report_suppressed_total"
@@ -42,6 +48,10 @@ const (
 	HTTPInFlight = "nvbench_http_in_flight"
 	HTTPShed     = "nvbench_http_shed_total"
 	HTTPTimeouts = "nvbench_http_timeouts_total"
+
+	// ServerDegraded gauges how many store shards the server is currently
+	// serving around (0 = fully healthy; see server.SetDegraded).
+	ServerDegraded = "nvbench_server_degraded"
 )
 
 // Pipeline stage names used as the stage= label of StageHistogram, in
@@ -97,6 +107,7 @@ func RegisterBase(r *Registry) {
 	}
 	for _, op := range StoreOps {
 		r.Histogram(L(StoreSeconds, "op", op))
+		r.Histogram(L(StoreShardSeconds, "op", op, "shard", "00"))
 	}
 	for _, route := range HTTPRoutes {
 		r.Histogram(L(HTTPSeconds, "route", route))
@@ -109,6 +120,7 @@ func RegisterBase(r *Registry) {
 		r.Counter(name)
 	}
 	r.Gauge(HTTPInFlight)
+	r.Gauge(ServerDegraded)
 }
 
 // Instruments bundles the observability handles a layer needs: a metrics

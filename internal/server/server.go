@@ -65,15 +65,41 @@ type Server struct {
 	cfg     Config
 	ready   atomic.Bool
 	handler http.Handler
-	// etags holds one strong cache validator per entry, indexed by entry
-	// ID. Defaults to a hash of each entry's JSON representation; a
-	// store-backed server overrides them with the manifest's content
-	// hashes via SetEntryETags.
+	// etags holds one strong cache validator per entry, positionally
+	// aligned with Bench.Entries. Defaults to a hash of each entry's JSON
+	// representation; a store-backed server overrides them with the
+	// manifest's content hashes via SetEntryETags.
 	etags []string
-	// degraded, when non-empty, marks the served benchmark as repaired or
+	// byID maps entry ID to its position in Bench.Entries. The two differ
+	// on a partially loaded store, where a lost shard leaves ID gaps.
+	byID map[int]int
+	// degraded, when non-nil, marks the served benchmark as repaired or
 	// partially salvaged; /readyz reports it (still 200 — degraded data is
 	// servable data).
-	degraded atomic.Pointer[string]
+	degraded atomic.Pointer[Degradation]
+}
+
+// ShardDegradation is the damage report for one store shard the server is
+// serving around: entries that could not be salvaged, entries that were,
+// and an optional free-form cause.
+type ShardDegradation struct {
+	Shard    string // shard name ("00".."ff")
+	Lost     int    // entries lost from this shard
+	Salvaged int    // entries kept from this shard after repair
+	Detail   string // optional cause ("journal rolled back", "corrupt artifacts", …)
+}
+
+// Degradation describes why a serving benchmark is degraded: a one-line
+// summary plus, on a sharded store, the per-shard breakdown. The zero
+// value (no detail, no shards) means "not degraded".
+type Degradation struct {
+	Detail string             // one-line summary, first line of /readyz
+	Shards []ShardDegradation // per-shard damage, in shard-name order
+}
+
+// empty reports whether d carries no degradation at all.
+func (d *Degradation) empty() bool {
+	return d == nil || (d.Detail == "" && len(d.Shards) == 0)
 }
 
 // New builds a server over a benchmark with the default hardening config.
@@ -86,7 +112,9 @@ func NewWithConfig(b *bench.Benchmark, cfg Config) *Server {
 	}
 	s := &Server{Bench: b, cfg: cfg}
 	s.etags = make([]string, len(b.Entries))
+	s.byID = make(map[int]int, len(b.Entries))
 	for i, e := range b.Entries {
+		s.byID[e.ID] = i
 		data, err := json.Marshal(toAPI(e))
 		if err != nil {
 			// An entry that cannot marshal would fail every handler anyway;
@@ -127,10 +155,12 @@ func NewWithConfig(b *bench.Benchmark, cfg Config) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-// SetEntryETags replaces the per-entry cache validators, one per entry in
-// ID order — a store-backed server passes the manifest's content hashes so
-// clients revalidate against the exact stored artifact. Call before
-// serving; it is not safe to call concurrently with requests.
+// SetEntryETags replaces the per-entry cache validators, positionally
+// aligned with Bench.Entries — a store-backed server passes the manifest's
+// content hashes so clients revalidate against the exact stored artifact
+// (a partially loaded manifest stays aligned: lost entries are pruned from
+// both sides). Call before serving; it is not safe to call concurrently
+// with requests.
 func (s *Server) SetEntryETags(tags []string) error {
 	if len(tags) != len(s.Bench.Entries) {
 		return fmt.Errorf("server: %d etags for %d entries", len(tags), len(s.Bench.Entries))
@@ -145,10 +175,11 @@ func (s *Server) SetEntryETags(tags []string) error {
 // interchangeably — and Cache-Control: no-cache makes clients revalidate
 // every use, so a rebuilt store invalidates stale copies immediately.
 func (s *Server) notModified(w http.ResponseWriter, r *http.Request, e *bench.Entry) bool {
-	if e.ID < 0 || e.ID >= len(s.etags) || s.etags[e.ID] == "" {
+	i, ok := s.byID[e.ID]
+	if !ok || i >= len(s.etags) || s.etags[i] == "" {
 		return false
 	}
-	tag := `"` + s.etags[e.ID] + `"`
+	tag := `"` + s.etags[i] + `"`
 	w.Header().Set("ETag", tag)
 	w.Header().Set("Cache-Control", "no-cache")
 	for _, c := range strings.Split(r.Header.Get("If-None-Match"), ",") {
@@ -175,16 +206,26 @@ func (s *Server) logf(format string, args ...any) {
 func (s *Server) Ready() bool { return s.ready.Load() }
 
 // SetDegraded marks the served benchmark as degraded — loaded from a
-// repaired or partially salvaged store — with a one-line detail that
-// /readyz reports. The server keeps serving: salvaged data beats no data,
-// but orchestrators and humans probing readiness see the caveat. An empty
-// detail clears the mark. Safe to call concurrently with requests.
-func (s *Server) SetDegraded(detail string) {
-	if detail == "" {
+// repaired or partially salvaged store — with a structured report that
+// /readyz serves line by line and the nvbench_server_degraded gauge
+// mirrors (number of degraded shards, or 1 for unsharded degradation).
+// The server keeps serving: salvaged data beats no data, but orchestrators
+// and humans probing readiness see exactly which shards paid. A nil or
+// empty report clears the mark. Safe to call concurrently with requests.
+func (s *Server) SetDegraded(d *Degradation) {
+	g := s.cfg.Obs.Metrics.Gauge(obs.ServerDegraded)
+	if d.empty() {
 		s.degraded.Store(nil)
+		g.Set(0)
 		return
 	}
-	s.degraded.Store(&detail)
+	cp := &Degradation{Detail: d.Detail, Shards: append([]ShardDegradation(nil), d.Shards...)}
+	s.degraded.Store(cp)
+	n := int64(len(cp.Shards))
+	if n == 0 {
+		n = 1
+	}
+	g.Set(n)
 }
 
 // Run serves on addr until ctx is canceled, then shuts down gracefully:
@@ -237,7 +278,20 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if d := s.degraded.Load(); d != nil {
-		writeBytes(s, w, []byte("degraded: "+*d+"\n"))
+		var sb strings.Builder
+		head := d.Detail
+		if head == "" {
+			head = fmt.Sprintf("%d store shards damaged", len(d.Shards))
+		}
+		sb.WriteString("degraded: " + head + "\n")
+		for _, sh := range d.Shards {
+			fmt.Fprintf(&sb, "  shard %s: lost %d entries, salvaged %d", sh.Shard, sh.Lost, sh.Salvaged)
+			if sh.Detail != "" {
+				sb.WriteString(" (" + sh.Detail + ")")
+			}
+			sb.WriteString("\n")
+		}
+		writeBytes(s, w, []byte(sb.String()))
 		return
 	}
 	writeBytes(s, w, []byte("ready\n"))
@@ -293,10 +347,11 @@ func (s *Server) entryByPath(path, prefix string, allowVega bool) (*bench.Entry,
 	if err != nil {
 		return nil, fmt.Errorf("bad entry id %q", idStr)
 	}
-	if id < 0 || id >= len(s.Bench.Entries) {
-		return nil, fmt.Errorf("entry %d out of range", id)
+	i, ok := s.byID[id]
+	if !ok {
+		return nil, fmt.Errorf("no entry %d", id)
 	}
-	return s.Bench.Entries[id], nil
+	return s.Bench.Entries[i], nil
 }
 
 func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {

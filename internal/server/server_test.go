@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"nvbench/internal/bench"
+	"nvbench/internal/obs"
 	"nvbench/internal/spider"
 )
 
@@ -188,17 +189,28 @@ func TestHTMLEscaping(t *testing.T) {
 
 func TestReadyzReportsDegradedStore(t *testing.T) {
 	// A fresh server of its own: SetDegraded must not leak into the shared
-	// testServer used by the other tests.
-	s := New(testServer.Bench)
+	// testServer used by the other tests. Its own registry makes the
+	// nvbench_server_degraded gauge observable.
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Obs = &obs.Instruments{Metrics: reg}
+	s := NewWithConfig(testServer.Bench, cfg)
 	probe := func() (int, string) {
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
 		return rec.Code, rec.Body.String()
 	}
+	gauge := func() int64 { return reg.Snapshot().Gauges[obs.ServerDegraded] }
 	if code, body := probe(); code != http.StatusOK || body != "ready\n" {
 		t.Fatalf("/readyz = %d %q, want 200 ready", code, body)
 	}
-	s.SetDegraded("repaired store: lost 2 entries, salvaged 94")
+	s.SetDegraded(&Degradation{
+		Detail: "repaired store: lost 2 entries, salvaged 94",
+		Shards: []ShardDegradation{
+			{Shard: "07", Lost: 2, Salvaged: 11, Detail: "journal rolled back"},
+			{Shard: "1f", Lost: 0, Salvaged: 9},
+		},
+	})
 	code, body := probe()
 	if code != http.StatusOK {
 		t.Fatalf("/readyz on a degraded store = %d; degraded data is still servable", code)
@@ -206,8 +218,28 @@ func TestReadyzReportsDegradedStore(t *testing.T) {
 	if !strings.HasPrefix(body, "degraded: ") || !strings.Contains(body, "lost 2 entries") {
 		t.Fatalf("/readyz body = %q, want the degradation detail", body)
 	}
-	s.SetDegraded("")
+	if !strings.Contains(body, "shard 07: lost 2 entries, salvaged 11 (journal rolled back)") ||
+		!strings.Contains(body, "shard 1f: lost 0 entries, salvaged 9") {
+		t.Fatalf("/readyz body = %q, want per-shard degradation lines", body)
+	}
+	if got := gauge(); got != 2 {
+		t.Fatalf("server_degraded gauge = %d after marking 2 shards, want 2", got)
+	}
+	s.SetDegraded(nil)
 	if code, body := probe(); code != http.StatusOK || body != "ready\n" {
 		t.Fatalf("/readyz after clearing = %d %q, want 200 ready", code, body)
+	}
+	if got := gauge(); got != 0 {
+		t.Fatalf("server_degraded gauge = %d after clearing, want 0", got)
+	}
+
+	// Unsharded degradation (a legacy or monolithic repair) still shows:
+	// detail line only, gauge pinned to 1.
+	s.SetDegraded(&Degradation{Detail: "store repaired: lost 1 entry"})
+	if _, body := probe(); !strings.HasPrefix(body, "degraded: store repaired") {
+		t.Fatalf("/readyz body = %q, want unsharded degradation detail", body)
+	}
+	if got := gauge(); got != 1 {
+		t.Fatalf("server_degraded gauge = %d for unsharded degradation, want 1", got)
 	}
 }

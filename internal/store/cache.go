@@ -42,8 +42,11 @@ func Fingerprint(opts bench.Options) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// PairCache is the store's bench.PairCache implementation. It is safe for
-// concurrent use by the build worker pool.
+// PairCache is the store's bench.PairCache implementation (and, on a
+// sharded store, its bench.ShardedCache: records partition into the shard
+// routed by the cache key's first byte, so cache damage shares the shard
+// blast radius and build stats can attribute hits per shard). It is safe
+// for concurrent use by the build worker pool.
 type PairCache struct {
 	store       *Store
 	fingerprint string
@@ -104,6 +107,29 @@ type cachedVisRecord struct {
 	Edit     []editOpRecord `json:"edit,omitempty"`
 }
 
+// cacheBox returns the box one cache key's record lives in: the shard the
+// key's first byte routes to, or the store root on a legacy flat store.
+func (c *PairCache) cacheBox(key string) box {
+	if c.store.legacy {
+		return c.store.legacyBox()
+	}
+	return c.store.shardBox(shardIndex(key, c.store.shardCount))
+}
+
+// Shard names the store shard a pair's cache record partitions into
+// (bench.ShardedCache); "" on a legacy flat store or when the pair cannot
+// be keyed.
+func (c *PairCache) Shard(p *spider.Pair) string {
+	if c.store.legacy {
+		return ""
+	}
+	key, err := c.key(p)
+	if err != nil {
+		return ""
+	}
+	return shardName(shardIndex(key, c.store.shardCount))
+}
+
 // Get returns the cached outcome for a pair, or false on any miss —
 // including an unreadable, corrupt or undecodable artifact. Cache
 // degradation costs a re-synthesis, never a failed build.
@@ -112,7 +138,7 @@ func (c *PairCache) Get(p *spider.Pair) (*bench.PairOutcome, bool) {
 	if err != nil {
 		return nil, false
 	}
-	data, err := c.store.readArtifact(cacheDir + "/" + key + ".json")
+	data, err := c.cacheBox(key).readArtifact(cacheDir + "/" + key + ".json")
 	if err != nil {
 		return nil, false
 	}
@@ -162,7 +188,7 @@ func (c *PairCache) Put(p *spider.Pair, out *bench.PairOutcome) error {
 	if err != nil {
 		return err
 	}
-	return c.store.writeArtifact(cacheDir+"/"+key+".json", selfHashed(payload))
+	return c.cacheBox(key).writeArtifact(cacheDir+"/"+key+".json", selfHashed(payload))
 }
 
 func (vr cachedVisRecord) toCachedVis() (bench.CachedVis, error) {

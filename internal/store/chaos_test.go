@@ -15,14 +15,85 @@ import (
 
 func TestChaosSaveFails(t *testing.T) {
 	_, b := testBench(t)
-	st, err := Open(t.TempDir())
-	if err != nil {
-		t.Fatal(err)
+	// A sharded save writes through three distinct sites: the shard boxes
+	// (store.shard.save), the root merge (store.shard.merge), and the
+	// unjournaled root stats (store.save). Certain failure at any one of
+	// them must fail the whole Save with a wrapped injected error.
+	for _, site := range []string{fault.SiteStoreSave, fault.SiteShardSave, fault.SiteShardMerge} {
+		st, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := fault.NewPlan(1).Add(fault.Rule{Site: site, Kind: fault.KindError, Rate: 1})
+		restore := fault.Activate(plan)
+		_, err = st.Save(b, BuildInfo{})
+		restore()
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Fatalf("Save under %s faults: err = %v, want injected", site, err)
+		}
 	}
-	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteStoreSave, Kind: fault.KindError, Rate: 1})
-	defer fault.Activate(plan)()
-	if _, err := st.Save(b, BuildInfo{}); !errors.Is(err, fault.ErrInjected) {
-		t.Fatalf("Save under store.save faults: err = %v, want injected", err)
+}
+
+// TestChaosShardSitesRecover injects errors into the shard save and merge
+// machinery at a rate high enough to hit most saves, then requires that
+// every failure is a wrapped injection, that Repair restores an
+// fsck-clean store, and that a clean re-save reproduces the benchmark.
+func TestChaosShardSitesRecover(t *testing.T) {
+	_, b := testBench(t)
+	for _, site := range []string{fault.SiteShardSave, fault.SiteShardMerge} {
+		t.Run(site, func(t *testing.T) {
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			restore := fault.Activate(fault.NewPlan(29).Add(
+				fault.Rule{Site: site, Kind: fault.KindError, Rate: 0.1}))
+			injected := 0
+			for attempt := 0; attempt < 8; attempt++ {
+				if _, err := st.Save(b, BuildInfo{}); err != nil {
+					if !errors.Is(err, fault.ErrInjected) {
+						restore()
+						t.Fatalf("attempt %d: organic error under %s faults: %v", attempt, site, err)
+					}
+					injected++
+				}
+			}
+			restore()
+			t.Logf("%s: %d of 8 saves injected", site, injected)
+			if _, err := st.Repair(); err != nil {
+				t.Fatalf("repair after chaos: %v", err)
+			}
+			if rep, err := st.Verify(); err != nil || !rep.OK() {
+				t.Fatalf("verify after chaos+repair: %+v, %v", rep, err)
+			}
+			if _, err := st.Save(b, BuildInfo{}); err != nil {
+				t.Fatalf("clean re-save after chaos: %v", err)
+			}
+			loaded, _, err := st.Load()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if benchFingerprint(loaded) != benchFingerprint(b) {
+				t.Fatal("benchmark diverged after chaos recovery")
+			}
+		})
+	}
+}
+
+// TestChaosRepairFails covers the third shard site: a failing repair pass
+// reports the injection and leaves an already-clean store clean.
+func TestChaosRepairFails(t *testing.T) {
+	_, b := testBench(t)
+	st, _ := mustSave(t, t.TempDir(), b)
+	restore := fault.Activate(fault.NewPlan(1).Add(
+		fault.Rule{Site: fault.SiteShardRepair, Kind: fault.KindError, Rate: 1}))
+	_, err := st.Repair()
+	restore()
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Repair under store.shard.repair faults: err = %v, want injected", err)
+	}
+	if rep, err := st.Verify(); err != nil || !rep.OK() {
+		t.Fatalf("failed repair damaged a clean store: %+v, %v", rep, err)
 	}
 }
 
@@ -71,9 +142,10 @@ func TestChaosCacheDegradesUnderFaults(t *testing.T) {
 	opts.Cache = st.PairCache(fp)
 
 	// Writes failing: every Put errors, the build still completes and the
-	// failures are counted, not fatal.
+	// failures are counted, not fatal. Cache records live in shard boxes,
+	// so their writes go through the store.shard.save site.
 	restore := fault.Activate(fault.NewPlan(1).Add(
-		fault.Rule{Site: fault.SiteStoreSave, Kind: fault.KindError, Rate: 1}))
+		fault.Rule{Site: fault.SiteShardSave, Kind: fault.KindError, Rate: 1}))
 	b, err := bench.Build(corpus, opts)
 	restore()
 	if err != nil {

@@ -1,8 +1,9 @@
 // The crash harness: these tests re-exec the test binary as a child that
 // runs a save (or a full cached build) under a deterministic crash plan,
 // aborting the whole process at injected crash point K. The parent sweeps
-// K upward until the child survives, so every store.save call in the
-// operation gets killed exactly once — and after every kill the store
+// K upward until the child survives, so every write call at the swept site
+// (the shard saves, the root merge, the root stats write) gets killed
+// exactly once — and after every kill the store
 // must either verify cleanly or repair to a state that verifies and
 // loads. The build sweep goes further: it resumes the interrupted build
 // through the pair cache and requires byte-identical output to an
@@ -226,18 +227,34 @@ func TestCrashSweepSave(t *testing.T) {
 		t.Fatal(err)
 	}
 	t.Run("fresh", func(t *testing.T) {
-		// A fresh save killed anywhere: any consistent state is acceptable
-		// (there was no committed data to protect).
-		sweepSaveCrashes(t, goldenDir, "store.save:crash:%d", -1)
+		// A fresh save killed anywhere inside the shard writes: any
+		// consistent state is acceptable (no committed data to protect).
+		sweepSaveCrashes(t, goldenDir, "store.shard.save:crash:%d", -1)
+	})
+	t.Run("merge", func(t *testing.T) {
+		// Killed anywhere inside the root merge instead: the shards are
+		// complete, the global index is in flight.
+		sweepSaveCrashes(t, goldenDir, "store.shard.merge:crash:%d", -1)
 	})
 	t.Run("torn", func(t *testing.T) {
 		// Torn writes compound the crash: prefixes of artifacts land at
 		// their final paths before the process dies.
-		sweepSaveCrashes(t, goldenDir, "store.save:torn:0.4,store.save:crash:%d", -1)
+		sweepSaveCrashes(t, goldenDir, "store.shard.save:torn:0.4,store.shard.save:crash:%d", -1)
+	})
+	t.Run("torn merge", func(t *testing.T) {
+		sweepSaveCrashes(t, goldenDir, "store.shard.merge:torn:0.4,store.shard.merge:crash:%d", -1)
 	})
 	t.Run("resave", func(t *testing.T) {
 		// An idempotent re-save killed anywhere must never lose the
 		// committed benchmark.
+		sweepSaveCrashes(t, goldenDir, "store.shard.save:crash:%d", len(b.Entries))
+	})
+	t.Run("resave merge", func(t *testing.T) {
+		sweepSaveCrashes(t, goldenDir, "store.shard.merge:crash:%d", len(b.Entries))
+	})
+	t.Run("stats", func(t *testing.T) {
+		// The unjournaled root stats write is the one store.save call left
+		// in a sharded save.
 		sweepSaveCrashes(t, goldenDir, "store.save:crash:%d", len(b.Entries))
 	})
 }
@@ -366,9 +383,11 @@ func TestCrashSweepBuildResume(t *testing.T) {
 			t.Fatalf("crash sweep did not terminate after %d points", crashSweepLimit)
 		}
 		dir := filepath.Join(t.TempDir(), "store")
+		// store.shard.save covers both the per-pair cache checkpoints the
+		// build writes and the shard save that follows it.
 		code, out := runCrashChild(t, "TestCrashChildBuild", map[string]string{
 			crashEnvDir:  dir,
-			crashEnvPlan: fmt.Sprintf("store.save:crash:%d", k),
+			crashEnvPlan: fmt.Sprintf("store.shard.save:crash:%d", k),
 		})
 		if code != 0 && code != fault.CrashExitCode {
 			t.Fatalf("crash point %d: child exited %d, want %d or success:\n%s",

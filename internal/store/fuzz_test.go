@@ -2,10 +2,53 @@ package store
 
 import (
 	"bytes"
+	"strings"
 	"testing"
 
 	"nvbench/internal/dataset"
 )
+
+// FuzzShardRoute checks the routing function the whole sharded layout
+// rests on. For any input it must be total (malformed hashes and invalid
+// counts route to shard 0 rather than failing), bounded, stable across
+// calls — the property that makes a re-save route every entry back to its
+// shard — and nested: the 256-way route modulo any smaller power-of-two
+// count is that count's route, so shrinking the layout merges buckets
+// predictably. At the widest layout the route is exactly the first hash
+// byte, which is the uniformity argument: SHA-256 first bytes are uniform.
+func FuzzShardRoute(f *testing.F) {
+	f.Add("", 16)
+	f.Add("deadbeef", 16)
+	f.Add("ff00", 256)
+	f.Add("zz-not-hex", 4)
+	f.Add(strings.Repeat("a", 64), 0)
+	f.Add("0f", 3) // not a power of two
+	f.Fuzz(func(t *testing.T, hash string, count int) {
+		got := shardIndex(hash, count)
+		if !validShardCount(count) {
+			if got != 0 {
+				t.Fatalf("invalid count %d must route to shard 0, got %d", count, got)
+			}
+			return
+		}
+		if got < 0 || got >= count {
+			t.Fatalf("route(%q, %d) = %d, outside [0, %d)", hash, count, got, count)
+		}
+		if again := shardIndex(hash, count); again != got {
+			t.Fatalf("route(%q, %d) is unstable: %d then %d", hash, count, got, again)
+		}
+		wide := shardIndex(hash, maxShardCount)
+		if wide%count != got {
+			t.Fatalf("nesting broken: route(%q, 256) = %d, %% %d = %d, want %d",
+				hash, wide, count, wide%count, got)
+		}
+		if len(hash) >= 2 {
+			if b, ok := hexByte(hash[0], hash[1]); ok && wide != b {
+				t.Fatalf("route(%q, 256) = %d, want the first hash byte %d", hash, wide, b)
+			}
+		}
+	})
+}
 
 // FuzzEntryCodec throws arbitrary bytes at the entry decoder and, for any
 // input it accepts, checks the codec is a fixed point: decode → rebuild →

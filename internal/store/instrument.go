@@ -19,6 +19,12 @@ func (s *Store) timeOp(op string) func() {
 	return s.ins.TimeHistogram(obs.L(obs.StoreSeconds, "op", op))
 }
 
+// timeShardOp starts a duration timer for one operation on one shard; the
+// returned func records into nvbench_store_shard_seconds{op=op,shard=nn}.
+func (s *Store) timeShardOp(op, shard string) func() {
+	return s.ins.TimeHistogram(obs.L(obs.StoreShardSeconds, "op", op, "shard", shard))
+}
+
 // countJournal records one journal recovery outcome.
 func (s *Store) countJournal(action string) {
 	s.ins.Inc(obs.L(obs.StoreJournal, "action", action))

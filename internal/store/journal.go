@@ -1,5 +1,10 @@
 // The write-ahead intent journal: JOURNAL.jsonl records what a Save is
 // about to do, so a store that crashed mid-save is diagnosable afterwards.
+// Every box — the store root and each shard — keeps its own journal; the
+// root journal frames the whole save (begin with the shard count, intents
+// for the merged manifest, commit), each shard journal frames that shard's
+// artifact writes. The I/O lives on box (journalBegin / journalAppend /
+// readJournal); this file is the pure format: framing, parsing, recovery.
 //
 // Format: one record per line, each line framed as
 //
@@ -10,8 +15,8 @@
 // (path + content hash) → commit. The journal is rotated at begin — it is
 // rewritten atomically to hold only the save in flight — which keeps its
 // bytes a pure function of the build: determinism gates that compare whole
-// store trees byte-for-byte hold with the journal included, and a resumed
-// save ends with a journal identical to an uninterrupted one. Appends are
+// store trees byte-for-byte hold with the journals included, and a resumed
+// save ends with journals identical to an uninterrupted one. Appends are
 // fsync'd; recovery tolerates a torn tail record (the crash left a prefix
 // of a line) without discarding the intact records before it.
 //
@@ -22,14 +27,10 @@ package store
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"strings"
-
-	"nvbench/internal/fault"
 )
 
 const journalName = "JOURNAL.jsonl"
@@ -43,10 +44,11 @@ const (
 
 // journalRecord is one journal line's payload.
 type journalRecord struct {
-	Op    string     `json:"op"`
-	Build *BuildInfo `json:"build,omitempty"` // opBegin: how the save was configured
-	Path  string     `json:"path,omitempty"`  // opIntent: artifact about to be written
-	Hash  string     `json:"hash,omitempty"`  // opIntent: content hash it must have
+	Op     string     `json:"op"`
+	Build  *BuildInfo `json:"build,omitempty"`  // opBegin: how the save was configured
+	Shards int        `json:"shards,omitempty"` // opBegin: shard count of the layout being written
+	Path   string     `json:"path,omitempty"`   // opIntent: artifact about to be written
+	Hash   string     `json:"hash,omitempty"`   // opIntent: content hash it must have
 }
 
 // JournalState classifies what the journal says about the store.
@@ -184,67 +186,10 @@ func recoverJournal(data []byte) journalInfo {
 	return j
 }
 
-// readJournal loads and classifies the store's journal.
+// readJournal loads and classifies the root journal (shard journals are
+// read through their boxes).
 func (s *Store) readJournal() journalInfo {
-	data, err := os.ReadFile(filepath.Join(s.dir, journalName))
-	if err != nil {
-		return journalInfo{State: JournalNone}
-	}
-	return recoverJournal(data)
-}
-
-// journalBegin rotates the journal: the file is atomically replaced with a
-// single begin record for the save now starting. Previous records are
-// gone on purpose — they described a committed (or repaired) state that
-// the artifacts themselves now witness.
-func (s *Store) journalBegin(info BuildInfo) error {
-	line, err := journalLine(journalRecord{Op: opBegin, Build: &info})
-	if err != nil {
-		return err
-	}
-	return s.writeArtifact(journalName, line)
-}
-
-// journalAppend durably appends one record. It passes through the
-// store.save injection site; a torn fault persists only a prefix of the
-// line (the state a crash mid-append leaves), then fails. A torn tail
-// left by an earlier crash is healed first so this record starts on a
-// fresh line.
-func (s *Store) journalAppend(rec journalRecord) error {
-	line, err := journalLine(rec)
-	if err != nil {
-		return err
-	}
-	injErr := fault.Inject(fault.SiteStoreSave)
-	var torn *fault.TornError
-	if injErr != nil && !errors.As(injErr, &torn) {
-		return fmt.Errorf("store: journal %s: %w", rec.Op, injErr)
-	}
-	if torn != nil {
-		line = line[:int(torn.Frac*float64(len(line)))]
-	}
-	f, err := os.OpenFile(filepath.Join(s.dir, journalName), os.O_RDWR|os.O_CREATE, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: journal %s: %w", rec.Op, err)
-	}
-	werr := healTail(f)
-	if werr == nil {
-		_, werr = f.Write(line)
-	}
-	if werr == nil {
-		werr = f.Sync()
-	}
-	cerr := f.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr != nil {
-		return fmt.Errorf("store: journal %s: %w", rec.Op, werr)
-	}
-	if torn != nil {
-		return fmt.Errorf("store: journal %s: %w", rec.Op, injErr)
-	}
-	return nil
+	return s.rootBox().readJournal()
 }
 
 // healTail positions f at its end, first completing a newline-less final

@@ -42,37 +42,78 @@ func TestJournalRecordsCommittedSave(t *testing.T) {
 	_, b := testBench(t)
 	dir := t.TempDir()
 	st, m := mustSave(t, dir, b)
+	// The root journal frames the merge: begin (with build info and the
+	// shard count of the save), the manifest and sum intents, commit.
 	j := st.readJournal()
 	if j.State != JournalClean {
-		t.Fatalf("journal state = %s, want clean", j.State)
+		t.Fatalf("root journal state = %s, want clean", j.State)
 	}
 	if j.BadLines != 0 || j.TornTail {
-		t.Fatalf("clean journal reported damage: bad=%d torn=%t", j.BadLines, j.TornTail)
+		t.Fatalf("clean root journal reported damage: bad=%d torn=%t", j.BadLines, j.TornTail)
 	}
 	if j.Begin == nil || j.Begin.Build == nil || j.Begin.Build.Seed != testCfg.Seed {
-		t.Fatalf("begin record did not carry build info: %+v", j.Begin)
+		t.Fatalf("root begin record did not carry build info: %+v", j.Begin)
 	}
-	// One intent per database payload and entry, plus manifest and sum.
-	if want := len(m.Databases) + len(m.Entries) + 2; len(j.Intents) != want {
-		t.Fatalf("journal holds %d intents, want %d", len(j.Intents), want)
+	if j.Begin.Shards != m.ShardCount {
+		t.Fatalf("root begin record carries shard count %d, want %d", j.Begin.Shards, m.ShardCount)
+	}
+	if len(j.Intents) != 2 {
+		t.Fatalf("root journal holds %d intents, want just manifest + sum", len(j.Intents))
 	}
 	hashes := j.intentHashes()
 	if hashes[manifestName] == "" || hashes[manifestSumName] == "" {
-		t.Fatal("journal does not record the manifest/sum intents")
+		t.Fatal("root journal does not record the manifest/sum intents")
 	}
+
+	// Each shard's own journal frames that shard's save: every database
+	// copy and entry it owns, plus its shard manifest and sum.
+	groups := map[string][]EntryRef{}
 	for _, ref := range m.Entries {
-		if hashes[entriesDir+"/"+ref.Hash+".json"] != ref.Hash {
-			t.Fatalf("entry %s has no matching intent", ref.Hash)
+		name := shardName(shardIndex(ref.Hash, m.ShardCount))
+		groups[name] = append(groups[name], ref)
+	}
+	if len(groups) < 2 {
+		t.Fatalf("test benchmark only populates %d shards; want at least 2 for a meaningful test", len(groups))
+	}
+	for name, refs := range groups {
+		sj := st.shardBoxName(name).readJournal()
+		if sj.State != JournalClean {
+			t.Fatalf("shard %s journal state = %s, want clean", name, sj.State)
+		}
+		if sj.Begin == nil || sj.Begin.Build == nil || sj.Begin.Shards != m.ShardCount {
+			t.Fatalf("shard %s begin record incomplete: %+v", name, sj.Begin)
+		}
+		dbs := map[string]bool{}
+		for _, ref := range refs {
+			dbs[ref.DB] = true
+		}
+		if want := len(dbs) + len(refs) + 2; len(sj.Intents) != want {
+			t.Fatalf("shard %s journal holds %d intents, want %d", name, len(sj.Intents), want)
+		}
+		sh := sj.intentHashes()
+		for _, ref := range refs {
+			if sh[entriesDir+"/"+ref.Hash+".json"] != ref.Hash {
+				t.Fatalf("shard %s: entry %s has no matching intent", name, ref.Hash)
+			}
 		}
 	}
 	// Rotation: an idempotent re-save must leave byte-identical journal
-	// bytes — the journal is a pure function of the build.
-	before := readJournalFile(t, dir)
+	// bytes everywhere — every journal is a pure function of the build.
+	before := map[string][]byte{"": readJournalFile(t, dir)}
+	for name := range groups {
+		before[name] = readJournalFile(t, filepath.Join(dir, shardsDir, name))
+	}
 	if _, err := st.Save(b, m.Build); err != nil {
 		t.Fatal(err)
 	}
-	if after := readJournalFile(t, dir); !bytes.Equal(before, after) {
-		t.Fatal("re-save changed the journal bytes")
+	for name, prev := range before {
+		jdir := dir
+		if name != "" {
+			jdir = filepath.Join(dir, shardsDir, name)
+		}
+		if after := readJournalFile(t, jdir); !bytes.Equal(prev, after) {
+			t.Fatalf("re-save changed journal bytes (shard %q)", name)
+		}
 	}
 }
 
@@ -126,7 +167,7 @@ func TestJournalAppendHealsTornTail(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, journalName), torn, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.journalAppend(journalRecord{Op: opCommit}); err != nil {
+	if err := st.rootBox().journalAppend(journalRecord{Op: opCommit}); err != nil {
 		t.Fatal(err)
 	}
 	j := st.readJournal()
@@ -145,11 +186,17 @@ func TestJournalAppendHealsTornTail(t *testing.T) {
 func TestOpenSweepsTempFiles(t *testing.T) {
 	_, b := testBench(t)
 	dir := t.TempDir()
-	st, _ := mustSave(t, dir, b)
+	st, m := mustSave(t, dir, b)
+	// One stray at the root and two inside a populated shard — the sweep
+	// must reach into every shard directory.
+	shard := shardName(shardIndex(m.Entries[0].Hash, m.ShardCount))
 	plant := []string{
 		filepath.Join(dir, ".MANIFEST.json.tmp123"),
-		filepath.Join(dir, entriesDir, ".deadbeef.json.tmp42"),
-		filepath.Join(dir, cacheDir, ".k.json.tmp7"),
+		filepath.Join(dir, shardsDir, shard, entriesDir, ".deadbeef.json.tmp42"),
+		filepath.Join(dir, shardsDir, shard, cacheDir, ".k.json.tmp7"),
+	}
+	if err := os.MkdirAll(filepath.Join(dir, shardsDir, shard, cacheDir), 0o755); err != nil {
+		t.Fatal(err)
 	}
 	for _, p := range plant {
 		if err := os.WriteFile(p, []byte("partial write"), 0o644); err != nil {
@@ -189,20 +236,23 @@ func TestStatusDiagnosesInterruptedSave(t *testing.T) {
 		t.Fatalf("fresh save diagnosed as %q", got.String())
 	}
 
-	// Simulate a save that crashed after intending two artifacts: one never
-	// reached disk, one landed torn.
-	if err := st.journalBegin(m.Build); err != nil {
+	// Simulate a shard save that crashed after intending two artifacts: one
+	// never reached disk, one landed torn. The damage must be diagnosed on
+	// that shard — and only that shard.
+	shard := shardName(shardIndex(m.Entries[0].Hash, m.ShardCount))
+	bx := st.shardBoxName(shard)
+	if err := bx.journalBegin(journalRecord{Build: &m.Build, Shards: m.ShardCount}); err != nil {
 		t.Fatal(err)
 	}
 	missing := strings.Repeat("a", 64)
-	if err := st.journalAppend(journalRecord{Op: opIntent, Path: entriesDir + "/" + missing + ".json", Hash: missing}); err != nil {
+	if err := bx.journalAppend(journalRecord{Op: opIntent, Path: entriesDir + "/" + missing + ".json", Hash: missing}); err != nil {
 		t.Fatal(err)
 	}
 	tornHash := strings.Repeat("b", 64)
-	if err := st.journalAppend(journalRecord{Op: opIntent, Path: entriesDir + "/" + tornHash + ".json", Hash: tornHash}); err != nil {
+	if err := bx.journalAppend(journalRecord{Op: opIntent, Path: entriesDir + "/" + tornHash + ".json", Hash: tornHash}); err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, entriesDir, tornHash+".json"), []byte(`{"trunc`), 0o644); err != nil {
+	if err := os.WriteFile(bx.path(entriesDir+"/"+tornHash+".json"), []byte(`{"trunc`), 0o644); err != nil {
 		t.Fatal(err)
 	}
 
@@ -215,11 +265,18 @@ func TestStatusDiagnosesInterruptedSave(t *testing.T) {
 	}
 	for name, cur := range map[string]*Store{"in-process": st, "reopened": reopened} {
 		r := cur.Status()
-		if r.Journal != JournalInProgress || r.PendingIntents != 2 || r.PendingMissing != 1 || r.PendingTorn != 1 {
-			t.Fatalf("%s: diagnosis = %+v, want in-progress with 1 missing + 1 torn", name, r)
+		if r.Journal != JournalClean {
+			t.Fatalf("%s: root journal = %s; shard damage must not implicate the root", name, r.Journal)
 		}
-		if !strings.Contains(r.String(), "torn") {
-			t.Fatalf("%s: String() = %q, want a torn-artifact diagnosis", name, r.String())
+		if !r.Dirty() || len(r.Shards) != 1 || r.Shards[0].Shard != shard {
+			t.Fatalf("%s: diagnosis = %+v, want exactly shard %s dirty", name, r, shard)
+		}
+		ss := r.Shards[0]
+		if ss.Journal != JournalInProgress || ss.PendingIntents != 2 || ss.PendingMissing != 1 || ss.PendingTorn != 1 {
+			t.Fatalf("%s: shard diagnosis = %+v, want in-progress with 1 missing + 1 torn", name, ss)
+		}
+		if !strings.Contains(r.String(), shard) {
+			t.Fatalf("%s: String() = %q, want the sick shard named", name, r.String())
 		}
 	}
 }

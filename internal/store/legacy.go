@@ -1,0 +1,156 @@
+// Legacy (format-version-1) stores: the flat pre-shard layout with
+// entries/, dbs/ and cache/ at the store root. They stay fully readable —
+// Load, Verify, Status and the pair cache all work — but are never written
+// in place: Save converts the store by writing the benchmark sharded and
+// retiring the flat directories to lost+found/legacy/, and Repair refuses
+// with a pointer at the conversion.
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/dataset"
+)
+
+// legacyBox is the store root as the flat layout's single box. Reads
+// inject store.load as everywhere; the box is never written (conversion
+// writes the sharded layout through the normal boxes).
+func (s *Store) legacyBox() box {
+	return box{root: s.dir, inject: injectStoreSave}
+}
+
+// loadLegacy reconstructs the benchmark from a flat store, with the same
+// validation Load applies to shards: every artifact re-hashed against its
+// manifest address, databases shared by pointer, stats decoded strictly.
+func (s *Store) loadLegacy(m *Manifest) (*bench.Benchmark, *Manifest, error) {
+	bx := s.legacyBox()
+	dbs := make(map[string]*dataset.Database, len(m.Databases))
+	for _, h := range m.Databases {
+		rel := dbsDir + "/" + h + ".json"
+		data, err := bx.readArtifact(rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if got := hashBytes(data); got != h {
+			return nil, nil, fmt.Errorf("store: %s corrupt: content hash %s does not match address", rel, got)
+		}
+		db, err := decodeDatabase(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: decode %s: %w", rel, err)
+		}
+		dbs[h] = db
+	}
+	b := assembleBenchmark(m, make([]*bench.Entry, 0, len(m.Entries)))
+	for _, ref := range m.Entries {
+		rel := entriesDir + "/" + ref.Hash + ".json"
+		data, err := bx.readArtifact(rel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if got := hashBytes(data); got != ref.Hash {
+			return nil, nil, fmt.Errorf("store: %s corrupt: content hash %s does not match address", rel, got)
+		}
+		rec, err := decodeEntryRecord(data)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: decode %s: %w", rel, err)
+		}
+		db := dbs[rec.DB]
+		if db == nil {
+			return nil, nil, fmt.Errorf("store: %s references unknown database %s", rel, rec.DB)
+		}
+		e, err := rec.toEntry(db)
+		if err != nil {
+			return nil, nil, fmt.Errorf("store: decode %s: %w", rel, err)
+		}
+		if e.ID != ref.ID || e.PairID != ref.PairID {
+			return nil, nil, fmt.Errorf("store: %s: entry (%d, pair %d) does not match manifest ref (%d, pair %d)",
+				rel, e.ID, e.PairID, ref.ID, ref.PairID)
+		}
+		b.Entries = append(b.Entries, e)
+	}
+	if err := s.loadStats(b, true); err != nil {
+		return nil, nil, err
+	}
+	return b, m, nil
+}
+
+// verifyLegacy appends the flat layout's artifact findings to a Verify
+// report: the entries/dbs hash sweep and the root cache partition (the
+// root manifest and journal are checked by the caller).
+func (s *Store) verifyLegacy(rep *FsckReport, m *Manifest) {
+	bx := s.legacyBox()
+	refs := map[string]bool{}
+	for _, ref := range m.Entries {
+		refs[entriesDir+"/"+ref.Hash+".json"] = true
+	}
+	for _, h := range m.Databases {
+		refs[dbsDir+"/"+h+".json"] = true
+	}
+	for _, dir := range []string{entriesDir, dbsDir} {
+		names, err := bx.listJSON(dir)
+		if err != nil {
+			rep.Corrupt = append(rep.Corrupt, Corruption{Path: dir, Detail: err.Error()})
+			continue
+		}
+		for _, name := range names {
+			rel := dir + "/" + name
+			rep.Checked++
+			data, err := bx.readArtifact(rel)
+			if err != nil {
+				rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: err.Error()})
+				continue
+			}
+			want := strings.TrimSuffix(name, ".json")
+			if got := hashBytes(data); got != want {
+				detail := fmt.Sprintf("content hash %s does not match address", got)
+				if !refs[rel] {
+					detail += " (orphan)"
+				}
+				rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: detail})
+			}
+			delete(refs, rel)
+		}
+	}
+	for _, rel := range sortedKeys(refs) { // referenced by the manifest but absent on disk
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: "missing artifact"})
+	}
+	verifyCacheDir(rep, bx)
+}
+
+// retireLegacy moves the flat layout's artifact directories to
+// lost+found/legacy/ after a converting Save has landed the sharded
+// layout. Nothing is deleted; the old store remains inspectable.
+func (s *Store) retireLegacy() error {
+	dstRoot := filepath.Join(s.dir, lostFoundDir, "legacy")
+	if err := os.MkdirAll(dstRoot, 0o755); err != nil {
+		return fmt.Errorf("store: convert: %w", err)
+	}
+	moved := false
+	for _, sub := range []string{entriesDir, dbsDir, cacheDir} {
+		src := filepath.Join(s.dir, sub)
+		if _, err := os.Stat(src); err != nil {
+			continue
+		}
+		if err := os.Rename(src, filepath.Join(dstRoot, sub)); err != nil {
+			return fmt.Errorf("store: convert: %w", err)
+		}
+		moved = true
+	}
+	if !moved {
+		return nil
+	}
+	// The renames must be durable before the conversion reports success —
+	// a crash must not resurrect half a flat layout next to the shards.
+	if err := syncDir(dstRoot); err != nil {
+		return fmt.Errorf("store: convert: %w", err)
+	}
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("store: convert: %w", err)
+	}
+	return nil
+}

@@ -1,13 +1,13 @@
-// Manifest types: the index artifact that names every other artifact by
-// content hash, plus the fsck (Verify) walk that re-hashes all of them.
+// Manifest types: the root index artifact that names every shard manifest
+// (and, merged, every entry) by content hash, plus the fsck (Verify) walk
+// that re-hashes all of them shard by shard.
 
 package store
 
 import (
+	"bytes"
 	"fmt"
 	"io"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 
@@ -26,7 +26,9 @@ type BuildInfo struct {
 }
 
 // EntryRef is one manifest line: where an entry lives and what it must
-// hash to.
+// hash to. The owning shard is not stored — it is computable from Hash and
+// the shard count, which is what keeps placement an invariant rather than
+// a field that could disagree with it.
 type EntryRef struct {
 	ID     int    `json:"id"`
 	PairID int    `json:"pair_id"`
@@ -34,10 +36,24 @@ type EntryRef struct {
 	DB     string `json:"db"`
 }
 
-// Manifest indexes a saved benchmark.
+// ShardRef is one shard in the root manifest: its name and the content
+// hash its shard manifest must have. A shard whose manifest drifts from
+// this hash is sick by definition.
+type ShardRef struct {
+	Name string `json:"name"`
+	Hash string `json:"hash"`
+}
+
+// Manifest indexes a saved benchmark. In the sharded layout (format 2) it
+// is the deterministic merge of the shard manifests: ShardCount and Shards
+// describe the partition, Entries/Databases are the merged global view.
+// Format-1 (legacy flat) manifests decode into the same type with the
+// shard fields empty.
 type Manifest struct {
 	FormatVersion int                 `json:"format_version"`
 	Build         BuildInfo           `json:"build"`
+	ShardCount    int                 `json:"shard_count,omitempty"`
+	Shards        []ShardRef          `json:"shards,omitempty"`
 	Databases     []string            `json:"databases"`
 	Entries       []EntryRef          `json:"entries"`
 	Rejections    map[string]int      `json:"rejections,omitempty"`
@@ -54,7 +70,9 @@ func (m *Manifest) EntryHashes() []string {
 	return out
 }
 
-// Corruption is one artifact Verify could not validate.
+// Corruption is one artifact Verify could not validate. Paths are
+// root-relative, so a shard artifact reads "shards/03/entries/<h>.json" —
+// the prefix is what attributes damage to a shard.
 type Corruption struct {
 	Path   string `json:"path"`
 	Detail string `json:"detail"`
@@ -69,30 +87,51 @@ type FsckReport struct {
 // OK reports whether the walk found no corruption.
 func (r *FsckReport) OK() bool { return len(r.Corrupt) == 0 }
 
-// Verify is fsck for the store: it re-hashes the manifest against its
-// recorded sum, every entry and database artifact against its content
-// address (manifest-referenced or not — an orphan with a lying filename is
+// SickShards names the shards with at least one corrupt artifact, in name
+// order. Root-level corruption (the merged manifest, the root journal)
+// attributes to no shard.
+func (r *FsckReport) SickShards() []string {
+	seen := map[string]bool{}
+	for _, c := range r.Corrupt {
+		if rest, ok := strings.CutPrefix(c.Path, shardsDir+"/"); ok {
+			if i := strings.IndexByte(rest, '/'); i > 0 {
+				seen[rest[:i]] = true
+			} else if rest != "" {
+				seen[rest] = true
+			}
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// Verify is fsck for the store: it re-hashes the root manifest against its
+// recorded sum, every shard manifest against the root's ShardRef hash,
+// every entry and database artifact against its content address
+// (manifest-referenced or not — an orphan with a lying filename is
 // corruption too), every cache artifact against its embedded payload
-// hash, and checks the journal records a committed save. It returns a report rather than failing on the first hit, so one
-// flipped byte and fifty flipped bytes both come back as a complete
-// picture; the error return is reserved for stores that cannot be walked
-// at all (no manifest).
+// hash, and checks that every journal — root and per shard — records a
+// committed save. When all shard manifests are intact it additionally
+// recomputes the root merge and byte-compares it, so a root manifest that
+// is internally consistent but disagrees with its shards is caught. It
+// returns a report rather than failing on the first hit, so one flipped
+// byte and fifty flipped bytes both come back as a complete picture;
+// sick shards are also recorded into Status. The error return is reserved
+// for stores that cannot be walked at all (no root manifest).
 func (s *Store) Verify() (*FsckReport, error) {
 	rep := &FsckReport{}
-	mdata, err := s.readArtifact(manifestName)
+	mdata, err := s.rootBox().readArtifact(manifestName)
 	if err != nil {
 		return nil, err
 	}
 	rep.Checked++
-	refs := map[string]bool{}
-	sum, err := s.readArtifact(manifestSumName)
+	sum, err := s.rootBox().readArtifact(manifestSumName)
 	switch {
 	case err != nil:
 		rep.Corrupt = append(rep.Corrupt, Corruption{Path: manifestSumName, Detail: err.Error()})
-	case strings.TrimSpace(string(sum)) != hashBytes(mdata):
+	case trimSum(sum) != hashBytes(mdata):
 		rep.Corrupt = append(rep.Corrupt, Corruption{
 			Path:   manifestName,
-			Detail: fmt.Sprintf("hash %s does not match recorded %s", hashBytes(mdata), strings.TrimSpace(string(sum))),
+			Detail: fmt.Sprintf("hash %s does not match recorded %s", hashBytes(mdata), trimSum(sum)),
 		})
 	}
 	var m Manifest
@@ -100,105 +139,271 @@ func (s *Store) Verify() (*FsckReport, error) {
 		rep.Corrupt = append(rep.Corrupt, Corruption{Path: manifestName, Detail: "undecodable: " + err.Error()})
 		return rep, nil
 	}
+	if m.FormatVersion == legacyFormatVersion {
+		s.verifyLegacy(rep, &m)
+		s.finishVerify(rep)
+		return rep, nil
+	}
+	if !validShardCount(m.ShardCount) {
+		rep.Corrupt = append(rep.Corrupt, Corruption{
+			Path:   manifestName,
+			Detail: fmt.Sprintf("invalid shard count %d", m.ShardCount),
+		})
+		s.finishVerify(rep)
+		return rep, nil
+	}
+	refs := map[string]string{}
+	for _, sr := range m.Shards {
+		refs[sr.Name] = sr.Hash
+	}
+	names, err := s.shardUniverse(refs)
+	if err != nil {
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: shardsDir, Detail: err.Error()})
+		s.finishVerify(rep)
+		return rep, nil
+	}
+	// Which entries the root manifest expects of each shard — the per-shard
+	// walk checks the shard manifest says the same.
+	rootRefs := map[string][]EntryRef{}
 	for _, ref := range m.Entries {
-		refs[entriesDir+"/"+ref.Hash+".json"] = true
+		name := shardName(shardIndex(ref.Hash, m.ShardCount))
+		rootRefs[name] = append(rootRefs[name], ref)
 	}
-	for _, h := range m.Databases {
-		refs[dbsDir+"/"+h+".json"] = true
-	}
-	for _, dir := range []string{entriesDir, dbsDir} {
-		names, err := s.listJSON(dir)
-		if err != nil {
-			rep.Corrupt = append(rep.Corrupt, Corruption{Path: dir, Detail: err.Error()})
+	var parts []shardPart
+	shardsIntact := true
+	for _, name := range names {
+		wantHash, listed := refs[name]
+		sm, smHash := s.verifyShard(rep, name, wantHash, listed, m.ShardCount, rootRefs[name])
+		if sm == nil {
+			if listed {
+				shardsIntact = false
+			}
 			continue
 		}
-		for _, name := range names {
-			rel := dir + "/" + name
-			rep.Checked++
-			data, err := s.readArtifact(rel)
-			if err != nil {
-				rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: err.Error()})
-				continue
+		parts = append(parts, shardPart{name: name, m: sm, hash: smHash})
+	}
+	for _, sr := range m.Shards {
+		// Only manifests of listed shards participate in the merge; a
+		// healthy unreferenced shard directory (e.g. cache-only) does not.
+		found := false
+		for _, p := range parts {
+			if p.name == sr.Name {
+				found = true
+				break
 			}
-			want := strings.TrimSuffix(name, ".json")
-			if got := hashBytes(data); got != want {
-				detail := fmt.Sprintf("content hash %s does not match address", got)
-				if !refs[rel] {
-					detail += " (orphan)"
-				}
-				rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: detail})
-			}
-			delete(refs, rel)
+		}
+		if !found {
+			shardsIntact = false
 		}
 	}
-	for rel := range refs { // referenced by the manifest but absent on disk
-		rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: "missing artifact"})
+	if shardsIntact {
+		merged := parts[:0:0]
+		for _, p := range parts {
+			if _, listed := refs[p.name]; listed {
+				merged = append(merged, p)
+			}
+		}
+		expect := mergeManifest(m.Build, m.ShardCount, merged, m.Rejections, m.Quarantine)
+		edata, err := canonicalJSON(expect)
+		if err == nil && !bytes.Equal(edata, mdata) {
+			rep.Corrupt = append(rep.Corrupt, Corruption{
+				Path:   manifestName,
+				Detail: "does not match the deterministic merge of the shard manifests",
+			})
+		}
 	}
+	s.finishVerify(rep)
+	return rep, nil
+}
+
+// finishVerify checks the root journal, sorts the findings, and records
+// sick shards into the open report.
+func (s *Store) finishVerify(rep *FsckReport) {
 	rep.Checked++
-	switch j := s.readJournal(); j.State {
+	verifyJournal(rep, s.rootBox(), journalName)
+	sort.Slice(rep.Corrupt, func(i, j int) bool { return rep.Corrupt[i].Path < rep.Corrupt[j].Path })
+	counts := map[string]int{}
+	for _, c := range rep.Corrupt {
+		if rest, ok := strings.CutPrefix(c.Path, shardsDir+"/"); ok {
+			if i := strings.IndexByte(rest, '/'); i > 0 {
+				counts[rest[:i]]++
+			}
+		}
+	}
+	for _, name := range sortedKeysAny(counts) {
+		s.noteSick(name, fmt.Sprintf("%d corrupt artifacts (fsck)", counts[name]))
+	}
+}
+
+// verifyJournal appends the standard journal findings for one box.
+func verifyJournal(rep *FsckReport, bx box, path string) {
+	switch j := bx.readJournal(); j.State {
 	case JournalNone:
-		rep.Corrupt = append(rep.Corrupt, Corruption{Path: journalName, Detail: "missing journal (no save record)"})
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(path), Detail: "missing journal (no save record)"})
 	case JournalCorrupt:
-		rep.Corrupt = append(rep.Corrupt, Corruption{Path: journalName, Detail: "no intact begin record"})
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(path), Detail: "no intact begin record"})
 	case JournalInProgress:
 		rep.Corrupt = append(rep.Corrupt, Corruption{
-			Path:   journalName,
+			Path:   bx.key(path),
 			Detail: fmt.Sprintf("incomplete save: %d intents without commit (run -repair)", len(j.Intents)),
 		})
 	case JournalClean:
 		if j.BadLines > 0 || j.TornTail {
 			rep.Corrupt = append(rep.Corrupt, Corruption{
-				Path:   journalName,
+				Path:   bx.key(path),
 				Detail: fmt.Sprintf("%d unreadable records (torn tail: %t)", j.BadLines, j.TornTail),
 			})
 		}
 	}
-	names, err := s.listJSON(cacheDir)
+}
+
+// verifyShard walks one shard: manifest linkage to the root, the shard's
+// content-addressed artifacts, its journal, its cache partition. Returns
+// the decoded shard manifest (nil when unusable) and its content hash, for
+// the root-merge recomputation.
+func (s *Store) verifyShard(rep *FsckReport, name, wantHash string, listed bool, count int, rootRefs []EntryRef) (*ShardManifest, string) {
+	bx := s.shardBoxName(name)
+	var sm *ShardManifest
+	smHash := ""
+	smdata, err := bx.readArtifact(manifestName)
+	switch {
+	case err != nil && listed:
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(manifestName), Detail: "missing shard manifest"})
+	case err == nil:
+		rep.Checked++
+		smHash = hashBytes(smdata)
+		sum, serr := bx.readArtifact(manifestSumName)
+		switch {
+		case serr != nil:
+			rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(manifestSumName), Detail: serr.Error()})
+		case trimSum(sum) != smHash:
+			rep.Corrupt = append(rep.Corrupt, Corruption{
+				Path:   bx.key(manifestName),
+				Detail: fmt.Sprintf("hash %s does not match recorded %s", smHash, trimSum(sum)),
+			})
+		}
+		if listed && smHash != wantHash {
+			rep.Corrupt = append(rep.Corrupt, Corruption{
+				Path:   bx.key(manifestName),
+				Detail: fmt.Sprintf("hash %s does not match the root manifest's %s", smHash, wantHash),
+			})
+			sm = nil
+		}
+		var dec ShardManifest
+		if derr := decodeStrict(smdata, &dec); derr != nil {
+			rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(manifestName), Detail: "undecodable: " + derr.Error()})
+		} else if dec.FormatVersion != FormatVersion || dec.Shard != name || dec.ShardCount != count {
+			rep.Corrupt = append(rep.Corrupt, Corruption{
+				Path:   bx.key(manifestName),
+				Detail: fmt.Sprintf("describes shard %s of %d (format %d), found in shard %s of %d", dec.Shard, dec.ShardCount, dec.FormatVersion, name, count),
+			})
+		} else if !listed || smHash == wantHash {
+			sm = &dec
+		}
+	}
+	// The artifact sweep: everything the shard manifest (or, failing that,
+	// the root manifest) references must be present and hash-true; present
+	// artifacts must hash to their names referenced or not.
+	refs := map[string]bool{}
+	if sm != nil {
+		for _, ref := range sm.Entries {
+			refs[entriesDir+"/"+ref.Hash+".json"] = true
+			if got := shardName(shardIndex(ref.Hash, count)); got != name {
+				rep.Corrupt = append(rep.Corrupt, Corruption{
+					Path:   bx.key(entriesDir + "/" + ref.Hash + ".json"),
+					Detail: fmt.Sprintf("routed to shard %s but listed by shard %s", got, name),
+				})
+			}
+		}
+		for _, h := range sm.Databases {
+			refs[dbsDir+"/"+h+".json"] = true
+		}
+	} else {
+		for _, ref := range rootRefs {
+			refs[entriesDir+"/"+ref.Hash+".json"] = true
+			refs[dbsDir+"/"+ref.DB+".json"] = true
+		}
+	}
+	if sm != nil && len(rootRefs) != len(sm.Entries) {
+		rep.Corrupt = append(rep.Corrupt, Corruption{
+			Path:   bx.key(manifestName),
+			Detail: fmt.Sprintf("lists %d entries but the root manifest routes %d here", len(sm.Entries), len(rootRefs)),
+		})
+	}
+	for _, dir := range []string{entriesDir, dbsDir} {
+		names, err := bx.listJSON(dir)
+		if err != nil {
+			rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(dir), Detail: err.Error()})
+			continue
+		}
+		for _, fname := range names {
+			rel := dir + "/" + fname
+			rep.Checked++
+			data, err := bx.readArtifact(rel)
+			if err != nil {
+				rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(rel), Detail: err.Error()})
+				continue
+			}
+			want := strings.TrimSuffix(fname, ".json")
+			if got := hashBytes(data); got != want {
+				detail := fmt.Sprintf("content hash %s does not match address", got)
+				if !refs[rel] {
+					detail += " (orphan)"
+				}
+				rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(rel), Detail: detail})
+			}
+			delete(refs, rel)
+		}
+	}
+	for _, rel := range sortedKeys(refs) { // referenced but absent on disk
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(rel), Detail: "missing artifact"})
+	}
+	if listed {
+		rep.Checked++
+		verifyJournal(rep, bx, journalName)
+	}
+	verifyCacheDir(rep, bx)
+	return sm, smHash
+}
+
+// verifyCacheDir self-hash-checks every cache record in one box.
+func verifyCacheDir(rep *FsckReport, bx box) {
+	names, err := bx.listJSON(cacheDir)
 	if err != nil {
-		rep.Corrupt = append(rep.Corrupt, Corruption{Path: cacheDir, Detail: err.Error()})
+		rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(cacheDir), Detail: err.Error()})
 	}
 	for _, name := range names {
 		rel := cacheDir + "/" + name
 		rep.Checked++
-		data, err := s.readArtifact(rel)
+		data, err := bx.readArtifact(rel)
 		if err != nil {
-			rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: err.Error()})
+			rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(rel), Detail: err.Error()})
 			continue
 		}
 		if _, err := verifySelfHashed(data); err != nil {
-			rep.Corrupt = append(rep.Corrupt, Corruption{Path: rel, Detail: err.Error()})
+			rep.Corrupt = append(rep.Corrupt, Corruption{Path: bx.key(rel), Detail: err.Error()})
 		}
 	}
-	sort.Slice(rep.Corrupt, func(i, j int) bool { return rep.Corrupt[i].Path < rep.Corrupt[j].Path })
-	return rep, nil
 }
 
-// listJSON returns the sorted .json artifact names under one store
-// subdirectory (temp files from in-flight writes are skipped).
-func (s *Store) listJSON(dir string) ([]string, error) {
-	ents, err := os.ReadDir(filepath.Join(s.dir, dir))
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil, nil
-		}
-		return nil, err
+// sortedKeysAny returns a map's keys in sorted order regardless of value
+// type (sortedKeys filters by bool value; this one does not).
+func sortedKeysAny[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
 	}
-	var names []string
-	for _, ent := range ents {
-		name := ent.Name()
-		if ent.IsDir() || !strings.HasSuffix(name, ".json") || strings.HasPrefix(name, ".") {
-			continue
-		}
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	return names, nil
+	sort.Strings(keys)
+	return keys
 }
 
 // WriteFsck renders a Verify report in the quarantine-report style: a
 // summary line, then one line per corrupt artifact in path order.
 func WriteFsck(w io.Writer, rep *FsckReport) {
 	fmt.Fprintf(w, "fsck: %d of %d artifacts corrupt\n", len(rep.Corrupt), rep.Checked)
+	if sick := rep.SickShards(); len(sick) > 0 {
+		fmt.Fprintf(w, "  sick shards: %s\n", strings.Join(sick, ", "))
+	}
 	for _, c := range rep.Corrupt {
 		fmt.Fprintf(w, "  %-20s %s\n", c.Path, c.Detail)
 	}

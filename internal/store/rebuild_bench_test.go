@@ -59,6 +59,70 @@ func BenchmarkStoreRebuild(b *testing.B) {
 	})
 }
 
+// BenchmarkShardedRebuild measures what the sharded layout buys on the
+// save path. monolithic-cold is the baseline: everything through one
+// shard on one worker, the shape of the pre-sharding store. sharded-cold
+// fans the same save across the default shard count on one worker per
+// core — the gate scripts/bench.sh enforces is sharded-cold beating
+// monolithic-cold. warm is the idempotent re-save: every artifact
+// already on disk, so the save reduces to hash comparisons and a
+// journal rotation, and the tree must come out byte-identical.
+func BenchmarkShardedRebuild(b *testing.B) {
+	corpus, err := spider.Generate(spider.Config{Seed: 11, NumDatabases: 6, PairsPerDB: 24, MaxRows: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	built, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := BuildInfo{Seed: 11, Fingerprint: Fingerprint(bench.DefaultOptions())}
+
+	coldSave := func(b *testing.B, shards, workers int) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.SetShardCount(shards); err != nil {
+				b.Fatal(err)
+			}
+			st.SetSaveWorkers(workers)
+			b.StartTimer()
+			if _, err := st.Save(built, info); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("monolithic-cold", func(b *testing.B) {
+		coldSave(b, 1, 1)
+	})
+
+	// Worker count is deliberately not tied to GOMAXPROCS: shard saves are
+	// fsync-bound, and blocked syscalls overlap regardless of CPU count.
+	b.Run("sharded-cold", func(b *testing.B) {
+		coldSave(b, DefaultShardCount, DefaultShardCount)
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		st, err := Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Save(built, info); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Save(built, info); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkStoreSaveLoad measures the serialization round trip itself.
 func BenchmarkStoreSaveLoad(b *testing.B) {
 	corpus, err := spider.Generate(spider.Config{Seed: 11, NumDatabases: 5, PairsPerDB: 10, MaxRows: 200})

@@ -1,18 +1,25 @@
 // Repair: fsck with healing. Where Verify only reports, Repair restores
 // the store to a state Verify accepts, salvaging every artifact that still
-// hashes to its address. The invariants it relies on:
+// hashes to its address. It works shard by shard — each shard is healed
+// from its own journal and artifacts alone, then the root manifest is
+// re-merged from whatever shards survived — so damage in one shard can
+// never widen the repair's blast radius into another. The invariants it
+// relies on:
 //
 //   - Content addressing means artifacts self-validate: a file that hashes
 //     to its name is exactly what some Save wrote, so entry records can be
-//     trusted enough to rebuild the manifest from them.
+//     trusted enough to rebuild a shard manifest from them.
 //   - Committed artifacts are never rewritten with different bytes (an
 //     identical re-save skips the write), so a crash can only damage the
 //     save in flight — never silently corrupt history into valid-looking
 //     artifacts.
-//   - The journal names the in-flight save's artifact set, so Repair can
+//   - Each journal names its box's in-flight artifact set, so Repair can
 //     tell that save's leftovers (rolled back to lost+found when the
 //     manifest never landed, rolled forward when it did) from artifacts of
 //     the committed state.
+//   - The root manifest is a pure function of the shard manifests, so
+//     re-merging is always safe: it cannot invent or lose anything the
+//     shards do not witness.
 //
 // Nothing is deleted: everything unsalvageable moves to lost+found/,
 // mirroring the store layout, where a human (or a later tool) can inspect
@@ -22,34 +29,45 @@ package store
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 
 	"nvbench/internal/bench"
+	"nvbench/internal/fault"
 	"nvbench/internal/obs"
 )
 
 const lostFoundDir = "lost+found"
 
+// ShardRepair is one shard's slice of a repair: what survived in it and
+// what it lost — the per-shard detail the server's degraded readiness
+// reports.
+type ShardRepair struct {
+	Shard       string `json:"shard"`
+	EntriesKept int    `json:"entries_kept"`
+	EntriesLost int    `json:"entries_lost"`
+}
+
 // RepairReport says exactly what Repair did and what it could not save.
 type RepairReport struct {
-	TempsSwept      int      `json:"temps_swept"`              // stray temp files removed
-	CorruptMoved    []string `json:"corrupt_moved,omitempty"`  // hash- or decode-invalid artifacts moved to lost+found
-	OrphansMoved    []string `json:"orphans_moved,omitempty"`  // valid but unreferenced artifacts moved to lost+found
-	CacheDropped    int      `json:"cache_dropped"`            // corrupt cache records moved to lost+found
-	StatsDropped    bool     `json:"stats_dropped,omitempty"`  // stats.json was undecodable and moved
-	EntriesKept     int      `json:"entries_kept"`             // entries in the repaired manifest
-	EntriesLost     int      `json:"entries_lost"`             // intended entries that could not be salvaged
-	DatabasesKept   int      `json:"databases_kept"`           // databases in the repaired manifest
-	DatabasesLost   int      `json:"databases_lost"`           // intended databases that could not be salvaged
-	ManifestRebuilt bool     `json:"manifest_rebuilt"`         // manifest was rewritten (rebuilt or trimmed)
-	RolledForward   bool     `json:"rolled_forward,omitempty"` // interrupted save had landed its manifest; committed
-	RolledBack      bool     `json:"rolled_back,omitempty"`    // interrupted save rolled back to the prior manifest
-	JournalReset    bool     `json:"journal_reset,omitempty"`  // journal rewritten as clean
+	TempsSwept      int           `json:"temps_swept"`              // stray temp files removed
+	CorruptMoved    []string      `json:"corrupt_moved,omitempty"`  // hash- or decode-invalid artifacts moved to lost+found
+	OrphansMoved    []string      `json:"orphans_moved,omitempty"`  // valid but unreferenced artifacts moved to lost+found
+	CacheDropped    int           `json:"cache_dropped"`            // corrupt cache records moved to lost+found
+	StatsDropped    bool          `json:"stats_dropped,omitempty"`  // stats.json was undecodable and moved
+	EntriesKept     int           `json:"entries_kept"`             // entries in the repaired root manifest
+	EntriesLost     int           `json:"entries_lost"`             // intended entries that could not be salvaged
+	DatabasesKept   int           `json:"databases_kept"`           // databases in the repaired root manifest
+	DatabasesLost   int           `json:"databases_lost"`           // intended databases that could not be salvaged
+	ManifestRebuilt bool          `json:"manifest_rebuilt"`         // root manifest was rewritten (rebuilt or re-merged)
+	RolledForward   bool          `json:"rolled_forward,omitempty"` // an interrupted save had landed its manifest; committed
+	RolledBack      bool          `json:"rolled_back,omitempty"`    // an interrupted save rolled back to the prior state
+	JournalReset    bool          `json:"journal_reset,omitempty"`  // a journal was rewritten as clean
+	Shards          []ShardRepair `json:"shards,omitempty"`         // shards that needed healing, in name order
 }
 
 // Lossy reports whether the repair lost benchmark content — the condition
@@ -60,97 +78,70 @@ func (r *RepairReport) Lossy() bool { return r.EntriesLost > 0 || r.DatabasesLos
 func (r *RepairReport) Clean() bool {
 	return r.TempsSwept == 0 && len(r.CorruptMoved) == 0 && len(r.OrphansMoved) == 0 &&
 		r.CacheDropped == 0 && !r.StatsDropped && !r.ManifestRebuilt &&
-		!r.RolledForward && !r.RolledBack && !r.JournalReset
+		!r.RolledForward && !r.RolledBack && !r.JournalReset && len(r.Shards) == 0
 }
 
-// moveAside relocates one artifact into lost+found/, mirroring its store
-// path. Same-named collisions overwrite: names are content addresses, so
-// the bytes are the bytes.
+// moveAside relocates one root-level artifact into lost+found/ (shard
+// artifacts move through their box's moveAside).
 func (s *Store) moveAside(rel string) error {
-	dst := filepath.Join(s.dir, lostFoundDir, filepath.FromSlash(rel))
-	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
-		return fmt.Errorf("store: repair: %w", err)
-	}
-	src := filepath.Join(s.dir, filepath.FromSlash(rel))
-	if err := os.Rename(src, dst); err != nil {
-		return fmt.Errorf("store: repair: %w", err)
-	}
-	// A crash between the rename and the next sweep must not resurrect the
-	// quarantined artifact: sync both the destination and source parents so
-	// the move is durable before repair reports the store healed.
-	if err := syncDir(filepath.Dir(dst)); err != nil {
-		return fmt.Errorf("store: repair: %w", err)
-	}
-	if err := syncDir(filepath.Dir(src)); err != nil {
-		return fmt.Errorf("store: repair: %w", err)
-	}
-	return nil
+	return box{root: s.dir}.moveAside(rel)
 }
 
-// Repair heals the store in place and reports what it salvaged. After a
-// nil-error return the store passes Verify and Load. On an already-clean
-// store it is a no-op (all-zero report). The error return is reserved for
-// stores it cannot operate on at all (I/O failures); partial salvage is a
-// report, not an error — check Lossy.
+// Repair heals the store in place and reports what it salvaged: temp
+// sweep, then every shard repaired from its own journal and artifacts
+// (each pass behind the store.shard.repair fault site), then the root
+// manifest re-merged from the surviving shard manifests. After a nil-error
+// return the store passes Verify and Load. On an already-clean store it is
+// a no-op (all-zero report). The error return is reserved for stores it
+// cannot operate on at all (I/O failures, legacy layout); partial salvage
+// is a report, not an error — check Lossy.
 func (s *Store) Repair() (*RepairReport, error) {
 	defer s.timeOp("repair")()
+	if s.legacy {
+		return nil, errors.New("store: repair: legacy flat layout is read-only; convert it with a re-save (-save)")
+	}
 	rep := &RepairReport{}
-	swept, err := s.sweepTemps()
+	swept, err := s.sweepAllTemps()
 	if err != nil {
 		return nil, fmt.Errorf("store: repair: %w", err)
 	}
 	rep.TempsSwept = swept
 	s.open.TempsSwept += swept
-	js := s.readJournal()
+	root := s.rootBox()
+	js := root.readJournal()
+	count := s.shardCount
 
-	// Pass 1: hash-sweep the content-addressed directories. What survives
-	// is trustworthy; what doesn't goes to lost+found.
-	surviving := map[string]map[string]bool{entriesDir: {}, dbsDir: {}}
-	for _, dir := range []string{entriesDir, dbsDir} {
-		names, err := s.listJSON(dir)
-		if err != nil {
-			return nil, fmt.Errorf("store: repair: %w", err)
-		}
-		for _, name := range names {
-			rel := dir + "/" + name
-			data, err := os.ReadFile(filepath.Join(s.dir, dir, name))
-			if err != nil {
-				return nil, fmt.Errorf("store: repair: %w", err)
-			}
-			h := strings.TrimSuffix(name, ".json")
-			if hashBytes(data) != h {
-				if err := s.moveAside(rel); err != nil {
-					return nil, err
-				}
-				rep.CorruptMoved = append(rep.CorruptMoved, rel)
-				continue
-			}
-			surviving[dir][h] = true
+	// The root candidate: a decodable on-disk root manifest is the repair
+	// intent; a torn one moves aside and the root is re-merged from shards.
+	cand, mdataOld := s.repairRootCandidate(rep)
+	refs := map[string]string{}
+	if cand != nil {
+		for _, sr := range cand.Shards {
+			refs[sr.Name] = sr.Hash
 		}
 	}
-
-	// Pass 2: cache records are disposable checkpoints — corrupt ones are
-	// moved, costing a future re-synthesis, nothing else.
-	cacheNames, err := s.listJSON(cacheDir)
+	names, err := s.shardUniverse(refs)
 	if err != nil {
 		return nil, fmt.Errorf("store: repair: %w", err)
 	}
-	for _, name := range cacheNames {
-		data, err := os.ReadFile(filepath.Join(s.dir, cacheDir, name))
-		if err != nil {
-			return nil, fmt.Errorf("store: repair: %w", err)
+
+	var parts []shardPart
+	for _, name := range names {
+		if err := fault.Inject(fault.SiteShardRepair); err != nil {
+			return nil, fmt.Errorf("store: repair shard %s: %w", name, err)
 		}
-		if _, err := verifySelfHashed(data); err != nil {
-			if err := s.moveAside(cacheDir + "/" + name); err != nil {
-				return nil, err
-			}
-			rep.CacheDropped++
+		part, err := s.repairShard(name, count, rep)
+		if err != nil {
+			return nil, err
+		}
+		if part != nil {
+			parts = append(parts, *part)
 		}
 	}
 
-	// Pass 3: stats.json is informational but Load requires it decodable
-	// when present; a torn one is moved.
-	if data, err := os.ReadFile(filepath.Join(s.dir, statsName)); err == nil {
+	// stats.json is informational but Load requires it decodable when
+	// present; a torn one is moved.
+	if data, err := os.ReadFile(s.statsBox().path(statsName)); err == nil {
 		var rs bench.RunStats
 		if decodeStrict(data, &rs) != nil {
 			if err := s.moveAside(statsName); err != nil {
@@ -160,101 +151,86 @@ func (s *Store) Repair() (*RepairReport, error) {
 		}
 	}
 
-	// Pass 4: determine the intended manifest. A decodable on-disk
-	// manifest is the intent (its sum is recomputed below); otherwise the
-	// manifest is rebuilt from the surviving entry records, scoped to the
-	// journaled save's artifact set when the journal survives.
-	var intents map[string]string
-	if js.Begin != nil {
-		intents = js.intentHashes()
+	// The root merge: rebuild the global index from the healed shard
+	// manifests and write it back through the journaled machinery, only if
+	// the on-disk index or journal disagrees with the repaired state.
+	if err := fault.Inject(fault.SiteShardRepair); err != nil {
+		return nil, fmt.Errorf("store: repair merge: %w", err)
 	}
-	m, mdataOld := s.repairCandidate(rep)
-	if m != nil {
-		s.repairTrim(rep, m, surviving)
-		if js.State == JournalInProgress {
-			if intents[manifestName] == hashBytes(mdataOld) {
-				rep.RolledForward = true
-			} else {
-				rep.RolledBack = true
-			}
-		}
-	} else {
-		m = s.repairRebuild(rep, surviving, js, intents)
+	info := BuildInfo{}
+	var rejections map[string]int
+	var quarantine []bench.Quarantined
+	switch {
+	case cand != nil:
+		info, rejections, quarantine = cand.Build, cand.Rejections, cand.Quarantine
+	case js.Begin != nil && js.Begin.Build != nil:
+		info = *js.Begin.Build
+	case len(parts) > 0:
+		info = parts[0].m.Build
 	}
-
-	// Move orphans: surviving artifacts the repaired manifest does not
-	// reference — typically the rolled-back remains of an uncommitted save.
-	refE, refD := map[string]bool{}, map[string]bool{}
-	for _, ref := range m.Entries {
-		refE[ref.Hash] = true
-	}
-	for _, h := range m.Databases {
-		refD[h] = true
-	}
-	for _, h := range sortedKeys(surviving[entriesDir]) {
-		if !refE[h] {
-			if err := s.moveAside(entriesDir + "/" + h + ".json"); err != nil {
-				return nil, err
-			}
-			rep.OrphansMoved = append(rep.OrphansMoved, entriesDir+"/"+h+".json")
-		}
-	}
-	for _, h := range sortedKeys(surviving[dbsDir]) {
-		if !refD[h] {
-			if err := s.moveAside(dbsDir + "/" + h + ".json"); err != nil {
-				return nil, err
-			}
-			rep.OrphansMoved = append(rep.OrphansMoved, dbsDir+"/"+h+".json")
-		}
-	}
-
-	// Write back through the normal journaled machinery, only if the
-	// on-disk index or journal disagrees with the repaired state.
+	m := mergeManifest(info, count, parts, rejections, quarantine)
 	mdata, err := canonicalJSON(m)
 	if err != nil {
 		return nil, err
 	}
 	sum := []byte(hashBytes(mdata) + "\n")
-	curM, _ := os.ReadFile(filepath.Join(s.dir, manifestName))
-	curS, _ := os.ReadFile(filepath.Join(s.dir, manifestSumName))
+	curM, _ := os.ReadFile(root.path(manifestName))
+	curS, _ := os.ReadFile(root.path(manifestSumName))
 	if js.State != JournalClean || !bytes.Equal(curM, mdata) || !bytes.Equal(curS, sum) {
 		rep.ManifestRebuilt = rep.ManifestRebuilt || !bytes.Equal(curM, mdata)
-		if err := s.journalBegin(m.Build); err != nil {
+		if err := root.journalBegin(journalRecord{Build: &info, Shards: count}); err != nil {
 			return nil, err
 		}
-		if err := s.writeIntended(manifestName, hashBytes(mdata), mdata); err != nil {
+		if err := root.writeIntended(manifestName, hashBytes(mdata), mdata); err != nil {
 			return nil, err
 		}
-		if err := s.writeIntended(manifestSumName, hashBytes(sum), sum); err != nil {
+		if err := root.writeIntended(manifestSumName, hashBytes(sum), sum); err != nil {
 			return nil, err
 		}
-		if err := s.journalAppend(journalRecord{Op: opCommit}); err != nil {
+		if err := root.journalAppend(journalRecord{Op: opCommit}); err != nil {
 			return nil, err
 		}
 		rep.JournalReset = true
 	}
+	if cand != nil && js.State == JournalInProgress {
+		if js.intentHashes()[manifestName] == hashBytes(mdataOld) {
+			rep.RolledForward = true
+		} else {
+			rep.RolledBack = true
+		}
+	}
 	rep.EntriesKept = len(m.Entries)
 	rep.DatabasesKept = len(m.Databases)
+	if cand != nil {
+		rep.EntriesLost = max(0, len(cand.Entries)-len(m.Entries))
+		rep.DatabasesLost = max(0, len(cand.Databases)-len(m.Databases))
+	} else {
+		for _, sr := range rep.Shards {
+			rep.EntriesLost += sr.EntriesLost
+		}
+	}
 	if rep.RolledForward {
 		s.countJournal("rolled_forward")
 	}
 	if rep.RolledBack {
 		s.countJournal("rolled_back")
 	}
+	s.open.Shards = nil // healed: the re-read below re-diagnoses from disk
 	s.refreshStatus()
 	return rep, nil
 }
 
-// repairCandidate loads the on-disk manifest as the repair intent if it
-// decodes; an undecodable (torn) manifest and a now-orphaned sum are moved
-// aside. Returns the manifest (nil if unusable) and its raw bytes.
-func (s *Store) repairCandidate(rep *RepairReport) (*Manifest, []byte) {
-	mdata, err := os.ReadFile(filepath.Join(s.dir, manifestName))
+// repairRootCandidate loads the on-disk root manifest as the repair intent
+// if it decodes as the current format; an undecodable (torn) or
+// wrong-format manifest is moved aside. Returns the manifest (nil if
+// unusable) and its raw bytes.
+func (s *Store) repairRootCandidate(rep *RepairReport) (*Manifest, []byte) {
+	mdata, err := os.ReadFile(s.rootBox().path(manifestName))
 	if err != nil {
 		return nil, nil
 	}
 	var m Manifest
-	if decodeStrict(mdata, &m) != nil || m.FormatVersion != FormatVersion {
+	if decodeStrict(mdata, &m) != nil || m.FormatVersion != FormatVersion || !validShardCount(m.ShardCount) {
 		if s.moveAside(manifestName) == nil {
 			rep.CorruptMoved = append(rep.CorruptMoved, manifestName)
 		}
@@ -263,37 +239,241 @@ func (s *Store) repairCandidate(rep *RepairReport) (*Manifest, []byte) {
 	return &m, mdata
 }
 
-// repairTrim drops manifest references whose artifacts did not survive the
-// hash sweep: an entry needs both its own record and its database.
-func (s *Store) repairTrim(rep *RepairReport, m *Manifest, surviving map[string]map[string]bool) {
-	keep := m.Entries[:0:0]
-	for _, ref := range m.Entries {
-		if surviving[entriesDir][ref.Hash] && surviving[dbsDir][ref.DB] {
+// repairShard heals one shard directory using nothing outside it: hash
+// sweep, cache check, shard-manifest trim or rebuild, orphan moves, then a
+// journaled write-back when anything changed. Returns the shard's merge
+// contribution (nil when the shard ends up empty) and appends a
+// ShardRepair to the report when the shard needed healing.
+func (s *Store) repairShard(name string, count int, rep *RepairReport) (*shardPart, error) {
+	defer s.timeShardOp("repair", name)()
+	bx := s.shardBoxName(name)
+	sjs := bx.readJournal()
+	touched := false
+
+	// Pass 1: hash-sweep the content-addressed directories. What survives
+	// is trustworthy; what doesn't goes to lost+found.
+	surviving := map[string]map[string]bool{entriesDir: {}, dbsDir: {}}
+	for _, dir := range []string{entriesDir, dbsDir} {
+		fnames, err := bx.listJSON(dir)
+		if err != nil {
+			return nil, fmt.Errorf("store: repair: %w", err)
+		}
+		for _, fname := range fnames {
+			rel := dir + "/" + fname
+			data, err := os.ReadFile(bx.path(rel))
+			if err != nil {
+				return nil, fmt.Errorf("store: repair: %w", err)
+			}
+			h := strings.TrimSuffix(fname, ".json")
+			if hashBytes(data) != h {
+				if err := bx.moveAside(rel); err != nil {
+					return nil, err
+				}
+				rep.CorruptMoved = append(rep.CorruptMoved, bx.key(rel))
+				touched = true
+				continue
+			}
+			surviving[dir][h] = true
+		}
+	}
+
+	// Pass 2: cache records are disposable checkpoints — corrupt ones are
+	// moved, costing a future re-synthesis, nothing else.
+	cacheNames, err := bx.listJSON(cacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("store: repair: %w", err)
+	}
+	for _, fname := range cacheNames {
+		data, err := os.ReadFile(bx.path(cacheDir + "/" + fname))
+		if err != nil {
+			return nil, fmt.Errorf("store: repair: %w", err)
+		}
+		if _, err := verifySelfHashed(data); err != nil {
+			if err := bx.moveAside(cacheDir + "/" + fname); err != nil {
+				return nil, err
+			}
+			rep.CacheDropped++
+			touched = true
+		}
+	}
+
+	// The shard manifest: a decodable, self-consistent on-disk copy is
+	// trimmed to what survived; otherwise it is rebuilt from the surviving
+	// entry records, scoped by the shard journal when one survives.
+	cand, cdata := shardCandidate(bx, name, count, rep)
+	if cand == nil && cdata != nil {
+		touched = true // a corrupt candidate was moved aside
+	}
+	var sm *ShardManifest
+	lost := 0
+	if cand != nil {
+		sm, lost = trimShardManifest(cand, name, count, surviving)
+	} else {
+		var intents map[string]string
+		if sjs.Begin != nil {
+			intents = sjs.intentHashes()
+		}
+		var rebuilt bool
+		sm, lost, rebuilt, err = rebuildShardManifest(bx, name, count, surviving, sjs, intents, rep)
+		if err != nil {
+			return nil, err
+		}
+		touched = touched || rebuilt
+	}
+
+	// Move orphans: surviving artifacts the repaired shard manifest does
+	// not reference — typically the rolled-back remains of an uncommitted
+	// shard save, or entries planted in a shard they do not route to.
+	refE, refD := map[string]bool{}, map[string]bool{}
+	for _, ref := range sm.Entries {
+		refE[ref.Hash] = true
+		refD[ref.DB] = true
+	}
+	for _, h := range sortedKeys(surviving[entriesDir]) {
+		if !refE[h] {
+			if err := bx.moveAside(entriesDir + "/" + h + ".json"); err != nil {
+				return nil, err
+			}
+			rep.OrphansMoved = append(rep.OrphansMoved, bx.key(entriesDir+"/"+h+".json"))
+			touched = true
+		}
+	}
+	for _, h := range sortedKeys(surviving[dbsDir]) {
+		if !refD[h] {
+			if err := bx.moveAside(dbsDir + "/" + h + ".json"); err != nil {
+				return nil, err
+			}
+			rep.OrphansMoved = append(rep.OrphansMoved, bx.key(dbsDir+"/"+h+".json"))
+			touched = true
+		}
+	}
+
+	// An emptied shard carries no manifest — Save never writes one — so
+	// stray index files move aside and the journal resets to a clean no-op.
+	if len(sm.Entries) == 0 {
+		for _, rel := range []string{manifestName, manifestSumName} {
+			if _, err := os.Stat(bx.path(rel)); err == nil {
+				if err := bx.moveAside(rel); err != nil {
+					return nil, err
+				}
+				rep.OrphansMoved = append(rep.OrphansMoved, bx.key(rel))
+				touched = true
+			}
+		}
+		if sjs.State == JournalInProgress || sjs.State == JournalCorrupt {
+			if err := bx.journalBegin(journalRecord{Build: &sm.Build, Shards: count}); err != nil {
+				return nil, err
+			}
+			if err := bx.journalAppend(journalRecord{Op: opCommit}); err != nil {
+				return nil, err
+			}
+			rep.JournalReset = true
+			touched = true
+		}
+		if touched || lost > 0 {
+			rep.Shards = append(rep.Shards, ShardRepair{Shard: name, EntriesKept: 0, EntriesLost: lost})
+		}
+		return nil, nil
+	}
+
+	// Write back through the normal journaled machinery, only if the
+	// shard's on-disk index or journal disagrees with the repaired state.
+	smdata, err := canonicalJSON(sm)
+	if err != nil {
+		return nil, err
+	}
+	sum := []byte(hashBytes(smdata) + "\n")
+	curM, _ := os.ReadFile(bx.path(manifestName))
+	curS, _ := os.ReadFile(bx.path(manifestSumName))
+	if sjs.State != JournalClean || !bytes.Equal(curM, smdata) || !bytes.Equal(curS, sum) {
+		if err := bx.journalBegin(journalRecord{Build: &sm.Build, Shards: count}); err != nil {
+			return nil, err
+		}
+		if err := bx.writeIntended(manifestName, hashBytes(smdata), smdata); err != nil {
+			return nil, err
+		}
+		if err := bx.writeIntended(manifestSumName, hashBytes(sum), sum); err != nil {
+			return nil, err
+		}
+		if err := bx.journalAppend(journalRecord{Op: opCommit}); err != nil {
+			return nil, err
+		}
+		rep.JournalReset = true
+		touched = true
+	}
+	if cand != nil && sjs.State == JournalInProgress {
+		if sjs.intentHashes()[manifestName] == hashBytes(cdata) {
+			rep.RolledForward = true
+		} else {
+			rep.RolledBack = true
+		}
+	}
+	if touched || lost > 0 {
+		rep.Shards = append(rep.Shards, ShardRepair{Shard: name, EntriesKept: len(sm.Entries), EntriesLost: lost})
+	}
+	return &shardPart{name: name, m: sm, hash: hashBytes(smdata)}, nil
+}
+
+// shardCandidate loads one shard's on-disk manifest as its repair intent
+// if it decodes and describes this very shard; anything else moves aside.
+// Returns (nil, raw bytes) when a corrupt candidate was moved, (nil, nil)
+// when there was none.
+func shardCandidate(bx box, name string, count int, rep *RepairReport) (*ShardManifest, []byte) {
+	cdata, err := os.ReadFile(bx.path(manifestName))
+	if err != nil {
+		return nil, nil
+	}
+	var sm ShardManifest
+	if decodeStrict(cdata, &sm) != nil || sm.FormatVersion != FormatVersion || sm.Shard != name || sm.ShardCount != count {
+		if bx.moveAside(manifestName) == nil {
+			rep.CorruptMoved = append(rep.CorruptMoved, bx.key(manifestName))
+		}
+		return nil, cdata
+	}
+	return &sm, cdata
+}
+
+// trimShardManifest drops references whose artifacts did not survive the
+// hash sweep (an entry needs both its own record and its database, in this
+// shard) or that route to a different shard entirely.
+func trimShardManifest(cand *ShardManifest, name string, count int, surviving map[string]map[string]bool) (*ShardManifest, int) {
+	keep := cand.Entries[:0:0]
+	for _, ref := range cand.Entries {
+		if surviving[entriesDir][ref.Hash] && surviving[dbsDir][ref.DB] &&
+			shardName(shardIndex(ref.Hash, count)) == name {
 			keep = append(keep, ref)
 		}
 	}
-	rep.EntriesLost = len(m.Entries) - len(keep)
-	dbKeep := m.Databases[:0:0]
-	for _, h := range m.Databases {
-		if surviving[dbsDir][h] {
-			dbKeep = append(dbKeep, h)
-		}
+	lost := len(cand.Entries) - len(keep)
+	// Databases re-derive from the kept entries, not from what happens to
+	// survive on disk: losing a shard's only entry for a database must drop
+	// the shard's copy from the manifest too, or the orphan pass (which
+	// moves exactly the unreferenced copies aside) would leave the manifest
+	// naming an artifact that is gone.
+	used := map[string]bool{}
+	for _, ref := range keep {
+		used[ref.DB] = true
 	}
-	rep.DatabasesLost = len(m.Databases) - len(dbKeep)
-	m.Entries = keep
-	m.Databases = dbKeep
+	return &ShardManifest{
+		FormatVersion: FormatVersion,
+		Shard:         name,
+		ShardCount:    count,
+		Build:         cand.Build,
+		Databases:     sortedKeys(used),
+		Entries:       keep,
+	}, lost
 }
 
-// repairRebuild reconstructs a manifest with no usable on-disk copy from
-// the surviving entry records themselves — each one names its ID, pair and
-// database, which is all a manifest line holds. With a surviving journal
-// the rebuild is scoped to the journaled save's artifact set; without one,
-// every surviving artifact is kept.
-func (s *Store) repairRebuild(rep *RepairReport, surviving map[string]map[string]bool, js journalInfo, intents map[string]string) *Manifest {
-	rep.ManifestRebuilt = true
-	m := &Manifest{FormatVersion: FormatVersion}
-	if js.Begin != nil && js.Begin.Build != nil {
-		m.Build = *js.Begin.Build
+// rebuildShardManifest reconstructs a shard manifest with no usable
+// on-disk copy from the surviving entry records themselves — each one
+// names its ID, pair and database, which is all a manifest line holds.
+// With a surviving shard journal the rebuild is scoped to the journaled
+// save's artifact set; without one, every surviving correctly-routed
+// artifact is kept.
+func rebuildShardManifest(bx box, name string, count int, surviving map[string]map[string]bool, sjs journalInfo, intents map[string]string, rep *RepairReport) (*ShardManifest, int, bool, error) {
+	sm := &ShardManifest{FormatVersion: FormatVersion, Shard: name, ShardCount: count}
+	if sjs.Begin != nil && sjs.Begin.Build != nil {
+		sm.Build = *sjs.Begin.Build
 	}
 	unloadable := 0
 	for _, h := range sortedKeys(surviving[entriesDir]) {
@@ -301,7 +481,10 @@ func (s *Store) repairRebuild(rep *RepairReport, surviving map[string]map[string
 		if intents != nil && intents[rel] == "" {
 			continue // not part of the journaled save; the orphan pass moves it
 		}
-		data, err := os.ReadFile(filepath.Join(s.dir, entriesDir, h+".json"))
+		if shardName(shardIndex(h, count)) != name {
+			continue // foreign-routed plant; the orphan pass moves it
+		}
+		data, err := os.ReadFile(bx.path(rel))
 		if err != nil {
 			continue
 		}
@@ -309,48 +492,44 @@ func (s *Store) repairRebuild(rep *RepairReport, surviving map[string]map[string
 		if err != nil {
 			// Hash-valid but not an entry record: foreign bytes planted at
 			// a truthful address. Unsalvageable as an entry.
-			if s.moveAside(rel) == nil {
+			if bx.moveAside(rel) == nil {
 				surviving[entriesDir][h] = false
-				rep.CorruptMoved = append(rep.CorruptMoved, rel)
+				rep.CorruptMoved = append(rep.CorruptMoved, bx.key(rel))
 			}
 			continue
 		}
 		if !surviving[dbsDir][rec.DB] {
-			unloadable++ // record survived, its database did not
+			unloadable++ // record survived, its database copy did not
 			continue
 		}
-		m.Entries = append(m.Entries, EntryRef{ID: rec.ID, PairID: rec.PairID, Hash: h, DB: rec.DB})
+		sm.Entries = append(sm.Entries, EntryRef{ID: rec.ID, PairID: rec.PairID, Hash: h, DB: rec.DB})
 	}
-	sort.Slice(m.Entries, func(i, j int) bool {
-		if m.Entries[i].ID != m.Entries[j].ID {
-			return m.Entries[i].ID < m.Entries[j].ID
+	sort.Slice(sm.Entries, func(i, j int) bool {
+		if sm.Entries[i].ID != sm.Entries[j].ID {
+			return sm.Entries[i].ID < sm.Entries[j].ID
 		}
-		return m.Entries[i].Hash < m.Entries[j].Hash
+		return sm.Entries[i].Hash < sm.Entries[j].Hash
 	})
 	used := map[string]bool{}
-	for _, ref := range m.Entries {
-		if !used[ref.DB] {
-			used[ref.DB] = true
-			m.Databases = append(m.Databases, ref.DB)
-		}
+	for _, ref := range sm.Entries {
+		used[ref.DB] = true
 	}
-	sort.Strings(m.Databases)
+	sm.Databases = sortedKeys(used)
+	lost := unloadable
 	if intents != nil {
-		intendedE, intendedD := 0, 0
-		for _, p := range sortedKeys(boolSet(intents)) {
-			switch {
-			case strings.HasPrefix(p, entriesDir+"/"):
-				intendedE++
-			case strings.HasPrefix(p, dbsDir+"/"):
-				intendedD++
+		intended := 0
+		for _, p := range sortedKeysAny(intents) {
+			if strings.HasPrefix(p, entriesDir+"/") {
+				intended++
 			}
 		}
-		rep.EntriesLost = max(0, intendedE-len(m.Entries))
-		rep.DatabasesLost = max(0, intendedD-len(m.Databases))
-	} else {
-		rep.EntriesLost = unloadable
+		lost = max(0, intended-len(sm.Entries))
 	}
-	return m
+	// A rebuild only "happened" if there was anything to index or a journal
+	// implying there should have been; an untouched empty directory is not
+	// a repair event.
+	rebuilt := len(sm.Entries) > 0 || lost > 0 || sjs.State == JournalInProgress
+	return sm, lost, rebuilt, nil
 }
 
 // sortedKeys returns a map's true-valued keys in sorted order — map
@@ -366,17 +545,9 @@ func sortedKeys(m map[string]bool) []string {
 	return keys
 }
 
-// boolSet adapts a string-valued map for sortedKeys.
-func boolSet(m map[string]string) map[string]bool {
-	out := make(map[string]bool, len(m))
-	for k := range m {
-		out[k] = true
-	}
-	return out
-}
-
 // WriteRepair renders a repair report in the quarantine-report style: a
-// summary, detail lines, then the moved artifacts capped at 20.
+// summary, detail lines, per-shard outcomes, then the moved artifacts
+// capped at 20.
 func WriteRepair(w io.Writer, rep *RepairReport) {
 	if rep.Clean() {
 		fmt.Fprintln(w, "repair: clean store, nothing to do")
@@ -386,8 +557,11 @@ func WriteRepair(w io.Writer, rep *RepairReport) {
 		rep.TempsSwept, len(rep.CorruptMoved), len(rep.OrphansMoved), rep.CacheDropped)
 	fmt.Fprintf(w, "  kept %d entries / %d databases; lost %d entries / %d databases\n",
 		rep.EntriesKept, rep.DatabasesKept, rep.EntriesLost, rep.DatabasesLost)
+	for _, sr := range rep.Shards {
+		fmt.Fprintf(w, "  shard %s: kept %d entries, lost %d\n", sr.Shard, sr.EntriesKept, sr.EntriesLost)
+	}
 	if rep.RolledForward {
-		fmt.Fprintln(w, "  rolled forward: the interrupted save had landed its manifest; committed")
+		fmt.Fprintln(w, "  rolled forward: an interrupted save had landed its manifest; committed")
 	}
 	if rep.RolledBack {
 		fmt.Fprintln(w, "  rolled back: uncommitted save artifacts moved to lost+found")

@@ -36,6 +36,42 @@ func mustRepair(t *testing.T, st *Store) *RepairReport {
 	return rep
 }
 
+// TestRepairDropsUnreferencedShardDatabase pins a trim/orphan consistency
+// bug: when the lost entry was its shard's only reference to a database,
+// the orphan pass moves the shard's db copy aside, so the trimmed shard
+// manifest must drop the hash too — or fsck finds a manifest naming a
+// moved artifact.
+func TestRepairDropsUnreferencedShardDatabase(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, m := mustSave(t, dir, b)
+	type use struct{ shard, db string }
+	uses := map[use]int{}
+	for _, ref := range m.Entries {
+		uses[use{shardName(shardIndex(ref.Hash, m.ShardCount)), ref.DB}]++
+	}
+	var victim *EntryRef
+	for i := range m.Entries {
+		ref := &m.Entries[i]
+		if uses[use{shardName(shardIndex(ref.Hash, m.ShardCount)), ref.DB}] == 1 {
+			victim = ref
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("no shard holds a solely-referenced database copy in this corpus")
+	}
+	shard := shardName(shardIndex(victim.Hash, m.ShardCount))
+	flipByte(t, filepath.Join(dir, shardsDir, shard, entriesDir, victim.Hash+".json"))
+	rep := mustRepair(t, st) // mustRepair includes the fsck that catches the stale reference
+	if rep.EntriesLost != 1 {
+		t.Fatalf("lost %d entries, want just the flipped one", rep.EntriesLost)
+	}
+	if _, err := os.Stat(filepath.Join(dir, lostFoundDir, shardsDir, shard, dbsDir, victim.DB+".json")); err != nil {
+		t.Fatalf("the shard's unreferenced database copy was not moved aside: %v", err)
+	}
+}
+
 func TestRepairCleanStoreIsNoop(t *testing.T) {
 	_, b := testBench(t)
 	dir := t.TempDir()
@@ -73,10 +109,19 @@ func TestRepairSalvagesAroundFlippedEntry(t *testing.T) {
 	if len(loaded.Entries) != len(m.Entries)-1 {
 		t.Fatalf("loaded %d entries after repair, want %d", len(loaded.Entries), len(m.Entries)-1)
 	}
-	// Nothing is deleted: the damaged bytes moved to lost+found.
-	moved := filepath.Join(dir, lostFoundDir, entriesDir, filepath.Base(victim))
+	// Nothing is deleted: the damaged bytes moved to lost+found, mirroring
+	// the shard layout (lost+found/shards/NN/entries/…).
+	rel, err := filepath.Rel(dir, victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := filepath.Join(dir, lostFoundDir, rel)
 	if _, err := os.Stat(moved); err != nil {
 		t.Fatalf("flipped entry not preserved in lost+found: %v", err)
+	}
+	// Blast radius: exactly one shard needed healing.
+	if len(rep.Shards) != 1 || rep.Shards[0].EntriesLost != 1 {
+		t.Fatalf("shard report = %+v, want exactly one shard losing one entry", rep.Shards)
 	}
 	var buf bytes.Buffer
 	WriteRepair(&buf, rep)
@@ -89,24 +134,37 @@ func TestRepairRollsBackUncommittedSave(t *testing.T) {
 	_, b := testBench(t)
 	dir := t.TempDir()
 	st, m := mustSave(t, dir, b)
-	// Simulate a second save that crashed right after writing one new entry
-	// artifact: begin logged, intent logged, artifact on disk, no commit.
-	if err := st.journalBegin(m.Build); err != nil {
-		t.Fatal(err)
-	}
+	// Simulate a second save that crashed inside one shard right after
+	// writing one new entry artifact: shard begin logged, intent logged,
+	// artifact on disk, no commit. Tweak the fake entry's ID until its hash
+	// routes to an already-populated shard so the scenario is a real
+	// interrupted shard save, not a foreign plant.
+	shard := shardName(shardIndex(m.Entries[0].Hash, m.ShardCount))
 	e := *b.Entries[0]
-	e.ID, e.PairID = 999983, 999983
-	data, err := encodeEntry(&e, m.Entries[0].DB)
-	if err != nil {
+	var h string
+	var data []byte
+	for id := 999983; ; id++ {
+		e.ID, e.PairID = id, id
+		d, err := encodeEntry(&e, m.Entries[0].DB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hh := hashBytes(d); shardName(shardIndex(hh, m.ShardCount)) == shard {
+			h, data = hh, d
+			break
+		}
+	}
+	bx := st.shardBoxName(shard)
+	if err := bx.journalBegin(journalRecord{Build: &m.Build, Shards: m.ShardCount}); err != nil {
 		t.Fatal(err)
 	}
-	h := hashBytes(data)
-	if err := st.writeIntended(entriesDir+"/"+h+".json", h, data); err != nil {
+	if err := bx.writeIntended(entriesDir+"/"+h+".json", h, data); err != nil {
 		t.Fatal(err)
 	}
 	st.refreshStatus()
-	if st.Status().Journal != JournalInProgress {
-		t.Fatalf("setup: journal = %s, want in-progress", st.Status().Journal)
+	if r := st.Status(); r.Journal != JournalClean || len(r.Shards) != 1 ||
+		r.Shards[0].Shard != shard || r.Shards[0].Journal != JournalInProgress {
+		t.Fatalf("setup: status = %+v, want exactly shard %s in-progress", st.Status(), shard)
 	}
 	rep := mustRepair(t, st)
 	if !rep.RolledBack || rep.RolledForward {
@@ -125,8 +183,8 @@ func TestRepairRollsBackUncommittedSave(t *testing.T) {
 	if len(loaded.Entries) != len(m.Entries) {
 		t.Fatalf("rollback left %d entries, want the committed %d", len(loaded.Entries), len(m.Entries))
 	}
-	if st.Status().Journal != JournalClean {
-		t.Fatalf("journal = %s after repair, want clean", st.Status().Journal)
+	if r := st.Status(); r.Dirty() {
+		t.Fatalf("status = %q after repair, want clean", r.String())
 	}
 }
 
@@ -135,10 +193,12 @@ func TestRepairRollsForwardLandedManifest(t *testing.T) {
 	dir := t.TempDir()
 	st, m := mustSave(t, dir, b)
 	before := treeBytes(t, dir)
-	// Simulate an idempotent re-save that crashed between writing its last
-	// artifact and committing: every intent is logged and every artifact
-	// (manifest included) is on disk and intact.
-	if err := st.journalBegin(m.Build); err != nil {
+	// Simulate an idempotent re-save that crashed between the root merge's
+	// last write and its commit: the root journal intends the merged
+	// manifest and sum — the only artifacts a root merge owns — and both
+	// are on disk and intact.
+	root := st.rootBox()
+	if err := root.journalBegin(journalRecord{Build: &m.Build, Shards: m.ShardCount}); err != nil {
 		t.Fatal(err)
 	}
 	intend := func(rel string) {
@@ -147,15 +207,9 @@ func TestRepairRollsForwardLandedManifest(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := st.journalAppend(journalRecord{Op: opIntent, Path: rel, Hash: hashBytes(data)}); err != nil {
+		if err := root.journalAppend(journalRecord{Op: opIntent, Path: rel, Hash: hashBytes(data)}); err != nil {
 			t.Fatal(err)
 		}
-	}
-	for _, h := range m.Databases {
-		intend(dbsDir + "/" + h + ".json")
-	}
-	for _, ref := range m.Entries {
-		intend(entriesDir + "/" + ref.Hash + ".json")
 	}
 	intend(manifestName)
 	intend(manifestSumName)
@@ -199,8 +253,7 @@ func TestRepairRebuildsTornManifestFromJournal(t *testing.T) {
 	if !rep.ManifestRebuilt {
 		t.Fatalf("report = %+v, want a manifest rebuild", rep)
 	}
-	// Every artifact survived and the journal names the full set, so the
-	// rebuild is lossless…
+	// Every shard manifest survived, so the root re-merge is lossless…
 	if rep.Lossy() || rep.EntriesKept != len(m.Entries) || rep.DatabasesKept != len(m.Databases) {
 		t.Fatalf("rebuild lost content: %+v, want %d entries / %d databases", rep, len(m.Entries), len(m.Databases))
 	}

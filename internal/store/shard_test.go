@@ -1,0 +1,310 @@
+// Sharding tests: the determinism of parallel multi-shard saves, the
+// blast-radius containment contract (damage in one shard never takes
+// down the others), the legacy flat-layout migration path, and the
+// per-shard attribution of pair-cache traffic.
+
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvbench/internal/bench"
+)
+
+// TestShardedSaveWorkerCountsByteIdentical is the determinism gate of the
+// parallel save: the same benchmark saved on 1, 2 and 8 workers must
+// produce byte-identical trees — journals, manifests, everything.
+func TestShardedSaveWorkerCountsByteIdentical(t *testing.T) {
+	_, b := testBench(t)
+	trees := map[int]map[string][]byte{}
+	for _, workers := range []int{1, 2, 8} {
+		dir := t.TempDir()
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.SetSaveWorkers(workers)
+		if _, err := st.Save(b, BuildInfo{Seed: testCfg.Seed}); err != nil {
+			t.Fatalf("save on %d workers: %v", workers, err)
+		}
+		trees[workers] = treeBytes(t, dir)
+	}
+	sameTree(t, trees[1], trees[2])
+	sameTree(t, trees[1], trees[8])
+}
+
+// shardOf extracts the shard name from an artifact path returned by
+// anyArtifact (…/shards/NN/<sub>/<hash>.json).
+func shardOf(t *testing.T, dir, artifact string) string {
+	t.Helper()
+	rel, err := filepath.Rel(dir, artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := strings.Split(filepath.ToSlash(rel), "/")
+	if len(parts) < 3 || parts[0] != shardsDir {
+		t.Fatalf("artifact %s is not inside a shard directory", artifact)
+	}
+	return parts[1]
+}
+
+// TestBlastRadiusContainment is the tentpole contract: corrupting one
+// shard leaves every other shard loadable and servable, the diagnosis
+// names exactly the damaged shard, and the repair stays scoped to it.
+func TestBlastRadiusContainment(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	_, m := mustSave(t, dir, b)
+	victim := anyArtifact(t, dir, entriesDir)
+	sick := shardOf(t, dir, victim)
+	flipByte(t, victim)
+
+	// Open succeeds: a flipped artifact is damage to diagnose, not a
+	// reason to refuse the whole store.
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatalf("open of a store with one damaged shard: %v", err)
+	}
+
+	// Verify names exactly the damaged shard.
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.SickShards(); len(got) != 1 || got[0] != sick {
+		t.Fatalf("sick shards = %v, want exactly [%s]", got, sick)
+	}
+	if r := st.Status(); !r.Dirty() || len(r.Shards) != 1 || r.Shards[0].Shard != sick {
+		t.Fatalf("status after fsck = %+v, want exactly shard %s flagged", st.Status(), sick)
+	}
+
+	// Strict Load refuses; LoadPartial serves every healthy shard and
+	// reports the sick one with its entry count.
+	if _, _, err := st.Load(); err == nil {
+		t.Fatal("strict Load accepted a damaged shard")
+	}
+	lost := 0
+	for _, ref := range m.Entries {
+		if shardName(shardIndex(ref.Hash, m.ShardCount)) == sick {
+			lost++
+		}
+	}
+	pb, pm, fails, err := st.LoadPartial()
+	if err != nil {
+		t.Fatalf("partial load: %v", err)
+	}
+	if len(fails) != 1 || fails[0].Shard != sick || fails[0].EntriesLost != lost {
+		t.Fatalf("failures = %+v, want shard %s losing %d entries", fails, sick, lost)
+	}
+	if len(pb.Entries) != len(m.Entries)-lost {
+		t.Fatalf("partial load served %d entries, want %d", len(pb.Entries), len(m.Entries)-lost)
+	}
+	// The pruned manifest stays positionally aligned with the entries.
+	if len(pm.Entries) != len(pb.Entries) {
+		t.Fatalf("pruned manifest lists %d entries for %d loaded", len(pm.Entries), len(pb.Entries))
+	}
+	for i, ref := range pm.Entries {
+		if pb.Entries[i].ID != ref.ID {
+			t.Fatalf("pruned manifest misaligned at %d: entry %d vs ref %d", i, pb.Entries[i].ID, ref.ID)
+		}
+	}
+
+	// Repair is shard-scoped: exactly the sick shard is healed, only the
+	// flipped entry is lost, and the store then loads strictly.
+	rrep := mustRepair(t, st)
+	if len(rrep.Shards) != 1 || rrep.Shards[0].Shard != sick {
+		t.Fatalf("repair touched %+v, want exactly shard %s", rrep.Shards, sick)
+	}
+	if rrep.EntriesLost != 1 {
+		t.Fatalf("repair lost %d entries, want just the flipped one", rrep.EntriesLost)
+	}
+	healed, _, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(healed.Entries) != len(m.Entries)-1 {
+		t.Fatalf("healed store serves %d entries, want %d", len(healed.Entries), len(m.Entries)-1)
+	}
+}
+
+// TestLegacyStoreMigration drives a hand-built format-1 flat store
+// through the whole migration path: readable as-is, refused by Repair,
+// converted by Save into the byte-identical sharded layout with the flat
+// directories retired to lost+found/legacy/.
+func TestLegacyStoreMigration(t *testing.T) {
+	_, b := testBench(t)
+	srcDir := t.TempDir()
+	_, m := mustSave(t, srcDir, b)
+
+	// Assemble the flat v1 fixture from the sharded artifacts: entries and
+	// dbs flattened to the root (content addressing dedups the copies), a
+	// format-1 manifest, its sum, the stats, a clean journal.
+	dir := t.TempDir()
+	for _, sub := range []string{entriesDir, dbsDir} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		matches, err := filepath.Glob(filepath.Join(srcDir, shardsDir, "*", sub, "*.json"))
+		if err != nil || len(matches) == 0 {
+			t.Fatalf("no %s artifacts to flatten: %v", sub, err)
+		}
+		for _, src := range matches {
+			data, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, sub, filepath.Base(src)), data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	legacy := &Manifest{
+		FormatVersion: legacyFormatVersion,
+		Build:         m.Build,
+		Databases:     m.Databases,
+		Entries:       m.Entries,
+		Rejections:    m.Rejections,
+		Quarantine:    m.Quarantine,
+	}
+	mdata, err := canonicalJSON(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), mdata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestSumName), []byte(hashBytes(mdata)+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := os.ReadFile(filepath.Join(srcDir, statsName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, statsName), stats, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	journal := concatLines(
+		mustLine(t, journalRecord{Op: opBegin, Build: &m.Build}),
+		mustLine(t, journalRecord{Op: opCommit}),
+	)
+	if err := os.WriteFile(filepath.Join(dir, journalName), journal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Readable as-is: Open detects the layout, Load reconstructs the same
+	// benchmark, Verify walks clean.
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Legacy() {
+		t.Fatal("flat fixture not detected as legacy")
+	}
+	if r := st.Status(); !r.Legacy || r.ShardCount != 0 {
+		t.Fatalf("legacy status = %+v, want Legacy with shard count 0", r)
+	}
+	lb, lm, err := st.Load()
+	if err != nil {
+		t.Fatalf("load of legacy store: %v", err)
+	}
+	if lm.FormatVersion != legacyFormatVersion {
+		t.Fatalf("loaded manifest format %d, want %d", lm.FormatVersion, legacyFormatVersion)
+	}
+	if benchFingerprint(lb) != benchFingerprint(b) {
+		t.Fatal("legacy load diverged from the original benchmark")
+	}
+	if rep, err := st.Verify(); err != nil || !rep.OK() {
+		t.Fatalf("verify of clean legacy store: %+v, %v", rep, err)
+	}
+
+	// Never written in place: Repair refuses and points at the conversion.
+	if _, err := st.Repair(); err == nil || !strings.Contains(err.Error(), "-save") {
+		t.Fatalf("legacy repair = %v, want a refusal pointing at -save", err)
+	}
+
+	// Save converts: the benchmark lands sharded, the flat directories
+	// retire to lost+found/legacy/, and — conversion aside — the result is
+	// byte-identical to a store that was born sharded.
+	if _, err := st.Save(lb, m.Build); err != nil {
+		t.Fatalf("converting save: %v", err)
+	}
+	if st.Legacy() {
+		t.Fatal("store still legacy after a converting save")
+	}
+	for _, sub := range []string{entriesDir, dbsDir} {
+		if _, err := os.Stat(filepath.Join(dir, sub)); !os.IsNotExist(err) {
+			t.Fatalf("flat %s/ still present after conversion", sub)
+		}
+		if _, err := os.Stat(filepath.Join(dir, lostFoundDir, "legacy", sub)); err != nil {
+			t.Fatalf("flat %s/ not retired to lost+found/legacy/: %v", sub, err)
+		}
+	}
+	got := treeBytes(t, dir)
+	for name := range got {
+		if strings.HasPrefix(name, lostFoundDir+"/") {
+			delete(got, name)
+		}
+	}
+	sameTree(t, treeBytes(t, srcDir), got)
+
+	// A reopen sees a normal sharded store.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Legacy() || st2.ShardCount() != m.ShardCount {
+		t.Fatalf("reopened store: legacy=%t count=%d, want sharded with %d", st2.Legacy(), st2.ShardCount(), m.ShardCount)
+	}
+	if rep, err := st2.Verify(); err != nil || !rep.OK() {
+		t.Fatalf("verify after conversion: %+v, %v", rep, err)
+	}
+}
+
+// TestCacheShardAttribution checks the build-stats side of the sharded
+// cache: hit and miss counters partition by the shard each record lives
+// in and sum to the global counters.
+func TestCacheShardAttribution(t *testing.T) {
+	corpus, _ := testBench(t)
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(m map[string]int) int {
+		n := 0
+		for _, v := range m {
+			n += v
+		}
+		return n
+	}
+	opts := bench.DefaultOptions()
+	fp := Fingerprint(opts)
+	opts.Cache = st.PairCache(fp)
+	cold, err := bench.Build(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(cold.Stats.CacheShardMisses) != cold.Stats.CacheMisses {
+		t.Fatalf("cold per-shard misses %v do not sum to %d", cold.Stats.CacheShardMisses, cold.Stats.CacheMisses)
+	}
+	warmOpts := bench.DefaultOptions()
+	warmOpts.Cache = st.PairCache(fp)
+	warm, err := bench.Build(corpus, warmOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum(warm.Stats.CacheShardHits) != warm.Stats.CacheHits || len(warm.Stats.CacheShardMisses) != 0 {
+		t.Fatalf("warm per-shard hits %v / misses %v, want hits summing to %d and no misses",
+			warm.Stats.CacheShardHits, warm.Stats.CacheShardMisses, warm.Stats.CacheHits)
+	}
+	if len(warm.Stats.CacheShardHits) < 2 {
+		t.Fatalf("cache traffic landed in %d shards; want it spread", len(warm.Stats.CacheShardHits))
+	}
+	for name := range warm.Stats.CacheShardHits {
+		if len(name) != 2 {
+			t.Fatalf("per-shard counter keyed by %q, want a two-hex-digit shard name", name)
+		}
+	}
+}

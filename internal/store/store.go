@@ -4,25 +4,46 @@
 // into a serving substrate: build once, rebuild incrementally, serve from
 // disk with cache-validator hashes.
 //
-// Layout of a store directory:
+// The store is hash-partitioned: entries live in shards, each shard a
+// self-contained directory with its own journal, manifest, database
+// copies and cache partition, and the root manifest is a deterministic
+// merge of the shard manifests. Layout of a store directory:
 //
-//	MANIFEST.json     index: format version, build info, entry refs
-//	                  (id, pair, content hash, db hash), db hashes,
-//	                  rejection buckets, quarantine
-//	MANIFEST.sha256   hex SHA-256 of MANIFEST.json (self-check)
-//	stats.json        RunStats of the build (informational; not hashed)
-//	entries/<h>.json  one record per benchmark entry, named by the
-//	                  SHA-256 of its bytes
-//	dbs/<h>.json      deduplicated database payloads, content-addressed
-//	cache/<k>.json    incremental per-pair cache; <k> hashes the pair's
-//	                  inputs, the payload is self-hashed (first line)
+//	MANIFEST.json        root index: format version, shard count, shard
+//	                     refs (name + shard-manifest hash), merged entry
+//	                     refs (id, pair, content hash, db hash), global
+//	                     db hashes, rejection buckets, quarantine
+//	MANIFEST.sha256      hex SHA-256 of MANIFEST.json (self-check)
+//	JOURNAL.jsonl        root write-ahead journal framing the whole save
+//	stats.json           RunStats of the build (informational; not hashed)
+//	shards/<nn>/         one shard per first-hash-byte bucket (mod count):
+//	  MANIFEST.json      shard index: this shard's entries and databases
+//	  MANIFEST.sha256    self-check of the shard manifest
+//	  JOURNAL.jsonl      shard-scoped write-ahead journal
+//	  entries/<h>.json   one record per benchmark entry, named by the
+//	                     SHA-256 of its bytes
+//	  dbs/<h>.json       database payloads referenced by this shard's
+//	                     entries (duplicated per shard on purpose: a
+//	                     shard is loadable with no reads outside itself)
+//	  cache/<k>.json     incremental per-pair cache; <k> hashes the
+//	                     pair's inputs, the payload is self-hashed
 //
 // Every artifact is canonical JSON (sorted keys, fixed indentation), so the
 // same benchmark always serializes to the same bytes: Save is idempotent,
-// a re-Save after Load is byte-identical, and Verify can detect a single
-// flipped byte anywhere. All reads and writes pass through the store.load /
-// store.save fault-injection sites; Load degrades with a wrapped error —
-// never a panic — and cache corruption degrades to a cache miss.
+// a re-Save after Load is byte-identical regardless of how many workers
+// wrote the shards, and Verify can detect a single flipped byte anywhere.
+// The shard is the unit of blast radius: a torn write, crash mid-save, or
+// flipped byte dirties exactly one shard — Open still succeeds, Status
+// names the sick shard, LoadPartial serves the healthy ones, and Repair
+// heals shard by shard. All reads pass through the store.load fault site;
+// writes pass through store.shard.save (inside a shard), store.shard.merge
+// (the root merge) or store.save (stats). Load degrades with a wrapped
+// error — never a panic — and cache corruption degrades to a cache miss.
+//
+// A pre-shard (format version 1) store still opens: Load, Verify and the
+// pair cache work read-only against the flat layout, and one Save converts
+// it in place — the benchmark is rewritten sharded and the old flat
+// directories retire to lost+found/legacy/.
 package store
 
 import (
@@ -30,22 +51,25 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
 	"nvbench/internal/bench"
 	"nvbench/internal/dataset"
-	"nvbench/internal/fault"
 	"nvbench/internal/obs"
 )
 
-// FormatVersion identifies the artifact layout; Load rejects other versions.
-const FormatVersion = 1
+// FormatVersion identifies the sharded artifact layout.
+const FormatVersion = 2
+
+// legacyFormatVersion is the flat pre-shard layout, readable but not
+// writable; Save converts it to the current layout.
+const legacyFormatVersion = 1
 
 const (
 	manifestName    = "MANIFEST.json"
@@ -58,55 +82,98 @@ const (
 
 // Store is a benchmark store rooted at one directory.
 type Store struct {
-	dir  string
-	open OpenReport
-	ins  *obs.Instruments // nil disables instrumentation; see Instrument
+	dir         string
+	shardCount  int  // shards the next Save writes (fixed by an existing layout)
+	countFixed  bool // the layout on disk already chose the count
+	saveWorkers int  // bounded pool for parallel shard saves
+	legacy      bool // flat format-1 layout: read-only until a Save converts it
+	open        OpenReport
+	ins         *obs.Instruments // nil disables instrumentation; see Instrument
 }
 
-// OpenReport is what Open learned about the store's crash state: how many
-// stray temp files it swept, what the journal says, and — for an
-// interrupted save — how many of its intended artifacts are missing, torn
-// or intact on disk.
-type OpenReport struct {
-	TempsSwept     int          // stray .*.tmp* files removed
-	Journal        JournalState // clean / in-progress / corrupt / none
-	PendingIntents int          // artifacts the interrupted save intended
+// ShardStatus is one sick shard in an OpenReport: its journal state, the
+// classification of an interrupted save's intended artifacts, and a
+// one-line detail for problems beyond the journal (manifest mismatch,
+// fsck findings, load failures).
+type ShardStatus struct {
+	Shard          string       // shard name ("00".."ff")
+	Journal        JournalState // the shard's own journal
+	PendingIntents int          // artifacts the interrupted shard save intended
 	PendingMissing int          // of those, absent on disk
-	PendingTorn    int          // of those, present but hashing wrong (torn write)
+	PendingTorn    int          // of those, present but hashing wrong
+	Detail         string       // non-journal diagnosis ("" when none)
+}
+
+// OpenReport is what Open (or the last Save/Verify/Repair) learned about
+// the store's crash state: how many stray temp files were swept, what the
+// root journal says, and — per shard — which shards are dirty or sick.
+// Healthy shards do not appear; an all-healthy store has an empty Shards
+// list.
+type OpenReport struct {
+	TempsSwept     int           // stray .*.tmp* files removed
+	Journal        JournalState  // root journal: clean / in-progress / corrupt / none
+	PendingIntents int           // root artifacts the interrupted merge intended
+	PendingMissing int           // of those, absent on disk
+	PendingTorn    int           // of those, present but hashing wrong (torn write)
+	ShardCount     int           // shard count of the layout (0 for legacy)
+	Legacy         bool          // flat format-1 layout
+	Shards         []ShardStatus // dirty or sick shards, in name order
+}
+
+// SickShards names the shards the report flags, in name order.
+func (r OpenReport) SickShards() []string {
+	out := make([]string, 0, len(r.Shards))
+	for _, ss := range r.Shards {
+		out = append(out, ss.Shard)
+	}
+	return out
+}
+
+// Dirty reports whether anything — root journal or any shard — needs
+// Repair (or a completed re-save) before the store is fully trustworthy.
+func (r OpenReport) Dirty() bool {
+	return r.Journal == JournalInProgress || r.Journal == JournalCorrupt || len(r.Shards) > 0
 }
 
 // String renders the report as a one-line diagnosis.
 func (r OpenReport) String() string {
+	base := ""
 	switch r.Journal {
 	case JournalClean:
-		return "clean"
+		base = "clean"
 	case JournalInProgress:
 		if r.PendingTorn > 0 {
-			return fmt.Sprintf("torn artifact (%d of %d intended artifacts torn, %d missing)",
+			base = fmt.Sprintf("torn artifact (%d of %d intended artifacts torn, %d missing)",
 				r.PendingTorn, r.PendingIntents, r.PendingMissing)
+		} else {
+			base = fmt.Sprintf("incomplete save (%d intended artifacts, %d missing; roll back with Repair)",
+				r.PendingIntents, r.PendingMissing)
 		}
-		return fmt.Sprintf("incomplete save (%d intended artifacts, %d missing; roll back with Repair)",
-			r.PendingIntents, r.PendingMissing)
 	case JournalCorrupt:
-		return "corrupt journal"
+		base = "corrupt journal"
 	case JournalNone:
-		return "no journal"
+		base = "no journal"
+	default:
+		base = r.Journal.String()
 	}
-	return r.Journal.String()
+	if len(r.Shards) == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s; %d of %d shards dirty (%s)",
+		base, len(r.Shards), r.ShardCount, strings.Join(r.SickShards(), ", "))
 }
 
-// Open roots a store at dir, creating the artifact directories as needed.
-// It sweeps temp files left by interrupted writes and reads the journal,
-// so a crashed store is diagnosed — not repaired — at open time; see
-// Status and Repair.
+// Open roots a store at dir, creating it as needed. It detects the layout
+// (sharded, or flat legacy), sweeps temp files left by interrupted writes
+// and reads every journal, so a crashed store is diagnosed — not repaired —
+// at open time; see Status and Repair.
 func Open(dir string) (*Store, error) {
-	for _, sub := range []string{"", entriesDir, dbsDir, cacheDir} {
-		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
-			return nil, fmt.Errorf("store: open %s: %w", dir, err)
-		}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
-	s := &Store{dir: dir}
-	swept, err := s.sweepTemps()
+	s := &Store{dir: dir, shardCount: DefaultShardCount, saveWorkers: runtime.GOMAXPROCS(0)}
+	s.detectLayout()
+	swept, err := s.sweepAllTemps()
 	if err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
@@ -115,55 +182,178 @@ func Open(dir string) (*Store, error) {
 	return s, nil
 }
 
-// Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
-
-// Status returns what Open (or the last Save/Repair) determined about the
-// store's crash state.
-func (s *Store) Status() OpenReport { return s.open }
-
-// refreshStatus re-reads the journal into the open report, classifying an
-// interrupted save's intended artifacts as intact, torn or missing.
-func (s *Store) refreshStatus() {
-	j := s.readJournal()
-	s.open.Journal = j.State
-	s.open.PendingIntents, s.open.PendingMissing, s.open.PendingTorn = 0, 0, 0
-	if j.State != JournalInProgress {
+// detectLayout decides, from what is on disk, whether this is a legacy
+// flat store and what shard count a sharded one uses. It must work on
+// stores Verify would reject, so it peeks rather than validates.
+func (s *Store) detectLayout() {
+	if data, err := os.ReadFile(filepath.Join(s.dir, manifestName)); err == nil {
+		var m Manifest
+		if decodeStrict(data, &m) == nil {
+			if m.FormatVersion == legacyFormatVersion {
+				s.legacy = true
+				return
+			}
+			if m.FormatVersion == FormatVersion && validShardCount(m.ShardCount) {
+				s.shardCount = m.ShardCount
+				s.countFixed = true
+				return
+			}
+		}
+	}
+	// Torn or absent root manifest: the root journal's begin record carries
+	// the shard count of the save that was in flight.
+	if j := s.rootBox().readJournal(); j.Begin != nil && validShardCount(j.Begin.Shards) {
+		s.shardCount = j.Begin.Shards
+		s.countFixed = true
 		return
 	}
-	s.open.PendingIntents = len(j.Intents)
-	for _, in := range j.Intents {
-		data, err := os.ReadFile(filepath.Join(s.dir, filepath.FromSlash(in.Path)))
-		switch {
-		case err != nil:
-			s.open.PendingMissing++
-		case hashBytes(data) != in.Hash:
-			s.open.PendingTorn++
+	// A legacy store can lose its manifest too: flat entries/ at the root
+	// with no shards/ directory is the old layout.
+	if _, err := os.Stat(filepath.Join(s.dir, shardsDir)); os.IsNotExist(err) {
+		if _, err := os.Stat(filepath.Join(s.dir, entriesDir)); err == nil {
+			s.legacy = true
 		}
 	}
 }
 
-// sweepTemps removes stray .<name>.tmp* files that interrupted writes
-// (kills, crashes) leave behind, returning how many were removed.
-func (s *Store) sweepTemps() (int, error) {
-	swept := 0
-	for _, sub := range []string{"", entriesDir, dbsDir, cacheDir} {
-		ents, err := os.ReadDir(filepath.Join(s.dir, sub))
-		if err != nil {
-			if os.IsNotExist(err) {
-				continue
-			}
-			return swept, err
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// ShardCount returns the shard count the store uses (what the next Save
+// writes; 0 is never returned — legacy stores report the count a
+// converting Save would use).
+func (s *Store) ShardCount() int { return s.shardCount }
+
+// Legacy reports whether the store is the flat pre-shard layout (readable;
+// a Save converts it).
+func (s *Store) Legacy() bool { return s.legacy }
+
+// SetShardCount configures how many shards the next Save writes; n must be
+// a power of two in [1, 256]. On a store whose on-disk layout already
+// fixed a count, the existing count wins silently — re-sharding is a
+// re-save into a fresh directory, not an in-place mutation.
+func (s *Store) SetShardCount(n int) error {
+	if !validShardCount(n) {
+		return fmt.Errorf("store: shard count %d: must be a power of two in [1, %d]", n, maxShardCount)
+	}
+	if !s.countFixed {
+		s.shardCount = n
+		s.open.ShardCount = n
+	}
+	return nil
+}
+
+// SetSaveWorkers bounds the worker pool parallel shard saves run on.
+// Worker count never affects the bytes written, only the wall clock.
+func (s *Store) SetSaveWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.saveWorkers = n
+}
+
+// Status returns what Open (or the last Save/Verify/Repair) determined
+// about the store's crash state.
+func (s *Store) Status() OpenReport { return s.open }
+
+// classifyIntents checks an in-progress journal's intended artifacts
+// against the box's disk state: how many exist, are missing, or are torn.
+func classifyIntents(bx box, j journalInfo) (intents, missing, torn int) {
+	if j.State != JournalInProgress {
+		return 0, 0, 0
+	}
+	intents = len(j.Intents)
+	for _, in := range j.Intents {
+		data, err := os.ReadFile(bx.path(in.Path))
+		switch {
+		case err != nil:
+			missing++
+		case hashBytes(data) != in.Hash:
+			torn++
 		}
-		for _, ent := range ents {
-			name := ent.Name()
-			if ent.IsDir() || !strings.HasPrefix(name, ".") || !strings.Contains(name, ".tmp") {
-				continue
+	}
+	return intents, missing, torn
+}
+
+// refreshStatus re-reads every journal into the open report: the root
+// journal for the save-in-flight diagnosis, then each shard's journal and
+// manifest linkage, keeping only the shards with something wrong.
+func (s *Store) refreshStatus() {
+	root := s.rootBox()
+	j := root.readJournal()
+	s.open.Journal = j.State
+	s.open.PendingIntents, s.open.PendingMissing, s.open.PendingTorn = classifyIntents(root, j)
+	s.open.ShardCount = s.shardCount
+	s.open.Legacy = s.legacy
+	s.open.Shards = nil
+	if s.legacy {
+		s.open.ShardCount = 0
+		return
+	}
+	refs := s.rootShardRefs()
+	names, err := s.shardUniverse(refs)
+	if err != nil {
+		return // unreadable shards/ dir: the root diagnosis stands alone
+	}
+	for _, name := range names {
+		bx := s.shardBoxName(name)
+		ss := ShardStatus{Shard: name}
+		sj := bx.readJournal()
+		ss.Journal = sj.State
+		ss.PendingIntents, ss.PendingMissing, ss.PendingTorn = classifyIntents(bx, sj)
+		if want, listed := refs[name]; listed {
+			// A shard the root manifest references must carry a matching,
+			// journaled manifest of its own; anything else is damage.
+			switch smdata, err := os.ReadFile(bx.path(manifestName)); {
+			case err != nil:
+				ss.Detail = "shard manifest missing"
+			case hashBytes(smdata) != want:
+				ss.Detail = "shard manifest does not match the root manifest"
 			}
-			if err := os.Remove(filepath.Join(s.dir, sub, name)); err != nil {
-				return swept, err
+			if ss.Detail == "" && sj.State == JournalNone {
+				ss.Detail = "missing shard journal"
 			}
-			swept++
+		}
+		if ss.Journal == JournalInProgress || ss.Journal == JournalCorrupt || ss.Detail != "" {
+			s.open.Shards = append(s.open.Shards, ss)
+		}
+	}
+}
+
+// noteSick records a shard-level problem discovered after Open (by Verify
+// or LoadPartial) into the open report, so Status names sick shards
+// however they were found.
+func (s *Store) noteSick(shard, detail string) {
+	for i := range s.open.Shards {
+		if s.open.Shards[i].Shard == shard {
+			if s.open.Shards[i].Detail == "" {
+				s.open.Shards[i].Detail = detail
+			}
+			return
+		}
+	}
+	ss := ShardStatus{Shard: shard, Detail: detail}
+	ss.Journal = s.shardBoxName(shard).readJournal().State
+	s.open.Shards = append(s.open.Shards, ss)
+	sort.Slice(s.open.Shards, func(i, j int) bool { return s.open.Shards[i].Shard < s.open.Shards[j].Shard })
+}
+
+// sweepAllTemps sweeps stray temp files in the root and in every shard
+// directory on disk.
+func (s *Store) sweepAllTemps() (int, error) {
+	swept, err := s.rootBox().sweepTemps([]string{"", entriesDir, dbsDir, cacheDir})
+	if err != nil {
+		return swept, err
+	}
+	names, err := s.shardDirsOnDisk()
+	if err != nil {
+		return swept, err
+	}
+	for _, name := range names {
+		n, err := s.shardBoxName(name).sweepTemps([]string{"", entriesDir, dbsDir, cacheDir})
+		swept += n
+		if err != nil {
+			return swept, err
 		}
 	}
 	return swept, nil
@@ -174,53 +364,6 @@ func (s *Store) sweepTemps() (int, error) {
 func hashBytes(b []byte) string {
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:])
-}
-
-// writeArtifact durably writes one artifact: temp file, fsync, rename,
-// fsync of the parent directory — after the call returns, no crash can
-// un-write the artifact. rel is slash-separated relative to the root.
-// Under a torn fault, exactly the surviving prefix lands at the final
-// path — the on-disk state a crash between rename and a full flush would
-// leave — and the injected error is returned.
-func (s *Store) writeArtifact(rel string, data []byte) error {
-	injErr := fault.Inject(fault.SiteStoreSave)
-	var torn *fault.TornError
-	if injErr != nil && !errors.As(injErr, &torn) {
-		return fmt.Errorf("store: write %s: %w", rel, injErr)
-	}
-	if torn != nil {
-		data = data[:int(torn.Frac*float64(len(data)))]
-	}
-	path := filepath.Join(s.dir, filepath.FromSlash(rel))
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("store: write %s: %w", rel, err)
-	}
-	_, werr := tmp.Write(data)
-	if werr == nil {
-		// fsync before rename: a crash must never leave the rename as the
-		// only thing that survived.
-		werr = tmp.Sync()
-	}
-	cerr := tmp.Close()
-	if werr == nil {
-		werr = cerr
-	}
-	if werr == nil {
-		werr = os.Rename(tmp.Name(), path)
-	}
-	if werr == nil {
-		werr = syncDir(filepath.Dir(path))
-	}
-	if werr != nil {
-		// Best-effort cleanup; the write error is what the caller acts on.
-		_ = os.Remove(tmp.Name())
-		return fmt.Errorf("store: write %s: %w", rel, werr)
-	}
-	if torn != nil {
-		return fmt.Errorf("store: write %s: %w", rel, injErr)
-	}
-	return nil
 }
 
 // syncDir fsyncs a directory, making a rename inside it durable.
@@ -235,18 +378,6 @@ func syncDir(dir string) error {
 		return serr
 	}
 	return cerr
-}
-
-// readArtifact reads one artifact from the store root.
-func (s *Store) readArtifact(rel string) ([]byte, error) {
-	if err := fault.Inject(fault.SiteStoreLoad); err != nil {
-		return nil, fmt.Errorf("store: read %s: %w", rel, err)
-	}
-	data, err := os.ReadFile(filepath.Join(s.dir, filepath.FromSlash(rel)))
-	if err != nil {
-		return nil, fmt.Errorf("store: read %s: %w", rel, err)
-	}
-	return data, nil
 }
 
 // canonicalJSON is the one serialization every artifact uses: two-space
@@ -275,131 +406,112 @@ func decodeStrict(data []byte, v any) error {
 	return nil
 }
 
-// writeIntended writes one integrity-bearing artifact through the
-// journal: the intent (path + content hash) is logged and fsync'd first,
-// then the bytes. When an identical artifact is already in place the
-// committed copy is left untouched — a re-save must never expose
-// committed data to a torn rewrite — but the intent is still logged, so
-// the journal names the complete artifact set of the save.
-func (s *Store) writeIntended(rel, hash string, data []byte) error {
-	if err := s.journalAppend(journalRecord{Op: opIntent, Path: rel, Hash: hash}); err != nil {
-		return err
-	}
-	if existing, err := os.ReadFile(filepath.Join(s.dir, filepath.FromSlash(rel))); err == nil && hashBytes(existing) == hash {
-		return nil
-	}
-	return s.writeArtifact(rel, data)
-}
-
-// Save persists the benchmark: a journal rotation (begin) first, then
-// deduplicated database payloads, one record per entry, the manifest and
-// its self-hash — each preceded by its fsync'd journal intent — then the
-// unjournaled run stats, then the journal commit. Content addressing
-// makes Save idempotent — re-saving the same benchmark writes nothing new
-// — and deterministic: two runs of the same build produce byte-identical
-// stores, journal included. A Save that fails or crashes partway leaves
-// the journal without its commit record, which Open diagnoses and Repair
-// heals.
+// Save persists the benchmark sharded: a root journal rotation (begin,
+// recording the shard count) first, then every shard saved through its own
+// journal — database copies, entry records, shard manifest — fanned out
+// across the worker pool, then the root merge: the global manifest
+// (assembled deterministically from the shard manifests), its self-hash,
+// the unjournaled run stats, and the root commit. Content addressing makes
+// Save idempotent — re-saving the same benchmark writes nothing new — and
+// deterministic: two runs of the same build produce byte-identical stores,
+// journals included, at any worker count. A Save that fails or crashes
+// partway dirties the root journal plus exactly the shards that had not
+// committed, which Open diagnoses and Repair heals. On a legacy store,
+// Save is the conversion: the benchmark lands sharded and the flat
+// directories retire to lost+found/legacy/.
 func (s *Store) Save(b *bench.Benchmark, info BuildInfo) (*Manifest, error) {
 	defer s.timeOp("save")()
-	m := &Manifest{
-		FormatVersion: FormatVersion,
-		Build:         info,
-		Entries:       make([]EntryRef, 0, len(b.Entries)),
-		Rejections:    b.Rejections,
-		Quarantine:    b.Quarantine,
+	count := s.shardCount
+	plans, parts, err := planShards(b, info, count)
+	if err != nil {
+		return nil, err
 	}
-	if err := s.journalBegin(info); err != nil {
+	m := mergeManifest(info, count, parts, b.Rejections, b.Quarantine)
+	mdata, err := canonicalJSON(m)
+	if err != nil {
+		return nil, err
+	}
+	root := s.rootBox()
+	if err := root.journalBegin(journalRecord{Build: &info, Shards: count}); err != nil {
 		s.refreshStatus()
 		return nil, err
 	}
-	dbHash := map[*dataset.Database]string{}
-	written := map[string]bool{}
-	save := func() error {
-		for _, e := range b.Entries {
-			if _, ok := dbHash[e.DB]; ok {
-				continue
-			}
-			data, err := encodeDatabase(e.DB)
-			if err != nil {
-				return err
-			}
-			h := hashBytes(data)
-			dbHash[e.DB] = h
-			if written[h] {
-				continue // two pointers, same content: deduplicated
-			}
-			written[h] = true
-			if err := s.writeIntended(dbsDir+"/"+h+".json", h, data); err != nil {
-				return err
-			}
-			m.Databases = append(m.Databases, h)
-		}
-		sort.Strings(m.Databases)
-		for _, e := range b.Entries {
-			data, err := encodeEntry(e, dbHash[e.DB])
-			if err != nil {
-				return err
-			}
-			h := hashBytes(data)
-			if err := s.writeIntended(entriesDir+"/"+h+".json", h, data); err != nil {
-				return err
-			}
-			m.Entries = append(m.Entries, EntryRef{ID: e.ID, PairID: e.PairID, Hash: h, DB: dbHash[e.DB]})
-		}
-		mdata, err := canonicalJSON(m)
-		if err != nil {
-			return err
-		}
-		if err := s.writeIntended(manifestName, hashBytes(mdata), mdata); err != nil {
+	if err := s.saveShards(plans, info, count); err != nil {
+		// The root journal keeps its uncommitted begin: an aborted save is
+		// a dirty store, and the report says so until Repair (or a
+		// completed re-save) heals it.
+		s.refreshStatus()
+		return nil, err
+	}
+	merge := func() error {
+		if err := root.writeIntended(manifestName, hashBytes(mdata), mdata); err != nil {
 			return err
 		}
 		sum := []byte(hashBytes(mdata) + "\n")
-		if err := s.writeIntended(manifestSumName, hashBytes(sum), sum); err != nil {
+		if err := root.writeIntended(manifestSumName, hashBytes(sum), sum); err != nil {
 			return err
 		}
 		sdata, err := canonicalJSON(b.Stats)
 		if err != nil {
 			return err
 		}
-		if err := s.writeArtifact(statsName, sdata); err != nil {
+		if err := s.statsBox().writeArtifact(statsName, sdata); err != nil {
 			return err
 		}
-		return s.journalAppend(journalRecord{Op: opCommit})
+		return root.journalAppend(journalRecord{Op: opCommit})
 	}
-	if err := save(); err != nil {
-		// The journal keeps its uncommitted begin: an aborted save is a
-		// dirty store, and the report says so until Repair (or a
-		// completed re-save) heals it.
+	if err := merge(); err != nil {
 		s.refreshStatus()
 		return nil, err
 	}
+	if s.legacy {
+		if err := s.retireLegacy(); err != nil {
+			s.refreshStatus()
+			return nil, err
+		}
+		s.legacy = false
+	}
+	s.countFixed = true
 	s.refreshStatus()
 	return m, nil
 }
 
-// loadManifest reads and self-checks the manifest, returning it with its
-// raw bytes.
+// loadManifest reads and self-checks the root manifest, returning it with
+// its raw bytes. Both layouts decode here; callers branch on FormatVersion.
 func (s *Store) loadManifest() (*Manifest, []byte, error) {
-	data, err := s.readArtifact(manifestName)
+	data, err := s.rootBox().readArtifact(manifestName)
 	if err != nil {
 		return nil, nil, err
 	}
-	sum, err := s.readArtifact(manifestSumName)
+	sum, err := s.rootBox().readArtifact(manifestSumName)
 	if err != nil {
 		return nil, nil, err
 	}
-	if want, got := strings.TrimSpace(string(sum)), hashBytes(data); want != got {
+	if want, got := trimSum(sum), hashBytes(data); want != got {
 		return nil, nil, fmt.Errorf("store: %s corrupt: hash %s does not match %s", manifestName, got, want)
 	}
 	var m Manifest
 	if err := decodeStrict(data, &m); err != nil {
 		return nil, nil, fmt.Errorf("store: decode %s: %w", manifestName, err)
 	}
-	if m.FormatVersion != FormatVersion {
+	switch m.FormatVersion {
+	case FormatVersion:
+		if !validShardCount(m.ShardCount) {
+			return nil, nil, fmt.Errorf("store: %s: invalid shard count %d", manifestName, m.ShardCount)
+		}
+	case legacyFormatVersion:
+		// Flat layout: readable as-is.
+	default:
 		return nil, nil, fmt.Errorf("store: format version %d, this build reads %d", m.FormatVersion, FormatVersion)
 	}
 	return &m, data, nil
+}
+
+// ShardFailure is one shard LoadPartial could not serve.
+type ShardFailure struct {
+	Shard       string // shard name
+	EntriesLost int    // manifest entries that shard owed
+	Err         error  // why it failed
 }
 
 // Load reconstructs the benchmark from the store. Every artifact is
@@ -415,63 +527,187 @@ func (s *Store) Load() (*bench.Benchmark, *Manifest, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	dbs := make(map[string]*dataset.Database, len(m.Databases))
-	for _, h := range m.Databases {
-		rel := dbsDir + "/" + h + ".json"
-		data, err := s.readArtifact(rel)
-		if err != nil {
-			return nil, nil, err
-		}
-		if got := hashBytes(data); got != h {
-			return nil, nil, fmt.Errorf("store: %s corrupt: content hash %s does not match address", rel, got)
-		}
-		db, err := decodeDatabase(data)
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: decode %s: %w", rel, err)
-		}
-		dbs[h] = db
+	if m.FormatVersion == legacyFormatVersion {
+		return s.loadLegacy(m)
 	}
+	entries, _, err := s.loadShardEntries(m, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	b := assembleBenchmark(m, entries)
+	if err := s.loadStats(b, true); err != nil {
+		return nil, nil, err
+	}
+	return b, m, nil
+}
+
+// LoadPartial reconstructs as much of the benchmark as the healthy shards
+// can serve: a shard whose artifacts fail validation is dropped wholesale
+// (and recorded, both in the returned failures and in Status), the rest
+// load exactly as Load would. The returned manifest is pruned to the
+// entries actually loaded, so EntryHashes stays positionally aligned. The
+// error return is reserved for stores with nothing to serve at all (no
+// readable root manifest).
+func (s *Store) LoadPartial() (*bench.Benchmark, *Manifest, []ShardFailure, error) {
+	defer s.timeOp("load")()
+	m, _, err := s.loadManifest()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if m.FormatVersion == legacyFormatVersion {
+		// The flat layout has a single blast radius; partial loading cannot
+		// do better than Load.
+		b, m, err := s.loadLegacy(m)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return b, m, nil, nil
+	}
+	entries, fails, err := s.loadShardEntries(m, true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if len(fails) > 0 {
+		failed := map[string]bool{}
+		for _, f := range fails {
+			failed[f.Shard] = true
+		}
+		keep := m.Entries[:0:0]
+		for _, ref := range m.Entries {
+			if !failed[shardName(shardIndex(ref.Hash, m.ShardCount))] {
+				keep = append(keep, ref)
+			}
+		}
+		m.Entries = keep
+	}
+	b := assembleBenchmark(m, entries)
+	// Stats are informational; a degraded serve must not die on a torn
+	// stats file.
+	_ = s.loadStats(b, false)
+	return b, m, fails, nil
+}
+
+// loadShardEntries loads every entry the root manifest references, shard
+// by shard in name order. In strict mode the first failing shard aborts;
+// in partial mode it is recorded (and noted in Status) and the walk
+// continues. Databases decode once per content hash and are shared across
+// shards, exactly as at build time.
+func (s *Store) loadShardEntries(m *Manifest, partial bool) ([]*bench.Entry, []ShardFailure, error) {
+	groups := map[string][]EntryRef{}
+	for _, ref := range m.Entries {
+		name := shardName(shardIndex(ref.Hash, m.ShardCount))
+		groups[name] = append(groups[name], ref)
+	}
+	names := make([]string, 0, len(groups))
+	for name := range groups {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	dbs := map[string]*dataset.Database{}
+	entries := make([]*bench.Entry, 0, len(m.Entries))
+	var fails []ShardFailure
+	for _, name := range names {
+		bx := s.shardBoxName(name)
+		done := s.timeShardOp("load", name)
+		es, err := loadOneShard(bx, groups[name], dbs)
+		done()
+		if err != nil {
+			if !partial {
+				return nil, nil, err
+			}
+			s.noteSick(name, err.Error())
+			fails = append(fails, ShardFailure{Shard: name, EntriesLost: len(groups[name]), Err: err})
+			continue
+		}
+		entries = append(entries, es...)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].ID < entries[j].ID })
+	return entries, fails, nil
+}
+
+// loadOneShard reads and validates one shard's slice of the manifest.
+// Every read stays inside the shard's own directory — including database
+// payloads, which the shard carries its own copies of.
+func loadOneShard(bx box, refs []EntryRef, dbs map[string]*dataset.Database) ([]*bench.Entry, error) {
+	out := make([]*bench.Entry, 0, len(refs))
+	for _, ref := range refs {
+		if dbs[ref.DB] == nil {
+			rel := dbsDir + "/" + ref.DB + ".json"
+			data, err := bx.readArtifact(rel)
+			if err != nil {
+				return nil, err
+			}
+			if got := hashBytes(data); got != ref.DB {
+				return nil, fmt.Errorf("store: %s corrupt: content hash %s does not match address", bx.key(rel), got)
+			}
+			db, err := decodeDatabase(data)
+			if err != nil {
+				return nil, fmt.Errorf("store: decode %s: %w", bx.key(rel), err)
+			}
+			dbs[ref.DB] = db
+		}
+		rel := entriesDir + "/" + ref.Hash + ".json"
+		data, err := bx.readArtifact(rel)
+		if err != nil {
+			return nil, err
+		}
+		if got := hashBytes(data); got != ref.Hash {
+			return nil, fmt.Errorf("store: %s corrupt: content hash %s does not match address", bx.key(rel), got)
+		}
+		rec, err := decodeEntryRecord(data)
+		if err != nil {
+			return nil, fmt.Errorf("store: decode %s: %w", bx.key(rel), err)
+		}
+		if rec.DB != ref.DB {
+			return nil, fmt.Errorf("store: %s references database %s but the manifest says %s", bx.key(rel), rec.DB, ref.DB)
+		}
+		e, err := rec.toEntry(dbs[ref.DB])
+		if err != nil {
+			return nil, fmt.Errorf("store: decode %s: %w", bx.key(rel), err)
+		}
+		if e.ID != ref.ID || e.PairID != ref.PairID {
+			return nil, fmt.Errorf("store: %s: entry (%d, pair %d) does not match manifest ref (%d, pair %d)",
+				bx.key(rel), e.ID, e.PairID, ref.ID, ref.PairID)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// assembleBenchmark builds the in-memory benchmark around loaded entries.
+func assembleBenchmark(m *Manifest, entries []*bench.Entry) *bench.Benchmark {
 	b := &bench.Benchmark{
-		Entries:    make([]*bench.Entry, 0, len(m.Entries)),
+		Entries:    entries,
 		Rejections: map[string]int{},
 		Quarantine: m.Quarantine,
+	}
+	if b.Entries == nil {
+		b.Entries = make([]*bench.Entry, 0)
 	}
 	for k, v := range m.Rejections {
 		b.Rejections[k] = v
 	}
-	for _, ref := range m.Entries {
-		rel := entriesDir + "/" + ref.Hash + ".json"
-		data, err := s.readArtifact(rel)
-		if err != nil {
-			return nil, nil, err
+	return b
+}
+
+// loadStats reads the informational stats.json when present. In strict
+// mode an undecodable stats file is an error; otherwise it is ignored.
+func (s *Store) loadStats(b *bench.Benchmark, strict bool) error {
+	data, err := os.ReadFile(filepath.Join(s.dir, statsName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
 		}
-		if got := hashBytes(data); got != ref.Hash {
-			return nil, nil, fmt.Errorf("store: %s corrupt: content hash %s does not match address", rel, got)
+		if strict {
+			return fmt.Errorf("store: read %s: %w", statsName, err)
 		}
-		rec, err := decodeEntryRecord(data)
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: decode %s: %w", rel, err)
-		}
-		db := dbs[rec.DB]
-		if db == nil {
-			return nil, nil, fmt.Errorf("store: %s references unknown database %s", rel, rec.DB)
-		}
-		e, err := rec.toEntry(db)
-		if err != nil {
-			return nil, nil, fmt.Errorf("store: decode %s: %w", rel, err)
-		}
-		if e.ID != ref.ID || e.PairID != ref.PairID {
-			return nil, nil, fmt.Errorf("store: %s: entry (%d, pair %d) does not match manifest ref (%d, pair %d)",
-				rel, e.ID, e.PairID, ref.ID, ref.PairID)
-		}
-		b.Entries = append(b.Entries, e)
+		return nil
 	}
-	if data, err := os.ReadFile(filepath.Join(s.dir, statsName)); err == nil {
-		if err := decodeStrict(data, &b.Stats); err != nil {
-			return nil, nil, fmt.Errorf("store: decode %s: %w", statsName, err)
+	if err := decodeStrict(data, &b.Stats); err != nil {
+		if strict {
+			return fmt.Errorf("store: decode %s: %w", statsName, err)
 		}
-	} else if !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("store: read %s: %w", statsName, err)
+		b.Stats = bench.RunStats{}
 	}
-	return b, m, nil
+	return nil
 }

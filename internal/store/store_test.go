@@ -142,7 +142,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(loaded.Rejections, b.Rejections) {
 		t.Fatalf("rejections diverged: %v vs %v", loaded.Rejections, b.Rejections)
 	}
-	if loaded.Stats != b.Stats {
+	if !reflect.DeepEqual(loaded.Stats, b.Stats) {
 		t.Fatalf("stats diverged: %+v vs %+v", loaded.Stats, b.Stats)
 	}
 	// The strongest form: re-saving the loaded benchmark reproduces the
@@ -192,12 +192,17 @@ func flipByte(t *testing.T, path string) {
 	}
 }
 
-// anyArtifact returns one artifact path under dir/sub.
+// anyArtifact returns one artifact path of the given kind (entriesDir,
+// dbsDir or cacheDir), searching the shard directories of a sharded store
+// and the root of a legacy flat one.
 func anyArtifact(t *testing.T, dir, sub string) string {
 	t.Helper()
-	matches, err := filepath.Glob(filepath.Join(dir, sub, "*.json"))
+	matches, err := filepath.Glob(filepath.Join(dir, shardsDir, "*", sub, "*.json"))
 	if err != nil || len(matches) == 0 {
-		t.Fatalf("no artifacts under %s/%s", dir, sub)
+		matches, err = filepath.Glob(filepath.Join(dir, sub, "*.json"))
+	}
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no artifacts under %s for %s", dir, sub)
 	}
 	return matches[0]
 }
@@ -212,8 +217,22 @@ func TestVerifyCleanStore(t *testing.T) {
 	if !rep.OK() {
 		t.Fatalf("clean store reported corrupt: %+v", rep.Corrupt)
 	}
-	// manifest + journal + every entry + every db artifact.
-	if want := 2 + len(m.Entries) + len(m.Databases); rep.Checked != want {
+	// Root manifest + root journal, then per listed shard its manifest and
+	// journal, every entry artifact, and each shard's own copy of every
+	// database it references.
+	perShardDBs := map[string]map[string]bool{}
+	for _, ref := range m.Entries {
+		name := shardName(shardIndex(ref.Hash, m.ShardCount))
+		if perShardDBs[name] == nil {
+			perShardDBs[name] = map[string]bool{}
+		}
+		perShardDBs[name][ref.DB] = true
+	}
+	dbCopies := 0
+	for _, dbs := range perShardDBs {
+		dbCopies += len(dbs)
+	}
+	if want := 2 + 2*len(m.Shards) + len(m.Entries) + dbCopies; rep.Checked != want {
 		t.Fatalf("checked %d artifacts, want %d", rep.Checked, want)
 	}
 }

@@ -27,7 +27,7 @@ echo "== go test -race (fast packages)"
 go test -race ./internal/ast ./internal/sqlparser ./internal/spider ./internal/core
 
 echo "== store round trip (determinism gate)"
-go test -run 'TestSaveLoadRoundTrip|TestGoldenManifestDeterminism|TestVerifyDetectsFlippedByte' ./internal/store
+go test -run 'TestSaveLoadRoundTrip|TestGoldenManifestDeterminism|TestVerifyDetectsFlippedByte|TestShardedSaveWorkerCountsByteIdentical' ./internal/store
 
 echo "== faultguard: fault-injection suite with -race"
 go test -race ./internal/fault ./internal/deepeye ./internal/bench ./internal/server ./internal/store ./cmd/nvbench
@@ -39,7 +39,7 @@ go test -race -run 'TestWritePrometheusGolden|TestTracerGoldenJSON|TestLoggerGol
 
 echo "== crashguard: re-exec crash sweeps and store fuzzers"
 go test -race -run 'TestCrashSweep' ./internal/store
-for fuzz in FuzzEntryCodec FuzzSelfHashed FuzzJournalRecover; do
+for fuzz in FuzzEntryCodec FuzzSelfHashed FuzzJournalRecover FuzzShardRoute; do
     go test -run "^${fuzz}$" -fuzz "^${fuzz}$" -fuzztime 5s ./internal/store
 done
 
