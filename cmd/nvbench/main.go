@@ -37,6 +37,7 @@ import (
 	"nvbench/internal/sqlparser"
 	"nvbench/internal/stats"
 	"nvbench/internal/store"
+	"nvbench/internal/vql"
 )
 
 func main() {
@@ -297,6 +298,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			if err := srv.SetEntryETags(manifest.EntryHashes()); err != nil {
 				return err
 			}
+			attachQueryIndexes(w, srv, st)
 		}
 		return srv.Run(ctx, *serve)
 	}
@@ -362,6 +364,30 @@ func repairDetail(rep *store.RepairReport) *server.Degradation {
 	return d
 }
 
+// attachQueryIndexes feeds the server's /api/query engine the store's
+// persisted secondary indexes. Degrades, never fails: a store without
+// usable indexes (pre-index save, stale after damage, injected fault)
+// serves every query by full scan instead, with a note on the run log.
+// Call after SetEntryETags — the manifest hashes are how the engine
+// resolves index postings to rows.
+func attachQueryIndexes(w io.Writer, srv *server.Server, st *store.Store) {
+	idx, err := st.LoadIndexes()
+	if err != nil {
+		fmt.Fprintf(w, "query indexes unavailable (%v); /api/query falls back to full scans\n", err)
+		return
+	}
+	if len(idx) == 0 {
+		return // pre-index store
+	}
+	vidx := make(map[string]vql.Index, len(idx))
+	for f, ix := range idx {
+		vidx[f] = ix
+	}
+	if err := srv.SetQueryIndexes(vidx); err != nil {
+		fmt.Fprintf(w, "query indexes rejected (%v); /api/query falls back to full scans\n", err)
+	}
+}
+
 // serveStore is the -store load path: reconstruct the benchmark from disk
 // (no corpus, no synthesis), print its shape, and optionally export or
 // serve it with the manifest's content hashes as cache validators. When a
@@ -425,6 +451,7 @@ func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, v
 		if err := srv.SetEntryETags(m.EntryHashes()); err != nil {
 			return err
 		}
+		attachQueryIndexes(w, srv, st)
 		return srv.Run(ctx, serve)
 	}
 	return nil

@@ -1,20 +1,28 @@
-// Command vql is the synthesizer's interactive utility: it parses an SQL
-// query against a generated demo database (or a named table schema),
-// synthesizes the candidate visualizations, shows which survive the DeepEye
-// filter and why the rest were rejected, and renders a chosen candidate to
-// Vega-Lite or ECharts.
+// Command vql is the synthesizer's interactive utility. It has two modes:
 //
-// Usage:
+// Query mode runs a VQL query against a saved benchmark store, answering
+// equality predicates from the store's persisted secondary indexes when
+// it can:
+//
+//	vql -store ./store -query "SELECT hardness, chart, count(*) FROM entries WHERE db = 'flight_0' GROUP BY 1, 2 ORDER BY 3 DESC"
+//	vql -store ./store -query "..." -json      # machine-readable result
+//	vql -store ./store -query "..." -explain   # print the plan, skip execution
+//
+// Demo mode (the original tool) parses an SQL query against a generated
+// demo database, synthesizes the candidate visualizations, shows which
+// survive the DeepEye filter, and renders a chosen candidate:
 //
 //	vql -sql "SELECT origin, price FROM flight" -render vega -pick 0
 //	vql -list                      # show the demo schema
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"nvbench/internal/core"
 	"nvbench/internal/dataset"
@@ -22,32 +30,48 @@ import (
 	"nvbench/internal/render"
 	"nvbench/internal/spider"
 	"nvbench/internal/sqlparser"
+	"nvbench/internal/store"
+	"nvbench/internal/vql"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vql: ")
 	var (
-		sql     = flag.String("sql", "", "SQL query to synthesize visualizations from")
-		nl      = flag.String("nl", "", "the NL question of the SQL query (for NL variant synthesis)")
-		seed    = flag.Int64("seed", 1, "demo database seed")
-		db      = flag.Int("db", 0, "demo database index")
-		list    = flag.Bool("list", false, "print the demo database schema and exit")
-		renderT = flag.String("render", "", "render the picked candidate: vega | echarts")
-		pick    = flag.Int("pick", 0, "candidate index to render")
+		storeDir = flag.String("store", "", "benchmark store directory (query mode)")
+		query    = flag.String("query", "", "VQL query to run against the store")
+		asJSON   = flag.Bool("json", false, "print the query result as JSON")
+		explain  = flag.Bool("explain", false, "print the query plan instead of executing")
+		sql      = flag.String("sql", "", "SQL query to synthesize visualizations from")
+		nl       = flag.String("nl", "", "the NL question of the SQL query (for NL variant synthesis)")
+		seed     = flag.Int64("seed", 1, "demo database seed")
+		db       = flag.Int("db", 0, "demo database index")
+		list     = flag.Bool("list", false, "print the demo database schema and exit")
+		renderT  = flag.String("render", "", "render the picked candidate: vega | echarts")
+		pick     = flag.Int("pick", 0, "candidate index to render")
 	)
 	flag.Parse()
 
-	corpus, err := spider.Generate(spider.Config{Seed: *seed, NumDatabases: *db + 1, PairsPerDB: 1, MaxRows: 500})
+	if *query != "" {
+		if *storeDir == "" {
+			log.Fatal("-query needs -store DIR")
+		}
+		if err := runQuery(*storeDir, *query, *asJSON, *explain); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Demo mode generates exactly the one database it is asked about.
+	database, err := spider.GenerateDatabase(spider.Config{Seed: *seed, MaxRows: 500}, *db)
 	if err != nil {
 		log.Fatal(err)
 	}
-	database := corpus.Databases[*db]
 
 	if *list || *sql == "" {
 		printSchema(database)
 		if *sql == "" {
-			fmt.Println("\npass -sql \"SELECT ...\" to synthesize visualizations")
+			fmt.Println("\npass -sql \"SELECT ...\" to synthesize visualizations, or -store DIR -query \"SELECT ...\" to query a store")
 		}
 		return
 	}
@@ -103,6 +127,99 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// runQuery loads the store, feeds the engine its persisted indexes, and
+// answers one VQL query. A store without usable indexes still answers —
+// every query falls back to a full scan — with a note on stderr.
+func runQuery(dir, q string, asJSON, explain bool) error {
+	st, err := store.Open(dir)
+	if err != nil {
+		return err
+	}
+	b, m, err := st.Load()
+	if err != nil {
+		return err
+	}
+	eng := vql.NewEngine(b)
+	if idx, err := st.LoadIndexes(); err != nil {
+		log.Printf("indexes unavailable, falling back to full scans: %v", err)
+	} else if len(idx) > 0 {
+		vidx := make(map[string]vql.Index, len(idx))
+		for f, ix := range idx {
+			vidx[f] = ix
+		}
+		if err := eng.SetIndexes(m.EntryHashes(), vidx); err != nil {
+			return err
+		}
+	}
+
+	if explain {
+		plan, err := eng.PlanText(q)
+		if err != nil {
+			return err
+		}
+		fmt.Println(plan)
+		return nil
+	}
+	res, err := eng.Query(q)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		data, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	printTable(res)
+	return nil
+}
+
+// printTable renders a result as an aligned text table with a plan
+// footer.
+func printTable(res *vql.Result) {
+	widths := make([]int, len(res.Columns))
+	for i, c := range res.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(res.Rows))
+	for ri, row := range res.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.Text()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - len(c); pad > 0 && i < len(cols)-1 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(res.Columns)
+	rule := make([]string, len(res.Columns))
+	for i, w := range widths {
+		rule[i] = strings.Repeat("-", w)
+	}
+	writeRow(rule)
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Print(sb.String())
+	fmt.Printf("(%d rows, scanned %d)\n%s\n", res.RowCount, res.Scanned, res.Plan)
 }
 
 func printSchema(db *dataset.Database) {

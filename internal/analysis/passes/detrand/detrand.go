@@ -34,6 +34,7 @@ var DetPackageSuffixes = []string{
 	"internal/render",
 	"internal/spider",
 	"internal/store",
+	"internal/vql",
 }
 
 // ObsPackageSuffix is the one package allowed to read the wall clock:
@@ -44,7 +45,7 @@ const ObsPackageSuffix = "internal/obs"
 // Analyzer is the determinism check.
 var Analyzer = &analysis.Analyzer{
 	Name:    "detrand",
-	Version: "1",
+	Version: "2", // v2: internal/vql joined the deterministic set
 	Doc: "deterministic packages must not use time.Now, global math/rand, or ordered map iteration\n\n" +
 		"Benchmark synthesis regenerates byte-for-byte; wall clocks, the\n" +
 		"process-global RNG and map-iteration order leaking into slices or\n" +

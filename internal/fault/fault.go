@@ -65,6 +65,12 @@ const (
 	SiteShardSave   = "store.shard.save"   // shard-scoped artifact writes
 	SiteShardMerge  = "store.shard.merge"  // root-manifest merge writes
 	SiteShardRepair = "store.shard.repair" // per-shard (and root re-merge) repair
+
+	// VQL query-engine sites: the executor entry (every query evaluated
+	// over the loaded benchmark) and the persisted secondary-index path
+	// (index assembly during Save, index reads in LoadIndexes).
+	SiteVQLQuery = "vql.query" // vql.Engine query execution
+	SiteVQLIndex = "vql.index" // store index build and load
 )
 
 // Sites lists every registered injection site.
@@ -74,6 +80,7 @@ func Sites() []string {
 		SiteVariants, SiteRender, SiteServer,
 		SiteStoreSave, SiteStoreLoad,
 		SiteShardSave, SiteShardMerge, SiteShardRepair,
+		SiteVQLQuery, SiteVQLIndex,
 	}
 }
 

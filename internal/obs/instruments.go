@@ -62,11 +62,13 @@ const (
 	StageDeepEye  = "deepeye"
 	StageNLEdit   = "nledit"
 	StageRender   = "render"
+	StageQuery    = "query"
 )
 
 // Stages lists the pipeline stage names in execution order, for stable
-// iteration in timing tables and tests.
-var Stages = []string{StageSQLParse, StageTreeEdit, StageDeepEye, StageNLEdit, StageRender}
+// iteration in timing tables and tests (query runs at serve time, after
+// the build pipeline).
+var Stages = []string{StageSQLParse, StageTreeEdit, StageDeepEye, StageNLEdit, StageRender, StageQuery}
 
 // StoreOps lists the op= label values of StoreSeconds, in protocol order:
 // the three store entry points internal/store times.
@@ -75,7 +77,7 @@ var StoreOps = []string{"save", "load", "repair"}
 // HTTPRoutes lists the bounded route= label set the server middleware emits
 // for HTTPSeconds and HTTPRequests (see server.routeLabel); the server's
 // route-drift test pins the two together.
-var HTTPRoutes = []string{"/", "/api/entries", "/api/entry/:id", "/api/entry/:id/vega", "/entry/:id", "other"}
+var HTTPRoutes = []string{"/", "/api/entries", "/api/entry/:id", "/api/entry/:id/vega", "/api/query", "/entry/:id", "other"}
 
 // stageSeries precomputes the labeled StageHistogram series name for each
 // pipeline stage, keeping the per-pair hot path free of label assembly.

@@ -107,6 +107,8 @@ func routeLabel(path string) string {
 		return "/"
 	case path == "/api/entries":
 		return "/api/entries"
+	case path == "/api/query":
+		return "/api/query"
 	case strings.HasPrefix(path, "/api/entry/"):
 		if strings.HasSuffix(path, "/vega") {
 			return "/api/entry/:id/vega"

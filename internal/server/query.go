@@ -1,0 +1,145 @@
+// /api/query: the VQL endpoint. One engine is built over the served
+// benchmark at construction; a store-backed server additionally feeds it
+// the persisted secondary indexes (SetQueryIndexes) so equality
+// predicates on db/chart/hardness answer from postings instead of a full
+// scan. Queries are read-only and the engine is immutable after setup,
+// so requests execute concurrently without locking.
+
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+
+	"nvbench/internal/obs"
+	"nvbench/internal/vql"
+)
+
+// maxQueryBody bounds a POSTed query body; real queries are a few hundred
+// bytes, so anything larger is a client error, not a buffer to grow.
+const maxQueryBody = 1 << 16
+
+// queryRequest is the POST body shape of /api/query.
+type queryRequest struct {
+	Query string `json:"query"`
+}
+
+// queryError is the JSON error shape of /api/query: the message, plus the
+// 1-based byte position for syntax errors (0 when not positional).
+type queryError struct {
+	Error    string `json:"error"`
+	Position int    `json:"position,omitempty"`
+}
+
+// SetQueryIndexes hands the engine the store's persisted secondary
+// indexes. Call after SetEntryETags: index postings are entry content
+// hashes, and the etags — positionally aligned with the engine's rows —
+// are how the engine resolves them. Not safe concurrently with requests.
+func (s *Server) SetQueryIndexes(indexes map[string]vql.Index) error {
+	return s.engine.SetIndexes(s.etags, indexes)
+}
+
+// recomputeQueryTag refreshes the cache validator base for /api/query
+// responses: a hash over the per-entry validators, so a rebuilt store
+// invalidates cached query results exactly when it invalidates entries.
+func (s *Server) recomputeQueryTag() {
+	h := sha256.New()
+	for _, tag := range s.etags {
+		h.Write([]byte(tag))
+		h.Write([]byte{0})
+	}
+	s.queryTag = hex.EncodeToString(h.Sum(nil))
+}
+
+// queryText extracts the VQL text for one request: ?q= on GET, a JSON
+// {"query": ...} body on POST.
+func queryText(r *http.Request) (string, error) {
+	switch r.Method {
+	case http.MethodGet:
+		return r.URL.Query().Get("q"), nil
+	case http.MethodPost:
+		var req queryRequest
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBody))
+		if err != nil {
+			return "", errors.New("read body: " + err.Error())
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", errors.New(`bad body: want {"query": "SELECT ..."}`)
+		}
+		return req.Query, nil
+	default:
+		return "", nil
+	}
+}
+
+// writeQueryError answers with the JSON error shape at the given status.
+// Marshal cannot fail on queryError (plain string + int), but the encode
+// still happens before any byte is written so the status line is always
+// consistent with the body.
+func (s *Server) writeQueryError(w http.ResponseWriter, status int, qe queryError) {
+	data, err := json.MarshalIndent(qe, "", "  ")
+	if err != nil {
+		http.Error(w, qe.Error, status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeBytes(s, w, append(data, '\n'))
+}
+
+func (s *Server) handleAPIQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		w.Header().Set("Allow", "GET, POST")
+		s.writeQueryError(w, http.StatusMethodNotAllowed, queryError{Error: "use GET ?q= or POST {\"query\": ...}"})
+		return
+	}
+	q, err := queryText(r)
+	if err != nil {
+		s.writeQueryError(w, http.StatusBadRequest, queryError{Error: err.Error()})
+		return
+	}
+	if strings.TrimSpace(q) == "" {
+		s.writeQueryError(w, http.StatusBadRequest, queryError{Error: "empty query"})
+		return
+	}
+
+	// The result is a pure function of (store content, query text), so the
+	// validator is a hash of both: identical queries against an unchanged
+	// store revalidate with 304 before any execution work.
+	sum := sha256.Sum256([]byte(s.queryTag + "\x00" + q))
+	tag := `"` + hex.EncodeToString(sum[:]) + `"`
+	w.Header().Set("ETag", tag)
+	w.Header().Set("Cache-Control", "no-cache")
+	for _, c := range strings.Split(r.Header.Get("If-None-Match"), ",") {
+		c = strings.TrimPrefix(strings.TrimSpace(c), "W/")
+		if c == tag || c == "*" {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+
+	res, err := s.queryBench(q)
+	if err != nil {
+		var verr *vql.Error
+		if errors.As(err, &verr) {
+			s.writeQueryError(w, http.StatusBadRequest, queryError{Error: verr.Msg, Position: verr.Pos})
+			return
+		}
+		s.writeQueryError(w, http.StatusInternalServerError, queryError{Error: err.Error()})
+		return
+	}
+	writeJSON(s, w, res)
+}
+
+// queryBench runs one VQL query, timing it into the query stage
+// histogram.
+func (s *Server) queryBench(q string) (*vql.Result, error) {
+	stop := s.cfg.Obs.TimeHistogram(obs.L(obs.StageHistogram, "stage", obs.StageQuery))
+	defer stop()
+	return s.engine.Query(q)
+}

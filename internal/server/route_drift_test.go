@@ -15,6 +15,7 @@ func TestRouteLabelsMatchRegisteredSchema(t *testing.T) {
 		"/api/entries":      "/api/entries",
 		"/api/entry/7":      "/api/entry/:id",
 		"/api/entry/7/vega": "/api/entry/:id/vega",
+		"/api/query":        "/api/query",
 		"/entry/7":          "/entry/:id",
 		"/healthz":          "other",
 		"/no/such/page":     "other",

@@ -29,6 +29,7 @@ import (
 	"nvbench/internal/bench"
 	"nvbench/internal/obs"
 	"nvbench/internal/render"
+	"nvbench/internal/vql"
 )
 
 // Config tunes the hardening layers.
@@ -77,6 +78,12 @@ type Server struct {
 	// partially salvaged; /readyz reports it (still 200 — degraded data is
 	// servable data).
 	degraded atomic.Pointer[Degradation]
+	// engine answers /api/query; built over Bench at construction,
+	// optionally fed persisted store indexes via SetQueryIndexes.
+	engine *vql.Engine
+	// queryTag is the cache-validator base for /api/query responses,
+	// derived from the per-entry validators (see recomputeQueryTag).
+	queryTag string
 }
 
 // ShardDegradation is the damage report for one store shard the server is
@@ -124,11 +131,14 @@ func NewWithConfig(b *bench.Benchmark, cfg Config) *Server {
 		sum := sha256.Sum256(data)
 		s.etags[i] = hex.EncodeToString(sum[:])
 	}
+	s.engine = vql.NewEngine(b)
+	s.recomputeQueryTag()
 	app := http.NewServeMux()
 	app.HandleFunc("/", s.handleIndex)
 	app.HandleFunc("/entry/", s.handleEntry)
 	app.HandleFunc("/api/entries", s.handleAPIEntries)
 	app.HandleFunc("/api/entry/", s.handleAPIEntry)
+	app.HandleFunc("/api/query", s.handleAPIQuery)
 
 	// Chain, innermost first: fault injection sits next to the app so
 	// injected panics and stalls exercise every outer layer; then the
@@ -166,6 +176,7 @@ func (s *Server) SetEntryETags(tags []string) error {
 		return fmt.Errorf("server: %d etags for %d entries", len(tags), len(s.Bench.Entries))
 	}
 	s.etags = tags
+	s.recomputeQueryTag()
 	return nil
 }
 

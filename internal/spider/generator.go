@@ -79,6 +79,24 @@ func Generate(cfg Config) (*Corpus, error) {
 	return c, nil
 }
 
+// GenerateDatabase builds just the idx-th demo database, without paying
+// for a whole corpus of them. It draws from its own per-index seeded
+// stream (splitmix64's golden-ratio increment keeps adjacent indexes
+// decorrelated), so the cost is one database regardless of idx, and the
+// result depends only on (Seed, MaxRows, idx) — not on NumDatabases or
+// PairsPerDB, and not on the databases Generate would have built first.
+func GenerateDatabase(cfg Config, idx int) (*dataset.Database, error) {
+	if idx < 0 {
+		return nil, fmt.Errorf("spider: database index %d is negative", idx)
+	}
+	if cfg.MaxRows <= 0 {
+		cfg.MaxRows = 4000
+	}
+	r := rand.New(rand.NewSource(int64(uint64(cfg.Seed) + uint64(idx+1)*0x9E3779B97F4A7C15)))
+	dom := pickDomain(r, idx)
+	return generateDatabase(r, dom, idx, cfg.MaxRows), nil
+}
+
 // pickDomain weights the head of the domain list so the Top-5 of Table 2
 // (Sport, Customer, School, Shop, Student) dominate.
 func pickDomain(r *rand.Rand, i int) domain {

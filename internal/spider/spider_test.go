@@ -273,3 +273,48 @@ func TestGeneratePairsForCustomDB(t *testing.T) {
 		}
 	}
 }
+
+func TestGenerateDatabaseDeterministicAndIndependent(t *testing.T) {
+	cfg := TestConfig()
+	a, err := GenerateDatabase(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateDatabase(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name || len(a.Tables) != len(b.Tables) {
+		t.Fatalf("repeat generation differs: %s/%d vs %s/%d", a.Name, len(a.Tables), b.Name, len(b.Tables))
+	}
+	for i := range a.Tables {
+		if a.Tables[i].Name != b.Tables[i].Name || len(a.Tables[i].Rows) != len(b.Tables[i].Rows) {
+			t.Fatalf("table %d differs between identical generations", i)
+		}
+	}
+
+	// Independence: corpus-shape knobs must not change the database.
+	other := cfg
+	other.NumDatabases = 1
+	other.PairsPerDB = 99
+	c, err := GenerateDatabase(other, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != c.Name || len(a.Tables) != len(c.Tables) {
+		t.Fatalf("corpus knobs leaked into GenerateDatabase: %s vs %s", a.Name, c.Name)
+	}
+
+	// Adjacent indexes produce distinct databases.
+	d, err := GenerateDatabase(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name == a.Name {
+		t.Fatalf("indexes 3 and 4 generated the same database %s", a.Name)
+	}
+
+	if _, err := GenerateDatabase(cfg, -1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+}

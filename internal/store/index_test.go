@@ -1,0 +1,394 @@
+// Tests for the persisted secondary indexes: the save→LoadIndexes round
+// trip, posting correctness against the manifest, the fsck walk over
+// indexes/, Repair's rebuild of damaged/stale/missing artifacts, and the
+// vql.index fault site.
+
+package store
+
+import (
+	"errors"
+	"os"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"nvbench/internal/bench"
+	"nvbench/internal/fault"
+	"nvbench/internal/vql"
+)
+
+// indexPath is the absolute path of one field's index artifact.
+func indexPath(st *Store, field string) string {
+	return st.rootBox().path(indexRel(field))
+}
+
+func TestSaveLoadIndexesRoundTrip(t *testing.T) {
+	_, b := testBench(t)
+	st, m := mustSave(t, t.TempDir(), b)
+	idx, err := st.LoadIndexes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != len(IndexFields) {
+		t.Fatalf("loaded %d indexes, want %d", len(idx), len(IndexFields))
+	}
+	for _, f := range IndexFields {
+		if idx[f] == nil {
+			t.Fatalf("index %s missing from load", f)
+		}
+		if idx[f].Field() != f {
+			t.Fatalf("index %s reports field %s", f, idx[f].Field())
+		}
+	}
+
+	// Every lookup must return exactly the manifest entries carrying that
+	// value, in sorted hash order. The manifest stores hardness/chart on
+	// its refs and the db name on entries, so the expectation is computed
+	// independently of the index machinery.
+	wantBy := func(pick func(ref EntryRef, i int) string) map[string][]string {
+		out := map[string][]string{}
+		for i, ref := range m.Entries {
+			k := pick(ref, i)
+			out[k] = append(out[k], ref.Hash)
+		}
+		for _, hashes := range out {
+			sort.Strings(hashes)
+		}
+		return out
+	}
+	cases := []struct {
+		field string
+		want  map[string][]string
+	}{
+		{"db", wantBy(func(ref EntryRef, i int) string { return b.Entries[i].DB.Name })},
+		{"hardness", wantBy(func(ref EntryRef, i int) string { return b.Entries[i].Hardness.String() })},
+		{"chart", wantBy(func(ref EntryRef, i int) string { return b.Entries[i].Chart.String() })},
+	}
+	for _, tc := range cases {
+		total := 0
+		for key, want := range tc.want {
+			got := idx[tc.field].Lookup(key)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s index lookup %q = %d hashes, want %d", tc.field, key, len(got), len(want))
+			}
+			total += len(got)
+		}
+		if total != len(m.Entries) {
+			t.Fatalf("%s index covers %d entries, want %d", tc.field, total, len(m.Entries))
+		}
+		if got := idx[tc.field].Lookup("no-such-key"); got != nil {
+			t.Fatalf("%s index lookup of unknown key = %v, want nil", tc.field, got)
+		}
+	}
+}
+
+func TestIndexSaveIsIdempotent(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, _ := mustSave(t, dir, b)
+	before := treeBytes(t, dir)
+	if _, err := st.Save(b, BuildInfo{Seed: testCfg.Seed, Fingerprint: Fingerprint(bench.DefaultOptions())}); err != nil {
+		t.Fatal(err)
+	}
+	sameTree(t, before, treeBytes(t, dir))
+}
+
+// TestIndexedQueryMatchesScan drives the full stack the /api/query
+// endpoint uses: benchmark loaded from the store, persisted indexes fed
+// to a vql.Engine, and the acceptance query answered identically by the
+// index scan and the full scan — with strictly fewer rows touched.
+func TestIndexedQueryMatchesScan(t *testing.T) {
+	_, b := testBench(t)
+	st, m := mustSave(t, t.TempDir(), b)
+	loaded, _, err := st.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := st.LoadIndexes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	indexed := vql.NewEngine(loaded)
+	vidx := map[string]vql.Index{}
+	for f, ix := range idx {
+		vidx[f] = ix
+	}
+	if err := indexed.SetIndexes(m.EntryHashes(), vidx); err != nil {
+		t.Fatal(err)
+	}
+	scan := vql.NewEngine(loaded)
+
+	db := b.Entries[0].DB.Name
+	q := "SELECT hardness, chart, count(*) FROM entries WHERE db = '" + db +
+		"' GROUP BY 1, 2 ORDER BY 3 DESC"
+	got, err := indexed.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scan.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("indexed rows differ from scan rows:\n%v\n%v", got.Rows, want.Rows)
+	}
+	if got.Index != "db" {
+		t.Fatalf("indexed query used index %q, want db", got.Index)
+	}
+	if !strings.HasPrefix(got.Plan, "index scan on entries: db =") {
+		t.Fatalf("indexed plan = %q, want index scan", got.Plan)
+	}
+	if got.Scanned >= want.Scanned {
+		t.Fatalf("index scanned %d rows, full scan %d — no win", got.Scanned, want.Scanned)
+	}
+	if len(got.Rows) == 0 {
+		t.Fatal("acceptance query returned no rows")
+	}
+}
+
+func TestVerifyFlagsDamagedIndexAndRepairRebuilds(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, _ := mustSave(t, dir, b)
+	flipByte(t, indexPath(st, "db"))
+
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range rep.Corrupt {
+		if c.Path == indexRel("db") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("fsck did not flag the damaged index: %+v", rep.Corrupt)
+	}
+	if _, err := st.LoadIndexes(); err == nil {
+		t.Fatal("LoadIndexes accepted a damaged index")
+	}
+
+	rrep, err := st.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rrep.IndexesRebuilt {
+		t.Fatalf("repair did not rebuild indexes: %+v", rrep)
+	}
+	if rrep.Lossy() {
+		t.Fatalf("index repair lost content: %+v", rrep)
+	}
+	rep, err = st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("store still corrupt after index repair: %+v", rep.Corrupt)
+	}
+	if _, err := st.LoadIndexes(); err != nil {
+		t.Fatalf("LoadIndexes after repair: %v", err)
+	}
+}
+
+func TestVerifyFlagsMissingAndStaleIndexes(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, _ := mustSave(t, dir, b)
+
+	// One missing field among present ones is corruption (all-or-nothing).
+	if err := os.Remove(indexPath(st, "chart")); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := false
+	for _, c := range rep.Corrupt {
+		if c.Path == indexRel("chart") && strings.Contains(c.Detail, "missing index artifact") {
+			missing = true
+		}
+	}
+	if !missing {
+		t.Fatalf("fsck did not flag the missing index: %+v", rep.Corrupt)
+	}
+
+	// A self-consistent index linked to the wrong manifest is stale: both
+	// fsck and LoadIndexes must refuse it.
+	data, err := st.rootBox().readArtifact(indexRel("hardness"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := verifySelfHashed(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec indexRecord
+	if err := decodeStrict(payload, &rec); err != nil {
+		t.Fatal(err)
+	}
+	rec.Manifest = hashBytes([]byte("some other manifest"))
+	stale, err := canonicalJSON(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(indexPath(st, "hardness"), selfHashed(stale), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err = st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	staleFlagged := false
+	for _, c := range rep.Corrupt {
+		if c.Path == indexRel("hardness") && strings.Contains(c.Detail, "stale") {
+			staleFlagged = true
+		}
+	}
+	if !staleFlagged {
+		t.Fatalf("fsck did not flag the stale index: %+v", rep.Corrupt)
+	}
+	if _, err := st.LoadIndexes(); err == nil || !strings.Contains(err.Error(), "stale") {
+		t.Fatalf("LoadIndexes on stale index: err = %v, want stale", err)
+	}
+
+	// Repair heals both findings in one pass.
+	rrep, err := st.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rrep.IndexesRebuilt {
+		t.Fatalf("repair did not rebuild indexes: %+v", rrep)
+	}
+	rep, err = st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("store still corrupt after repair: %+v", rep.Corrupt)
+	}
+}
+
+func TestVerifyFlagsUnknownIndexArtifact(t *testing.T) {
+	_, b := testBench(t)
+	st, _ := mustSave(t, t.TempDir(), b)
+	if err := os.WriteFile(st.rootBox().path(indexesDir+"/bogus.json"), []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := false
+	for _, c := range rep.Corrupt {
+		if c.Path == indexesDir+"/bogus.json" && strings.Contains(c.Detail, "orphan") {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Fatalf("fsck did not flag the unknown index artifact: %+v", rep.Corrupt)
+	}
+	rrep, err := st.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for _, rel := range rrep.OrphansMoved {
+		if rel == indexesDir+"/bogus.json" {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatalf("repair did not move the unknown index aside: %+v", rrep)
+	}
+}
+
+// TestPreIndexStorePasses simulates a store saved before indexes existed:
+// no indexes/ artifacts at all. Verify accepts it, LoadIndexes returns an
+// empty map (callers fall back to full scans), and Repair upgrades it in
+// place.
+func TestPreIndexStorePasses(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, _ := mustSave(t, dir, b)
+	for _, f := range IndexFields {
+		if err := os.Remove(indexPath(st, f)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("pre-index store reported corrupt: %+v", rep.Corrupt)
+	}
+	idx, err := st.LoadIndexes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idx) != 0 {
+		t.Fatalf("pre-index store loaded %d indexes, want 0", len(idx))
+	}
+	rrep, err := st.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rrep.IndexesRebuilt {
+		t.Fatalf("repair did not upgrade the pre-index store: %+v", rrep)
+	}
+	if idx, err = st.LoadIndexes(); err != nil || len(idx) != len(IndexFields) {
+		t.Fatalf("post-upgrade LoadIndexes = %d indexes, err %v", len(idx), err)
+	}
+}
+
+func TestChaosIndexSiteFailsSaveAndLoad(t *testing.T) {
+	_, b := testBench(t)
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := fault.Activate(fault.NewPlan(1).Add(
+		fault.Rule{Site: fault.SiteVQLIndex, Kind: fault.KindError, Rate: 1}))
+	_, err = st.Save(b, BuildInfo{})
+	restore()
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Save under vql.index faults: err = %v, want injected", err)
+	}
+
+	// The failed save died inside the journaled root merge; Repair (with
+	// faults off) must finish the job and leave a clean, indexed store.
+	rrep, err := st.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrep.Lossy() {
+		t.Fatalf("repair after injected index failure lost content: %+v", rrep)
+	}
+	rep, err := st.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("store corrupt after repair: %+v", rep.Corrupt)
+	}
+
+	restore = fault.Activate(fault.NewPlan(2).Add(
+		fault.Rule{Site: fault.SiteVQLIndex, Kind: fault.KindError, Rate: 1}))
+	_, lerr := st.LoadIndexes()
+	_, rerr := st.Repair()
+	restore()
+	if !errors.Is(lerr, fault.ErrInjected) {
+		t.Fatalf("LoadIndexes under vql.index faults: err = %v, want injected", lerr)
+	}
+	if !errors.Is(rerr, fault.ErrInjected) {
+		t.Fatalf("Repair under vql.index faults: err = %v, want injected", rerr)
+	}
+	if _, err := st.LoadIndexes(); err != nil {
+		t.Fatalf("LoadIndexes after deactivate: %v", err)
+	}
+}

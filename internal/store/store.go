@@ -16,6 +16,10 @@
 //	MANIFEST.sha256      hex SHA-256 of MANIFEST.json (self-check)
 //	JOURNAL.jsonl        root write-ahead journal framing the whole save
 //	stats.json           RunStats of the build (informational; not hashed)
+//	indexes/<f>.json     secondary indexes (db, chart, hardness): self-
+//	                     hashed canonical JSON linked to the root manifest
+//	                     hash, merged from per-shard postings; the VQL
+//	                     planner answers equality queries from them
 //	shards/<nn>/         one shard per first-hash-byte bucket (mod count):
 //	  MANIFEST.json      shard index: this shard's entries and databases
 //	  MANIFEST.sha256    self-check of the shard manifest
@@ -61,6 +65,7 @@ import (
 
 	"nvbench/internal/bench"
 	"nvbench/internal/dataset"
+	"nvbench/internal/fault"
 	"nvbench/internal/obs"
 )
 
@@ -341,7 +346,7 @@ func (s *Store) noteSick(shard, detail string) {
 // sweepAllTemps sweeps stray temp files in the root and in every shard
 // directory on disk.
 func (s *Store) sweepAllTemps() (int, error) {
-	swept, err := s.rootBox().sweepTemps([]string{"", entriesDir, dbsDir, cacheDir})
+	swept, err := s.rootBox().sweepTemps([]string{"", entriesDir, dbsDir, cacheDir, indexesDir})
 	if err != nil {
 		return swept, err
 	}
@@ -449,6 +454,16 @@ func (s *Store) Save(b *bench.Benchmark, info BuildInfo) (*Manifest, error) {
 		}
 		sum := []byte(hashBytes(mdata) + "\n")
 		if err := root.writeIntended(manifestSumName, hashBytes(sum), sum); err != nil {
+			return err
+		}
+		if err := fault.Inject(fault.SiteVQLIndex); err != nil {
+			return fmt.Errorf("store: index: %w", err)
+		}
+		idx, err := mergeIndexRecords(parts, hashBytes(mdata))
+		if err != nil {
+			return err
+		}
+		if err := writeIndexes(root, idx); err != nil {
 			return err
 		}
 		sdata, err := canonicalJSON(b.Stats)

@@ -1,0 +1,184 @@
+package vql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Query is the parsed form of one VQL statement. The AST carries no
+// positions: two queries that differ only in whitespace, keyword case,
+// or '<>' vs '!=' parse to equal values, and String() renders a
+// canonical spelling that re-parses to the same AST.
+type Query struct {
+	Select  []SelectItem
+	From    string
+	Where   Expr       // nil when absent
+	GroupBy []GroupKey // nil when absent
+	OrderBy []OrderKey // nil when absent
+	Limit   int        // -1 when absent
+}
+
+// SelectItem is one output column: `*`, a plain column, `count(*)`, or
+// an aggregate over a column.
+type SelectItem struct {
+	Star    bool   // SELECT *
+	Agg     string // "", or count/sum/avg/min/max
+	AggStar bool   // count(*)
+	Column  string
+}
+
+// Name is the canonical output-column name, e.g. "chart" or "count(*)".
+func (it SelectItem) Name() string {
+	switch {
+	case it.Star:
+		return "*"
+	case it.AggStar:
+		return it.Agg + "(*)"
+	case it.Agg != "":
+		return it.Agg + "(" + it.Column + ")"
+	default:
+		return it.Column
+	}
+}
+
+// GroupKey is one GROUP BY key: a 1-based select-list ordinal or a
+// column name.
+type GroupKey struct {
+	Ordinal int // 0 when the column form is used
+	Column  string
+}
+
+func (k GroupKey) String() string {
+	if k.Ordinal > 0 {
+		return strconv.Itoa(k.Ordinal)
+	}
+	return k.Column
+}
+
+// OrderKey is one ORDER BY key: a 1-based select-list ordinal or an
+// output-column name (which may be an aggregate spelling like
+// "count(*)").
+type OrderKey struct {
+	Ordinal int
+	Column  string
+	Desc    bool
+}
+
+func (k OrderKey) String() string {
+	s := k.Column
+	if k.Ordinal > 0 {
+		s = strconv.Itoa(k.Ordinal)
+	}
+	if k.Desc {
+		s += " DESC"
+	}
+	return s
+}
+
+// Expr is a WHERE predicate node: AndExpr, OrExpr, NotExpr, or Cmp.
+type Expr interface {
+	String() string
+	node()
+}
+
+// AndExpr is `Left AND Right`.
+type AndExpr struct{ Left, Right Expr }
+
+// OrExpr is `Left OR Right`.
+type OrExpr struct{ Left, Right Expr }
+
+// NotExpr is `NOT X`.
+type NotExpr struct{ X Expr }
+
+// Cmp is `Col Op Lit` with Op one of = != < <= > >=.
+type Cmp struct {
+	Col string
+	Op  string
+	Lit Value
+}
+
+func (*AndExpr) node() {}
+func (*OrExpr) node()  {}
+func (*NotExpr) node() {}
+func (*Cmp) node()     {}
+
+// Precedence levels for the printer: OR < AND < NOT < comparison.
+func exprPrec(e Expr) int {
+	switch e.(type) {
+	case *OrExpr:
+		return 1
+	case *AndExpr:
+		return 2
+	case *NotExpr:
+		return 3
+	default:
+		return 4
+	}
+}
+
+// childString parenthesizes a child that binds looser than its parent.
+func childString(child Expr, parentPrec int) string {
+	if exprPrec(child) < parentPrec {
+		return "(" + child.String() + ")"
+	}
+	return child.String()
+}
+
+func (e *AndExpr) String() string {
+	return childString(e.Left, 2) + " AND " + childString(e.Right, 2)
+}
+
+func (e *OrExpr) String() string {
+	return childString(e.Left, 1) + " OR " + childString(e.Right, 1)
+}
+
+func (e *NotExpr) String() string {
+	return "NOT " + childString(e.X, 4)
+}
+
+func (e *Cmp) String() string {
+	return e.Col + " " + e.Op + " " + e.Lit.String()
+}
+
+// String renders the canonical spelling of the query: uppercase
+// keywords, single spaces, identifiers as written. Parse(q.String())
+// yields an AST equal to q.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, it := range q.Select {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Name())
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(q.From)
+	if q.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(q.Where.String())
+	}
+	if len(q.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, k := range q.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k.String())
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, k := range q.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(k.String())
+		}
+	}
+	if q.Limit >= 0 {
+		b.WriteString(" LIMIT ")
+		b.WriteString(strconv.Itoa(q.Limit))
+	}
+	return b.String()
+}

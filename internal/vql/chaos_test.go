@@ -1,0 +1,50 @@
+package vql
+
+import (
+	"strings"
+	"testing"
+
+	"nvbench/internal/fault"
+)
+
+// TestQueryUnderFault asserts the executor surfaces injected faults as
+// errors instead of panicking or returning partial rows.
+func TestQueryUnderFault(t *testing.T) {
+	e := testEngine(t)
+	plan := fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteVQLQuery, Kind: fault.KindError, Rate: 1})
+	defer fault.Activate(plan)()
+
+	res, err := e.Query("SELECT count(*) FROM entries")
+	if err == nil {
+		t.Fatalf("expected injected error, got result %+v", res)
+	}
+	if !strings.Contains(err.Error(), "vql: execute") {
+		t.Fatalf("error %v does not name the execute site", err)
+	}
+	// Parse and plan errors still win over the injected fault: the
+	// query is rejected before execution.
+	_, err = e.Query("SELECT bogus FROM entries")
+	if err == nil || !strings.Contains(err.Error(), "unknown column") {
+		t.Fatalf("planner error lost under fault: %v", err)
+	}
+}
+
+// TestQueryFaultDisabledAfterDeactivate asserts the engine keeps no
+// state from a faulted query: once the plan is deactivated, the same
+// query succeeds.
+func TestQueryFaultDisabledAfterDeactivate(t *testing.T) {
+	e := testEngine(t)
+	stop := fault.Activate(fault.NewPlan(1).Add(fault.Rule{Site: fault.SiteVQLQuery, Kind: fault.KindError, Rate: 1}))
+	_, err := e.Query("SELECT count(*) FROM entries")
+	stop()
+	if err == nil {
+		t.Fatal("expected injected error")
+	}
+	res, err := e.Query("SELECT count(*) FROM entries")
+	if err != nil {
+		t.Fatalf("query after deactivate: %v", err)
+	}
+	if res.RowCount != 1 {
+		t.Fatalf("rows = %d", res.RowCount)
+	}
+}

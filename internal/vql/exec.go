@@ -1,0 +1,248 @@
+package vql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nvbench/internal/fault"
+)
+
+// Result is the output of one executed query.
+type Result struct {
+	Columns  []string  `json:"columns"`
+	Rows     [][]Value `json:"rows"`
+	RowCount int       `json:"row_count"`
+	// Scanned counts the rows read by the scan node — the whole table
+	// for a full scan, only the index postings for an index scan.
+	Scanned int `json:"scanned"`
+	// Index names the index used ("" for a full scan).
+	Index string `json:"index,omitempty"`
+	Plan  string `json:"plan"`
+}
+
+// group accumulates one output row's aggregate state.
+type group struct {
+	key   []Value // grouped output-column values
+	count int     // rows in the group
+	accs  []acc   // one accumulator per aggregate item
+}
+
+type acc struct {
+	count int
+	sum   float64
+	min   Value
+	max   Value
+}
+
+// Execute runs a validated plan and returns its rows. Ungrouped,
+// unordered results keep table order (entry-ID order); grouped results
+// keep first-seen group order; ORDER BY sorts with a whole-row
+// tie-break — all deterministic for a given store.
+func (e *Engine) Execute(p *Plan) (*Result, error) {
+	if err := fault.Inject(fault.SiteVQLQuery); err != nil {
+		return nil, fmt.Errorf("vql: execute: %w", err)
+	}
+	res := &Result{Rows: [][]Value{}, Plan: p.Explain(), Index: p.IndexField}
+	for _, it := range p.items {
+		res.Columns = append(res.Columns, it.name)
+	}
+
+	// Scan: index postings resolved to row numbers, or the whole table.
+	var rows [][]Value
+	if p.IndexField != "" {
+		nums := make([]int, 0, 8)
+		for _, h := range e.indexes[p.IndexField].Lookup(p.IndexKey) {
+			if n, ok := e.hashRow[h]; ok {
+				nums = append(nums, n)
+			}
+		}
+		sort.Ints(nums)
+		rows = make([][]Value, 0, len(nums))
+		for _, n := range nums {
+			rows = append(rows, p.table.rows[n])
+		}
+	} else {
+		rows = p.table.rows
+	}
+	res.Scanned = len(rows)
+
+	// Filter.
+	if p.Filter != nil {
+		kept := make([][]Value, 0, len(rows))
+		for _, row := range rows {
+			if evalExpr(p, p.Filter, row) {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+
+	// Project / aggregate.
+	if p.grouped {
+		res.Rows = aggregate(p, rows)
+	} else {
+		for _, row := range rows {
+			out := make([]Value, len(p.items))
+			for i, it := range p.items {
+				out[i] = row[it.col]
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	}
+
+	// Order.
+	if len(p.orderBy) > 0 {
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			a, b := res.Rows[i], res.Rows[j]
+			for _, o := range p.orderBy {
+				c := compareValues(a[o.item], b[o.item])
+				if c != 0 {
+					return (c < 0) != o.desc
+				}
+			}
+			// Whole-row tie-break keeps the order independent of the
+			// sort algorithm.
+			for k := range a {
+				if c := compareValues(a[k], b[k]); c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+	}
+
+	// Limit.
+	if p.limit >= 0 && len(res.Rows) > p.limit {
+		res.Rows = res.Rows[:p.limit]
+	}
+	res.RowCount = len(res.Rows)
+	return res, nil
+}
+
+// evalExpr evaluates a normalized predicate over one row.
+func evalExpr(p *Plan, e Expr, row []Value) bool {
+	switch x := e.(type) {
+	case *AndExpr:
+		return evalExpr(p, x.Left, row) && evalExpr(p, x.Right, row)
+	case *OrExpr:
+		return evalExpr(p, x.Left, row) || evalExpr(p, x.Right, row)
+	case *NotExpr:
+		return !evalExpr(p, x.X, row)
+	case *Cmp:
+		c := compareValues(row[p.table.colIdx[x.Col]], x.Lit)
+		switch x.Op {
+		case "=":
+			return c == 0
+		case "!=":
+			return c != 0
+		case "<":
+			return c < 0
+		case "<=":
+			return c <= 0
+		case ">":
+			return c > 0
+		default: // ">="
+			return c >= 0
+		}
+	}
+	return false
+}
+
+// aggregate evaluates grouped (or whole-table) aggregates over the
+// filtered rows, keeping first-seen group order.
+func aggregate(p *Plan, rows [][]Value) [][]Value {
+	groups := []*group{}
+	byKey := map[string]*group{}
+	for _, row := range rows {
+		key := make([]Value, len(p.groupBy))
+		parts := make([]string, len(p.groupBy))
+		for i, gi := range p.groupBy {
+			key[i] = row[p.items[gi].col]
+			parts[i] = key[i].String()
+		}
+		ks := strings.Join(parts, "\x00")
+		g := byKey[ks]
+		if g == nil {
+			g = &group{key: key, accs: make([]acc, len(p.items))}
+			byKey[ks] = g
+			groups = append(groups, g)
+		}
+		g.count++
+		for i, it := range p.items {
+			if it.agg == "" || it.aggStar {
+				continue
+			}
+			v := row[it.col]
+			a := &g.accs[i]
+			if a.count == 0 {
+				a.min, a.max = v, v
+			} else {
+				if compareValues(v, a.min) < 0 {
+					a.min = v
+				}
+				if compareValues(v, a.max) > 0 {
+					a.max = v
+				}
+			}
+			a.count++
+			if v.Kind == KindNumber {
+				a.sum += v.Num
+			}
+		}
+	}
+	// A whole-table aggregate yields one row even over zero input rows.
+	if len(p.groupBy) == 0 && len(groups) == 0 {
+		groups = append(groups, &group{accs: make([]acc, len(p.items))})
+	}
+	out := make([][]Value, 0, len(groups))
+	for _, g := range groups {
+		row := make([]Value, len(p.items))
+		for i, it := range p.items {
+			if it.agg == "" {
+				row[i] = g.keyValue(p, i)
+				continue
+			}
+			a := g.accs[i]
+			switch {
+			case it.aggStar:
+				row[i] = Number(float64(g.count))
+			case it.agg == "count":
+				row[i] = Number(float64(a.count))
+			case it.agg == "sum":
+				row[i] = Number(a.sum)
+			case it.agg == "avg":
+				if a.count == 0 {
+					row[i] = Null()
+				} else {
+					row[i] = Number(a.sum / float64(a.count))
+				}
+			case it.agg == "min":
+				if a.count == 0 {
+					row[i] = Null()
+				} else {
+					row[i] = a.min
+				}
+			default: // max
+				if a.count == 0 {
+					row[i] = Null()
+				} else {
+					row[i] = a.max
+				}
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// keyValue returns the group-key value carried by output column item.
+func (g *group) keyValue(p *Plan, item int) Value {
+	for i, gi := range p.groupBy {
+		if gi == item {
+			return g.key[i]
+		}
+	}
+	// Unreachable after planning: every plain item is a group key.
+	return Null()
+}

@@ -1,0 +1,49 @@
+package vql
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzVQLParse asserts the parser never panics on arbitrary input, and
+// that accepted queries round-trip: parse → print → parse yields an
+// equal AST and a stable printed form.
+func FuzzVQLParse(f *testing.F) {
+	seeds := []string{
+		"SELECT * FROM entries",
+		"SELECT hardness, chart, count(*) FROM entries WHERE db = 'flight_1' GROUP BY 1, 2 ORDER BY 3 DESC",
+		"SELECT chart FROM entries WHERE NOT (hardness = 'easy' OR tokens < 5) LIMIT 10",
+		"SELECT avg(tokens) FROM entries WHERE manual = true AND tokens >= 3",
+		"select count(*) from stats where chart <> 'bar' or num_vis <= -1.5e2",
+		"SELECT db FROM entries WHERE nl != 'it''s'",
+		"SELECT",
+		"'",
+		"1e",
+		"SELECT * FROM entries WHERE ((db = 'x'))",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			var qe *Error
+			if !errors.As(err, &qe) {
+				t.Fatalf("Parse(%q): error %v is not *vql.Error", src, err)
+			}
+			return
+		}
+		printed := q.String()
+		q2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed form of %q does not reparse: %q: %v", src, printed, err)
+		}
+		if !reflect.DeepEqual(q, q2) {
+			t.Fatalf("round trip of %q: ASTs differ\nprinted: %q\n first: %#v\nsecond: %#v", src, printed, q, q2)
+		}
+		if again := q2.String(); again != printed {
+			t.Fatalf("print not stable for %q: %q then %q", src, printed, again)
+		}
+	})
+}

@@ -1,0 +1,203 @@
+package vql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind discriminates lexer tokens.
+type tokenKind int
+
+const (
+	tEOF tokenKind = iota
+	tIdent
+	tNumber
+	tString
+	tComma
+	tLParen
+	tRParen
+	tStar
+	tMinus
+	tOp // comparison operator: = != < <= > >=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of query"
+	case tIdent:
+		return "identifier"
+	case tNumber:
+		return "number"
+	case tString:
+		return "string"
+	case tComma:
+		return "','"
+	case tLParen:
+		return "'('"
+	case tRParen:
+		return "')'"
+	case tStar:
+		return "'*'"
+	case tMinus:
+		return "'-'"
+	default:
+		return "operator"
+	}
+}
+
+// token is one lexed token. pos is the 1-based byte offset of its first
+// byte in the source; text holds the identifier, literal, or canonical
+// operator spelling ("<>" is normalized to "!=").
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// describe renders a token for error messages.
+func (t token) describe() string {
+	switch t.kind {
+	case tEOF:
+		return "end of query"
+	case tString:
+		return fmt.Sprintf("string %s", StringVal(t.text))
+	default:
+		return "'" + t.text + "'"
+	}
+}
+
+type lexer struct {
+	src string
+	i   int // byte offset of the next unread byte
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// next returns the next token, or a positioned *Error on a malformed
+// input. It never panics, whatever the input bytes are.
+func (lx *lexer) next() (token, *Error) {
+	for lx.i < len(lx.src) {
+		switch lx.src[lx.i] {
+		case ' ', '\t', '\r', '\n':
+			lx.i++
+		default:
+			goto scan
+		}
+	}
+scan:
+	if lx.i >= len(lx.src) {
+		return token{kind: tEOF, pos: len(lx.src) + 1}, nil
+	}
+	start := lx.i
+	pos := start + 1 // 1-based
+	c := lx.src[lx.i]
+	switch {
+	case isIdentStart(c):
+		for lx.i < len(lx.src) && isIdentPart(lx.src[lx.i]) {
+			lx.i++
+		}
+		return token{kind: tIdent, text: lx.src[start:lx.i], pos: pos}, nil
+	case isDigit(c):
+		return lx.number(start, pos)
+	case c == '\'':
+		return lx.str(pos)
+	}
+	lx.i++
+	switch c {
+	case ',':
+		return token{kind: tComma, text: ",", pos: pos}, nil
+	case '(':
+		return token{kind: tLParen, text: "(", pos: pos}, nil
+	case ')':
+		return token{kind: tRParen, text: ")", pos: pos}, nil
+	case '*':
+		return token{kind: tStar, text: "*", pos: pos}, nil
+	case '-':
+		return token{kind: tMinus, text: "-", pos: pos}, nil
+	case '=':
+		return token{kind: tOp, text: "=", pos: pos}, nil
+	case '!':
+		if lx.i < len(lx.src) && lx.src[lx.i] == '=' {
+			lx.i++
+			return token{kind: tOp, text: "!=", pos: pos}, nil
+		}
+		return token{}, errf(pos, "unexpected character '!' (did you mean '!='?)")
+	case '<':
+		if lx.i < len(lx.src) {
+			switch lx.src[lx.i] {
+			case '=':
+				lx.i++
+				return token{kind: tOp, text: "<=", pos: pos}, nil
+			case '>':
+				lx.i++
+				return token{kind: tOp, text: "!=", pos: pos}, nil
+			}
+		}
+		return token{kind: tOp, text: "<", pos: pos}, nil
+	case '>':
+		if lx.i < len(lx.src) && lx.src[lx.i] == '=' {
+			lx.i++
+			return token{kind: tOp, text: ">=", pos: pos}, nil
+		}
+		return token{kind: tOp, text: ">", pos: pos}, nil
+	}
+	return token{}, errf(pos, "unexpected character %q", string(rune(c)))
+}
+
+// number lexes digits [ '.' digits ] [ (e|E) [+|-] digits ], the same
+// shape strconv.FormatFloat('g') emits, so printed queries re-lex.
+func (lx *lexer) number(start, pos int) (token, *Error) {
+	for lx.i < len(lx.src) && isDigit(lx.src[lx.i]) {
+		lx.i++
+	}
+	if lx.i < len(lx.src) && lx.src[lx.i] == '.' {
+		lx.i++
+		if lx.i >= len(lx.src) || !isDigit(lx.src[lx.i]) {
+			return token{}, errf(pos, "malformed number %q", lx.src[start:lx.i])
+		}
+		for lx.i < len(lx.src) && isDigit(lx.src[lx.i]) {
+			lx.i++
+		}
+	}
+	if lx.i < len(lx.src) && (lx.src[lx.i] == 'e' || lx.src[lx.i] == 'E') {
+		lx.i++
+		if lx.i < len(lx.src) && (lx.src[lx.i] == '+' || lx.src[lx.i] == '-') {
+			lx.i++
+		}
+		if lx.i >= len(lx.src) || !isDigit(lx.src[lx.i]) {
+			return token{}, errf(pos, "malformed number %q", lx.src[start:lx.i])
+		}
+		for lx.i < len(lx.src) && isDigit(lx.src[lx.i]) {
+			lx.i++
+		}
+	}
+	return token{kind: tNumber, text: lx.src[start:lx.i], pos: pos}, nil
+}
+
+// str lexes a single-quoted string; a doubled quote inside is an escape.
+func (lx *lexer) str(pos int) (token, *Error) {
+	lx.i++ // opening quote
+	var b strings.Builder
+	for lx.i < len(lx.src) {
+		c := lx.src[lx.i]
+		if c == '\'' {
+			if lx.i+1 < len(lx.src) && lx.src[lx.i+1] == '\'' {
+				b.WriteByte('\'')
+				lx.i += 2
+				continue
+			}
+			lx.i++
+			return token{kind: tString, text: b.String(), pos: pos}, nil
+		}
+		b.WriteByte(c)
+		lx.i++
+	}
+	return token{}, errf(pos, "unterminated string literal")
+}

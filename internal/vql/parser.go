@@ -1,0 +1,438 @@
+package vql
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// reserved keywords: identifiers in these spellings (case-insensitive)
+// never parse as column or table names.
+var reserved = map[string]bool{
+	"select": true, "from": true, "where": true,
+	"group": true, "by": true, "order": true, "limit": true,
+	"and": true, "or": true, "not": true,
+	"asc": true, "desc": true,
+	"true": true, "false": true, "null": true,
+}
+
+// aggregate function names. They are not reserved: an identifier only
+// becomes an aggregate when followed by '('.
+var aggregates = map[string]bool{
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+}
+
+type parser struct {
+	lx  lexer
+	tok token // current token
+}
+
+// Parse lexes and parses one VQL statement. It returns a *Error with a
+// 1-based byte position on malformed input, and never panics.
+func Parse(src string) (*Query, error) {
+	p := &parser{lx: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) advance() *Error {
+	tok, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = tok
+	return nil
+}
+
+// isKeyword reports whether the current token is the given keyword.
+func (p *parser) isKeyword(kw string) bool {
+	return p.tok.kind == tIdent && strings.EqualFold(p.tok.text, kw)
+}
+
+func (p *parser) expectKeyword(kw string) *Error {
+	if !p.isKeyword(kw) {
+		return errf(p.tok.pos, "expected %s, found %s", strings.ToUpper(kw), p.tok.describe())
+	}
+	return p.advance()
+}
+
+// ident consumes a non-reserved identifier and returns it lowercased.
+func (p *parser) ident(what string) (string, *Error) {
+	if p.tok.kind != tIdent {
+		return "", errf(p.tok.pos, "expected %s, found %s", what, p.tok.describe())
+	}
+	name := strings.ToLower(p.tok.text)
+	if reserved[name] {
+		return "", errf(p.tok.pos, "expected %s, found keyword %s", what, strings.ToUpper(name))
+	}
+	if err := p.advance(); err != nil {
+		return "", err
+	}
+	return name, nil
+}
+
+func (p *parser) query() (*Query, *Error) {
+	q := &Query{Limit: -1}
+	if err := p.expectKeyword("select"); err != nil {
+		return nil, err
+	}
+	items, err := p.selectList()
+	if err != nil {
+		return nil, err
+	}
+	q.Select = items
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	q.From, err = p.ident("table name")
+	if err != nil {
+		return nil, err
+	}
+	if p.isKeyword("where") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		q.Where, err = p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("group") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		q.GroupBy, err = p.groupKeys()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("order") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("by"); err != nil {
+			return nil, err
+		}
+		q.OrderBy, err = p.orderKeys()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if p.isKeyword("limit") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.integer("LIMIT count")
+		if err != nil {
+			return nil, err
+		}
+		q.Limit = n
+	}
+	if p.tok.kind != tEOF {
+		return nil, errf(p.tok.pos, "unexpected %s after end of query", p.tok.describe())
+	}
+	return q, nil
+}
+
+func (p *parser) selectList() ([]SelectItem, *Error) {
+	var items []SelectItem
+	for {
+		it, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		if p.tok.kind != tComma {
+			return items, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) selectItem() (SelectItem, *Error) {
+	if p.tok.kind == tStar {
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Star: true}, nil
+	}
+	if p.tok.kind != tIdent {
+		return SelectItem{}, errf(p.tok.pos, "expected column or aggregate, found %s", p.tok.describe())
+	}
+	name := strings.ToLower(p.tok.text)
+	pos := p.tok.pos
+	if err := p.advance(); err != nil {
+		return SelectItem{}, err
+	}
+	if p.tok.kind != tLParen {
+		if reserved[name] {
+			return SelectItem{}, errf(pos, "expected column or aggregate, found keyword %s", strings.ToUpper(name))
+		}
+		return SelectItem{Column: name}, nil
+	}
+	// name '(' → aggregate call
+	if !aggregates[name] {
+		return SelectItem{}, errf(pos, "unknown aggregate %q (have count, sum, avg, min, max)", name)
+	}
+	if err := p.advance(); err != nil { // '('
+		return SelectItem{}, err
+	}
+	it := SelectItem{Agg: name}
+	if p.tok.kind == tStar {
+		if name != "count" {
+			return SelectItem{}, errf(p.tok.pos, "%s(*) is not supported; only count(*)", name)
+		}
+		it.AggStar = true
+		if err := p.advance(); err != nil {
+			return SelectItem{}, err
+		}
+	} else {
+		col, err := p.ident("column name")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		it.Column = col
+	}
+	if p.tok.kind != tRParen {
+		return SelectItem{}, errf(p.tok.pos, "expected ')', found %s", p.tok.describe())
+	}
+	if err := p.advance(); err != nil {
+		return SelectItem{}, err
+	}
+	return it, nil
+}
+
+// orExpr := andExpr { OR andExpr }
+func (p *parser) orExpr() (Expr, *Error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("or") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &OrExpr{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// andExpr := notExpr { AND notExpr }
+func (p *parser) andExpr() (Expr, *Error) {
+	left, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("and") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &AndExpr{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// notExpr := NOT notExpr | primary
+func (p *parser) notExpr() (Expr, *Error) {
+	if p.isKeyword("not") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	return p.primary()
+}
+
+// primary := '(' orExpr ')' | col op literal
+func (p *parser) primary() (Expr, *Error) {
+	if p.tok.kind == tLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tRParen {
+			return nil, errf(p.tok.pos, "expected ')', found %s", p.tok.describe())
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	col, err := p.ident("column name")
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tOp {
+		return nil, errf(p.tok.pos, "expected comparison operator, found %s", p.tok.describe())
+	}
+	op := p.tok.text
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	lit, err := p.literal()
+	if err != nil {
+		return nil, err
+	}
+	return &Cmp{Col: col, Op: op, Lit: lit}, nil
+}
+
+// literal := string | [-] number | TRUE | FALSE | NULL
+func (p *parser) literal() (Value, *Error) {
+	neg := false
+	if p.tok.kind == tMinus {
+		neg = true
+		if err := p.advance(); err != nil {
+			return Value{}, err
+		}
+	}
+	switch {
+	case p.tok.kind == tString:
+		if neg {
+			return Value{}, errf(p.tok.pos, "'-' must be followed by a number")
+		}
+		v := StringVal(p.tok.text)
+		return v, p.advance()
+	case p.tok.kind == tNumber:
+		f, perr := strconv.ParseFloat(p.tok.text, 64)
+		if perr != nil || math.IsInf(f, 0) || math.IsNaN(f) {
+			return Value{}, errf(p.tok.pos, "malformed number %q", p.tok.text)
+		}
+		if neg {
+			f = -f
+		}
+		return Number(f), p.advance()
+	case p.isKeyword("true") || p.isKeyword("false"):
+		if neg {
+			return Value{}, errf(p.tok.pos, "'-' must be followed by a number")
+		}
+		v := BoolVal(strings.EqualFold(p.tok.text, "true"))
+		return v, p.advance()
+	case p.isKeyword("null"):
+		if neg {
+			return Value{}, errf(p.tok.pos, "'-' must be followed by a number")
+		}
+		return Null(), p.advance()
+	}
+	return Value{}, errf(p.tok.pos, "expected literal, found %s", p.tok.describe())
+}
+
+// integer consumes a non-negative integer token.
+func (p *parser) integer(what string) (int, *Error) {
+	if p.tok.kind != tNumber {
+		return 0, errf(p.tok.pos, "expected %s, found %s", what, p.tok.describe())
+	}
+	n, perr := strconv.Atoi(p.tok.text)
+	if perr != nil {
+		return 0, errf(p.tok.pos, "%s must be a non-negative integer, found %q", what, p.tok.text)
+	}
+	if err := p.advance(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (p *parser) groupKeys() ([]GroupKey, *Error) {
+	var keys []GroupKey
+	for {
+		var k GroupKey
+		switch p.tok.kind {
+		case tNumber:
+			pos := p.tok.pos
+			n, err := p.integer("GROUP BY ordinal")
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, errf(pos, "GROUP BY ordinal must be >= 1")
+			}
+			k = GroupKey{Ordinal: n}
+		default:
+			col, err := p.ident("GROUP BY column")
+			if err != nil {
+				return nil, err
+			}
+			k = GroupKey{Column: col}
+		}
+		keys = append(keys, k)
+		if p.tok.kind != tComma {
+			return keys, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (p *parser) orderKeys() ([]OrderKey, *Error) {
+	var keys []OrderKey
+	for {
+		var k OrderKey
+		switch p.tok.kind {
+		case tNumber:
+			pos := p.tok.pos
+			n, err := p.integer("ORDER BY ordinal")
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, errf(pos, "ORDER BY ordinal must be >= 1")
+			}
+			k = OrderKey{Ordinal: n}
+		case tIdent:
+			// A column name, or an aggregate spelling like count(*).
+			it, err := p.selectItem()
+			if err != nil {
+				return nil, err
+			}
+			if it.Star {
+				return nil, errf(p.tok.pos, "cannot ORDER BY *")
+			}
+			k = OrderKey{Column: it.Name()}
+		default:
+			return nil, errf(p.tok.pos, "expected ORDER BY key, found %s", p.tok.describe())
+		}
+		if p.isKeyword("asc") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else if p.isKeyword("desc") {
+			k.Desc = true
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+		keys = append(keys, k)
+		if p.tok.kind != tComma {
+			return keys, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+	}
+}

@@ -1,0 +1,179 @@
+// Package vql is the benchmark store's query engine.
+//
+// It implements a small SQL dialect over the loaded benchmark:
+//
+//	SELECT cols|aggs FROM entries|stats
+//	    [WHERE pred] [GROUP BY ...] [ORDER BY ...] [LIMIT n]
+//
+// The pipeline is parse → plan → execute: a hand-written lexer feeds a
+// recursive-descent parser (Parse), a logical planner normalizes the
+// WHERE predicate and pushes equality conjuncts down to secondary
+// indexes when they are attached (Engine.Plan), and a row executor
+// evaluates the plan over typed in-memory rows (Engine.Execute).
+//
+// All query-rejection errors are *Error values carrying a 1-based byte
+// position into the query text when one is known, so callers (the CLI
+// and the /api/query endpoint) can point at the offending token.
+package vql
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Error is a query-rejection error: a syntax error from the parser or a
+// semantic error from the planner. Pos is the 1-based byte offset of
+// the offending token in the query text, or 0 when no position applies
+// (semantic errors about the query as a whole).
+type Error struct {
+	Pos int
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Pos > 0 {
+		return fmt.Sprintf("vql: %s (at position %d)", e.Msg, e.Pos)
+	}
+	return "vql: " + e.Msg
+}
+
+func errf(pos int, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ValueKind discriminates the dynamic type of a Value.
+type ValueKind int
+
+const (
+	KindNull ValueKind = iota
+	KindBool
+	KindNumber
+	KindString
+)
+
+// Value is a dynamically typed cell: a column value, a literal, or an
+// aggregate result. The zero Value is null.
+type Value struct {
+	Kind ValueKind
+	Bool bool
+	Num  float64
+	Str  string
+}
+
+// Null returns the null Value.
+func Null() Value { return Value{} }
+
+// BoolVal wraps a bool.
+func BoolVal(b bool) Value { return Value{Kind: KindBool, Bool: b} }
+
+// Number wraps a float64.
+func Number(f float64) Value { return Value{Kind: KindNumber, Num: f} }
+
+// StringVal wraps a string.
+func StringVal(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// formatNum renders a number the way the lexer can read it back.
+func formatNum(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// String renders the value as a VQL literal: strings are single-quoted
+// with ” escaping, so the output re-lexes to the same value.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindNull:
+		return "null"
+	case KindBool:
+		if v.Bool {
+			return "true"
+		}
+		return "false"
+	case KindNumber:
+		return formatNum(v.Num)
+	default:
+		return "'" + strings.ReplaceAll(v.Str, "'", "''") + "'"
+	}
+}
+
+// Text renders the value for human display: like String, but strings
+// are unquoted. Table output uses this; JSON output uses MarshalJSON.
+func (v Value) Text() string {
+	if v.Kind == KindString {
+		return v.Str
+	}
+	return v.String()
+}
+
+// MarshalJSON renders the value as its native JSON type.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.Kind {
+	case KindNull:
+		return []byte("null"), nil
+	case KindBool:
+		return json.Marshal(v.Bool)
+	case KindNumber:
+		return json.Marshal(v.Num)
+	default:
+		return json.Marshal(v.Str)
+	}
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON, so clients of /api/query
+// can decode result rows back into typed values.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var raw any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	switch x := raw.(type) {
+	case nil:
+		*v = Null()
+	case bool:
+		*v = BoolVal(x)
+	case float64:
+		*v = Number(x)
+	case string:
+		*v = StringVal(x)
+	default:
+		return fmt.Errorf("vql: value must be a JSON scalar, got %T", raw)
+	}
+	return nil
+}
+
+// compareValues is a total order over values, used for ORDER BY and for
+// deterministic tie-breaks: null < bool < number < string, with the
+// natural order inside each kind (false < true).
+func compareValues(a, b Value) int {
+	if a.Kind != b.Kind {
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	}
+	switch a.Kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		switch {
+		case a.Bool == b.Bool:
+			return 0
+		case !a.Bool:
+			return -1
+		default:
+			return 1
+		}
+	case KindNumber:
+		switch {
+		case a.Num < b.Num:
+			return -1
+		case a.Num > b.Num:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return strings.Compare(a.Str, b.Str)
+	}
+}

@@ -158,4 +158,49 @@ if ! awk -v c="$cold_ms" -v w="$warm_ms" 'BEGIN { exit (w * 3 < c) ? 0 : 1 }'; t
 fi
 echo "warm lint 3x faster than cold: yes (cold ${cold_ms} ms, warm ${warm_ms} ms)"
 
+echo
+VQL_OUT="${VQL_OUT:-BENCH_vql.json}"
+echo "== vql query benchmarks (-benchtime $BENCHTIME)"
+
+# run_vql_bench runs the query engine's indexed-vs-scan comparison over a
+# saved store and writes BENCH_vql.json; returns non-zero when the
+# persisted-index scan does not beat the full scan.
+run_vql_bench() {
+    go test -run '^$' -bench 'BenchmarkVQL' -benchtime "$BENCHTIME" ./internal/vql | tee "$tmp"
+
+    awk '
+      BEGIN { print "{"; n = 0 }
+      /^BenchmarkVQL/ && $3 ~ /^[0-9.]+$/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        if (n++) printf ",\n"
+        printf "  \"%s\": %s", name, $3
+      }
+      END { if (n) printf "\n"; print "}" }
+    ' "$tmp" > "$VQL_OUT"
+
+    echo
+    echo "wrote $VQL_OUT:"
+    cat "$VQL_OUT"
+
+    scan=$(awk -F': ' '/VQLScan/ {gsub(/[,}]/,"",$2); print $2}' "$VQL_OUT")
+    indexed=$(awk -F': ' '/VQLIndexed/ {gsub(/[,}]/,"",$2); print $2}' "$VQL_OUT")
+    if [ -z "$scan" ] || [ -z "$indexed" ]; then
+        echo "bench: vql numbers missing from $VQL_OUT" >&2
+        return 1
+    fi
+    awk -v s="$scan" -v i="$indexed" 'BEGIN { exit (i < s) ? 0 : 1 }'
+}
+
+# The query benchmarks are in-memory but short at small benchtimes; one
+# retry absorbs an unlucky scheduling spike before the gate fails.
+if ! run_vql_bench; then
+    echo "indexed query not faster than full scan, retrying once"
+    if ! run_vql_bench; then
+        echo "bench: indexed query slower than full scan (see $VQL_OUT)" >&2
+        exit 1
+    fi
+fi
+echo "indexed query faster than full scan: yes (scan ${scan} ns/op, indexed ${indexed} ns/op)"
+
 echo "bench: OK"

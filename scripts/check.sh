@@ -30,17 +30,23 @@ echo "== store round trip (determinism gate)"
 go test -run 'TestSaveLoadRoundTrip|TestGoldenManifestDeterminism|TestVerifyDetectsFlippedByte|TestShardedSaveWorkerCountsByteIdentical' ./internal/store
 
 echo "== faultguard: fault-injection suite with -race"
-go test -race ./internal/fault ./internal/deepeye ./internal/bench ./internal/server ./internal/store ./cmd/nvbench
+go test -race ./internal/fault ./internal/deepeye ./internal/bench ./internal/server ./internal/store ./internal/vql ./cmd/nvbench
 
 echo "== obsguard: metrics registry race suite, golden exposition and trace, instrumented-build identity"
 go test -race ./internal/obs
 go test -race -run 'TestWritePrometheusGolden|TestTracerGoldenJSON|TestLoggerGolden|TestInstrumentedBuildIsByteIdentical|TestMetricsEndpointServesPrometheusText|TestRunDeterministicUnderSameFaultSeed' \
     ./internal/obs ./internal/bench ./internal/server ./cmd/nvbench
 
-echo "== crashguard: re-exec crash sweeps and store fuzzers"
+echo "== crashguard: re-exec crash sweeps and fuzzers"
 go test -race -run 'TestCrashSweep' ./internal/store
-for fuzz in FuzzEntryCodec FuzzSelfHashed FuzzJournalRecover FuzzShardRoute; do
-    go test -run "^${fuzz}$" -fuzz "^${fuzz}$" -fuzztime 5s ./internal/store
+for target in \
+    "FuzzEntryCodec ./internal/store" \
+    "FuzzSelfHashed ./internal/store" \
+    "FuzzJournalRecover ./internal/store" \
+    "FuzzShardRoute ./internal/store" \
+    "FuzzVQLParse ./internal/vql"; do
+    set -- $target
+    go test -run "^$1\$" -fuzz "^$1\$" -fuzztime 5s "$2"
 done
 
 echo "check: OK"
