@@ -26,6 +26,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"nvbench/internal/bench"
 	"nvbench/internal/dataset"
@@ -73,6 +74,9 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		save      = fs.Bool("save", false, "persist the built benchmark to -store")
 		shards    = fs.Int("shards", 0, "store save worker pool size: shards written in parallel (0 = GOMAXPROCS)")
 		shardN    = fs.Int("shard-count", 0, "shard count for a new store (power of two ≤ 256; 0 = default 16; ignored once a store exists)")
+		replicas  = fs.Int("replicas", 0, "replica count for a new store: byte-identical copies of every shard under replicas/r0../ (1-8; 0 = single copy; ignored once a store exists)")
+		scrub     = fs.Bool("scrub", false, "anti-entropy pass over -store: re-hash every artifact in every replica, heal divergence from a verified copy, and exit non-zero only if content was unrecoverable")
+		scrubIvl  = fs.Duration("scrub-interval", 0, "with -serve: run a background scrub of -store at this interval (0 disables)")
 		incr      = fs.Bool("incremental", false, "build through -store's pair cache, skipping unchanged pairs")
 		fsck      = fs.Bool("fsck", false, "verify every artifact in -store, report corruption and exit")
 		repair    = fs.Bool("repair", false, "heal -store in place: salvage artifacts, move damage to lost+found/")
@@ -123,18 +127,23 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		fmt.Fprintf(w, "fault plan active: %s (seed %d)\n\n", plan, *faultSeed)
 	}
 
-	if (*save || *incr || *fsck || *repair) && *storeDir == "" {
-		return fmt.Errorf("-save, -incremental, -fsck, -repair and -resume require -store")
+	if (*save || *incr || *fsck || *repair || *scrub) && *storeDir == "" {
+		return fmt.Errorf("-save, -incremental, -fsck, -repair, -scrub and -resume require -store")
 	}
 	var st *store.Store
 	if *storeDir != "" {
 		var err error
-		if st, err = store.Open(*storeDir); err != nil {
+		if st, err = store.OpenReplicated(*storeDir); err != nil {
 			return err
 		}
 		st.Instrument(ins)
 		if *shardN != 0 {
 			if err := st.SetShardCount(*shardN); err != nil {
+				return err
+			}
+		}
+		if *replicas != 0 {
+			if err := st.SetReplicas(*replicas); err != nil {
 				return err
 			}
 		}
@@ -173,6 +182,23 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			}
 		}
 	}
+	// Exit-code contract for the store health verbs, across every layout
+	// (legacy flat, sharded, replicated): -fsck exits non-zero iff the
+	// store has corruption (it never writes); -repair exits non-zero iff
+	// content was lost (a clean or fully-salvaged heal exits zero);
+	// -scrub exits non-zero iff an artifact was unrecoverable in every
+	// replica (divergence healed from a verified copy exits zero).
+	if *scrub {
+		rep, err := st.Scrub(ctx, store.ScrubOptions{})
+		if err != nil {
+			return err
+		}
+		store.WriteScrub(w, rep)
+		if rep.Lossy() {
+			return fmt.Errorf("store %s: scrub could not recover all content", *storeDir)
+		}
+		return nil
+	}
 	if *fsck {
 		rep, err := st.Verify()
 		if err != nil {
@@ -185,7 +211,7 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return nil
 	}
 	if st != nil && !*save && !*incr {
-		return serveStore(ctx, st, w, *out, *vega, *serve, degraded, ins, *tracePath)
+		return serveStore(ctx, st, w, *out, *vega, *serve, degraded, ins, *tracePath, *scrubIvl)
 	}
 
 	var corpus *spider.Corpus
@@ -388,13 +414,45 @@ func attachQueryIndexes(w io.Writer, srv *server.Server, st *store.Store) {
 	}
 }
 
+// replicaDegradation folds a replicated store's failover state into the
+// degradation /readyz serves: which shards are read from a non-primary
+// replica, and each replica's self-check health. Returns d unchanged
+// (possibly nil) when every replica is healthy and nothing failed over.
+func replicaDegradation(st *store.Store, d *server.Degradation) *server.Degradation {
+	failed := st.FailedOver()
+	health := st.ReplicaHealth()
+	unhealthy := false
+	for _, rh := range health {
+		if !rh.Healthy {
+			unhealthy = true
+		}
+	}
+	if len(failed) == 0 && !unhealthy {
+		return d
+	}
+	if d == nil {
+		d = &server.Degradation{}
+	}
+	d.FailedOver = failed
+	d.Replicas = d.Replicas[:0]
+	for _, rh := range health {
+		d.Replicas = append(d.Replicas, server.ReplicaHealth{
+			Replica: fmt.Sprintf("r%d", rh.Replica), Healthy: rh.Healthy, BadShards: rh.BadShards,
+		})
+	}
+	return d
+}
+
 // serveStore is the -store load path: reconstruct the benchmark from disk
 // (no corpus, no synthesis), print its shape, and optionally export or
 // serve it with the manifest's content hashes as cache validators. When a
 // strict load fails on a sharded store, a serving run falls back to
 // LoadPartial — the healthy shards keep serving, and /readyz names the
 // shards that did not (on top of any repair degradation already noted).
-func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, vega bool, serve string, degraded *server.Degradation, ins *obs.Instruments, tracePath string) error {
+// On a replicated store, shard reads that failed over to a replica are
+// reported the same way, and scrubIvl > 0 runs a background anti-entropy
+// scrubber that re-heals the store (and refreshes /readyz) while serving.
+func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, vega bool, serve string, degraded *server.Degradation, ins *obs.Instruments, tracePath string, scrubIvl time.Duration) error {
 	b, m, err := st.Load()
 	if err != nil {
 		if serve == "" {
@@ -442,6 +500,10 @@ func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, v
 	if err := writeTrace(tracePath, ins.Tracer); err != nil {
 		return err
 	}
+	degraded = replicaDegradation(st, degraded)
+	if fo := st.FailedOver(); len(fo) > 0 {
+		fmt.Fprintf(w, "\n%d shard(s) failed over to a replica: %v (run -scrub to heal the primary)\n", len(fo), fo)
+	}
 	if serve != "" {
 		fmt.Fprintf(w, "\nserving benchmark browser on %s\n", serve)
 		cfg := server.DefaultConfig()
@@ -452,6 +514,21 @@ func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, v
 			return err
 		}
 		attachQueryIndexes(w, srv, st)
+		if scrubIvl > 0 {
+			t := time.NewTicker(scrubIvl)
+			defer t.Stop()
+			go st.RunScrubber(ctx, t.C, func(rep *store.ScrubReport, err error) {
+				if err != nil {
+					log.Printf("background scrub: %v", err)
+					return
+				}
+				if !rep.Clean() {
+					log.Printf("background scrub: repaired %d artifact copies, %d moved aside, %d unrecoverable",
+						len(rep.Repaired), len(rep.MovedAside), len(rep.Unrecoverable))
+				}
+				srv.SetDegraded(replicaDegradation(st, nil))
+			})
+		}
 		return srv.Run(ctx, serve)
 	}
 	return nil

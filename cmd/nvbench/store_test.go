@@ -264,6 +264,7 @@ func TestStoreFlagValidation(t *testing.T) {
 		{"-incremental"},
 		{"-fsck"},
 		{"-repair"},
+		{"-scrub"},
 		{"-resume"},
 	} {
 		if out, err := runCLI(t, args...); err == nil || !strings.Contains(err.Error(), "-store") {

@@ -11,7 +11,18 @@
 //     "write" returns;
 //   - os.Rename with no directory sync afterwards in the same function —
 //     the rename itself is not durable until the parent directory is
-//     fsynced (this is the bug class moveAside had).
+//     fsynced (this is the bug class moveAside had);
+//   - os.Link and os.Symlink — a replicated store's copies under
+//     replicas/rK must be independent byte copies written through the
+//     same protocol; a hard link shares the primary's inode and a
+//     symlink resolves to it, so one bad sector silently corrupts every
+//     "replica" at once and scrubbing has nothing to repair from.
+//
+// The replica write paths (replica fan-out in Save, scrub repairs,
+// cross-replica heals in Repair) all stage through box.writeArtifact, so
+// the same four rules cover them; the link rules exist because linking is
+// the one tempting shortcut that passes every fsync check while still
+// destroying replica independence.
 //
 // os.CreateTemp is always allowed: temp files are the protocol's first
 // step and are swept on recovery. Test files are exempt — tests routinely
@@ -39,13 +50,18 @@ var DirSyncFuncs = []string{"syncDir"}
 
 // Analyzer is the crash-consistency write-order check.
 var Analyzer = &analysis.Analyzer{
-	Name:    "fsyncorder",
-	Version: "1",
+	Name: "fsyncorder",
+	// Version 2: replica-aware. Adds the os.Link/os.Symlink rules (linked
+	// replica copies share an inode or target and are not independent
+	// durability), invalidating every cached version-1 result.
+	Version: "2",
 	Doc: "store writes must follow temp→fsync→rename→fsync-dir\n\n" +
 		"In internal/store, raw os.WriteFile/os.Create bypass the durable\n" +
 		"write protocol, an os.OpenFile writer must fsync before returning,\n" +
 		"and an os.Rename needs a directory sync (syncDir) after it in the\n" +
-		"same function, or the rename is not crash-durable.",
+		"same function, or the rename is not crash-durable. Replica copies\n" +
+		"must be written, never linked: os.Link/os.Symlink share storage\n" +
+		"with the primary, so the copies are not independent.",
 	Run: run,
 }
 
@@ -117,6 +133,10 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 			}
 		case "Rename":
 			renames = append(renames, call)
+		case "Link":
+			pass.Reportf(call.Pos(), "os.Link shares the source's inode; a linked replica copy is not independent durability — write the bytes through writeArtifact instead")
+		case "Symlink":
+			pass.Reportf(call.Pos(), "os.Symlink resolves to the primary copy; a symlinked replica copy is not independent durability — write the bytes through writeArtifact instead")
 		}
 		return true
 	})

@@ -89,6 +89,38 @@ func writeArtifact(path string, data []byte) error {
 	return syncDir(filepath.Dir(path))
 }
 
+// copyReplicaNoSync fans an artifact out to a replica tree but never
+// fsyncs the copy: after a crash the replica may hold a torn file that
+// scrubbing will then "repair" the primary from.
+func copyReplicaNoSync(primary []byte, replicaPath string) error {
+	f, err := os.OpenFile(replicaPath, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644) // want `os\.OpenFile with write flags in copyReplicaNoSync but no \(\*os\.File\)\.Sync`
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(primary); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// linkReplica fakes a replica by hard-linking the primary: both names
+// share one inode, so the "copy" dies with the original.
+func linkReplica(primaryPath, replicaPath string) error {
+	return os.Link(primaryPath, replicaPath) // want `os\.Link shares the source's inode`
+}
+
+// symlinkReplica fakes a replica with a symlink back to the primary.
+func symlinkReplica(primaryPath, replicaPath string) error {
+	return os.Symlink(primaryPath, replicaPath) // want `os\.Symlink resolves to the primary copy`
+}
+
+// copyReplicaDurable is the sanctioned replica fan-out: each copy is an
+// independent write through the full protocol.
+func copyReplicaDurable(primary []byte, replicaPath string) error {
+	return writeArtifact(replicaPath, primary)
+}
+
 // syncDir fsyncs a directory, making renames inside it durable.
 func syncDir(dir string) error {
 	d, err := os.Open(dir)

@@ -71,6 +71,15 @@ const (
 	// (index assembly during Save, index reads in LoadIndexes).
 	SiteVQLQuery = "vql.query" // vql.Engine query execution
 	SiteVQLIndex = "vql.index" // store index build and load
+
+	// Replicated-store sites: writes into non-primary replica trees
+	// during Save, reads of the primary replica's shard artifacts in a
+	// replicated store (failover reads from secondaries go through
+	// store.load), and every artifact examination or repair copy the
+	// anti-entropy scrubber performs.
+	SiteReplicaSave  = "store.replica.save"  // replica (r1..rN) shard writes
+	SiteReplicaRead  = "store.replica.read"  // primary-replica shard reads
+	SiteReplicaScrub = "store.replica.scrub" // scrub checks and repair copies
 )
 
 // Sites lists every registered injection site.
@@ -81,6 +90,7 @@ func Sites() []string {
 		SiteStoreSave, SiteStoreLoad,
 		SiteShardSave, SiteShardMerge, SiteShardRepair,
 		SiteVQLQuery, SiteVQLIndex,
+		SiteReplicaSave, SiteReplicaRead, SiteReplicaScrub,
 	}
 }
 

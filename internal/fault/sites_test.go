@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// declaredSites parses fault.go and returns the string value of every
+// top-level constant whose name starts with "Site" — the source of truth
+// Sites() must mirror.
+func declaredSites(t *testing.T) map[string]string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fault.go", nil, 0)
+	if err != nil {
+		t.Fatalf("parse fault.go: %v", err)
+	}
+	out := map[string]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if !strings.HasPrefix(name.Name, "Site") || i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				val, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					t.Fatalf("const %s: %v", name.Name, err)
+				}
+				out[name.Name] = val
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("no Site* constants found in fault.go")
+	}
+	return out
+}
+
+// TestSitesCoversEveryConstantExactlyOnce is the forgot-to-append guard:
+// every Site* constant declared in fault.go must appear in Sites() exactly
+// once, and Sites() must contain nothing else. Adding a site constant
+// without registering it would silently exempt it from wildcard plans and
+// coverage tests.
+func TestSitesCoversEveryConstantExactlyOnce(t *testing.T) {
+	declared := declaredSites(t)
+	listed := map[string]int{}
+	for _, s := range Sites() {
+		listed[s]++
+	}
+	for name, val := range declared {
+		switch listed[val] {
+		case 0:
+			t.Errorf("constant %s = %q missing from Sites()", name, val)
+		case 1:
+			// exactly once: good
+		default:
+			t.Errorf("constant %s = %q appears %d times in Sites()", name, val, listed[val])
+		}
+	}
+	byValue := map[string]bool{}
+	for _, val := range declared {
+		byValue[val] = true
+	}
+	for s, n := range listed {
+		if !byValue[s] {
+			t.Errorf("Sites() lists %q (%d time(s)) with no matching Site* constant", s, n)
+		}
+	}
+	if len(declared) != len(listed) {
+		t.Errorf("declared %d distinct sites, Sites() returns %d distinct", len(declared), len(listed))
+	}
+}

@@ -37,6 +37,15 @@ const (
 	// visible on a cold scrape.
 	StoreShardSeconds = "nvbench_store_shard_seconds"
 
+	// Replicated-store health: scrub cycles run, artifact copies rewritten
+	// from a verified replica, read failovers taken, and a per-replica
+	// health gauge (labeled replica=r0..; 1 = every shard copy passed its
+	// last self-check).
+	StoreScrubCycles    = "nvbench_store_scrub_cycles_total"
+	StoreScrubRepaired  = "nvbench_store_scrub_repaired_total"
+	StoreFailovers      = "nvbench_store_failovers_total"
+	StoreReplicaHealthy = "nvbench_store_replica_healthy"
+
 	// Report truncation: lines suppressed past the 20-line cap in
 	// quarantine/repair reports, labeled report=quarantine|repair.
 	ReportSuppressed = "nvbench_report_suppressed_total"
@@ -71,8 +80,8 @@ const (
 var Stages = []string{StageSQLParse, StageTreeEdit, StageDeepEye, StageNLEdit, StageRender, StageQuery}
 
 // StoreOps lists the op= label values of StoreSeconds, in protocol order:
-// the three store entry points internal/store times.
-var StoreOps = []string{"save", "load", "repair"}
+// the store entry points internal/store times.
+var StoreOps = []string{"save", "load", "repair", "scrub"}
 
 // HTTPRoutes lists the bounded route= label set the server middleware emits
 // for HTTPSeconds and HTTPRequests (see server.routeLabel); the server's
@@ -117,12 +126,14 @@ func RegisterBase(r *Registry) {
 	for _, name := range []string{
 		PairsSynthesized, CacheHits, CacheMisses, CacheWriteErrors,
 		Quarantined, Retries, ClassifierFallbacks,
+		StoreScrubCycles, StoreScrubRepaired, StoreFailovers,
 		HTTPShed, HTTPTimeouts,
 	} {
 		r.Counter(name)
 	}
 	r.Gauge(HTTPInFlight)
 	r.Gauge(ServerDegraded)
+	r.Gauge(L(StoreReplicaHealthy, "replica", "r0"))
 }
 
 // Instruments bundles the observability handles a layer needs: a metrics
@@ -199,6 +210,14 @@ func (in *Instruments) Observe(name string, v float64) {
 
 // Inc adds one to the named counter.
 func (in *Instruments) Inc(name string) { in.Add(name, 1) }
+
+// SetGauge sets the named gauge to v.
+func (in *Instruments) SetGauge(name string, v int64) {
+	if in == nil || in.Metrics == nil {
+		return
+	}
+	in.Metrics.Gauge(name).Set(v)
+}
 
 // Add adds n to the named counter.
 func (in *Instruments) Add(name string, n int64) {

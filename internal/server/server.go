@@ -96,17 +96,45 @@ type ShardDegradation struct {
 	Detail   string // optional cause ("journal rolled back", "corrupt artifacts", …)
 }
 
+// ReplicaHealth is one replica's health line on /readyz when the served
+// store keeps per-shard replicas.
+type ReplicaHealth struct {
+	Replica   string   // replica name ("r0" is the primary)
+	Healthy   bool     // every shard copy passed its last self-check
+	BadShards []string // shards whose copy failed, in name order
+}
+
 // Degradation describes why a serving benchmark is degraded: a one-line
-// summary plus, on a sharded store, the per-shard breakdown. The zero
-// value (no detail, no shards) means "not degraded".
+// summary plus, on a sharded store, the per-shard breakdown, and — on a
+// replicated store — which shards failed over to a non-primary replica
+// and how each replica is doing. The zero value means "not degraded".
 type Degradation struct {
 	Detail string             // one-line summary, first line of /readyz
 	Shards []ShardDegradation // per-shard damage, in shard-name order
+	// FailedOver names store shards currently served from a non-primary
+	// replica: the data is intact, but the primary copy is damaged until
+	// a scrub repairs it.
+	FailedOver []string
+	// Replicas is the per-replica health of a replicated store; listed on
+	// /readyz whenever any shard failed over or any replica is unhealthy.
+	Replicas []ReplicaHealth
 }
 
-// empty reports whether d carries no degradation at all.
+// empty reports whether d carries no degradation at all. A replica list
+// that is entirely healthy does not by itself degrade the server.
 func (d *Degradation) empty() bool {
-	return d == nil || (d.Detail == "" && len(d.Shards) == 0)
+	if d == nil {
+		return true
+	}
+	if d.Detail != "" || len(d.Shards) > 0 || len(d.FailedOver) > 0 {
+		return false
+	}
+	for _, rh := range d.Replicas {
+		if !rh.Healthy {
+			return false
+		}
+	}
+	return true
 }
 
 // New builds a server over a benchmark with the default hardening config.
@@ -230,9 +258,17 @@ func (s *Server) SetDegraded(d *Degradation) {
 		g.Set(0)
 		return
 	}
-	cp := &Degradation{Detail: d.Detail, Shards: append([]ShardDegradation(nil), d.Shards...)}
+	cp := &Degradation{
+		Detail:     d.Detail,
+		Shards:     append([]ShardDegradation(nil), d.Shards...),
+		FailedOver: append([]string(nil), d.FailedOver...),
+		Replicas:   append([]ReplicaHealth(nil), d.Replicas...),
+	}
 	s.degraded.Store(cp)
 	n := int64(len(cp.Shards))
+	if n == 0 {
+		n = int64(len(cp.FailedOver))
+	}
 	if n == 0 {
 		n = 1
 	}
@@ -292,7 +328,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		var sb strings.Builder
 		head := d.Detail
 		if head == "" {
-			head = fmt.Sprintf("%d store shards damaged", len(d.Shards))
+			if len(d.Shards) > 0 {
+				head = fmt.Sprintf("%d store shards damaged", len(d.Shards))
+			} else {
+				head = fmt.Sprintf("%d store shards failed over to a replica", len(d.FailedOver))
+			}
 		}
 		sb.WriteString("degraded: " + head + "\n")
 		for _, sh := range d.Shards {
@@ -301,6 +341,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 				sb.WriteString(" (" + sh.Detail + ")")
 			}
 			sb.WriteString("\n")
+		}
+		if len(d.FailedOver) > 0 {
+			fmt.Fprintf(&sb, "  failed over: %s (serving from a non-primary replica; run -scrub to heal)\n",
+				strings.Join(d.FailedOver, ", "))
+		}
+		for _, rh := range d.Replicas {
+			if rh.Healthy {
+				fmt.Fprintf(&sb, "  replica %s: healthy\n", rh.Replica)
+				continue
+			}
+			fmt.Fprintf(&sb, "  replica %s: %d shard copies failed self-check (%s)\n",
+				rh.Replica, len(rh.BadShards), strings.Join(rh.BadShards, ", "))
 		}
 		writeBytes(s, w, []byte(sb.String()))
 		return

@@ -242,4 +242,37 @@ func TestReadyzReportsDegradedStore(t *testing.T) {
 	if got := gauge(); got != 1 {
 		t.Fatalf("server_degraded gauge = %d for unsharded degradation, want 1", got)
 	}
+
+	// Replica failover degradation: failed-over shards and per-replica
+	// health lines, gauge counting the failed-over shards.
+	s.SetDegraded(&Degradation{
+		FailedOver: []string{"03", "1a"},
+		Replicas: []ReplicaHealth{
+			{Replica: "r0", Healthy: false, BadShards: []string{"03", "1a"}},
+			{Replica: "r1", Healthy: true},
+		},
+	})
+	_, body = probe()
+	if !strings.HasPrefix(body, "degraded: 2 store shards failed over to a replica") {
+		t.Fatalf("/readyz body = %q, want the failover headline", body)
+	}
+	if !strings.Contains(body, "failed over: 03, 1a (serving from a non-primary replica; run -scrub to heal)") {
+		t.Fatalf("/readyz body = %q, want the failed-over line", body)
+	}
+	if !strings.Contains(body, "replica r0: 2 shard copies failed self-check (03, 1a)") ||
+		!strings.Contains(body, "replica r1: healthy") {
+		t.Fatalf("/readyz body = %q, want per-replica health lines", body)
+	}
+	if got := gauge(); got != 2 {
+		t.Fatalf("server_degraded gauge = %d with 2 failed-over shards, want 2", got)
+	}
+
+	// An all-healthy replica report alone is not degradation.
+	s.SetDegraded(&Degradation{Replicas: []ReplicaHealth{{Replica: "r0", Healthy: true}, {Replica: "r1", Healthy: true}}})
+	if code, body := probe(); code != http.StatusOK || body != "ready\n" {
+		t.Fatalf("/readyz with healthy replicas = %d %q, want 200 ready", code, body)
+	}
+	if got := gauge(); got != 0 {
+		t.Fatalf("server_degraded gauge = %d with healthy replicas, want 0", got)
+	}
 }

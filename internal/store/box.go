@@ -19,23 +19,29 @@ import (
 
 // box addresses one artifact directory under a store root. rel is the
 // slash-separated path of the box below the root ("" for the root box,
-// "shards/03" for a shard); inject is the write-side fault hook, bound at
-// construction to one of the injector closures below. Reads always
-// inject store.load.
+// "shards/03" for a shard, "replicas/r1/shards/03" for a replica copy);
+// inject is the write-side fault hook, bound at construction to one of
+// the injector closures below. rinject is the read-side hook; when nil,
+// reads inject store.load.
 type box struct {
-	root   string
-	rel    string
-	inject func() error
+	root    string
+	rel     string
+	inject  func() error
+	rinject func() error
 }
 
-// The write-side injectors a box can be bound to. Each closure names its
-// site as a compile-time constant — the form the faultsite analyzer and
-// the crash sweeps can enumerate — so routing a box to a site never puts
-// a runtime value into a fault.Inject call.
+// The injectors a box can be bound to. Each closure names its site as a
+// compile-time constant — the form the faultsite analyzer and the crash
+// sweeps can enumerate — so routing a box to a site never puts a runtime
+// value into a fault.Inject call.
 var (
-	injectStoreSave  = func() error { return fault.Inject(fault.SiteStoreSave) }
-	injectShardSave  = func() error { return fault.Inject(fault.SiteShardSave) }
-	injectShardMerge = func() error { return fault.Inject(fault.SiteShardMerge) }
+	injectStoreSave    = func() error { return fault.Inject(fault.SiteStoreSave) }
+	injectStoreLoad    = func() error { return fault.Inject(fault.SiteStoreLoad) }
+	injectShardSave    = func() error { return fault.Inject(fault.SiteShardSave) }
+	injectShardMerge   = func() error { return fault.Inject(fault.SiteShardMerge) }
+	injectReplicaSave  = func() error { return fault.Inject(fault.SiteReplicaSave) }
+	injectReplicaRead  = func() error { return fault.Inject(fault.SiteReplicaRead) }
+	injectReplicaScrub = func() error { return fault.Inject(fault.SiteReplicaScrub) }
 )
 
 // injectWrite fires the box's write-side fault hook; a box constructed
@@ -120,9 +126,16 @@ func (bx box) writeArtifact(rel string, data []byte) error {
 	return nil
 }
 
-// readArtifact reads one artifact from the box.
+// readArtifact reads one artifact from the box through its read-side
+// fault hook (store.load unless the box was routed elsewhere — the
+// primary replica of a replicated store reads through
+// store.replica.read).
 func (bx box) readArtifact(rel string) ([]byte, error) {
-	if err := fault.Inject(fault.SiteStoreLoad); err != nil {
+	read := bx.rinject
+	if read == nil {
+		read = injectStoreLoad
+	}
+	if err := read(); err != nil {
 		return nil, fmt.Errorf("store: read %s: %w", bx.key(rel), err)
 	}
 	data, err := os.ReadFile(bx.path(rel))

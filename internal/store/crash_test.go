@@ -12,11 +12,13 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -31,10 +33,12 @@ import (
 
 // The environment contract between sweep parents and re-exec'd children.
 const (
-	crashEnvDir    = "NVBENCH_CRASH_DIR"    // store directory to damage
-	crashEnvGolden = "NVBENCH_CRASH_GOLDEN" // golden store to load and re-save
-	crashEnvPlan   = "NVBENCH_CRASH_PLAN"   // fault plan, crash point included
-	crashEnvResave = "NVBENCH_CRASH_RESAVE" // save cleanly once before the faulty save
+	crashEnvDir      = "NVBENCH_CRASH_DIR"      // store directory to damage
+	crashEnvGolden   = "NVBENCH_CRASH_GOLDEN"   // golden store to load and re-save
+	crashEnvPlan     = "NVBENCH_CRASH_PLAN"     // fault plan, crash point included
+	crashEnvResave   = "NVBENCH_CRASH_RESAVE"   // save cleanly once before the faulty save
+	crashEnvReplicas = "NVBENCH_CRASH_REPLICAS" // replica count for the child's store
+	crashEnvShards   = "NVBENCH_CRASH_SHARDS"   // shard count for the child's store
 )
 
 // crashSweepLimit bounds a sweep; a tiny save has far fewer write calls.
@@ -146,6 +150,12 @@ func assertRecoverable(t *testing.T, dir string, k, wantEntries int) {
 // format can reach, recovering the store after each kill. wantEntries
 // pins the recovered entry count (-1: any consistent state).
 func sweepSaveCrashes(t *testing.T, goldenDir, planFmt string, wantEntries int) {
+	sweepSaveCrashesEnv(t, goldenDir, planFmt, wantEntries, nil)
+}
+
+// sweepSaveCrashesEnv is sweepSaveCrashes with extra child environment —
+// how the replicated sweeps set the child's replica and shard counts.
+func sweepSaveCrashesEnv(t *testing.T, goldenDir, planFmt string, wantEntries int, extra map[string]string) {
 	crashed := 0
 	for k := 1; ; k++ {
 		if k > crashSweepLimit {
@@ -156,6 +166,9 @@ func sweepSaveCrashes(t *testing.T, goldenDir, planFmt string, wantEntries int) 
 			crashEnvDir:    dir,
 			crashEnvGolden: goldenDir,
 			crashEnvPlan:   fmt.Sprintf(planFmt, k),
+		}
+		for ek, ev := range extra {
+			env[ek] = ev
 		}
 		if wantEntries >= 0 {
 			env[crashEnvResave] = "1"
@@ -202,6 +215,24 @@ func TestCrashChildSave(t *testing.T) {
 	st, err := Open(dir)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if v := os.Getenv(crashEnvShards); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.SetShardCount(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v := os.Getenv(crashEnvReplicas); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.SetReplicas(n); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if os.Getenv(crashEnvResave) != "" {
 		// Commit the benchmark first: the faulty save below is then an
@@ -399,6 +430,102 @@ func TestCrashSweepBuildResume(t *testing.T) {
 				t.Fatal("sweep ended before any crash fired")
 			}
 			t.Logf("build sweep covered %d crash points", crashed)
+			return
+		}
+		crashed++
+	}
+}
+
+// TestCrashSweepReplicatedSave kills a 2-replica save at every secondary
+// write (the store.replica.save site), fresh and as a re-save over
+// committed data: after every kill the store must recover to a verifying,
+// loadable state, and a re-save must never lose the committed benchmark —
+// the primary copy commits before any secondary write begins.
+func TestCrashSweepReplicatedSave(t *testing.T) {
+	_, b := tinyBuild(t)
+	goldenDir := t.TempDir()
+	goldenSt, err := Open(goldenDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := goldenSt.Save(b, tinyInfo()); err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]string{crashEnvReplicas: "2", crashEnvShards: "4"}
+	t.Run("fresh", func(t *testing.T) {
+		sweepSaveCrashesEnv(t, goldenDir, "store.replica.save:crash:%d", -1, env)
+	})
+	t.Run("torn", func(t *testing.T) {
+		sweepSaveCrashesEnv(t, goldenDir, "store.replica.save:torn:0.4,store.replica.save:crash:%d", -1, env)
+	})
+	t.Run("resave", func(t *testing.T) {
+		sweepSaveCrashesEnv(t, goldenDir, "store.replica.save:crash:%d", len(b.Entries), env)
+	})
+}
+
+// TestCrashChildScrub is the re-exec'd child for the scrub sweep: it opens
+// a replicated store the parent damaged and scrubs it under a crash plan
+// on the store.replica.scrub site, dying mid-heal wherever the plan says.
+func TestCrashChildScrub(t *testing.T) {
+	dir := os.Getenv(crashEnvDir)
+	if dir == "" {
+		t.Skip("crash-sweep child; driven by TestCrashSweepScrub")
+	}
+	plan, err := fault.ParsePlan(os.Getenv(crashEnvPlan), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenReplicated(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Activate(plan)()
+	if _, err := st.Scrub(context.Background(), ScrubOptions{}); err != nil && !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("scrub failed organically: %v", err)
+	}
+}
+
+// TestCrashSweepScrub kills an anti-entropy pass over a store with one
+// corrupt primary artifact at every scrub I/O. An interrupted heal must
+// never make things worse: the store recovers (possibly via Repair, which
+// heals cross-replica first) with every committed entry intact.
+func TestCrashSweepScrub(t *testing.T) {
+	_, b := tinyBuild(t)
+	crashed := 0
+	for k := 1; ; k++ {
+		if k > crashSweepLimit {
+			t.Fatalf("crash sweep did not terminate after %d points", crashSweepLimit)
+		}
+		dir := filepath.Join(t.TempDir(), "store")
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.SetShardCount(4); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.SetReplicas(2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Save(b, tinyInfo()); err != nil {
+			t.Fatal(err)
+		}
+		primary, _ := primaryArtifact(t, dir, entriesDir)
+		flipByte(t, primary)
+		code, out := runCrashChild(t, "TestCrashChildScrub", map[string]string{
+			crashEnvDir:  dir,
+			crashEnvPlan: fmt.Sprintf("store.replica.scrub:crash:%d", k),
+		})
+		if code != 0 && code != fault.CrashExitCode {
+			t.Fatalf("crash point %d: child exited %d, want %d or success:\n%s",
+				k, code, fault.CrashExitCode, out)
+		}
+		assertRecoverable(t, dir, k, len(b.Entries))
+		if code == 0 {
+			if crashed == 0 {
+				t.Fatal("sweep ended before any crash fired")
+			}
+			t.Logf("scrub sweep covered %d crash points", crashed)
 			return
 		}
 		crashed++

@@ -29,3 +29,19 @@ func (s *Store) timeShardOp(op, shard string) func() {
 func (s *Store) countJournal(action string) {
 	s.ins.Inc(obs.L(obs.StoreJournal, "action", action))
 }
+
+// countFailover records one read re-route to a non-primary replica.
+func (s *Store) countFailover() { s.ins.Inc(obs.StoreFailovers) }
+
+// countScrubCycle records one anti-entropy pass starting.
+func (s *Store) countScrubCycle() { s.ins.Inc(obs.StoreScrubCycles) }
+
+// addScrubRepaired records how many artifact copies a scrub rewrote from
+// a verified replica.
+func (s *Store) addScrubRepaired(n int) { s.ins.Add(obs.StoreScrubRepaired, int64(n)) }
+
+// setReplicaHealthy publishes one replica's health gauge (1 = every shard
+// copy passed its last self-check).
+func (s *Store) setReplicaHealthy(replica string, v int64) {
+	s.ins.SetGauge(obs.L(obs.StoreReplicaHealthy, "replica", replica), v)
+}

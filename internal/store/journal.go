@@ -44,11 +44,12 @@ const (
 
 // journalRecord is one journal line's payload.
 type journalRecord struct {
-	Op     string     `json:"op"`
-	Build  *BuildInfo `json:"build,omitempty"`  // opBegin: how the save was configured
-	Shards int        `json:"shards,omitempty"` // opBegin: shard count of the layout being written
-	Path   string     `json:"path,omitempty"`   // opIntent: artifact about to be written
-	Hash   string     `json:"hash,omitempty"`   // opIntent: content hash it must have
+	Op       string     `json:"op"`
+	Build    *BuildInfo `json:"build,omitempty"`    // opBegin: how the save was configured
+	Shards   int        `json:"shards,omitempty"`   // opBegin: shard count of the layout being written
+	Replicas int        `json:"replicas,omitempty"` // opBegin: replica count when > 1 (0 means single-copy)
+	Path     string     `json:"path,omitempty"`     // opIntent: artifact about to be written
+	Hash     string     `json:"hash,omitempty"`     // opIntent: content hash it must have
 }
 
 // JournalState classifies what the journal says about the store.

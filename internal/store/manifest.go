@@ -50,14 +50,19 @@ type ShardRef struct {
 // Format-1 (legacy flat) manifests decode into the same type with the
 // shard fields empty.
 type Manifest struct {
-	FormatVersion int                 `json:"format_version"`
-	Build         BuildInfo           `json:"build"`
-	ShardCount    int                 `json:"shard_count,omitempty"`
-	Shards        []ShardRef          `json:"shards,omitempty"`
-	Databases     []string            `json:"databases"`
-	Entries       []EntryRef          `json:"entries"`
-	Rejections    map[string]int      `json:"rejections,omitempty"`
-	Quarantine    []bench.Quarantined `json:"quarantine,omitempty"`
+	FormatVersion int       `json:"format_version"`
+	Build         BuildInfo `json:"build"`
+	ShardCount    int       `json:"shard_count,omitempty"`
+	// ReplicaCount is the number of byte-identical shard-tree copies under
+	// replicas/r0..r{N-1}/; 0 (omitted) means the single-copy shards/
+	// layout, so pre-replication manifests are byte-identical to new
+	// single-copy ones.
+	ReplicaCount int                 `json:"replica_count,omitempty"`
+	Shards       []ShardRef          `json:"shards,omitempty"`
+	Databases    []string            `json:"databases"`
+	Entries      []EntryRef          `json:"entries"`
+	Rejections   map[string]int      `json:"rejections,omitempty"`
+	Quarantine   []bench.Quarantined `json:"quarantine,omitempty"`
 }
 
 // EntryHashes returns the per-entry content hashes in entry-ID order —
@@ -87,18 +92,40 @@ type FsckReport struct {
 // OK reports whether the walk found no corruption.
 func (r *FsckReport) OK() bool { return len(r.Corrupt) == 0 }
 
-// SickShards names the shards with at least one corrupt artifact, in name
-// order. Root-level corruption (the merged manifest, the root journal)
-// attributes to no shard.
+// shardOfPath attributes a root-relative corruption path to a shard name:
+// "shards/03/..." and "replicas/r1/shards/03/..." both attribute to "03".
+// deeper reports whether the path names something inside the shard
+// directory rather than the directory itself. Root-level paths (the merged
+// manifest, the root journal) attribute to no shard.
+func shardOfPath(p string) (name string, deeper, ok bool) {
+	if rest, found := strings.CutPrefix(p, replicasDir+"/"); found {
+		i := strings.IndexByte(rest, '/')
+		if i <= 0 {
+			return "", false, false
+		}
+		p = rest[i+1:]
+	}
+	rest, found := strings.CutPrefix(p, shardsDir+"/")
+	if !found {
+		return "", false, false
+	}
+	if i := strings.IndexByte(rest, '/'); i > 0 {
+		return rest[:i], true, true
+	}
+	if rest != "" {
+		return rest, false, true
+	}
+	return "", false, false
+}
+
+// SickShards names the shards with at least one corrupt artifact (in any
+// replica), in name order. Root-level corruption (the merged manifest, the
+// root journal) attributes to no shard.
 func (r *FsckReport) SickShards() []string {
 	seen := map[string]bool{}
 	for _, c := range r.Corrupt {
-		if rest, ok := strings.CutPrefix(c.Path, shardsDir+"/"); ok {
-			if i := strings.IndexByte(rest, '/'); i > 0 {
-				seen[rest[:i]] = true
-			} else if rest != "" {
-				seen[rest] = true
-			}
+		if name, _, ok := shardOfPath(c.Path); ok {
+			seen[name] = true
 		}
 	}
 	return sortedKeys(seen)
@@ -174,7 +201,13 @@ func (s *Store) Verify() (*FsckReport, error) {
 	shardsIntact := true
 	for _, name := range names {
 		wantHash, listed := refs[name]
-		sm, smHash := s.verifyShard(rep, name, wantHash, listed, m.ShardCount, rootRefs[name])
+		sm, smHash := s.verifyShard(rep, s.replicaShardBox(0, name), name, wantHash, listed, m.ShardCount, rootRefs[name])
+		// Non-primary replicas must hold the same byte-identical shard: the
+		// same walk runs over each copy, and any divergence is a finding
+		// attributed to that replica's path.
+		for r := 1; r < s.replicas; r++ {
+			s.verifyShard(rep, s.replicaShardBox(r, name), name, wantHash, listed, m.ShardCount, rootRefs[name])
+		}
 		if sm == nil {
 			if listed {
 				shardsIntact = false
@@ -204,7 +237,7 @@ func (s *Store) Verify() (*FsckReport, error) {
 				merged = append(merged, p)
 			}
 		}
-		expect := mergeManifest(m.Build, m.ShardCount, merged, m.Rejections, m.Quarantine)
+		expect := mergeManifest(m.Build, m.ShardCount, m.ReplicaCount, merged, m.Rejections, m.Quarantine)
 		edata, err := canonicalJSON(expect)
 		if err == nil && !bytes.Equal(edata, mdata) {
 			rep.Corrupt = append(rep.Corrupt, Corruption{
@@ -226,10 +259,8 @@ func (s *Store) finishVerify(rep *FsckReport) {
 	sort.Slice(rep.Corrupt, func(i, j int) bool { return rep.Corrupt[i].Path < rep.Corrupt[j].Path })
 	counts := map[string]int{}
 	for _, c := range rep.Corrupt {
-		if rest, ok := strings.CutPrefix(c.Path, shardsDir+"/"); ok {
-			if i := strings.IndexByte(rest, '/'); i > 0 {
-				counts[rest[:i]]++
-			}
+		if name, deeper, ok := shardOfPath(c.Path); ok && deeper {
+			counts[name]++
 		}
 	}
 	for _, name := range sortedKeysAny(counts) {
@@ -259,12 +290,12 @@ func verifyJournal(rep *FsckReport, bx box, path string) {
 	}
 }
 
-// verifyShard walks one shard: manifest linkage to the root, the shard's
-// content-addressed artifacts, its journal, its cache partition. Returns
-// the decoded shard manifest (nil when unusable) and its content hash, for
-// the root-merge recomputation.
-func (s *Store) verifyShard(rep *FsckReport, name, wantHash string, listed bool, count int, rootRefs []EntryRef) (*ShardManifest, string) {
-	bx := s.shardBoxName(name)
+// verifyShard walks one copy of one shard: manifest linkage to the root,
+// the shard's content-addressed artifacts, its journal, its cache
+// partition. The box selects which replica's copy is walked (findings
+// carry that replica's path). Returns the decoded shard manifest (nil when
+// unusable) and its content hash, for the root-merge recomputation.
+func (s *Store) verifyShard(rep *FsckReport, bx box, name, wantHash string, listed bool, count int, rootRefs []EntryRef) (*ShardManifest, string) {
 	var sm *ShardManifest
 	smHash := ""
 	smdata, err := bx.readArtifact(manifestName)

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"testing"
 
 	"nvbench/internal/bench"
@@ -121,6 +122,86 @@ func BenchmarkShardedRebuild(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkReplicatedSave measures the replication tax on the save path.
+// single is the pre-replication baseline: one copy of every shard tree.
+// double fans each shard out to two replicas, each through its own
+// journal — twice the fsync traffic, but serialization and hashing are
+// shared across copies. The gate scripts/bench.sh enforces is the
+// 2-replica save staying under 2.5x the single-copy save.
+func BenchmarkReplicatedSave(b *testing.B) {
+	corpus, err := spider.Generate(spider.Config{Seed: 11, NumDatabases: 5, PairsPerDB: 10, MaxRows: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	built, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	info := BuildInfo{Seed: 11, Fingerprint: Fingerprint(bench.DefaultOptions())}
+
+	coldSave := func(b *testing.B, replicas int) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			st, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := st.SetReplicas(replicas); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			if _, err := st.Save(built, info); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+
+	b.Run("single", func(b *testing.B) {
+		coldSave(b, 1)
+	})
+
+	b.Run("double", func(b *testing.B) {
+		coldSave(b, 2)
+	})
+}
+
+// BenchmarkScrubClean measures the anti-entropy steady state: one full
+// scrub cycle over a healthy 2-replica store. A clean scrub is pure
+// reading and hashing — no repairs, no writes — so it must come in
+// cheaper than a cold rebuild of the same corpus; that is the ceiling
+// scripts/bench.sh enforces on the background scrubber's cost.
+func BenchmarkScrubClean(b *testing.B) {
+	corpus, err := spider.Generate(spider.Config{Seed: 11, NumDatabases: 5, PairsPerDB: 10, MaxRows: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	built, err := bench.Build(corpus, bench.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := st.SetReplicas(2); err != nil {
+		b.Fatal(err)
+	}
+	info := BuildInfo{Seed: 11, Fingerprint: Fingerprint(bench.DefaultOptions())}
+	if _, err := st.Save(built, info); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := st.Scrub(context.Background(), ScrubOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Clean() {
+			b.Fatalf("scrub of a healthy store found work: %+v", rep)
+		}
+	}
 }
 
 // BenchmarkStoreSaveLoad measures the serialization round trip itself.

@@ -29,6 +29,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -108,6 +109,15 @@ func (s *Store) Repair() (*RepairReport, error) {
 	}
 	rep.TempsSwept = swept
 	s.open.TempsSwept += swept
+	// On a replicated store, heal across replicas first: any artifact with
+	// one verified copy left is restored everywhere before the per-shard
+	// salvage runs, so the lossy path below is reached only when every copy
+	// is bad.
+	if s.replicas > 1 {
+		if _, err := s.scrubCopies(context.Background(), &ScrubReport{}); err != nil {
+			return nil, err
+		}
+	}
 	root := s.rootBox()
 	js := root.readJournal()
 	count := s.shardCount
@@ -169,7 +179,7 @@ func (s *Store) Repair() (*RepairReport, error) {
 	case len(parts) > 0:
 		info = parts[0].m.Build
 	}
-	m := mergeManifest(info, count, parts, rejections, quarantine)
+	m := mergeManifest(info, count, s.replicas, parts, rejections, quarantine)
 	mdata, err := canonicalJSON(m)
 	if err != nil {
 		return nil, err
@@ -184,7 +194,7 @@ func (s *Store) Repair() (*RepairReport, error) {
 	if js.State != JournalClean || !bytes.Equal(curM, mdata) || !bytes.Equal(curS, sum) || idxDirty {
 		rep.ManifestRebuilt = rep.ManifestRebuilt || !bytes.Equal(curM, mdata)
 		rep.IndexesRebuilt = idxDirty
-		if err := root.journalBegin(journalRecord{Build: &info, Shards: count}); err != nil {
+		if err := root.journalBegin(journalRecord{Build: &info, Shards: count, Replicas: s.manifestReplicas()}); err != nil {
 			return nil, err
 		}
 		if err := root.writeIntended(manifestName, hashBytes(mdata), mdata); err != nil {
@@ -223,6 +233,11 @@ func (s *Store) Repair() (*RepairReport, error) {
 	}
 	if rep.RolledBack {
 		s.countJournal("rolled_back")
+	}
+	// On a replicated store the heal above operated on the primary; push
+	// the healed state out so every replica is byte-identical again.
+	if err := s.syncSecondaries(names, rep); err != nil {
+		return nil, err
 	}
 	s.open.Shards = nil // healed: the re-read below re-diagnoses from disk
 	s.refreshStatus()
@@ -370,7 +385,7 @@ func (s *Store) repairShard(name string, count int, rep *RepairReport) (*shardPa
 			}
 		}
 		if sjs.State == JournalInProgress || sjs.State == JournalCorrupt {
-			if err := bx.journalBegin(journalRecord{Build: &sm.Build, Shards: count}); err != nil {
+			if err := bx.journalBegin(journalRecord{Build: &sm.Build, Shards: count, Replicas: s.manifestReplicas()}); err != nil {
 				return nil, err
 			}
 			if err := bx.journalAppend(journalRecord{Op: opCommit}); err != nil {
@@ -395,7 +410,7 @@ func (s *Store) repairShard(name string, count int, rep *RepairReport) (*shardPa
 	curM, _ := os.ReadFile(bx.path(manifestName))
 	curS, _ := os.ReadFile(bx.path(manifestSumName))
 	if sjs.State != JournalClean || !bytes.Equal(curM, smdata) || !bytes.Equal(curS, sum) {
-		if err := bx.journalBegin(journalRecord{Build: &sm.Build, Shards: count}); err != nil {
+		if err := bx.journalBegin(journalRecord{Build: &sm.Build, Shards: count, Replicas: s.manifestReplicas()}); err != nil {
 			return nil, err
 		}
 		if err := bx.writeIntended(manifestName, hashBytes(smdata), smdata); err != nil {

@@ -115,11 +115,15 @@ type shardPart struct {
 // this one function, which is the determinism argument in one place — the
 // root manifest bytes cannot depend on worker count or completion order
 // because nothing order-dependent reaches this function.
-func mergeManifest(info BuildInfo, count int, parts []shardPart, rejections map[string]int, quarantine []bench.Quarantined) *Manifest {
+func mergeManifest(info BuildInfo, count, replicas int, parts []shardPart, rejections map[string]int, quarantine []bench.Quarantined) *Manifest {
+	if replicas <= 1 {
+		replicas = 0 // omitted field: single-copy manifests stay byte-identical
+	}
 	m := &Manifest{
 		FormatVersion: FormatVersion,
 		Build:         info,
 		ShardCount:    count,
+		ReplicaCount:  replicas,
 		Entries:       make([]EntryRef, 0),
 		Rejections:    rejections,
 		Quarantine:    quarantine,
@@ -156,20 +160,26 @@ func (s *Store) statsBox() box {
 	return box{root: s.dir, inject: injectStoreSave}
 }
 
-// shardBoxName addresses one shard directory by name.
+// shardBoxName addresses the primary copy of one shard directory by name.
 func (s *Store) shardBoxName(name string) box {
-	return box{root: s.dir, rel: shardsDir + "/" + name, inject: injectShardSave}
+	return s.replicaShardBox(0, name)
 }
 
-// shardBox addresses one shard directory by index.
+// shardBox addresses the primary copy of one shard directory by index.
 func (s *Store) shardBox(i int) box {
 	return s.shardBoxName(shardName(i))
 }
 
-// shardDirsOnDisk lists the shard directories present under shards/, in
-// name order.
+// shardDirsOnDisk lists the shard directories present in the primary
+// shard tree, in name order.
 func (s *Store) shardDirsOnDisk() ([]string, error) {
-	ents, err := os.ReadDir(filepath.Join(s.dir, shardsDir))
+	return s.shardDirsIn(s.replicaShardsRel(0))
+}
+
+// shardDirsIn lists the shard directories under one root-relative shard
+// tree, in name order.
+func (s *Store) shardDirsIn(rel string) ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, filepath.FromSlash(rel)))
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, nil
@@ -204,19 +214,22 @@ func (s *Store) rootShardRefs() map[string]string {
 	return refs
 }
 
-// shardUniverse is every shard that exists on disk or is referenced by the
-// root manifest, in name order — the set Status, Verify and Repair walk.
+// shardUniverse is every shard that exists on disk (in any replica) or is
+// referenced by the root manifest, in name order — the set Status, Verify
+// and Repair walk.
 func (s *Store) shardUniverse(refs map[string]string) ([]string, error) {
 	seen := map[string]bool{}
 	for name := range refs {
 		seen[name] = true
 	}
-	disk, err := s.shardDirsOnDisk()
-	if err != nil {
-		return nil, err
-	}
-	for _, name := range disk {
-		seen[name] = true
+	for r := 0; r < s.replicas; r++ {
+		disk, err := s.shardDirsIn(s.replicaShardsRel(r))
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range disk {
+			seen[name] = true
+		}
 	}
 	return sortedKeys(seen), nil
 }
@@ -308,15 +321,28 @@ func planShards(b *bench.Benchmark, info BuildInfo, count int) ([]shardPlan, []s
 	return plans, parts, nil
 }
 
-// saveShard writes one shard through its own journal: begin (rotating the
-// shard journal), intents+bytes for every database copy and entry record,
-// the shard manifest and its sum, then commit. This is exactly the PR-4
-// save protocol scoped to one directory — which is why a crash anywhere in
-// here dirties exactly this shard.
+// saveShard writes one shard, replica by replica (primary first), each
+// copy through its own journal: begin (rotating that copy's journal),
+// intents+bytes for every database copy and entry record, the shard
+// manifest and its sum, then commit. This is exactly the PR-4 save
+// protocol scoped to one directory — which is why a crash anywhere in here
+// dirties exactly this shard — and every replica runs it over the same
+// precomputed plan, which is why replicas are byte-identical by
+// construction, journals included.
 func (s *Store) saveShard(p shardPlan, info BuildInfo, count int) error {
 	defer s.timeShardOp("save", p.name)()
-	bx := s.shardBoxName(p.name)
-	if err := bx.journalBegin(journalRecord{Build: &info, Shards: count}); err != nil {
+	for r := 0; r < s.replicas; r++ {
+		if err := saveShardCopy(s.replicaShardBox(r, p.name), p, info, count, s.manifestReplicas()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// saveShardCopy runs the journaled shard-save protocol against one
+// replica's box.
+func saveShardCopy(bx box, p shardPlan, info BuildInfo, count, replicas int) error {
+	if err := bx.journalBegin(journalRecord{Build: &info, Shards: count, Replicas: replicas}); err != nil {
 		return err
 	}
 	for _, a := range p.dbs {

@@ -62,6 +62,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"nvbench/internal/bench"
 	"nvbench/internal/dataset"
@@ -87,13 +88,20 @@ const (
 
 // Store is a benchmark store rooted at one directory.
 type Store struct {
-	dir         string
-	shardCount  int  // shards the next Save writes (fixed by an existing layout)
-	countFixed  bool // the layout on disk already chose the count
-	saveWorkers int  // bounded pool for parallel shard saves
-	legacy      bool // flat format-1 layout: read-only until a Save converts it
-	open        OpenReport
-	ins         *obs.Instruments // nil disables instrumentation; see Instrument
+	dir           string
+	shardCount    int  // shards the next Save writes (fixed by an existing layout)
+	countFixed    bool // the layout on disk already chose the count
+	replicas      int  // copies of every shard the next Save writes (1 = single-copy layout)
+	replicasFixed bool // the layout on disk already chose the replica count
+	saveWorkers   int  // bounded pool for parallel shard saves
+	legacy        bool // flat format-1 layout: read-only until a Save converts it
+	open          OpenReport
+	ins           *obs.Instruments // nil disables instrumentation; see Instrument
+
+	mu        sync.Mutex     // guards the replica read-routing bookkeeping below
+	serving   map[string]int // shard name → replica index serving reads
+	failovers []Failover     // every read re-route since Open, in order
+	health    [][]string     // per replica: shards whose copy failed its last self-check
 }
 
 // ShardStatus is one sick shard in an OpenReport: its journal state, the
@@ -176,7 +184,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: open %s: %w", dir, err)
 	}
-	s := &Store{dir: dir, shardCount: DefaultShardCount, saveWorkers: runtime.GOMAXPROCS(0)}
+	s := &Store{dir: dir, shardCount: DefaultShardCount, replicas: 1, saveWorkers: runtime.GOMAXPROCS(0)}
 	s.detectLayout()
 	swept, err := s.sweepAllTemps()
 	if err != nil {
@@ -201,19 +209,34 @@ func (s *Store) detectLayout() {
 			if m.FormatVersion == FormatVersion && validShardCount(m.ShardCount) {
 				s.shardCount = m.ShardCount
 				s.countFixed = true
+				if validReplicaCount(m.ReplicaCount) {
+					s.replicas = m.ReplicaCount
+				}
+				s.replicasFixed = true // zero ReplicaCount pins the single-copy layout
 				return
 			}
 		}
 	}
 	// Torn or absent root manifest: the root journal's begin record carries
-	// the shard count of the save that was in flight.
+	// the shard and replica counts of the save that was in flight.
 	if j := s.rootBox().readJournal(); j.Begin != nil && validShardCount(j.Begin.Shards) {
 		s.shardCount = j.Begin.Shards
 		s.countFixed = true
+		if validReplicaCount(j.Begin.Replicas) {
+			s.replicas = j.Begin.Replicas
+		}
+		s.replicasFixed = true
+		return
+	}
+	// Manifest and journal both gone: replica directories on disk still
+	// witness a replicated layout.
+	if n := s.replicaDirsOnDisk(); n >= 2 {
+		s.replicas = n
+		s.replicasFixed = true
 		return
 	}
 	// A legacy store can lose its manifest too: flat entries/ at the root
-	// with no shards/ directory is the old layout.
+	// with no shards/ (or replicas/) directory is the old layout.
 	if _, err := os.Stat(filepath.Join(s.dir, shardsDir)); os.IsNotExist(err) {
 		if _, err := os.Stat(filepath.Join(s.dir, entriesDir)); err == nil {
 			s.legacy = true
@@ -301,28 +324,44 @@ func (s *Store) refreshStatus() {
 		return // unreadable shards/ dir: the root diagnosis stands alone
 	}
 	for _, name := range names {
-		bx := s.shardBoxName(name)
-		ss := ShardStatus{Shard: name}
-		sj := bx.readJournal()
-		ss.Journal = sj.State
-		ss.PendingIntents, ss.PendingMissing, ss.PendingTorn = classifyIntents(bx, sj)
-		if want, listed := refs[name]; listed {
-			// A shard the root manifest references must carry a matching,
-			// journaled manifest of its own; anything else is damage.
-			switch smdata, err := os.ReadFile(bx.path(manifestName)); {
-			case err != nil:
-				ss.Detail = "shard manifest missing"
-			case hashBytes(smdata) != want:
-				ss.Detail = "shard manifest does not match the root manifest"
+		want, listed := refs[name]
+		// Every replica of the shard must be healthy; the first problem
+		// found (primary first) is the one the report carries.
+		for r := 0; r < s.replicas; r++ {
+			ss := s.shardStatusIn(s.replicaShardBox(r, name), name, want, listed)
+			if ss.Journal == JournalInProgress || ss.Journal == JournalCorrupt || ss.Detail != "" {
+				if s.replicas > 1 && ss.Detail != "" {
+					ss.Detail = fmt.Sprintf("replica %s: %s", replicaName(r), ss.Detail)
+				}
+				s.open.Shards = append(s.open.Shards, ss)
+				break
 			}
-			if ss.Detail == "" && sj.State == JournalNone {
-				ss.Detail = "missing shard journal"
-			}
-		}
-		if ss.Journal == JournalInProgress || ss.Journal == JournalCorrupt || ss.Detail != "" {
-			s.open.Shards = append(s.open.Shards, ss)
 		}
 	}
+}
+
+// shardStatusIn diagnoses one shard copy: its journal state, an
+// interrupted save's intent classification, and — when the root manifest
+// references the shard — its manifest linkage.
+func (s *Store) shardStatusIn(bx box, name, want string, listed bool) ShardStatus {
+	ss := ShardStatus{Shard: name}
+	sj := bx.readJournal()
+	ss.Journal = sj.State
+	ss.PendingIntents, ss.PendingMissing, ss.PendingTorn = classifyIntents(bx, sj)
+	if listed {
+		// A shard the root manifest references must carry a matching,
+		// journaled manifest of its own; anything else is damage.
+		switch smdata, err := os.ReadFile(bx.path(manifestName)); {
+		case err != nil:
+			ss.Detail = "shard manifest missing"
+		case hashBytes(smdata) != want:
+			ss.Detail = "shard manifest does not match the root manifest"
+		}
+		if ss.Detail == "" && sj.State == JournalNone {
+			ss.Detail = "missing shard journal"
+		}
+	}
+	return ss
 }
 
 // noteSick records a shard-level problem discovered after Open (by Verify
@@ -344,21 +383,23 @@ func (s *Store) noteSick(shard, detail string) {
 }
 
 // sweepAllTemps sweeps stray temp files in the root and in every shard
-// directory on disk.
+// directory on disk, across every replica.
 func (s *Store) sweepAllTemps() (int, error) {
 	swept, err := s.rootBox().sweepTemps([]string{"", entriesDir, dbsDir, cacheDir, indexesDir})
 	if err != nil {
 		return swept, err
 	}
-	names, err := s.shardDirsOnDisk()
-	if err != nil {
-		return swept, err
-	}
-	for _, name := range names {
-		n, err := s.shardBoxName(name).sweepTemps([]string{"", entriesDir, dbsDir, cacheDir})
-		swept += n
+	for r := 0; r < s.replicas; r++ {
+		names, err := s.shardDirsIn(s.replicaShardsRel(r))
 		if err != nil {
 			return swept, err
+		}
+		for _, name := range names {
+			n, err := s.replicaShardBox(r, name).sweepTemps([]string{"", entriesDir, dbsDir, cacheDir})
+			swept += n
+			if err != nil {
+				return swept, err
+			}
 		}
 	}
 	return swept, nil
@@ -431,13 +472,13 @@ func (s *Store) Save(b *bench.Benchmark, info BuildInfo) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := mergeManifest(info, count, parts, b.Rejections, b.Quarantine)
+	m := mergeManifest(info, count, s.replicas, parts, b.Rejections, b.Quarantine)
 	mdata, err := canonicalJSON(m)
 	if err != nil {
 		return nil, err
 	}
 	root := s.rootBox()
-	if err := root.journalBegin(journalRecord{Build: &info, Shards: count}); err != nil {
+	if err := root.journalBegin(journalRecord{Build: &info, Shards: count, Replicas: s.manifestReplicas()}); err != nil {
 		s.refreshStatus()
 		return nil, err
 	}
@@ -487,6 +528,7 @@ func (s *Store) Save(b *bench.Benchmark, info BuildInfo) (*Manifest, error) {
 		s.legacy = false
 	}
 	s.countFixed = true
+	s.replicasFixed = true
 	s.refreshStatus()
 	return m, nil
 }
@@ -622,9 +664,8 @@ func (s *Store) loadShardEntries(m *Manifest, partial bool) ([]*bench.Entry, []S
 	entries := make([]*bench.Entry, 0, len(m.Entries))
 	var fails []ShardFailure
 	for _, name := range names {
-		bx := s.shardBoxName(name)
 		done := s.timeShardOp("load", name)
-		es, err := loadOneShard(bx, groups[name], dbs)
+		es, err := s.loadShardFailover(name, groups[name], dbs)
 		done()
 		if err != nil {
 			if !partial {

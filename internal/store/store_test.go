@@ -194,10 +194,14 @@ func flipByte(t *testing.T, path string) {
 
 // anyArtifact returns one artifact path of the given kind (entriesDir,
 // dbsDir or cacheDir), searching the shard directories of a sharded store
-// and the root of a legacy flat one.
+// (primary replica first on a replicated one) and the root of a legacy
+// flat one.
 func anyArtifact(t *testing.T, dir, sub string) string {
 	t.Helper()
 	matches, err := filepath.Glob(filepath.Join(dir, shardsDir, "*", sub, "*.json"))
+	if err != nil || len(matches) == 0 {
+		matches, err = filepath.Glob(filepath.Join(dir, replicasDir, "r0", shardsDir, "*", sub, "*.json"))
+	}
 	if err != nil || len(matches) == 0 {
 		matches, err = filepath.Glob(filepath.Join(dir, sub, "*.json"))
 	}

@@ -23,11 +23,14 @@ go test -run '^$' -bench . -benchtime "$BENCHTIME" .
 echo
 echo "== store benchmarks (-benchtime $BENCHTIME)"
 
-# run_store_bench runs the store suite — the incremental rebuild and the
-# sharded save comparison — and writes BENCH_store.json; returns non-zero
-# when the sharded cold save does not beat the monolithic baseline.
+# run_store_bench runs the store suite — the incremental rebuild, the
+# sharded save comparison, the replicated save tax, and the clean-scrub
+# cost — and writes BENCH_store.json; returns non-zero when the sharded
+# cold save does not beat the monolithic baseline, when the 2-replica
+# save exceeds 2.5x the single-copy save, or when a clean 2-replica
+# scrub costs more than a cold rebuild.
 run_store_bench() {
-    go test -run '^$' -bench 'Benchmark(Store|ShardedRebuild)' -benchtime "$BENCHTIME" ./internal/store | tee "$tmp"
+    go test -run '^$' -bench 'Benchmark(Store|ShardedRebuild|ReplicatedSave|ScrubClean)' -benchtime "$BENCHTIME" ./internal/store | tee "$tmp"
 
     # Parse "BenchmarkName/case-N  iters  ns/op" lines into a flat JSON
     # object mapping benchmark name to nanoseconds per op.
@@ -62,19 +65,37 @@ run_store_bench() {
         echo "bench: sharded rebuild numbers missing from $OUT" >&2
         return 1
     fi
-    awk -v m="$mono" -v s="$shard" 'BEGIN { exit (s < m) ? 0 : 1 }'
+    awk -v m="$mono" -v s="$shard" 'BEGIN { exit (s < m) ? 0 : 1 }' || return 1
+
+    # The replication headline: a 2-replica save writes every shard tree
+    # twice but shares serialization and hashing across copies, so it must
+    # stay under 2.5x the single-copy save.
+    single=$(awk -F': ' '/ReplicatedSave\/single/ {gsub(/[,}]/,"",$2); print $2}' "$OUT")
+    double=$(awk -F': ' '/ReplicatedSave\/double/ {gsub(/[,}]/,"",$2); print $2}' "$OUT")
+    scrub=$(awk -F': ' '/ScrubClean/ {gsub(/[,}]/,"",$2); print $2}' "$OUT")
+    if [ -z "$single" ] || [ -z "$double" ] || [ -z "$scrub" ] || [ -z "$cold" ]; then
+        echo "bench: replication numbers missing from $OUT" >&2
+        return 1
+    fi
+    awk -v s="$single" -v d="$double" 'BEGIN { exit (d < s * 2.5) ? 0 : 1 }' || return 1
+
+    # The anti-entropy ceiling: a clean 2-replica scrub is pure hashing
+    # and must cost less than a cold rebuild of the same corpus.
+    awk -v sc="$scrub" -v c="$cold" 'BEGIN { exit (sc < c) ? 0 : 1 }'
 }
 
 # Save benchmarks are fsync-bound and jittery at small benchtimes; one
 # retry absorbs an unlucky I/O spike before the gate fails.
 if ! run_store_bench; then
-    echo "sharded cold save not faster than monolithic, retrying once"
+    echo "store bench gate failed, retrying once"
     if ! run_store_bench; then
-        echo "bench: sharded cold save slower than monolithic baseline (see $OUT)" >&2
+        echo "bench: store gate failed twice — sharded-vs-monolithic, replica tax, or scrub ceiling (see $OUT)" >&2
         exit 1
     fi
 fi
 echo "sharded cold save faster than monolithic: yes (monolithic ${mono} ns/op, sharded ${shard} ns/op)"
+echo "2-replica save under 2.5x single-copy: yes (single ${single} ns/op, double ${double} ns/op)"
+echo "clean 2-replica scrub cheaper than cold rebuild: yes (scrub ${scrub} ns/op, cold rebuild ${cold} ns/op)"
 
 echo
 OBS_BENCHTIME="${OBS_BENCHTIME:-3x}"

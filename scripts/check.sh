@@ -44,9 +44,14 @@ for target in \
     "FuzzSelfHashed ./internal/store" \
     "FuzzJournalRecover ./internal/store" \
     "FuzzShardRoute ./internal/store" \
+    "FuzzScrubResolve ./internal/store" \
     "FuzzVQLParse ./internal/vql"; do
     set -- $target
     go test -run "^$1\$" -fuzz "^$1\$" -fuzztime 5s "$2"
 done
+
+echo "== replicaguard: replica failover, anti-entropy scrub, and read-failover chaos"
+go test -race -run 'TestReplica|TestScrub|TestRunScrubber|TestChaos(Replica|Scrub)|TestOpenReplicatedFailsOver|TestLoadFailsOver|TestRepairHealsFromSecondary|TestSingleCopyLayoutUnchanged|TestSetReplicas' ./internal/store
+go test -race -run 'TestReplicatedStoreEndToEnd|TestReadyzReportsFailover|TestScrubIntervalHealsWhileServing|TestHealthVerbExitCodeParity|TestReplicaFlagValidation' ./cmd/nvbench
 
 echo "check: OK"
