@@ -25,6 +25,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -100,9 +101,15 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		Metrics: reg,
 		Clock:   obs.RealClock{},
 		Log:     obs.NewLogger(os.Stderr, obs.RealClock{}),
+		Events:  obs.NewEventRecorder(obs.DefaultEventCapacity, obs.RealClock{}),
+		IDs:     obs.NewIDGen(obs.RealClock{}),
 	}
 	obs.RegisterBase(reg)
 	fault.RegisterMetrics(reg)
+	// Fault injection is process-wide, so its event routing is too;
+	// disconnect on exit so in-process test runs do not cross-record.
+	fault.RegisterEvents(ins.Events)
+	defer fault.RegisterEvents(nil)
 	defer sqlparser.Instrument(ins)()
 	if *tracePath != "" {
 		ins.Tracer = obs.NewTracer(ins.Clock)
@@ -137,6 +144,10 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 			return err
 		}
 		st.Instrument(ins)
+		// Slow operations persist next to the store they worked on. The
+		// file is not a store artifact: fsck walks only manifest-addressed
+		// paths, so the slow log never fails verification.
+		ins.Events.SetSlowLog(obs.NewSlowLog(filepath.Join(*storeDir, "slowlog.jsonl"), obs.DefaultSlowLogCap), nil)
 		if *shardN != 0 {
 			if err := st.SetShardCount(*shardN); err != nil {
 				return err
@@ -320,15 +331,35 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		cfg.Obs = ins
 		srv := server.NewWithConfig(b, cfg)
 		srv.SetDegraded(degraded)
+		shardCount, replicaCount := 0, 0
 		if manifest != nil {
+			shardCount, replicaCount = manifest.ShardCount, manifest.ReplicaCount
 			if err := srv.SetEntryETags(manifest.EntryHashes()); err != nil {
+				return err
+			}
+			if err := srv.SetEntryShards(manifest.EntryShards()); err != nil {
 				return err
 			}
 			attachQueryIndexes(w, srv, st)
 		}
+		obs.PublishBuildInfo(reg, shardCount, replicaCount)
+		stopSampler := startSampler(ctx, srv, ins)
+		defer stopSampler()
 		return srv.Run(ctx, *serve)
 	}
 	return nil
+}
+
+// startSampler attaches a metrics-history sampler to a serving server and
+// feeds it wall-clock ticks once per second — the only timer in the
+// sampling path; the sampler itself never reads a clock. The returned stop
+// func releases the ticker.
+func startSampler(ctx context.Context, srv *server.Server, ins *obs.Instruments) (stop func()) {
+	sp := obs.NewSampler(ins.Metrics, ins.Events, obs.DefaultSampleCapacity)
+	srv.SetSampler(sp)
+	t := time.NewTicker(time.Second)
+	go sp.Run(ctx, t.C)
+	return t.Stop
 }
 
 // writeStageTable prints the end-of-run per-stage timing summary from the
@@ -513,7 +544,13 @@ func serveStore(ctx context.Context, st *store.Store, w io.Writer, out string, v
 		if err := srv.SetEntryETags(m.EntryHashes()); err != nil {
 			return err
 		}
+		if err := srv.SetEntryShards(m.EntryShards()); err != nil {
+			return err
+		}
 		attachQueryIndexes(w, srv, st)
+		obs.PublishBuildInfo(ins.Metrics, m.ShardCount, m.ReplicaCount)
+		stopSampler := startSampler(ctx, srv, ins)
+		defer stopSampler()
 		if scrubIvl > 0 {
 			t := time.NewTicker(scrubIvl)
 			defer t.Stop()

@@ -12,7 +12,10 @@
 //   - inside the obs packages, every package-level _seconds constant must
 //     be referenced by RegisterBase, so the full histogram schema is
 //     visible on a /metrics scrape before the first request or build
-//     touches a series.
+//     touches a series;
+//   - wide-event field keys — the literal kv keys of Emit calls, which
+//     become JSON field names in /debug/events and slowlog.jsonl — must be
+//     canonical identifiers too.
 package obslabel
 
 import (
@@ -36,12 +39,15 @@ var nameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 // Analyzer is the metric/label naming check.
 var Analyzer = &analysis.Analyzer{
 	Name:    "obslabel",
-	Version: "1",
-	Doc: "metric names and label keys must be canonical lowercase_underscore\n\n" +
+	Version: "3",
+	Doc: "metric names, label keys and wide-event field keys must be\n" +
+		"canonical lowercase_underscore\n\n" +
 		"Counters end _total, histograms end _seconds, gauges end in\n" +
 		"neither, label keys match [a-z][a-z0-9_]*, and every _seconds\n" +
 		"constant in internal/obs is pre-registered by RegisterBase so the\n" +
-		"schema is scrapeable before traffic. Literal violations carry a\n" +
+		"schema is scrapeable before traffic. Wide-event Emit calls must use\n" +
+		"canonical literal field keys (they become JSON field names in\n" +
+		"/debug/events and the slow log). Literal violations carry a\n" +
 		"suggested fix for nvlint -fix.",
 	Run: run,
 }
@@ -55,6 +61,7 @@ var metricKinds = map[string]string{
 	"Histogram":     "histogram",
 	"TimeHistogram": "histogram",
 	"Observe":       "histogram",
+	"ObserveEx":     "histogram",
 	"Gauge":         "gauge",
 }
 
@@ -80,6 +87,10 @@ func run(pass *analysis.Pass) []analysis.Diagnostic {
 			checkLabelCall(pass, call)
 			return
 		}
+		if fn.Name() == "Emit" {
+			checkEmitCall(pass, call)
+			return
+		}
 		if kind, ok := metricKinds[fn.Name()]; ok && len(call.Args) >= 1 {
 			checkMetricName(pass, call.Args[0], kind)
 		}
@@ -97,6 +108,20 @@ func checkLabelCall(pass *analysis.Pass, call *ast.CallExpr) {
 	checkName(pass, call.Args[0], "metric name")
 	for i := 1; i < len(call.Args); i += 2 {
 		checkName(pass, call.Args[i], "label key")
+	}
+}
+
+// checkEmitCall validates the kv extras of a wide-event Emit call — the
+// signature is Emit(op, layer, site, outcome, duration, kv...), so the
+// literal field keys sit at argument indices 5, 7, 9…. They become JSON
+// field names in /debug/events and slowlog.jsonl, so they obey the same
+// canonical shape as label keys. A spread (kv...) is opaque and skipped.
+func checkEmitCall(pass *analysis.Pass, call *ast.CallExpr) {
+	if call.Ellipsis.IsValid() {
+		return
+	}
+	for i := 5; i < len(call.Args); i += 2 {
+		checkName(pass, call.Args[i], "event field key")
 	}
 }
 

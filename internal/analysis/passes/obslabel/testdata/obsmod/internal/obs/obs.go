@@ -27,8 +27,19 @@ func (r *Registry) Gauge(name string) int { _ = name; return 0 }
 // Histogram returns a histogram handle.
 func (r *Registry) Histogram(name string) int { _ = name; return 0 }
 
+// ObserveEx records one value with an exemplar op ID.
+func (r *Registry) ObserveEx(name string, v float64, op string) { _, _, _ = name, v, op }
+
 // RegisterBase pre-creates the canonical series at zero.
 func RegisterBase(r *Registry) {
 	r.Histogram(GoodSeconds)
 	r.Counter(DoneTotal)
+}
+
+// EventRecorder records wide events.
+type EventRecorder struct{}
+
+// Emit records one wide event; kv holds alternating field keys and values.
+func (r *EventRecorder) Emit(op, layer, site, outcome string, d int64, kv ...string) {
+	_, _, _, _, _, _ = op, layer, site, outcome, d, kv
 }

@@ -14,4 +14,15 @@ func wire() {
 	reg.Gauge("nvbench_depth_total")       // want `gauge "nvbench_depth_total" must not use the _total/_seconds suffixes`
 	reg.Counter("nvbench_done_total")
 	reg.Gauge("nvbench_in_flight")
+	reg.ObserveEx("nvbench_q_latency", 1, "op") // want `histogram "nvbench_q_latency" must end in _seconds`
+}
+
+var rec obs.EventRecorder
+
+func emit() {
+	rec.Emit("op1", "http", "/", "ok", 5, "bytes", "10")
+	rec.Emit("op1", "http", "/", "ok", 5, "Byte-Count", "10") // want `event field key "Byte-Count" is not canonical lowercase_underscore; use "byte_count"`
+	rec.Emit("op1", "http", "/", "ok", 5, "cache.hit", "yes") // want `event field key "cache.hit" is not canonical lowercase_underscore; use "cache_hit"`
+	kv := []string{"Spread-Keys", "are", "opaque", "here"}
+	rec.Emit("op1", "http", "/", "ok", 5, kv...)
 }

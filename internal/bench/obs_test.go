@@ -32,16 +32,29 @@ func TestInstrumentedBuildIsByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	rec := obs.NewEventRecorder(obs.DefaultEventCapacity, obs.NewManualClock(time.Unix(0, 0)))
 	ins := &obs.Instruments{
 		Metrics: obs.NewRegistry(),
 		Tracer:  obs.NewTracer(obs.NewTickingClock(time.Unix(0, 0), time.Millisecond)),
 		Clock:   obs.RealClock{},
+		Events:  rec,
+		IDs:     obs.NewIDGen(obs.NewManualClock(time.Unix(0, 0))),
 	}
 	opts := DefaultOptions()
 	opts.Obs = ins
 	traced, err := Build(buildCorpus(t), opts)
 	if err != nil {
 		t.Fatal(err)
+	}
+	// The build actually recorded wide events — each traced pair emits one
+	// per pipeline stage, all joined to that pair's op.
+	if rec.Total() == 0 {
+		t.Fatal("instrumented build emitted no wide events")
+	}
+	for _, e := range rec.Events(obs.EventFilter{Layer: obs.LayerBench}) {
+		if e.Op == "" {
+			t.Fatalf("bench event without an op: %+v", e)
+		}
 	}
 
 	bareJSON, err := json.Marshal(bare.Entries)
@@ -143,6 +156,29 @@ func BenchmarkBuildInstrumentation(b *testing.B) {
 				Metrics: obs.NewRegistry(),
 				Tracer:  obs.NewTracer(obs.RealClock{}),
 				Clock:   obs.RealClock{},
+			}
+			if _, err := Build(corpus, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Metrics + traces + wide events + op IDs: the configuration the
+	// served binary runs with, gated by scripts/bench.sh at <5% overhead.
+	// The recorder and ID generator live outside the loop — in the binary
+	// they are created once at startup and outlive every build — while the
+	// registry and tracer stay per-iteration like the sibling cases (the
+	// tracer accumulates spans without bound).
+	rec := obs.NewEventRecorder(obs.DefaultEventCapacity, obs.RealClock{})
+	ids := obs.NewIDGen(obs.RealClock{})
+	b.Run("instrumented_events", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			opts := DefaultOptions()
+			opts.Obs = &obs.Instruments{
+				Metrics: obs.NewRegistry(),
+				Tracer:  obs.NewTracer(obs.RealClock{}),
+				Clock:   obs.RealClock{},
+				Events:  rec,
+				IDs:     ids,
 			}
 			if _, err := Build(corpus, opts); err != nil {
 				b.Fatal(err)

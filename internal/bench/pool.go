@@ -64,6 +64,10 @@ type pairResult struct {
 // configured it is consulted first; a hit skips synthesis entirely and a
 // successful fresh outcome is written back.
 func processPair(ctx context.Context, opts Options, p *spider.Pair) pairResult {
+	// Each pair is one traced operation: every stage event and histogram
+	// exemplar it produces carries this op ID (build-level callers that
+	// already put one in ctx keep theirs).
+	ctx, _ = opts.Obs.NewOp(ctx)
 	ctx, pairSpan := opts.Obs.StartSpan(ctx, "pair", "pair_id", p.ID)
 	defer pairSpan.End()
 	var res pairResult

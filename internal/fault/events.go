@@ -1,0 +1,31 @@
+// Wide-event bridge: when a recorder is registered, every injection that
+// actually fires emits one fault-layer wide event naming the site and the
+// kind that fired. Clean pass-throughs emit nothing — fault events record
+// interference, not traffic (the calls counter already counts traffic).
+
+package fault
+
+import (
+	"sync/atomic"
+	"time"
+
+	"nvbench/internal/obs"
+)
+
+// eventRec is the process-wide recorder, matching the process-wide plan:
+// injection is global, so its event stream is too.
+var eventRec atomic.Pointer[obs.EventRecorder]
+
+// RegisterEvents routes fired-injection wide events into rec; nil
+// disconnects. Like Activate, this is process-wide.
+func RegisterEvents(rec *obs.EventRecorder) {
+	eventRec.Store(rec)
+}
+
+// emitEvent records one fired injection. The op ID is empty — Inject has
+// no context to carry one — and the duration is the injected delay, the
+// only time a fault itself consumes. Emitted before crash/panic rules take
+// control away, so the event survives the interference it describes.
+func emitEvent(site, kind string, delay time.Duration) {
+	eventRec.Load().Emit("", obs.LayerFault, site, "fault", delay, "kind", kind)
+}

@@ -397,6 +397,20 @@ func (p *Plan) inject(site string) error {
 	if delay > 0 {
 		time.Sleep(delay)
 	}
+	// One wide event per interfered call, for the most severe rule that
+	// fired — recorded before crash/panic take control away.
+	switch {
+	case doCrash:
+		emitEvent(site, "crash", delay)
+	case doPanic:
+		emitEvent(site, "panic", delay)
+	case tornAt >= 0:
+		emitEvent(site, "torn", delay)
+	case doError:
+		emitEvent(site, "error", delay)
+	case delay > 0:
+		emitEvent(site, "latency", delay)
+	}
 	if doCrash {
 		crash(site, n)
 	}

@@ -1,0 +1,278 @@
+// Wide events: one structured record per operation per layer — the op ID,
+// where it ran, how it ended, how long it took, plus free-form key=value
+// fields (shard, replica, cache hit, bytes…). Events land in a
+// fixed-capacity ring so the recorder is safe to leave on in production;
+// events over a per-layer latency threshold are additionally promoted into
+// the persisted slow-op log. Events flow only into the ring and the slow
+// log, never into synthesized artifacts, so recording has zero effect on
+// build output.
+
+package obs
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Layer names used as the layer field of wide events.
+const (
+	LayerHTTP  = "http"
+	LayerBench = "bench"
+	LayerStore = "store"
+	LayerVQL   = "vql"
+	LayerFault = "fault"
+)
+
+// Event is one wide event. Fields holds alternating key/value extras, in
+// emission order.
+type Event struct {
+	Seq      uint64
+	Op       string
+	Layer    string
+	Site     string
+	Outcome  string
+	Time     time.Time
+	Duration time.Duration
+	Fields   []string
+}
+
+// Field returns the value of one extra field ("" when absent).
+func (e *Event) Field(key string) string {
+	for i := 0; i+1 < len(e.Fields); i += 2 {
+		if e.Fields[i] == key {
+			return e.Fields[i+1]
+		}
+	}
+	return ""
+}
+
+// FieldMap returns the extra fields as a map (later duplicates win).
+func (e *Event) FieldMap() map[string]string {
+	if len(e.Fields) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(e.Fields)/2)
+	for i := 0; i+1 < len(e.Fields); i += 2 {
+		m[e.Fields[i]] = e.Fields[i+1]
+	}
+	return m
+}
+
+// eventJSON is the wire shape of an event — /debug/events and
+// slowlog.jsonl both use it. encoding/json sorts map keys, so the output
+// is deterministic for a deterministic event.
+type eventJSON struct {
+	Seq        uint64            `json:"seq"`
+	Op         string            `json:"op"`
+	Layer      string            `json:"layer"`
+	Site       string            `json:"site"`
+	Outcome    string            `json:"outcome"`
+	Time       string            `json:"ts"`
+	DurationMS float64           `json:"duration_ms"`
+	Fields     map[string]string `json:"fields,omitempty"`
+}
+
+// MarshalJSON renders the event with an RFC3339Nano UTC timestamp, the
+// duration in milliseconds, and the extras as an object.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return json.Marshal(eventJSON{
+		Seq:        e.Seq,
+		Op:         e.Op,
+		Layer:      e.Layer,
+		Site:       e.Site,
+		Outcome:    e.Outcome,
+		Time:       e.Time.UTC().Format(time.RFC3339Nano),
+		DurationMS: float64(e.Duration) / float64(time.Millisecond),
+		Fields:     e.FieldMap(),
+	})
+}
+
+// UnmarshalJSON inverts MarshalJSON (field order within Fields follows the
+// sorted JSON keys).
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var ej eventJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return err
+	}
+	t, err := time.Parse(time.RFC3339Nano, ej.Time)
+	if err != nil {
+		return err
+	}
+	*e = Event{
+		Seq:      ej.Seq,
+		Op:       ej.Op,
+		Layer:    ej.Layer,
+		Site:     ej.Site,
+		Outcome:  ej.Outcome,
+		Time:     t,
+		Duration: time.Duration(ej.DurationMS * float64(time.Millisecond)),
+	}
+	keys := make([]string, 0, len(ej.Fields))
+	for k := range ej.Fields {
+		keys = append(keys, k)
+	}
+	// Deterministic order for a round-tripped event.
+	sort.Strings(keys)
+	for _, k := range keys {
+		e.Fields = append(e.Fields, k, ej.Fields[k])
+	}
+	return nil
+}
+
+// DefaultSlowThresholds maps each layer to the duration past which its
+// events are promoted into the slow-op log.
+var DefaultSlowThresholds = map[string]time.Duration{
+	LayerHTTP:  250 * time.Millisecond,
+	LayerBench: 1 * time.Second,
+	LayerStore: 1 * time.Second,
+	LayerVQL:   100 * time.Millisecond,
+	LayerFault: 250 * time.Millisecond,
+}
+
+// EventRecorder is a fixed-capacity, concurrency-safe ring of wide events.
+// When the ring is full the oldest event is overwritten; Total reports how
+// many were ever emitted. The nil recorder discards everything, so layers
+// emit unconditionally.
+type EventRecorder struct {
+	clock Clock
+	mu    sync.Mutex
+	buf   []Event
+	seq   uint64
+	slow  *SlowLog
+	thr   map[string]time.Duration
+}
+
+// DefaultEventCapacity is the ring size used when NewEventRecorder is
+// given a non-positive capacity.
+const DefaultEventCapacity = 1024
+
+// NewEventRecorder returns a recorder holding the last capacity events,
+// timestamping via clock (RealClock when nil).
+func NewEventRecorder(capacity int, clock Clock) *EventRecorder {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &EventRecorder{clock: clock, buf: make([]Event, capacity)}
+}
+
+// SetSlowLog attaches a slow-op log: events whose duration meets their
+// layer's threshold (DefaultSlowThresholds when thresholds is nil) are
+// recorded there too. Call before the recorder starts receiving events.
+func (r *EventRecorder) SetSlowLog(sl *SlowLog, thresholds map[string]time.Duration) {
+	if r == nil {
+		return
+	}
+	if thresholds == nil {
+		thresholds = DefaultSlowThresholds
+	}
+	r.mu.Lock()
+	r.slow, r.thr = sl, thresholds
+	r.mu.Unlock()
+}
+
+// Emit records one wide event. kv holds alternating extra field keys and
+// values; keys must be canonical lowercase_underscore identifiers (the
+// obslabel analyzer enforces it at literal call sites). Safe on a nil
+// recorder.
+func (r *EventRecorder) Emit(op, layer, site, outcome string, d time.Duration, kv ...string) {
+	if r == nil {
+		return
+	}
+	ev := Event{
+		Op:       op,
+		Layer:    layer,
+		Site:     site,
+		Outcome:  outcome,
+		Time:     r.clock.Now(),
+		Duration: d,
+	}
+	if len(kv) > 0 {
+		ev.Fields = append([]string(nil), kv...)
+	}
+	r.mu.Lock()
+	r.seq++
+	ev.Seq = r.seq
+	r.buf[(r.seq-1)%uint64(len(r.buf))] = ev
+	slow, thr := r.slow, r.thr[layer]
+	r.mu.Unlock()
+	// Promotion happens outside the ring lock: the slow log serializes and
+	// persists, and emitters must never wait on its I/O.
+	if slow != nil && thr > 0 && d >= thr {
+		slow.Record(ev)
+	}
+}
+
+// Total returns how many events were ever emitted (including those the
+// ring has since overwritten).
+func (r *EventRecorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// EventFilter selects events; zero fields match everything.
+type EventFilter struct {
+	Op      string        // exact op ID
+	Layer   string        // exact layer
+	Site    string        // exact site (the route, for HTTP events)
+	Outcome string        // exact outcome
+	MinDur  time.Duration // minimum duration
+}
+
+func (f EventFilter) match(e *Event) bool {
+	if f.Op != "" && e.Op != f.Op {
+		return false
+	}
+	if f.Layer != "" && e.Layer != f.Layer {
+		return false
+	}
+	if f.Site != "" && e.Site != f.Site {
+		return false
+	}
+	if f.Outcome != "" && e.Outcome != f.Outcome {
+		return false
+	}
+	return e.Duration >= f.MinDur
+}
+
+// Events returns the retained events matching f, oldest first. The nil
+// recorder returns nil.
+func (r *EventRecorder) Events(f EventFilter) []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.seq
+	capacity := uint64(len(r.buf))
+	start := uint64(0)
+	if n > capacity {
+		start = n - capacity
+	}
+	out := make([]Event, 0, n-start)
+	for i := start; i < n; i++ {
+		e := &r.buf[i%capacity]
+		if f.match(e) {
+			out = append(out, *e)
+		}
+	}
+	return out
+}
+
+// SlowLogged returns the attached slow-op log (nil when none).
+func (r *EventRecorder) SlowLogged() *SlowLog {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slow
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEventRecorder measures the per-operation cost of the wide-event
+// ring: a single emit on the hot path, contended emits, and a filtered
+// read over a full ring. scripts/bench.sh tracks the emit cost.
+func BenchmarkEventRecorder(b *testing.B) {
+	b.Run("emit", func(b *testing.B) {
+		r := NewEventRecorder(DefaultEventCapacity, RealClock{})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r.Emit("0000000000001234-0001", LayerHTTP, "/", "ok", time.Millisecond,
+				"method", "GET", "status", "200", "bytes", "512")
+		}
+	})
+	b.Run("emit_parallel", func(b *testing.B) {
+		r := NewEventRecorder(DefaultEventCapacity, RealClock{})
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				r.Emit("0000000000001234-0001", LayerHTTP, "/", "ok", time.Millisecond,
+					"method", "GET", "status", "200", "bytes", "512")
+			}
+		})
+	})
+	b.Run("filter_full_ring", func(b *testing.B) {
+		r := NewEventRecorder(DefaultEventCapacity, RealClock{})
+		for i := 0; i < DefaultEventCapacity; i++ {
+			r.Emit("op", LayerStore, "save", "ok", time.Millisecond)
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if got := r.Events(EventFilter{Layer: LayerStore}); len(got) != DefaultEventCapacity {
+				b.Fatalf("filtered %d events", len(got))
+			}
+		}
+	})
+}

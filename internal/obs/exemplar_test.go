@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestObserveExSetsBucketExemplar(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("nvbench_ex_seconds")
+	h.ObserveEx(0.003, "op-a")
+	h.ObserveEx(0.004, "op-b") // same bucket: most recent wins
+	h.Observe(0.5)             // plain Observe leaves no exemplar
+
+	snap := reg.Snapshot().Histograms["nvbench_ex_seconds"]
+	if snap.Exemplars == nil {
+		t.Fatal("snapshot has no exemplars after ObserveEx")
+	}
+	var got []Exemplar
+	for _, ex := range snap.Exemplars {
+		if ex.Op != "" {
+			got = append(got, ex)
+		}
+	}
+	if len(got) != 1 || got[0].Op != "op-b" || got[0].Value != 0.004 {
+		t.Fatalf("exemplars = %+v, want one op-b@0.004", got)
+	}
+}
+
+func TestExemplarExposition(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("nvbench_ex_seconds").ObserveEx(0.003, "req-123")
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# {op="req-123"} 0.003`) {
+		t.Fatalf("exposition missing exemplar suffix:\n%s", out)
+	}
+	// Only the containing bucket carries it.
+	if n := strings.Count(out, `{op="req-123"}`); n != 1 {
+		t.Fatalf("exemplar rendered %d times, want 1:\n%s", n, out)
+	}
+}
+
+func TestExpositionUnchangedWithoutExemplars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("nvbench_ex_seconds").Observe(0.003)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "#  {") || strings.Contains(sb.String(), `{op=`) {
+		t.Fatalf("plain Observe leaked an exemplar:\n%s", sb.String())
+	}
+	snap := reg.Snapshot().Histograms["nvbench_ex_seconds"]
+	if snap.Exemplars != nil {
+		t.Fatalf("snapshot allocated exemplars without ObserveEx: %+v", snap.Exemplars)
+	}
+}

@@ -86,7 +86,7 @@ var StoreOps = []string{"save", "load", "repair", "scrub"}
 // HTTPRoutes lists the bounded route= label set the server middleware emits
 // for HTTPSeconds and HTTPRequests (see server.routeLabel); the server's
 // route-drift test pins the two together.
-var HTTPRoutes = []string{"/", "/api/entries", "/api/entry/:id", "/api/entry/:id/vega", "/api/query", "/entry/:id", "other"}
+var HTTPRoutes = []string{"/", "/api/entries", "/api/entry/:id", "/api/entry/:id/vega", "/api/query", "/debug/dash", "/debug/events", "/entry/:id", "other"}
 
 // stageSeries precomputes the labeled StageHistogram series name for each
 // pipeline stage, keeping the per-pair hot path free of label assembly.
@@ -134,6 +134,11 @@ func RegisterBase(r *Registry) {
 	r.Gauge(HTTPInFlight)
 	r.Gauge(ServerDegraded)
 	r.Gauge(L(StoreReplicaHealthy, "replica", "r0"))
+	// Go runtime metrics refresh on every scrape via a gather hook; the
+	// GC pause histogram is seeded here so the schema is scrapeable before
+	// the first collection.
+	r.Histogram(GoGCPauseSeconds)
+	r.AddGatherHook(runtimeHook())
 }
 
 // Instruments bundles the observability handles a layer needs: a metrics
@@ -146,6 +151,12 @@ type Instruments struct {
 	Tracer  *Tracer
 	Clock   Clock
 	Log     *Logger
+	// Events receives one wide event per operation per layer (nil disables
+	// recording; emission stays wired).
+	Events *EventRecorder
+	// IDs mints operation IDs for layers that originate operations (nil
+	// falls back to the package default generator on the real clock).
+	IDs *IDGen
 }
 
 // clock returns the configured clock, falling back to RealClock.
@@ -170,7 +181,8 @@ func (in *Instruments) StartSpan(ctx context.Context, name string, kv ...any) (c
 
 // Stage instruments one pipeline stage: it opens a span named after the
 // stage and, when the returned func runs, records the elapsed time into
-// StageHistogram{stage=name}. Usage:
+// StageHistogram{stage=name} (with the context's op ID as the bucket
+// exemplar) and emits one wide event for the stage. Usage:
 //
 //	ctx, done := in.Stage(ctx, obs.StageTreeEdit)
 //	defer done()
@@ -179,10 +191,16 @@ func (in *Instruments) Stage(ctx context.Context, stage string) (context.Context
 		return ctx, func() {}
 	}
 	ctx, span := in.StartSpan(ctx, stage)
-	stop := in.TimeHistogram(StageSeries(stage))
+	op := OpID(ctx)
+	c := in.clock()
+	start := c.Now()
 	return ctx, func() {
 		span.End()
-		stop()
+		elapsed := c.Now().Sub(start)
+		if in.Metrics != nil {
+			in.Metrics.Histogram(StageSeries(stage)).ObserveEx(elapsed.Seconds(), op)
+		}
+		in.Events.Emit(op, LayerBench, stage, "ok", elapsed)
 	}
 }
 
@@ -206,6 +224,46 @@ func (in *Instruments) Observe(name string, v float64) {
 		return
 	}
 	in.Metrics.Histogram(name).Observe(v)
+}
+
+// ObserveEx records one value into the named histogram with an operation
+// ID as the containing bucket's exemplar.
+func (in *Instruments) ObserveEx(name string, v float64, op string) {
+	if in == nil || in.Metrics == nil {
+		return
+	}
+	in.Metrics.Histogram(name).ObserveEx(v, op)
+}
+
+// Emit records one wide event when a recorder is configured. kv holds
+// alternating extra field keys and values; keys must be canonical
+// lowercase_underscore identifiers.
+func (in *Instruments) Emit(op, layer, site, outcome string, d time.Duration, kv ...string) {
+	if in == nil {
+		return
+	}
+	in.Events.Emit(op, layer, site, outcome, d, kv...)
+}
+
+// NewOp returns ctx carrying an operation ID, minting one from the
+// configured generator (package default when unset) unless the context
+// already carries one.
+func (in *Instruments) NewOp(ctx context.Context) (context.Context, string) {
+	if id := OpID(ctx); id != "" {
+		return ctx, id
+	}
+	id := in.MintOp()
+	return WithOpID(ctx, id), id
+}
+
+// MintOp mints a fresh operation ID for layers that originate operations
+// outside any request context (store maintenance, scrub cycles).
+func (in *Instruments) MintOp() string {
+	g := defaultIDGen
+	if in != nil && in.IDs != nil {
+		g = in.IDs
+	}
+	return g.Next()
 }
 
 // Inc adds one to the named counter.

@@ -3,13 +3,16 @@ package obs
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 )
 
 // Logger writes structured key=value lines: `ts=<RFC3339Nano> msg=<msg>
-// k=v ...`. Values containing spaces, quotes, or '=' are quoted. A nil
+// k=v ...`. Keys and values that would break one-line key=value
+// tokenization — spaces, quotes, '=', newlines, carriage returns — are
+// quoted with Go escaping, so ParseLogLine inverts Log exactly. A nil
 // Logger discards everything, so instrumented code logs unconditionally.
 type Logger struct {
 	mu    sync.Mutex
@@ -36,16 +39,16 @@ func (l *Logger) Log(msg string, kv ...any) {
 	b.WriteString("ts=")
 	b.WriteString(l.clock.Now().UTC().Format(time.RFC3339Nano))
 	b.WriteString(" msg=")
-	b.WriteString(quoteValue(msg))
+	b.WriteString(quoteToken(msg))
 	for i := 0; i+1 < len(kv); i += 2 {
 		k, ok := kv[i].(string)
 		if !ok {
 			k = fmt.Sprintf("%v", kv[i])
 		}
 		b.WriteString(" ")
-		b.WriteString(k)
+		b.WriteString(quoteToken(k))
 		b.WriteString("=")
-		b.WriteString(quoteValue(fmt.Sprintf("%v", kv[i+1])))
+		b.WriteString(quoteToken(fmt.Sprintf("%v", kv[i+1])))
 	}
 	b.WriteString("\n")
 	l.mu.Lock()
@@ -53,10 +56,69 @@ func (l *Logger) Log(msg string, kv ...any) {
 	fmt.Fprint(l.w, b.String())
 }
 
-// quoteValue quotes a value when it would break key=value tokenization.
-func quoteValue(v string) string {
-	if v == "" || strings.ContainsAny(v, " \t\n\"=") {
-		return fmt.Sprintf("%q", v)
+// quoteToken quotes a key or value when it would break key=value
+// tokenization: empty, whitespace (including the newlines and carriage
+// returns that would forge extra log lines), quotes, '=', or other control
+// characters.
+func quoteToken(v string) string {
+	if v == "" || strings.ContainsAny(v, " \t\n\r\"=") {
+		return strconv.Quote(v)
+	}
+	for _, r := range v {
+		if r < 0x20 || r == 0x7f {
+			return strconv.Quote(v)
+		}
 	}
 	return v
+}
+
+// ParseLogLine inverts Log for one line: it returns the key/value pairs —
+// ts and msg included — in their order on the line. It fails on lines Log
+// could not have produced (dangling keys, unterminated quotes), so tests
+// can assert the escape rules round-trip hostile keys and values.
+func ParseLogLine(line string) ([][2]string, error) {
+	line = strings.TrimSuffix(line, "\n")
+	var out [][2]string
+	rest := line
+	for rest != "" {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			break
+		}
+		key, r, err := parseToken(rest, '=')
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse log key: %w (at %q)", err, rest)
+		}
+		if !strings.HasPrefix(r, "=") {
+			return nil, fmt.Errorf("obs: key %q has no value (at %q)", key, rest)
+		}
+		val, r, err := parseToken(r[1:], ' ')
+		if err != nil {
+			return nil, fmt.Errorf("obs: parse log value for %q: %w", key, err)
+		}
+		out = append(out, [2]string{key, val})
+		rest = r
+	}
+	return out, nil
+}
+
+// parseToken reads one (possibly quoted) token, stopping at the
+// unquoted stop byte, and returns the decoded token and the remainder
+// (starting at the stop byte, when present).
+func parseToken(s string, stop byte) (string, string, error) {
+	if strings.HasPrefix(s, `"`) {
+		tok, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return "", "", err
+		}
+		dec, err := strconv.Unquote(tok)
+		if err != nil {
+			return "", "", err
+		}
+		return dec, s[len(tok):], nil
+	}
+	if i := strings.IndexByte(s, stop); i >= 0 {
+		return s[:i], s[i:], nil
+	}
+	return s, "", nil
 }

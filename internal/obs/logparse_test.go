@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLogRoundTripHostileValues pins the escaping fix: newlines, quotes,
+// '=' and control bytes in keys or values must survive a Log → ParseLogLine
+// round trip instead of garbling the line into bogus pairs.
+func TestLogRoundTripHostileValues(t *testing.T) {
+	cases := [][]any{
+		{"k", "plain"},
+		{"k", "two words"},
+		{"k", "a=b"},
+		{"k", `say "hi"`},
+		{"k", "line1\nline2"},
+		{"k", "tab\there"},
+		{"k", "cr\rlf"},
+		{"k", "ctrl\x01byte"},
+		{"k", ""},
+		{"weird key", "v"},
+		{"key=with=eq", "v"},
+		{"key\nnewline", "v"},
+		{"n", 42},
+		{"d", 1500 * time.Millisecond},
+	}
+	for _, kv := range cases {
+		var sb strings.Builder
+		l := NewLogger(&sb, NewManualClock(time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)))
+		l.Log("msg text", kv...)
+		line := strings.TrimSuffix(sb.String(), "\n")
+		if strings.Count(sb.String(), "\n") != 1 {
+			t.Fatalf("kv %v produced %d lines: %q", kv, strings.Count(sb.String(), "\n"), sb.String())
+		}
+		pairs, err := ParseLogLine(line)
+		if err != nil {
+			t.Fatalf("kv %v: parse %q: %v", kv, line, err)
+		}
+		want := [][2]string{
+			{"ts", "2026-01-02T03:04:05Z"},
+			{"msg", "msg text"},
+			{fmt.Sprintf("%v", kv[0]), fmt.Sprintf("%v", kv[1])},
+		}
+		if !reflect.DeepEqual(pairs, want) {
+			t.Fatalf("kv %v: round trip\n got %q\nwant %q\nline %q", kv, pairs, want, line)
+		}
+	}
+}
+
+func TestParseLogLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		`k="unterminated`,
+		`k="bad\q escape"`,
+		`dangling_key_without_value`,
+	} {
+		if _, err := ParseLogLine(line); err == nil {
+			t.Errorf("ParseLogLine(%q) succeeded, want error", line)
+		}
+	}
+}
+
+func TestParseLogLineGolden(t *testing.T) {
+	pairs, err := ParseLogLine(`ts=2026-01-02T03:04:05Z msg=request route=/api/entries status=503 outcome=shed`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][2]string{
+		{"ts", "2026-01-02T03:04:05Z"}, {"msg", "request"},
+		{"route", "/api/entries"}, {"status", "503"}, {"outcome", "shed"},
+	}
+	if !reflect.DeepEqual(pairs, want) {
+		t.Fatalf("pairs = %q, want %q", pairs, want)
+	}
+}

@@ -1,0 +1,100 @@
+// Operation identity: every externally triggered unit of work (an HTTP
+// request, a build pair, a store save) gets one op ID that rides its
+// context through the stack, so the wide event each layer emits can be
+// joined back to the request that caused it. IDs come from an IDGen — a
+// Clock plus an atomic counter — so tests drive a ManualClock and get
+// fully deterministic IDs.
+
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+)
+
+// IDGen mints operation IDs from an injected clock and a process-local
+// counter. The nil IDGen falls back to the package default (real clock).
+type IDGen struct {
+	clock Clock
+	ctr   atomic.Uint64
+}
+
+// NewIDGen returns a generator reading the given clock (RealClock when
+// nil).
+func NewIDGen(clock Clock) *IDGen {
+	if clock == nil {
+		clock = RealClock{}
+	}
+	return &IDGen{clock: clock}
+}
+
+// defaultIDGen backs the package-level NewOp for callers with no
+// instruments wired.
+var defaultIDGen = NewIDGen(RealClock{})
+
+// Next mints one ID: the clock reading in hex nanoseconds plus the
+// counter, e.g. "17e8f2a4c91d3000-0001". Under a ManualClock the time part
+// is fixed and the counter makes successive IDs deterministic.
+func (g *IDGen) Next() string {
+	if g == nil {
+		g = defaultIDGen
+	}
+	n := g.ctr.Add(1)
+	return fmt.Sprintf("%016x-%04x", uint64(g.clock.Now().UnixNano()), n)
+}
+
+// opKey carries the operation ID in a context.
+type opKey struct{}
+
+// WithOpID returns ctx carrying the given operation ID (ctx unchanged when
+// id is empty).
+func WithOpID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, opKey{}, id)
+}
+
+// OpID returns the operation ID carried by ctx ("" when none).
+func OpID(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(opKey{}).(string)
+	return id
+}
+
+// NewOp returns ctx carrying an operation ID, minting one from the package
+// default generator when the context does not already carry one.
+func NewOp(ctx context.Context) (context.Context, string) {
+	if id := OpID(ctx); id != "" {
+		return ctx, id
+	}
+	id := defaultIDGen.Next()
+	return WithOpID(ctx, id), id
+}
+
+// maxOpIDLen bounds an accepted inbound ID; anything longer is replaced,
+// not truncated, so an attacker cannot choose a served ID prefix.
+const maxOpIDLen = 64
+
+// SanitizeOpID validates a caller-supplied operation ID (e.g. an inbound
+// X-Request-ID header): ASCII letters, digits, '_', '-' and '.' up to 64
+// bytes pass through unchanged; anything else returns "" and the caller
+// mints a fresh ID.
+func SanitizeOpID(id string) string {
+	if id == "" || len(id) > maxOpIDLen {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '_', c == '-', c == '.':
+		default:
+			return ""
+		}
+	}
+	return id
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestIDGenDeterministic(t *testing.T) {
+	clock := NewManualClock(time.Unix(0, 0x1234).UTC())
+	g := NewIDGen(clock)
+	if got, want := g.Next(), "0000000000001234-0001"; got != want {
+		t.Fatalf("first ID = %q, want %q", got, want)
+	}
+	if got, want := g.Next(), "0000000000001234-0002"; got != want {
+		t.Fatalf("second ID = %q, want %q", got, want)
+	}
+	clock.Advance(time.Nanosecond)
+	if got, want := g.Next(), "0000000000001235-0003"; got != want {
+		t.Fatalf("post-advance ID = %q, want %q", got, want)
+	}
+}
+
+func TestIDGenNilFallsBack(t *testing.T) {
+	var g *IDGen
+	id := g.Next()
+	if id == "" || !strings.Contains(id, "-") {
+		t.Fatalf("nil IDGen minted %q", id)
+	}
+}
+
+func TestOpIDContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if got := OpID(ctx); got != "" {
+		t.Fatalf("empty context carries op %q", got)
+	}
+	ctx2 := WithOpID(ctx, "op-7")
+	if got := OpID(ctx2); got != "op-7" {
+		t.Fatalf("OpID = %q, want op-7", got)
+	}
+	// Empty IDs do not overwrite.
+	if ctx3 := WithOpID(ctx2, ""); OpID(ctx3) != "op-7" {
+		t.Fatal("WithOpID(\"\") dropped the existing op")
+	}
+	// NewOp keeps an existing ID rather than minting a second one.
+	ctx4, id := NewOp(ctx2)
+	if id != "op-7" || OpID(ctx4) != "op-7" {
+		t.Fatalf("NewOp re-minted over an existing op: %q", id)
+	}
+	// ...and mints on a bare context.
+	_, fresh := NewOp(context.Background())
+	if fresh == "" {
+		t.Fatal("NewOp minted an empty ID")
+	}
+}
+
+func TestSanitizeOpID(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"abc-DEF_123.x", "abc-DEF_123.x"},
+		{"0000000000001234-0001", "0000000000001234-0001"},
+		{"has space", ""},
+		{"newline\n", ""},
+		{"quote\"", ""},
+		{"héllo", ""},
+		{strings.Repeat("a", 64), strings.Repeat("a", 64)},
+		{strings.Repeat("a", 65), ""},
+	}
+	for _, c := range cases {
+		if got := SanitizeOpID(c.in); got != c.want {
+			t.Errorf("SanitizeOpID(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -101,20 +101,43 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, last is +Inf
 	count  atomic.Uint64
 	sum    atomic.Uint64 // float64 bits, CAS-updated
+	// exemplars remembers, per bucket, the most recent exemplar-carrying
+	// observation, so a quantile on the exposition links to one concrete
+	// operation's wide event.
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1
+}
+
+// Exemplar ties one histogram bucket to a concrete operation: the op ID of
+// the most recent ObserveEx observation that landed in the bucket, and its
+// value.
+type Exemplar struct {
+	Op    string
+	Value float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	bs := append([]float64(nil), bounds...)
 	sort.Float64s(bs)
-	return &Histogram{bounds: bs, counts: make([]atomic.Uint64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Uint64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one observation.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveEx(v, "") }
+
+// ObserveEx records one observation and, when op is non-empty, makes it
+// the containing bucket's exemplar.
+func (h *Histogram) ObserveEx(v float64, op string) {
 	if h == nil {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
+	if op != "" {
+		h.exemplars[i].Store(&Exemplar{Op: op, Value: v})
+	}
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
@@ -131,6 +154,10 @@ type HistogramSnapshot struct {
 	Counts []uint64  // len(Bounds)+1
 	Count  uint64
 	Sum    float64
+	// Exemplars holds each bucket's most recent exemplar (empty Op = the
+	// bucket has none); len(Bounds)+1 entries, or nil when the histogram
+	// never saw an ObserveEx.
+	Exemplars []Exemplar
 }
 
 // Mean returns the average observation (0 when empty).
@@ -187,6 +214,14 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	}
 	for i := range h.counts {
 		s.Counts[i] = h.counts[i].Load()
+	}
+	for i := range h.exemplars {
+		if ex := h.exemplars[i].Load(); ex != nil {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]Exemplar, len(h.exemplars))
+			}
+			s.Exemplars[i] = *ex
+		}
 	}
 	return s
 }
@@ -457,15 +492,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		cum := uint64(0)
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
-			fmt.Fprintf(&sb, "%s_bucket%s %d\n", base, mergeLabel(labels, "le", formatFloat(bound)), cum)
+			fmt.Fprintf(&sb, "%s_bucket%s %d%s\n", base, mergeLabel(labels, "le", formatFloat(bound)), cum, exemplarSuffix(h, i))
 		}
 		cum += h.Counts[len(h.Bounds)]
-		fmt.Fprintf(&sb, "%s_bucket%s %d\n", base, mergeLabel(labels, "le", "+Inf"), cum)
+		fmt.Fprintf(&sb, "%s_bucket%s %d%s\n", base, mergeLabel(labels, "le", "+Inf"), cum, exemplarSuffix(h, len(h.Bounds)))
 		fmt.Fprintf(&sb, "%s_sum%s %s\n", base, labels, formatFloat(h.Sum))
 		fmt.Fprintf(&sb, "%s_count%s %d\n", base, labels, h.Count)
 	}
 	_, err := io.WriteString(w, sb.String())
 	return err
+}
+
+// exemplarSuffix renders bucket i's exemplar in the OpenMetrics style —
+// ` # {op="<id>"} <value>` — or "" when the bucket has none. Plain 0.0.4
+// parsers that stop at the sample value are unaffected; histograms that
+// never saw an ObserveEx render byte-identically to before exemplars
+// existed.
+func exemplarSuffix(h HistogramSnapshot, i int) string {
+	if i >= len(h.Exemplars) {
+		return ""
+	}
+	ex := h.Exemplars[i]
+	if ex.Op == "" {
+		return ""
+	}
+	return ` # {op="` + escapeLabel(ex.Op) + `"} ` + formatFloat(ex.Value)
 }
 
 // writeFamily renders one scalar metric family (counters or gauges),

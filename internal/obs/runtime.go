@@ -1,0 +1,70 @@
+// Go runtime metrics: goroutine count, heap in use, GOMAXPROCS and the GC
+// pause histogram, refreshed by a gather hook on every scrape — plus the
+// nvbench_build_info gauge that pins a running process to its Go version
+// and shard/replica configuration.
+
+package obs
+
+import (
+	"runtime"
+	"strconv"
+)
+
+// Runtime metric names, published by the gather hook RegisterBase installs.
+const (
+	GoGoroutines     = "nvbench_go_goroutines"
+	GoHeapInuse      = "nvbench_go_heap_inuse_bytes"
+	GoMaxProcs       = "nvbench_go_gomaxprocs"
+	GoGCPauseSeconds = "nvbench_go_gc_pause_seconds"
+
+	// BuildInfo is the constant-1 gauge whose labels carry the process
+	// configuration (go version, shard count, replica count); see
+	// PublishBuildInfo.
+	BuildInfo = "nvbench_build_info"
+)
+
+// runtimeHook returns a gather hook that republishes the Go runtime's own
+// counters into the registry. GC pauses are a cumulative source: the hook
+// remembers the last NumGC it saw and observes only the new cycles, so the
+// histogram counts each pause exactly once across scrapes.
+func runtimeHook() func(*Registry) {
+	var lastNumGC uint32
+	return func(r *Registry) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		r.Gauge(GoGoroutines).Set(int64(runtime.NumGoroutine()))
+		r.Gauge(GoHeapInuse).Set(int64(ms.HeapInuse))
+		r.Gauge(GoMaxProcs).Set(int64(runtime.GOMAXPROCS(0)))
+		h := r.Histogram(GoGCPauseSeconds)
+		if ms.NumGC > lastNumGC {
+			// PauseNs is a 256-entry circular buffer; a scrape gap longer
+			// than that loses the overwritten pauses, like any sampler.
+			from := lastNumGC
+			if ms.NumGC-from > uint32(len(ms.PauseNs)) {
+				from = ms.NumGC - uint32(len(ms.PauseNs))
+			}
+			// Cycle c's pause lives at PauseNs[(c+255)%256]; iterating n
+			// over [from, NumGC) covers cycles n+1, i.e. index n%256.
+			for n := from; n < ms.NumGC; n++ {
+				h.Observe(float64(ms.PauseNs[n%uint32(len(ms.PauseNs))]) / 1e9)
+			}
+			lastNumGC = ms.NumGC
+		}
+	}
+}
+
+// PublishBuildInfo sets the build-info gauge: constant 1, with the running
+// Go version and the store's shard/replica configuration as labels. Not
+// part of RegisterBase — the go version label would make every
+// RegisterBase-seeded registry's exposition toolchain-dependent — so the
+// CLI publishes it once it knows the store shape.
+func PublishBuildInfo(r *Registry, shards, replicas int) {
+	if r == nil {
+		return
+	}
+	r.Gauge(L(BuildInfo,
+		"goversion", runtime.Version(),
+		"shards", strconv.Itoa(shards),
+		"replicas", strconv.Itoa(replicas),
+	)).Set(1)
+}

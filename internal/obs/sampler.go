@@ -1,0 +1,141 @@
+// The metrics-history sampler behind /debug/dash: once per tick it reduces
+// a registry snapshot to one small SamplePoint (request totals, merged
+// request-latency p95, in-flight, runtime gauges) and keeps a bounded ring
+// of them, so the dashboard can draw sparklines without a time-series
+// database. Like the store's scrubber, Run is driven by an external tick
+// channel — the sampler itself never reads the wall clock, so it stays
+// deterministic under tests.
+
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// SamplePoint is one reduced registry snapshot.
+type SamplePoint struct {
+	T          time.Time // the tick that drove the sample
+	Requests   int64     // cumulative nvbench_http_requests_total, all routes and outcomes
+	Errors     int64     // cumulative non-ok slice of Requests
+	P95        float64   // merged nvbench_http_seconds p95, seconds (0 when no traffic)
+	InFlight   int64     // nvbench_http_in_flight
+	Goroutines int64     // nvbench_go_goroutines
+	HeapInuse  int64     // nvbench_go_heap_inuse_bytes
+	Events     int64     // cumulative wide events emitted (0 without a recorder)
+}
+
+// DefaultSampleCapacity is the history ring size used when NewSampler is
+// given a non-positive capacity — five minutes at one sample per second.
+const DefaultSampleCapacity = 300
+
+// Sampler keeps a bounded history of SamplePoints over one registry (and,
+// optionally, one event recorder). Safe for concurrent Sample/History.
+type Sampler struct {
+	reg *Registry
+	rec *EventRecorder
+
+	mu   sync.Mutex
+	ring []SamplePoint
+	n    uint64 // total samples taken
+}
+
+// NewSampler returns a sampler over reg, counting recorder totals from rec
+// (may be nil), retaining the last capacity points.
+func NewSampler(reg *Registry, rec *EventRecorder, capacity int) *Sampler {
+	if capacity <= 0 {
+		capacity = DefaultSampleCapacity
+	}
+	return &Sampler{reg: reg, rec: rec, ring: make([]SamplePoint, capacity)}
+}
+
+// Sample takes one sample stamped with the given instant (the tick time in
+// production wiring; a manual clock reading in tests).
+func (s *Sampler) Sample(now time.Time) {
+	if s == nil {
+		return
+	}
+	snap := s.reg.Snapshot()
+	p := SamplePoint{T: now, Events: int64(s.rec.Total())}
+	for name, v := range snap.Counters {
+		if base, _ := SplitName(name); base == HTTPRequests {
+			p.Requests += v
+			if Labels(name)["outcome"] != "ok" {
+				p.Errors += v
+			}
+		}
+	}
+	p.InFlight = snap.Gauges[HTTPInFlight]
+	p.Goroutines = snap.Gauges[GoGoroutines]
+	p.HeapInuse = snap.Gauges[GoHeapInuse]
+	p.P95 = mergedQuantile(snap.Histograms, HTTPSeconds, 0.95)
+	s.mu.Lock()
+	s.ring[s.n%uint64(len(s.ring))] = p
+	s.n++
+	s.mu.Unlock()
+}
+
+// mergedQuantile merges every histogram series of one base name (identical
+// bounds by construction — they all come from DefaultLatencyBuckets) and
+// estimates the q-quantile of the union.
+func mergedQuantile(hists map[string]HistogramSnapshot, base string, q float64) float64 {
+	var merged HistogramSnapshot
+	for name, h := range hists {
+		if b, _ := SplitName(name); b != base {
+			continue
+		}
+		if merged.Counts == nil {
+			merged.Bounds = h.Bounds
+			merged.Counts = make([]uint64, len(h.Counts))
+		}
+		if len(h.Counts) != len(merged.Counts) {
+			continue
+		}
+		for i, c := range h.Counts {
+			merged.Counts[i] += c
+		}
+		merged.Count += h.Count
+		merged.Sum += h.Sum
+	}
+	if merged.Count == 0 {
+		return 0
+	}
+	return merged.Quantile(q)
+}
+
+// History returns the retained samples, oldest first.
+func (s *Sampler) History() []SamplePoint {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	capacity := uint64(len(s.ring))
+	start := uint64(0)
+	if s.n > capacity {
+		start = s.n - capacity
+	}
+	out := make([]SamplePoint, 0, s.n-start)
+	for i := start; i < s.n; i++ {
+		out = append(out, s.ring[i%capacity])
+	}
+	return out
+}
+
+// Run samples on every tick until ctx is canceled or ticks closes. The
+// caller owns the ticker (cmd/nvbench uses a 1s time.Ticker; tests push
+// manual-clock instants), which keeps this package free of timers.
+func (s *Sampler) Run(ctx context.Context, ticks <-chan time.Time) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case t, ok := <-ticks:
+			if !ok {
+				return
+			}
+			s.Sample(t)
+		}
+	}
+}

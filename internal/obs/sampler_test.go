@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSamplerSampleAndHistory(t *testing.T) {
+	reg := NewRegistry()
+	RegisterBase(reg)
+	rec := NewEventRecorder(8, NewManualClock(time.Unix(0, 0)))
+	rec.Emit("op1", LayerHTTP, "/", "ok", time.Millisecond)
+
+	reg.Counter(L(HTTPRequests, "route", "/", "outcome", "ok")).Add(5)
+	reg.Counter(L(HTTPRequests, "route", "/api/query", "outcome", "error")).Add(2)
+	reg.Counter(L(HTTPRequests, "route", "/", "outcome", "shed")).Add(1)
+	reg.Gauge(HTTPInFlight).Set(3)
+	for i := 0; i < 100; i++ {
+		reg.Histogram(L(HTTPSeconds, "route", "/")).Observe(0.010)
+	}
+
+	s := NewSampler(reg, rec, 2)
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	s.Sample(t0)
+
+	h := s.History()
+	if len(h) != 1 {
+		t.Fatalf("history length %d, want 1", len(h))
+	}
+	p := h[0]
+	if !p.T.Equal(t0) {
+		t.Fatalf("sample time %v, want %v", p.T, t0)
+	}
+	if p.Requests != 8 {
+		t.Fatalf("Requests = %d, want 8", p.Requests)
+	}
+	if p.Errors != 3 {
+		t.Fatalf("Errors = %d, want 3 (error + shed)", p.Errors)
+	}
+	if p.InFlight != 3 {
+		t.Fatalf("InFlight = %d, want 3", p.InFlight)
+	}
+	if p.Events != 1 {
+		t.Fatalf("Events = %d, want 1", p.Events)
+	}
+	if p.P95 <= 0 {
+		t.Fatalf("P95 = %v, want > 0 after traffic", p.P95)
+	}
+	// The runtime gather hook fills the goroutine/heap gauges on Snapshot.
+	if p.Goroutines <= 0 || p.HeapInuse <= 0 {
+		t.Fatalf("runtime gauges not sampled: goroutines=%d heap=%d", p.Goroutines, p.HeapInuse)
+	}
+
+	// Capacity 2: a third sample evicts the first.
+	s.Sample(t0.Add(time.Second))
+	s.Sample(t0.Add(2 * time.Second))
+	h = s.History()
+	if len(h) != 2 || !h[0].T.Equal(t0.Add(time.Second)) || !h[1].T.Equal(t0.Add(2*time.Second)) {
+		t.Fatalf("wrapped history = %+v", h)
+	}
+}
+
+func TestMergedQuantileAcrossSeries(t *testing.T) {
+	reg := NewRegistry()
+	// Two series of the same base merge into one distribution.
+	reg.Histogram(L(HTTPSeconds, "route", "/a")).Observe(0.001)
+	reg.Histogram(L(HTTPSeconds, "route", "/b")).Observe(5.0)
+	snap := reg.Snapshot()
+	q := mergedQuantile(snap.Histograms, HTTPSeconds, 0.95)
+	if q <= 0.001 {
+		t.Fatalf("merged p95 = %v, want pulled up by the slow series", q)
+	}
+	if got := mergedQuantile(snap.Histograms, "nvbench_absent_seconds", 0.95); got != 0 {
+		t.Fatalf("absent base quantile = %v, want 0", got)
+	}
+}
+
+func TestSamplerRunDrivenByTicks(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSampler(reg, nil, 4)
+	ticks := make(chan time.Time)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Run(context.Background(), ticks)
+	}()
+	t0 := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	ticks <- t0
+	ticks <- t0.Add(time.Second)
+	close(ticks) // closing the tick channel stops Run
+	<-done
+	h := s.History()
+	if len(h) != 2 || !h[0].T.Equal(t0) {
+		t.Fatalf("history after two ticks = %+v", h)
+	}
+}
+
+func TestSamplerRunStopsOnContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := NewSampler(NewRegistry(), nil, 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Run(ctx, make(chan time.Time))
+	}()
+	cancel()
+	<-done
+}
+
+func TestNilSamplerIsSafe(t *testing.T) {
+	var s *Sampler
+	s.Sample(time.Unix(0, 0))
+	if s.History() != nil {
+		t.Fatal("nil sampler history not nil")
+	}
+}

@@ -1,0 +1,137 @@
+// The slow-op log: wide events over their layer's latency threshold are
+// promoted out of the in-memory ring into a small persisted file, so a
+// latency spike leaves evidence that survives the process. The file is
+// slowlog.jsonl — one event per line, most recent last, capped — and every
+// rewrite follows the store's durable-write idiom (temp → fsync → rename →
+// fsync parent dir). Like the quarantine and repair reports it lives
+// outside the store manifest's artifact set, so fsck ignores it.
+
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DefaultSlowLogCap is the retained-entry cap used when NewSlowLog is
+// given a non-positive one.
+const DefaultSlowLogCap = 128
+
+// SlowLog retains the most recent slow events and mirrors them to a
+// JSON-lines file on every promotion. Slow events are rare by definition,
+// so the whole-file rewrite per Record is the simple durable choice. The
+// nil SlowLog discards everything.
+type SlowLog struct {
+	mu      sync.Mutex
+	path    string
+	cap     int
+	entries []Event
+	err     error // last persistence failure, for end-of-run reporting
+}
+
+// NewSlowLog returns a log persisting to path (in-memory only when path is
+// empty), retaining at most cap entries.
+func NewSlowLog(path string, cap int) *SlowLog {
+	if cap <= 0 {
+		cap = DefaultSlowLogCap
+	}
+	return &SlowLog{path: path, cap: cap}
+}
+
+// Record appends one slow event, evicting the oldest past the cap, and
+// rewrites the persisted file. Persistence is best-effort: a write failure
+// is retained for Err, never surfaced to the emitting hot path.
+func (l *SlowLog) Record(e Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+	if len(l.entries) > l.cap {
+		l.entries = l.entries[len(l.entries)-l.cap:]
+	}
+	if l.path == "" {
+		return
+	}
+	var buf bytes.Buffer
+	for i := range l.entries {
+		line, err := l.entries[i].MarshalJSON()
+		if err != nil {
+			l.err = err
+			return
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := writeDurable(l.path, buf.Bytes()); err != nil {
+		l.err = err
+	}
+}
+
+// Entries returns the retained slow events, oldest first.
+func (l *SlowLog) Entries() []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.entries...)
+}
+
+// Path returns the persistence target ("" for an in-memory log).
+func (l *SlowLog) Path() string {
+	if l == nil {
+		return ""
+	}
+	return l.path
+}
+
+// Err returns the most recent persistence failure (nil when every rewrite
+// landed).
+func (l *SlowLog) Err() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// writeDurable commits data to path via the store idiom: temp file in the
+// same directory, write, fsync, close, rename over the target, fsync the
+// parent directory so the rename itself is durable.
+func writeDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".slowlog-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

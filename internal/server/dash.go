@@ -1,0 +1,247 @@
+// The ops surface: /debug/events dumps the wide-event ring as JSON with
+// exact-match and latency filters, and /debug/dash is a server-rendered,
+// zero-JavaScript HTML dashboard — stat tiles, inline-SVG sparklines fed
+// by the attached metrics-history sampler, the most recent wide events and
+// the slow-op log. Both routes live on the root mux (they must answer
+// during overload, when shedding is on) but inside the metrics middleware,
+// so reading the dashboard is itself a traced, labeled operation.
+
+package server
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nvbench/internal/obs"
+)
+
+// maxDebugEvents caps one /debug/events response; the ring holds at most
+// its capacity anyway, this just bounds a huge-capacity deployment.
+const maxDebugEvents = 4096
+
+// debugEventsPage is the JSON shape of /debug/events.
+type debugEventsPage struct {
+	Total  uint64      `json:"total"`  // events ever emitted
+	Count  int         `json:"count"`  // events in this response
+	Events []obs.Event `json:"events"` // oldest first
+}
+
+// handleDebugEvents serves the retained wide events, oldest first,
+// filterable with exact-match query parameters — op=, route= (the event
+// site), outcome=, layer= — and min_ms= for a latency floor.
+func (s *Server) handleDebugEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := obs.EventFilter{
+		Op:      q.Get("op"),
+		Layer:   q.Get("layer"),
+		Site:    q.Get("route"),
+		Outcome: q.Get("outcome"),
+	}
+	if ms := q.Get("min_ms"); ms != "" {
+		v, err := strconv.ParseFloat(ms, 64)
+		if err != nil || v < 0 {
+			http.Error(w, fmt.Sprintf("bad min_ms %q: want a non-negative number", ms), http.StatusBadRequest)
+			return
+		}
+		f.MinDur = time.Duration(v * float64(time.Millisecond))
+	}
+	rec := s.cfg.Obs.Events
+	events := rec.Events(f)
+	if len(events) > maxDebugEvents {
+		events = events[len(events)-maxDebugEvents:]
+	}
+	if events == nil {
+		events = []obs.Event{}
+	}
+	writeJSON(s, w, debugEventsPage{Total: rec.Total(), Count: len(events), Events: events})
+}
+
+// sparkSVG renders one inline-SVG sparkline over vals (left to right).
+// Flat or empty series render as a baseline, so tiles never jump.
+func sparkSVG(vals []float64, width, height int) string {
+	if len(vals) == 0 {
+		vals = []float64{0}
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var pts strings.Builder
+	for i, v := range vals {
+		x := float64(width)
+		if len(vals) > 1 {
+			x = float64(i) / float64(len(vals)-1) * float64(width)
+		}
+		y := float64(height-2) * (1 - (v-lo)/span)
+		fmt.Fprintf(&pts, "%.1f,%.1f ", x, y+1)
+	}
+	return fmt.Sprintf(
+		`<svg width="%d" height="%d" viewBox="0 0 %d %d" preserveAspectRatio="none">`+
+			`<polyline fill="none" stroke="#2a6" stroke-width="1.5" points="%s"/></svg>`,
+		width, height, width, height, strings.TrimSpace(pts.String()))
+}
+
+// deltas converts a cumulative series into per-sample increments (rates,
+// for a once-per-second sampler).
+func deltas(vals []float64) []float64 {
+	if len(vals) < 2 {
+		return nil
+	}
+	out := make([]float64, len(vals)-1)
+	for i := 1; i < len(vals); i++ {
+		d := vals[i] - vals[i-1]
+		if d < 0 {
+			d = 0
+		}
+		out[i-1] = d
+	}
+	return out
+}
+
+// dashDuration renders a duration for the dashboard tables.
+func dashDuration(d time.Duration) string {
+	return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+}
+
+// handleDebugDash serves the ops dashboard: one self-contained HTML page,
+// no JavaScript, built from the sampler history, the wide-event ring and
+// the slow-op log. Reload to refresh.
+func (s *Server) handleDebugDash(w http.ResponseWriter, r *http.Request) {
+	rec := s.cfg.Obs.Events
+	history := s.sampler.Load().History()
+
+	var sb strings.Builder
+	sb.WriteString(`<!DOCTYPE html><html><head><title>nvbench ops</title><style>
+body{font-family:monospace;margin:1.5em;background:#fafafa;color:#222}
+h1{font-size:1.3em}h2{font-size:1.1em;margin-top:1.5em}
+.tiles{display:flex;gap:1em;flex-wrap:wrap}
+.tile{border:1px solid #ccc;background:#fff;padding:.6em 1em;min-width:11em}
+.tile b{display:block;font-size:1.4em}
+table{border-collapse:collapse;background:#fff}
+td,th{border:1px solid #ccc;padding:.25em .6em;text-align:left;font-size:.85em}
+.ok{color:#2a6}.bad{color:#c33}
+</style></head><body><h1>nvbench ops dashboard</h1>`)
+
+	// Stat tiles from the latest sample (zeros before the first tick).
+	var last obs.SamplePoint
+	if len(history) > 0 {
+		last = history[len(history)-1]
+	}
+	fmt.Fprintf(&sb, `<div class="tiles">`)
+	tile := func(label string, value string) {
+		fmt.Fprintf(&sb, `<div class="tile">%s<b>%s</b></div>`, html.EscapeString(label), html.EscapeString(value))
+	}
+	tile("requests", strconv.FormatInt(last.Requests, 10))
+	tile("errors", strconv.FormatInt(last.Errors, 10))
+	tile("p95 latency", fmt.Sprintf("%.1fms", last.P95*1000))
+	tile("in flight", strconv.FormatInt(last.InFlight, 10))
+	tile("goroutines", strconv.FormatInt(last.Goroutines, 10))
+	tile("heap in use", fmt.Sprintf("%.1f MiB", float64(last.HeapInuse)/(1<<20)))
+	tile("wide events", strconv.FormatUint(rec.Total(), 10))
+	sb.WriteString(`</div>`)
+
+	// Sparklines over the sampler history.
+	series := func(pick func(obs.SamplePoint) float64) []float64 {
+		out := make([]float64, len(history))
+		for i, p := range history {
+			out[i] = pick(p)
+		}
+		return out
+	}
+	sb.WriteString(`<h2>last ` + strconv.Itoa(len(history)) + ` samples</h2><table>`)
+	spark := func(label string, vals []float64) {
+		cur := 0.0
+		if len(vals) > 0 {
+			cur = vals[len(vals)-1]
+		}
+		fmt.Fprintf(&sb, `<tr><th>%s</th><td>%s</td><td>%.2f</td></tr>`,
+			html.EscapeString(label), sparkSVG(vals, 240, 28), cur)
+	}
+	spark("requests/sample", deltas(series(func(p obs.SamplePoint) float64 { return float64(p.Requests) })))
+	spark("errors/sample", deltas(series(func(p obs.SamplePoint) float64 { return float64(p.Errors) })))
+	spark("p95 ms", series(func(p obs.SamplePoint) float64 { return p.P95 * 1000 }))
+	spark("in flight", series(func(p obs.SamplePoint) float64 { return float64(p.InFlight) }))
+	spark("goroutines", series(func(p obs.SamplePoint) float64 { return float64(p.Goroutines) }))
+	spark("heap MiB", series(func(p obs.SamplePoint) float64 { return float64(p.HeapInuse) / (1 << 20) }))
+	spark("events/sample", deltas(series(func(p obs.SamplePoint) float64 { return float64(p.Events) })))
+	sb.WriteString(`</table>`)
+	if len(history) == 0 {
+		sb.WriteString(`<p>(no sampler attached or no tick yet — sparklines fill once per second)</p>`)
+	}
+
+	// Recent wide events, newest first.
+	events := rec.Events(obs.EventFilter{})
+	sb.WriteString(`<h2>recent events</h2>`)
+	writeEventTable(&sb, tailEvents(events, 20))
+	fmt.Fprintf(&sb, `<p>%d retained of %d emitted — <a href="/debug/events">all as JSON</a>, filter with ?route=&amp;outcome=&amp;min_ms=&amp;op=</p>`,
+		len(events), rec.Total())
+
+	// Slow ops.
+	if sl := rec.SlowLogged(); sl != nil {
+		slow := sl.Entries()
+		sb.WriteString(`<h2>slow ops</h2>`)
+		writeEventTable(&sb, tailEvents(slow, 20))
+		fmt.Fprintf(&sb, `<p>%d retained; persisted to %s</p>`, len(slow), html.EscapeString(sl.Path()))
+	}
+
+	sb.WriteString(`</body></html>`)
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	writeBytes(s, w, []byte(sb.String()))
+}
+
+// tailEvents returns the last n events, newest first.
+func tailEvents(events []obs.Event, n int) []obs.Event {
+	if len(events) > n {
+		events = events[len(events)-n:]
+	}
+	out := make([]obs.Event, len(events))
+	for i, e := range events {
+		out[len(events)-1-i] = e
+	}
+	return out
+}
+
+// writeEventTable renders wide events as one HTML table.
+func writeEventTable(sb *strings.Builder, events []obs.Event) {
+	sb.WriteString(`<table><tr><th>time</th><th>op</th><th>layer</th><th>site</th><th>outcome</th><th>duration</th><th>fields</th></tr>`)
+	for i := range events {
+		e := &events[i]
+		cls := "ok"
+		if e.Outcome != "ok" {
+			cls = "bad"
+		}
+		fields := e.FieldMap()
+		keys := make([]string, 0, len(fields))
+		for k := range fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var kv strings.Builder
+		for _, k := range keys {
+			fmt.Fprintf(&kv, "%s=%s ", k, fields[k])
+		}
+		fmt.Fprintf(sb, `<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td class="%s">%s</td><td>%s</td><td>%s</td></tr>`,
+			html.EscapeString(e.Time.UTC().Format(time.RFC3339)),
+			html.EscapeString(e.Op),
+			html.EscapeString(e.Layer),
+			html.EscapeString(e.Site),
+			cls, html.EscapeString(e.Outcome),
+			dashDuration(e.Duration),
+			html.EscapeString(strings.TrimSpace(kv.String())))
+	}
+	sb.WriteString(`</table>`)
+}

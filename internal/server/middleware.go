@@ -6,6 +6,7 @@ package server
 
 import (
 	"net/http"
+	"strconv"
 	"strings"
 	"sync/atomic"
 
@@ -109,6 +110,10 @@ func routeLabel(path string) string {
 		return "/api/entries"
 	case path == "/api/query":
 		return "/api/query"
+	case path == "/debug/events":
+		return "/debug/events"
+	case path == "/debug/dash":
+		return "/debug/dash"
 	case strings.HasPrefix(path, "/api/entry/"):
 		if strings.HasSuffix(path, "/vega") {
 			return "/api/entry/:id/vega"
@@ -123,10 +128,14 @@ func routeLabel(path string) string {
 
 // withMetrics is the outermost layer of the app chain (inside only panic
 // recovery): per-route request counters with outcome labels, latency
-// histograms, and the in-flight gauge. Every request gets an outcome
-// holder here; inner layers claim theirs (shed, timeout, fault) and the
-// rest classify by status. Non-ok outcomes also emit one structured log
-// line.
+// histograms with the request's op ID as the bucket exemplar, the
+// in-flight gauge, and one wide event per request. Every request gets an
+// operation ID here — an inbound X-Request-ID is kept when well-formed,
+// otherwise one is minted — echoed on the response and threaded through
+// the context so inner layers' events join to it. Every request also gets
+// an outcome holder; inner layers claim theirs (shed, timeout, fault) and
+// the rest classify by status. Non-ok outcomes also emit one structured
+// log line.
 func (s *Server) withMetrics(next http.Handler) http.Handler {
 	in := s.cfg.Obs
 	if in == nil || in.Metrics == nil {
@@ -135,15 +144,22 @@ func (s *Server) withMetrics(next http.Handler) http.Handler {
 	inFlight := in.Metrics.Gauge(obs.HTTPInFlight)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		route := routeLabel(r.URL.Path)
+		op := obs.SanitizeOpID(r.Header.Get("X-Request-ID"))
+		if op == "" {
+			op = s.ids.Next()
+		}
+		r = r.WithContext(obs.WithOpID(r.Context(), op))
+		w.Header().Set("X-Request-ID", op)
 		oc := &outcomeHolder{}
 		r = withOutcome(r, oc)
 		rec := &statusRecorder{ResponseWriter: w}
 		inFlight.Inc()
-		stop := in.TimeHistogram(obs.L(obs.HTTPSeconds, "route", route))
+		start := in.Now()
 		finished := false
 		defer func() {
 			inFlight.Dec()
-			stop()
+			elapsed := in.Now().Sub(start)
+			in.ObserveEx(obs.L(obs.HTTPSeconds, "route", route), elapsed.Seconds(), op)
 			if !finished {
 				// Unwinding through a panic: recovery above answers 500.
 				oc.set(outcomePanic)
@@ -153,9 +169,13 @@ func (s *Server) withMetrics(next http.Handler) http.Handler {
 				outcome = classifyStatus(rec.status())
 			}
 			in.Inc(obs.L(obs.HTTPRequests, "outcome", outcome, "route", route))
+			in.Emit(op, obs.LayerHTTP, route, outcome, elapsed,
+				"method", r.Method,
+				"status", strconv.Itoa(rec.status()),
+				"bytes", strconv.FormatInt(rec.bytes, 10))
 			if outcome != outcomeOK {
 				in.Logf("request", "method", r.Method, "path", r.URL.Path,
-					"route", route, "status", rec.status(), "outcome", outcome)
+					"route", route, "status", rec.status(), "outcome", outcome, "op", op)
 			}
 		}()
 		next.ServeHTTP(rec, r)

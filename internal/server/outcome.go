@@ -76,11 +76,13 @@ func classifyStatus(status int) string {
 	}
 }
 
-// statusRecorder captures the response status for outcome classification.
+// statusRecorder captures the response status for outcome classification
+// and counts the body bytes written, for the request's wide event.
 type statusRecorder struct {
 	http.ResponseWriter
 	code  int
 	wrote bool
+	bytes int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -94,7 +96,9 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	if !r.wrote {
 		r.code, r.wrote = http.StatusOK, true
 	}
-	return r.ResponseWriter.Write(b)
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
 }
 
 // status returns the recorded status (200 when the handler wrote nothing,

@@ -14,6 +14,8 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
 
 	"nvbench/internal/obs"
@@ -123,8 +125,12 @@ func (s *Server) handleAPIQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	res, err := s.queryBench(q)
+	op := obs.OpID(r.Context())
+	start := s.cfg.Obs.Now()
+	res, err := s.queryBench(q, op)
+	elapsed := s.cfg.Obs.Now().Sub(start)
 	if err != nil {
+		s.cfg.Obs.Emit(op, obs.LayerVQL, "query", "error", elapsed, "error", err.Error())
 		var verr *vql.Error
 		if errors.As(err, &verr) {
 			s.writeQueryError(w, http.StatusBadRequest, queryError{Error: verr.Msg, Position: verr.Pos})
@@ -133,13 +139,66 @@ func (s *Server) handleAPIQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeQueryError(w, http.StatusInternalServerError, queryError{Error: err.Error()})
 		return
 	}
+	shards, failover := s.queryShards(res)
+	s.cfg.Obs.Emit(op, obs.LayerVQL, "query", "ok", elapsed,
+		"rows", strconv.Itoa(res.RowCount),
+		"scanned", strconv.Itoa(res.Scanned),
+		"index", res.Index,
+		"shards", strings.Join(shards, " "),
+		"failover", strconv.FormatBool(failover))
 	writeJSON(s, w, res)
 }
 
 // queryBench runs one VQL query, timing it into the query stage
-// histogram.
-func (s *Server) queryBench(q string) (*vql.Result, error) {
-	stop := s.cfg.Obs.TimeHistogram(obs.L(obs.StageHistogram, "stage", obs.StageQuery))
-	defer stop()
+// histogram with the request's op ID as the bucket exemplar.
+func (s *Server) queryBench(q, op string) (*vql.Result, error) {
+	start := s.cfg.Obs.Now()
+	defer func() {
+		s.cfg.Obs.ObserveEx(obs.L(obs.StageHistogram, "stage", obs.StageQuery),
+			s.cfg.Obs.Now().Sub(start).Seconds(), op)
+	}()
 	return s.engine.Query(q)
+}
+
+// queryShards resolves which store shards a query's scan touched — the
+// owning shards of the scanned entries, every shard for a full scan — and
+// whether any of them is currently served from a non-primary replica. A
+// server without shard routing (no store, unsharded store) reports none.
+func (s *Server) queryShards(res *vql.Result) ([]string, bool) {
+	if len(s.entryShards) == 0 || res.Table != "entries" {
+		return nil, false
+	}
+	set := map[string]bool{}
+	if res.SourceRows == nil {
+		for _, sh := range s.entryShards {
+			if sh != "" {
+				set[sh] = true
+			}
+		}
+	} else {
+		for _, n := range res.SourceRows {
+			if n >= 0 && n < len(s.entryShards) && s.entryShards[n] != "" {
+				set[s.entryShards[n]] = true
+			}
+		}
+	}
+	shards := make([]string, 0, len(set))
+	for sh := range set {
+		shards = append(shards, sh)
+	}
+	sort.Strings(shards)
+	failover := false
+	if d := s.degraded.Load(); d != nil {
+		over := make(map[string]bool, len(d.FailedOver))
+		for _, sh := range d.FailedOver {
+			over[sh] = true
+		}
+		for _, sh := range shards {
+			if over[sh] {
+				failover = true
+				break
+			}
+		}
+	}
+	return shards, failover
 }

@@ -16,6 +16,8 @@ func TestRouteLabelsMatchRegisteredSchema(t *testing.T) {
 		"/api/entry/7":      "/api/entry/:id",
 		"/api/entry/7/vega": "/api/entry/:id/vega",
 		"/api/query":        "/api/query",
+		"/debug/dash":       "/debug/dash",
+		"/debug/events":     "/debug/events",
 		"/entry/7":          "/entry/:id",
 		"/healthz":          "other",
 		"/no/such/page":     "other",

@@ -84,6 +84,17 @@ type Server struct {
 	// queryTag is the cache-validator base for /api/query responses,
 	// derived from the per-entry validators (see recomputeQueryTag).
 	queryTag string
+	// ids mints operation IDs for requests that arrive without a usable
+	// X-Request-ID, on the instruments' clock so tests are deterministic.
+	ids *obs.IDGen
+	// entryShards maps each served entry to its owning store shard,
+	// positionally aligned with Bench.Entries ("" on an unsharded or
+	// store-less server); /api/query's wide event attributes reads to
+	// shards through it. See SetEntryShards.
+	entryShards []string
+	// sampler, when attached, feeds /debug/dash's sparklines; see
+	// SetSampler.
+	sampler atomic.Pointer[obs.Sampler]
 }
 
 // ShardDegradation is the damage report for one store shard the server is
@@ -146,6 +157,10 @@ func NewWithConfig(b *bench.Benchmark, cfg Config) *Server {
 		cfg.Obs = &obs.Instruments{Metrics: obs.Default}
 	}
 	s := &Server{Bench: b, cfg: cfg}
+	s.ids = cfg.Obs.IDs
+	if s.ids == nil {
+		s.ids = obs.NewIDGen(cfg.Obs.Clock)
+	}
 	s.etags = make([]string, len(b.Entries))
 	s.byID = make(map[int]int, len(b.Entries))
 	for i, e := range b.Entries {
@@ -180,10 +195,15 @@ func NewWithConfig(b *bench.Benchmark, cfg Config) *Server {
 
 	// Probes and the metrics scrape bypass shedding and timeouts: a
 	// saturated server must still answer its load balancer and its monitor.
+	// The ops surface bypasses them too — it exists to be read during an
+	// incident, exactly when shedding is on — but keeps the metrics layer
+	// so its requests get route labels, op IDs and wide events.
 	root := http.NewServeMux()
 	root.HandleFunc("/healthz", s.handleHealthz)
 	root.HandleFunc("/readyz", s.handleReadyz)
 	root.HandleFunc("/metrics", s.handleMetrics)
+	root.Handle("/debug/events", s.withMetrics(http.HandlerFunc(s.handleDebugEvents)))
+	root.Handle("/debug/dash", s.withMetrics(http.HandlerFunc(s.handleDebugDash)))
 	root.Handle("/", h)
 	s.handler = s.withRecover(root)
 	s.ready.Store(true)
@@ -207,6 +227,23 @@ func (s *Server) SetEntryETags(tags []string) error {
 	s.recomputeQueryTag()
 	return nil
 }
+
+// SetEntryShards records each served entry's owning store shard,
+// positionally aligned with Bench.Entries — a store-backed server passes
+// the manifest's shard routing so /api/query's wide event can report which
+// shards a query read. Call before serving; not safe concurrently with
+// requests.
+func (s *Server) SetEntryShards(shards []string) error {
+	if len(shards) != len(s.Bench.Entries) {
+		return fmt.Errorf("server: %d shards for %d entries", len(shards), len(s.Bench.Entries))
+	}
+	s.entryShards = shards
+	return nil
+}
+
+// SetSampler attaches the metrics-history sampler /debug/dash draws its
+// sparklines from. Safe to call concurrently with requests.
+func (s *Server) SetSampler(sp *obs.Sampler) { s.sampler.Store(sp) }
 
 // notModified sets the entry's cache-validator headers and answers an
 // If-None-Match hit with 304, reporting whether the response is complete.

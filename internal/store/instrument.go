@@ -45,3 +45,24 @@ func (s *Store) addScrubRepaired(n int) { s.ins.Add(obs.StoreScrubRepaired, int6
 func (s *Store) setReplicaHealthy(replica string, v int64) {
 	s.ins.SetGauge(obs.L(obs.StoreReplicaHealthy, "replica", replica), v)
 }
+
+// eventOp opens one store-layer wide event for one store entry point.
+// Store operations originate outside any request, so each mints its own
+// op ID; the returned finish func emits the event with the outcome and
+// extra fields. Events flow only into the recorder — never into the
+// store's artifacts — so instrumented and bare saves stay byte-identical.
+func (s *Store) eventOp(site string) func(outcome string, kv ...string) {
+	op := s.ins.MintOp()
+	start := s.ins.Now()
+	return func(outcome string, kv ...string) {
+		s.ins.Emit(op, obs.LayerStore, site, outcome, s.ins.Now().Sub(start), kv...)
+	}
+}
+
+// failoverCount reads how many read re-routes the store has taken since
+// Open — diffed around a load to flag failover in its wide event.
+func (s *Store) failoverCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.failovers)
+}

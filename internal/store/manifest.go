@@ -75,6 +75,21 @@ func (m *Manifest) EntryHashes() []string {
 	return out
 }
 
+// EntryShards returns each entry's owning shard name, positionally aligned
+// with Entries (and so with EntryHashes and a served benchmark's entry
+// order) — the routing table the server uses to attribute a query's rows
+// to shards. A manifest without a sharded layout yields "" per entry.
+func (m *Manifest) EntryShards() []string {
+	out := make([]string, len(m.Entries))
+	if m.ShardCount <= 0 {
+		return out
+	}
+	for i, ref := range m.Entries {
+		out[i] = shardName(shardIndex(ref.Hash, m.ShardCount))
+	}
+	return out
+}
+
 // Corruption is one artifact Verify could not validate. Paths are
 // root-relative, so a shard artifact reads "shards/03/entries/<h>.json" —
 // the prefix is what attributes damage to a shard.

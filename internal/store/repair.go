@@ -35,6 +35,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 
 	"nvbench/internal/bench"
@@ -98,6 +99,19 @@ func (s *Store) moveAside(rel string) error {
 // cannot operate on at all (I/O failures, legacy layout); partial salvage
 // is a report, not an error — check Lossy.
 func (s *Store) Repair() (*RepairReport, error) {
+	finish := s.eventOp("repair")
+	rep, err := s.repair()
+	if err != nil {
+		finish("error", "error", err.Error())
+		return nil, err
+	}
+	finish("ok",
+		"temps_swept", strconv.Itoa(rep.TempsSwept),
+		"lossy", strconv.FormatBool(rep.Lossy()))
+	return rep, nil
+}
+
+func (s *Store) repair() (*RepairReport, error) {
 	defer s.timeOp("repair")()
 	if s.legacy {
 		return nil, errors.New("store: repair: legacy flat layout is read-only; convert it with a re-save (-save)")

@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -71,6 +72,20 @@ func (r *ScrubReport) Lossy() bool {
 // replicated store with nothing unrecoverable, every replica passes
 // Verify and reads route to the primary again.
 func (s *Store) Scrub(ctx context.Context, opts ScrubOptions) (*ScrubReport, error) {
+	finish := s.eventOp("scrub")
+	rep, err := s.scrub(ctx, opts)
+	if err != nil {
+		finish("error", "error", err.Error())
+		return rep, err
+	}
+	finish("ok",
+		"replicas", strconv.Itoa(rep.Replicas),
+		"repaired", strconv.Itoa(len(rep.Repaired)),
+		"escalated", strconv.FormatBool(rep.Escalated))
+	return rep, nil
+}
+
+func (s *Store) scrub(ctx context.Context, opts ScrubOptions) (*ScrubReport, error) {
 	defer s.timeOp("scrub")()
 	if s.legacy {
 		return nil, errors.New("store: scrub: legacy flat layout is read-only; convert it with a re-save (-save)")

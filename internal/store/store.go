@@ -61,6 +61,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -466,6 +467,20 @@ func decodeStrict(data []byte, v any) error {
 // Save is the conversion: the benchmark lands sharded and the flat
 // directories retire to lost+found/legacy/.
 func (s *Store) Save(b *bench.Benchmark, info BuildInfo) (*Manifest, error) {
+	finish := s.eventOp("save")
+	m, err := s.save(b, info)
+	if err != nil {
+		finish("error", "error", err.Error())
+		return nil, err
+	}
+	finish("ok",
+		"shards", strconv.Itoa(m.ShardCount),
+		"replicas", strconv.Itoa(m.ReplicaCount),
+		"entries", strconv.Itoa(len(m.Entries)))
+	return m, nil
+}
+
+func (s *Store) save(b *bench.Benchmark, info BuildInfo) (*Manifest, error) {
 	defer s.timeOp("save")()
 	count := s.shardCount
 	plans, parts, err := planShards(b, info, count)
@@ -579,6 +594,21 @@ type ShardFailure struct {
 // build time. The returned benchmark has no Corpus: the corpus is an input
 // of the build, not an artifact of it.
 func (s *Store) Load() (*bench.Benchmark, *Manifest, error) {
+	finish := s.eventOp("load")
+	before := s.failoverCount()
+	b, m, err := s.load()
+	if err != nil {
+		finish("error", "error", err.Error())
+		return nil, nil, err
+	}
+	finish("ok",
+		"shards", strconv.Itoa(m.ShardCount),
+		"entries", strconv.Itoa(len(m.Entries)),
+		"failover", strconv.FormatBool(s.failoverCount() > before))
+	return b, m, nil
+}
+
+func (s *Store) load() (*bench.Benchmark, *Manifest, error) {
 	defer s.timeOp("load")()
 	m, _, err := s.loadManifest()
 	if err != nil {
@@ -606,6 +636,26 @@ func (s *Store) Load() (*bench.Benchmark, *Manifest, error) {
 // error return is reserved for stores with nothing to serve at all (no
 // readable root manifest).
 func (s *Store) LoadPartial() (*bench.Benchmark, *Manifest, []ShardFailure, error) {
+	finish := s.eventOp("load")
+	before := s.failoverCount()
+	b, m, fails, err := s.loadPartial()
+	if err != nil {
+		finish("error", "error", err.Error())
+		return nil, nil, nil, err
+	}
+	outcome := "ok"
+	if len(fails) > 0 {
+		outcome = "degraded"
+	}
+	finish(outcome,
+		"shards", strconv.Itoa(m.ShardCount),
+		"entries", strconv.Itoa(len(m.Entries)),
+		"failed_shards", strconv.Itoa(len(fails)),
+		"failover", strconv.FormatBool(s.failoverCount() > before))
+	return b, m, fails, nil
+}
+
+func (s *Store) loadPartial() (*bench.Benchmark, *Manifest, []ShardFailure, error) {
 	defer s.timeOp("load")()
 	m, _, err := s.loadManifest()
 	if err != nil {

@@ -19,6 +19,13 @@ type Result struct {
 	// Index names the index used ("" for a full scan).
 	Index string `json:"index,omitempty"`
 	Plan  string `json:"plan"`
+	// Table and SourceRows describe what the scan node read, for callers
+	// that attribute a query to storage (the server's wide events): the
+	// scanned table's name and, for an index scan, the row numbers the
+	// postings resolved to (nil means a full scan read every row). Not
+	// part of the JSON result.
+	Table      string `json:"-"`
+	SourceRows []int  `json:"-"`
 }
 
 // group accumulates one output row's aggregate state.
@@ -43,7 +50,7 @@ func (e *Engine) Execute(p *Plan) (*Result, error) {
 	if err := fault.Inject(fault.SiteVQLQuery); err != nil {
 		return nil, fmt.Errorf("vql: execute: %w", err)
 	}
-	res := &Result{Rows: [][]Value{}, Plan: p.Explain(), Index: p.IndexField}
+	res := &Result{Rows: [][]Value{}, Plan: p.Explain(), Index: p.IndexField, Table: p.table.name}
 	for _, it := range p.items {
 		res.Columns = append(res.Columns, it.name)
 	}
@@ -58,6 +65,7 @@ func (e *Engine) Execute(p *Plan) (*Result, error) {
 			}
 		}
 		sort.Ints(nums)
+		res.SourceRows = nums
 		rows = make([][]Value, 0, len(nums))
 		for _, n := range nums {
 			rows = append(rows, p.table.rows[n])

@@ -98,30 +98,53 @@ echo "2-replica save under 2.5x single-copy: yes (single ${single} ns/op, double
 echo "clean 2-replica scrub cheaper than cold rebuild: yes (scrub ${scrub} ns/op, cold rebuild ${cold} ns/op)"
 
 echo
-OBS_BENCHTIME="${OBS_BENCHTIME:-3x}"
+# The 5% overhead gate needs enough iterations to average out scheduler
+# jitter on a ~2.5ms build; iteration-count benchtimes (3x, 10x) flap.
+OBS_BENCHTIME="${OBS_BENCHTIME:-1s}"
 OBS_OUT="${OBS_OUT:-BENCH_obs.json}"
 echo "== observability benchmarks (-benchtime $OBS_BENCHTIME)"
 
-# run_obs_bench runs the registry hot path and the bare-vs-instrumented
-# build comparison once, writing BENCH_obs.json; returns non-zero when the
-# instrumentation overhead is 5% or more.
+# bench_ns extracts one benchmark's ns/op from the captured output,
+# tolerating the GOMAXPROCS suffix Go appends to sub-benchmark names.
+bench_ns() {
+    awk -v want="$1" '$3 ~ /^[0-9.]+$/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        if (name == want) { print $3; exit }
+    }' "$tmp"
+}
+
+# run_obs_bench runs the registry hot path, the wide-event recorder, and
+# the bare-vs-instrumented build comparison once, writing BENCH_obs.json;
+# returns non-zero when the full instrumentation — metrics, traces, wide
+# events, op IDs — costs 5% or more over a bare build.
 run_obs_bench() {
     : > "$tmp"
-    go test -run '^$' -bench 'BenchmarkRegistry' -benchtime "$OBS_BENCHTIME" ./internal/obs | tee -a "$tmp"
+    go test -run '^$' -bench 'BenchmarkRegistry|BenchmarkEventRecorder' -benchtime "$OBS_BENCHTIME" ./internal/obs | tee -a "$tmp"
     go test -run '^$' -bench 'BenchmarkBuildInstrumentation' -benchtime "$OBS_BENCHTIME" ./internal/bench | tee -a "$tmp"
 
-    bare=$(awk '/^BenchmarkBuildInstrumentation\/bare/ && $3 ~ /^[0-9.]+$/ {print $3}' "$tmp")
-    instr=$(awk '/^BenchmarkBuildInstrumentation\/instrumented/ && $3 ~ /^[0-9.]+$/ {print $3}' "$tmp")
-    overhead=$(awk -v b="$bare" -v i="$instr" 'BEGIN { printf "%.2f", (i - b) / b * 100 }')
+    bare=$(bench_ns "BenchmarkBuildInstrumentation/bare")
+    instr=$(bench_ns "BenchmarkBuildInstrumentation/instrumented")
+    events=$(bench_ns "BenchmarkBuildInstrumentation/instrumented_events")
+    if [ -z "$bare" ] || [ -z "$instr" ] || [ -z "$events" ]; then
+        echo "bench: build instrumentation numbers missing" >&2
+        return 1
+    fi
+    # The gated headline is the full events-on configuration; the
+    # metrics+traces-only overhead rides along for comparison.
+    overhead=$(awk -v b="$bare" -v i="$events" 'BEGIN { printf "%.2f", (i - b) / b * 100 }')
+    trace_overhead=$(awk -v b="$bare" -v i="$instr" 'BEGIN { printf "%.2f", (i - b) / b * 100 }')
 
-    awk -v overhead="$overhead" '
+    awk -v overhead="$overhead" -v trace_overhead="$trace_overhead" '
       BEGIN { print "{" }
-      /^Benchmark(Registry|BuildInstrumentation)/ && $3 ~ /^[0-9.]+$/ {
+      /^Benchmark(Registry|EventRecorder|BuildInstrumentation)/ && $3 ~ /^[0-9.]+$/ {
         name = $1
         sub(/-[0-9]+$/, "", name)
         printf "  \"%s\": %s,\n", name, $3
       }
-      END { printf "  \"build_overhead_pct\": %s\n}\n", overhead }
+      END {
+        printf "  \"trace_overhead_pct\": %s,\n", trace_overhead
+        printf "  \"build_overhead_pct\": %s\n}\n", overhead
+      }
     ' "$tmp" > "$OBS_OUT"
 
     echo "wrote $OBS_OUT:"
@@ -138,7 +161,7 @@ if ! run_obs_bench; then
         exit 1
     fi
 fi
-echo "instrumented build overhead under 5%: yes"
+echo "events-on instrumented build overhead under 5%: yes (${overhead}%)"
 
 echo
 LINT_OUT="${LINT_OUT:-BENCH_lint.json}"

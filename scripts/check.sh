@@ -36,6 +36,9 @@ echo "== obsguard: metrics registry race suite, golden exposition and trace, ins
 go test -race ./internal/obs
 go test -race -run 'TestWritePrometheusGolden|TestTracerGoldenJSON|TestLoggerGolden|TestInstrumentedBuildIsByteIdentical|TestMetricsEndpointServesPrometheusText|TestRunDeterministicUnderSameFaultSeed' \
     ./internal/obs ./internal/bench ./internal/server ./cmd/nvbench
+echo "== obsguard: wide-event recorder and sampler under race, events-on store identity"
+go test -race -run 'TestEventRecorderConcurrent|TestSamplerRunDrivenByTicks|TestSamplerRunStopsOnContextCancel|TestSlowLogPromotionAndPersistence' ./internal/obs
+go test -race -run 'TestEventsLeaveSavedStoreByteIdentical|TestDebugEventsFilters|TestExemplarReachesMetricsScrape' ./internal/store ./internal/server
 
 echo "== crashguard: re-exec crash sweeps and fuzzers"
 go test -race -run 'TestCrashSweep' ./internal/store
